@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables (Figures 1-6 are
+all tables of timings) at laptop scale, prints it alongside the paper's
+published numbers, and asserts the paper's *shape*: which system wins,
+by roughly what factor, and where the Fail entries land.  Absolute
+seconds are not asserted — the substrate is a calibrated simulator, not
+the authors' EC2 fleet (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Execute a figure function exactly once under pytest-benchmark."""
+
+    def _run(figure_fn):
+        return benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def show():
+    def _show(text):
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,37 @@
+"""Figure 2: the Bayesian Lasso table."""
+
+from repro.bench import experiments, format_figure
+from repro.bench.report import assert_failed, assert_ran, seconds_of
+
+COLUMNS = ["5 machines", "20 machines", "100 machines"]
+
+
+def test_fig2_bayesian_lasso(run_figure, show):
+    fig = run_figure(experiments.figure_2)
+    show(format_figure("Figure 2: Bayesian Lasso (simulated [paper])",
+                       fig, COLUMNS))
+
+    # Plain Giraph fails at every scale; its super-vertex rewrite runs.
+    for cell in fig["Giraph"]:
+        assert_failed(cell)
+    for cell in fig["Giraph (Super Vertex)"]:
+        assert_ran(cell)
+
+    # Per-iteration: SimSQL is minutes, everyone else is ~a minute —
+    # about ten times Spark, twenty times GraphLab (Section 6.6).  At
+    # 100 machines Giraph's barrier costs close part of the gap (2:08 vs
+    # 12:24 in the paper), so the wide factor is asserted at 5 and 20.
+    for machines in range(3):
+        simsql = seconds_of(fig["SimSQL"][machines])
+        for label in ("GraphLab (Super Vertex)", "Spark (Python)",
+                      "Giraph (Super Vertex)"):
+            factor = 4.0 if machines < 2 else 1.2
+            assert simsql > factor * seconds_of(fig[label][machines]), label
+
+    # Initialization: SimSQL and Spark pay hours for the Gram matrix;
+    # the graph platforms' map_reduce_vertices setup is ~a minute
+    # (Section 6.6 "Long Initialization Times").
+    for label in ("SimSQL", "Spark (Python)"):
+        assert fig[label][0].report.init_seconds > 3600
+    for label in ("GraphLab (Super Vertex)", "Giraph (Super Vertex)"):
+        assert fig[label][0].report.init_seconds < 300

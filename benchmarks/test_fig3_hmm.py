@@ -1,0 +1,52 @@
+"""Figure 3: the HMM tables — word/document granularity and super vertex."""
+
+from repro.bench import experiments, format_figure
+from repro.bench.report import assert_failed, assert_ran, seconds_of
+
+COLUMNS = ["5 machines", "20 machines", "100 machines"]
+
+
+def test_fig3a_word_and_document(run_figure, show):
+    fig = run_figure(experiments.figure_3a)
+    show(format_figure("Figure 3(a): HMM word- and document-based "
+                       "(5 machines, simulated [paper])", fig, ["5 machines"]))
+
+    # Word granularity: only SimSQL can run it; Spark and Giraph fail.
+    assert_ran(fig["SimSQL (word)"][0])
+    assert_failed(fig["Spark (word)"][0])
+    assert_failed(fig["Giraph (word)"][0])
+    # The word-based SimSQL run is hours per iteration — far slower than
+    # its own document-based code.
+    assert seconds_of(fig["SimSQL (word)"][0]) > 3.0 * seconds_of(fig["SimSQL (document)"][0])
+    # Document-based: Giraph (11:02) beats SimSQL (~3:42 h) and crushes
+    # Spark (~4:21 h).
+    giraph = seconds_of(fig["Giraph (document)"][0])
+    assert giraph < 0.5 * seconds_of(fig["SimSQL (document)"][0])
+    assert giraph < 0.25 * seconds_of(fig["Spark (document)"][0])
+
+
+def test_fig3b_super_vertex(run_figure, show):
+    fig = run_figure(experiments.figure_3b)
+    show(format_figure("Figure 3(b): HMM super-vertex implementations",
+                       fig, COLUMNS))
+
+    # Giraph runs everywhere and is the fastest at every size.
+    for idx in range(3):
+        cell = fig["Giraph"][idx]
+        assert_ran(cell)
+        for label in ("GraphLab", "Spark (Python)", "SimSQL"):
+            other = fig[label][idx]
+            if not other.report.failed:
+                assert seconds_of(cell) < seconds_of(other)
+    # GraphLab runs only at five machines (memory fan-in, Section 7.6).
+    assert_ran(fig["GraphLab"][0])
+    assert_failed(fig["GraphLab"][1])
+    assert_failed(fig["GraphLab"][2])
+    # Spark runs at 5 and 20, fails at 100.
+    assert_ran(fig["Spark (Python)"][0])
+    assert_ran(fig["Spark (Python)"][1])
+    assert_failed(fig["Spark (Python)"][2])
+    # SimSQL never fails, and sits between Giraph and Spark.
+    for idx in range(3):
+        assert_ran(fig["SimSQL"][idx])
+    assert seconds_of(fig["SimSQL"][0]) < seconds_of(fig["Spark (Python)"][0])

@@ -1,0 +1,67 @@
+"""Quickstart: run the same GMM Gibbs sampler on all four platforms.
+
+This is the paper's core exercise in miniature: one Markov chain, four
+programming abstractions.  Each implementation really executes the
+sampler (they all recover the planted clusters); the traced work is then
+scaled to the paper's data sizes (ten million points per machine on five
+EC2 m2.4xlarge machines) to estimate what each platform would cost.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench.runner import paper_scales, run_benchmark
+from repro.impls.giraph import GiraphGMM
+from repro.impls.graphlab import GraphLabGMMSuperVertex
+from repro.impls.simsql import SimSQLGMM
+from repro.impls.spark import SparkGMM
+from repro.models.evaluation import mean_recovery_error
+from repro.stats import make_rng
+from repro.workloads import generate_gmm_data
+
+MACHINES = 5
+CLUSTERS = 3
+SAMPLE_POINTS = 400
+ITERATIONS = 20
+
+
+def recovered_means(impl) -> np.ndarray:
+    state = impl.state() if callable(getattr(impl, "state", None)) else impl.state
+    return state.means
+
+
+def main() -> None:
+    data = generate_gmm_data(make_rng(0), SAMPLE_POINTS, dim=3,
+                             clusters=CLUSTERS, separation=9.0)
+    print(f"Planted {CLUSTERS} Gaussians in 3 dimensions, "
+          f"{SAMPLE_POINTS} sample points.\n")
+
+    platforms = {
+        "Spark (Python)": SparkGMM,
+        "SimSQL": SimSQLGMM,
+        "GraphLab (super vertex)": GraphLabGMMSuperVertex,
+        "Giraph": GiraphGMM,
+    }
+    scales = paper_scales(10_000_000, MACHINES, SAMPLE_POINTS)
+
+    print(f"{'platform':<26}{'recovered means (max error)':<30}"
+          f"{'simulated time at paper scale'}")
+    for name, cls in platforms.items():
+        impl_holder = {}
+
+        def factory(cluster_spec, tracer, cls=cls):
+            impl_holder["impl"] = cls(data.points, CLUSTERS, make_rng(1),
+                                      cluster_spec, tracer)
+            return impl_holder["impl"]
+
+        report = run_benchmark(factory, MACHINES, ITERATIONS, scales)
+        error = mean_recovery_error(recovered_means(impl_holder["impl"]), data.means)
+        print(f"{name:<26}{error:<30.3f}{report.cell()}")
+
+    print("\nCell format: per-iteration time (initialization time), or Fail.")
+    print("Compare with the paper's Figure 1(a); see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

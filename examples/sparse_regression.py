@@ -1,0 +1,81 @@
+"""Sparse regression with the Bayesian Lasso across all four platforms.
+
+A genomics-flavoured scenario: many candidate regressors, few truly
+active, Gaussian noise.  Every platform runs the Park-Casella block
+Gibbs sampler; the posterior means must agree, and the platform-level
+story of the paper's Figure 2 appears in the simulated costs — the
+graph engines initialize in seconds where Spark and SimSQL grind
+through the Gram matrix for hours.
+
+Run:  python examples/sparse_regression.py
+"""
+
+import numpy as np
+
+from repro.bench.runner import paper_scales, run_benchmark, sv_factor
+from repro.impls.giraph import GiraphLassoSuperVertex
+from repro.impls.graphlab import GraphLabLassoSuperVertex
+from repro.impls.simsql import SimSQLLasso
+from repro.impls.spark import SparkLasso
+from repro.stats import make_rng
+from repro.workloads import generate_lasso_data
+
+MACHINES = 5
+POINTS = 260
+REGRESSORS = 12
+ACTIVE = 3
+ITERATIONS = 60
+BURN_IN = 25
+
+
+def main() -> None:
+    data = generate_lasso_data(make_rng(0), POINTS, p=REGRESSORS,
+                               active=ACTIVE, signal=5.0)
+    active = np.flatnonzero(np.abs(data.beta) > 0)
+    print(f"{POINTS} samples, {REGRESSORS} regressors, "
+          f"true support {list(active)}.\n")
+
+    platforms = {
+        "Spark (Python)": SparkLasso,
+        "SimSQL": SimSQLLasso,
+        "GraphLab (super vertex)": GraphLabLassoSuperVertex,
+        "Giraph (super vertex)": GiraphLassoSuperVertex,
+    }
+    p_factor = 1000.0 / REGRESSORS
+    scales = paper_scales(100_000, MACHINES, POINTS, p=p_factor,
+                          p2=p_factor**2, sv=sv_factor(MACHINES, POINTS, 64))
+
+    print(f"{'platform':<26}{'recovered support':<22}{'max |err|':<12}"
+          f"{'simulated iter (init)'}")
+    for name, cls in platforms.items():
+        holder = {}
+
+        def factory(cluster_spec, tracer, cls=cls):
+            holder["impl"] = cls(data.x, data.y, make_rng(7), cluster_spec, tracer)
+            return holder["impl"]
+
+        # Simulated platform cost (short run through the harness) ...
+        report = run_benchmark(factory, MACHINES, 3, scales)
+        # ... and a longer stand-alone run for the posterior mean.
+        from repro.cluster import ClusterSpec
+
+        impl = type(holder["impl"])(data.x, data.y, make_rng(7),
+                                    ClusterSpec(machines=MACHINES))
+        impl.initialize()
+        draws = []
+        for i in range(ITERATIONS):
+            impl.iterate(i)
+            if i >= BURN_IN:
+                state = impl.state() if callable(getattr(impl, "state", None)) else impl.state
+                draws.append(state.beta.copy())
+        posterior_mean = np.mean(draws, axis=0)
+        support = list(np.flatnonzero(np.abs(posterior_mean) > 1.0))
+        err = np.abs(posterior_mean - data.beta).max()
+        print(f"{name:<26}{str(support):<22}{err:<12.3f}{report.cell()}")
+
+    print("\nAll four platforms draw from the same posterior; only the")
+    print("simulated platform cost differs (compare the paper's Figure 2).")
+
+
+if __name__ == "__main__":
+    main()

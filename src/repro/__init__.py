@@ -1,0 +1,65 @@
+"""repro — reproduction of the SIGMOD 2014 platform-comparison benchmark.
+
+The package implements, in pure Python:
+
+* the probability substrate used by the paper's five MCMC samplers
+  (:mod:`repro.stats`),
+* functional single-process engines for the four platforms the paper
+  benchmarks — Spark-style dataflow (:mod:`repro.dataflow`), the SimSQL
+  relational/VG-function engine (:mod:`repro.relational`), and the
+  GraphLab / Giraph graph engines (:mod:`repro.graph`),
+* a simulated EC2 cluster with a calibrated cost and memory model
+  (:mod:`repro.cluster`) that scales traced work to the paper's data
+  sizes and reproduces the timing/Fail tables,
+* the five benchmark models on every platform (:mod:`repro.impls`), the
+  reference sequential samplers (:mod:`repro.models`), the synthetic
+  workload generators (:mod:`repro.workloads`), and the experiment
+  harness that regenerates every table in the paper (:mod:`repro.bench`).
+
+Quick tour::
+
+    from repro import ClusterSpec, SparkContext, make_rng
+    from repro.impls.spark import SparkGMM
+    from repro.workloads import generate_gmm_data
+
+    data = generate_gmm_data(make_rng(0), 500, dim=3, clusters=3)
+    gmm = SparkGMM(data.points, 3, make_rng(1), ClusterSpec(machines=5))
+    gmm.initialize()
+    for i in range(10):
+        gmm.iterate(i)
+    print(gmm.state.means)
+"""
+
+from repro.cluster import (
+    ClusterSpec,
+    MachineSpec,
+    NullTracer,
+    RunReport,
+    Simulator,
+    Tracer,
+)
+from repro.config import EC2_M2_4XLARGE, PAPER_CLUSTER_SIZES
+from repro.dataflow import SparkContext
+from repro.graph import GiraphEngine, GraphLabEngine
+from repro.relational import Database, MarkovChain
+from repro.stats import make_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "Database",
+    "EC2_M2_4XLARGE",
+    "GiraphEngine",
+    "GraphLabEngine",
+    "MachineSpec",
+    "MarkovChain",
+    "NullTracer",
+    "PAPER_CLUSTER_SIZES",
+    "RunReport",
+    "Simulator",
+    "SparkContext",
+    "Tracer",
+    "__version__",
+    "make_rng",
+]

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment grid, runner, reporting, LoC counting."""
+
+from repro.bench import experiments
+from repro.bench.loc import count_source_lines
+from repro.bench.report import assert_failed, assert_ran, format_figure, seconds_of
+from repro.bench.runner import CellResult, paper_scales, run_benchmark
+
+__all__ = [
+    "CellResult",
+    "assert_failed",
+    "assert_ran",
+    "count_source_lines",
+    "experiments",
+    "format_figure",
+    "paper_scales",
+    "run_benchmark",
+    "seconds_of",
+]

@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench figure_1a
+    python -m repro.bench all
+    python -m repro.bench calibration
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import experiments, format_figure
+
+FIGURES: dict[str, tuple[str, list[str]]] = {
+    "figure_1a": ("Figure 1(a): GMM initial implementations",
+                  ["10d/5m", "10d/20m", "10d/100m", "100d/5m"]),
+    "figure_1b": ("Figure 1(b): GMM alternative implementations",
+                  ["10d/5m", "10d/20m", "10d/100m", "100d/5m"]),
+    "figure_1c": ("Figure 1(c): GMM super-vertex implementations (5 machines)",
+                  ["10d plain", "10d sv", "100d plain", "100d sv"]),
+    "figure_2": ("Figure 2: Bayesian Lasso", ["5m", "20m", "100m"]),
+    "figure_3a": ("Figure 3(a): HMM word- and document-based (5 machines)",
+                  ["5m"]),
+    "figure_3b": ("Figure 3(b): HMM super-vertex", ["5m", "20m", "100m"]),
+    "figure_4a": ("Figure 4(a): LDA word- and document-based (5 machines)",
+                  ["5m"]),
+    "figure_4b": ("Figure 4(b): LDA super-vertex", ["5m", "20m", "100m"]),
+    "figure_5": ("Figure 5: Gaussian imputation", ["5m", "20m", "100m"]),
+    "figure_6": ("Figure 6: Spark Java LDA", ["5m", "20m", "100m"]),
+}
+
+
+def run_one(name: str) -> None:
+    title, columns = FIGURES[name]
+    started = time.time()
+    figure = getattr(experiments, name)()
+    print(format_figure(f"{title}  —  simulated [paper]", figure, columns))
+    print(f"(regenerated in {time.time() - started:.0f}s; "
+          f"LoC: " + ", ".join(f"{label}={cells[0].loc}"
+                               for label, cells in figure.items()) + ")\n")
+
+
+def run_calibration() -> None:
+    """Run every figure and summarize simulated/paper agreement."""
+    from repro.bench.paper_data import compare
+
+    records = []
+    for name in FIGURES:
+        records.extend(compare(name, getattr(experiments, name)()))
+    ratios = sorted(r["ratio"] for r in records if "ratio" in r)
+    agree = sum(r["fail_agreement"] for r in records)
+    print(f"cells compared: {len(records)}; Fail placement agreement: "
+          f"{agree}/{len(records)}")
+    if ratios:
+        import statistics
+
+        print(f"timed cells: {len(ratios)}; simulated/paper iteration-time "
+              f"ratio: median {statistics.median(ratios):.2f}, "
+              f"range [{ratios[0]:.2f}, {ratios[-1]:.2f}]")
+        within = sum(1 for r in ratios if 1 / 3 <= r <= 3)
+        print(f"within 3x of the paper: {within}/{len(ratios)}")
+    worst = [r for r in records if not r["fail_agreement"]]
+    for record in worst:
+        print(f"  DISAGREES: {record['figure']} / {record['system']} "
+              f"column {record['column']}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    target = argv[0]
+    if target == "list":
+        for name, (title, _) in FIGURES.items():
+            print(f"{name:<12} {title}")
+        return 0
+    if target == "all":
+        for name in FIGURES:
+            run_one(name)
+        return 0
+    if target == "calibration":
+        run_calibration()
+        return 0
+    if target not in FIGURES:
+        print(f"unknown figure {target!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_one(target)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,71 @@
+"""Trace diagnostics: per-label cost and memory breakdowns.
+
+Used for calibrating the cost model against the paper's tables and for
+debugging unexpected Fail (or non-Fail) cells.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cluster import (
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    ScaleMap,
+    Simulator,
+    Tracer,
+    event_seconds,
+)
+from repro.cluster.memory import _event_resident_bytes
+
+
+def time_breakdown(tracer: Tracer, machines: int, platform: str,
+                   scales: dict[str, float], phase_prefix: str = "iteration:",
+                   top: int = 12) -> list[tuple[str, float]]:
+    """Top cost contributors (seconds) across matching phases, by label."""
+    cluster = ClusterSpec(machines=machines)
+    profile = PLATFORM_PROFILES[platform]
+    scale_map = ScaleMap(scales)
+    totals: dict[str, float] = defaultdict(float)
+    for phase in tracer.phases:
+        if not phase.name.startswith(phase_prefix):
+            continue
+        for event in phase.events:
+            key = f"{event.kind.value}:{event.label or '?'}"
+            totals[key] += event_seconds(event, scale_map, cluster, profile)
+    return sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+
+
+def memory_breakdown(tracer: Tracer, machines: int, platform: str,
+                     scales: dict[str, float], phase_name: str,
+                     top: int = 12) -> list[tuple[str, float]]:
+    """Per-label resident GiB (per machine) in one phase."""
+    cluster = ClusterSpec(machines=machines)
+    profile = PLATFORM_PROFILES[platform]
+    scale_map = ScaleMap(scales)
+    totals: dict[str, float] = defaultdict(float)
+    for phase in tracer.phases:
+        if phase.name != phase_name:
+            continue
+        for event in phase.memory:
+            resident = _event_resident_bytes(event, scale_map, profile)
+            if event.site.value == "cluster":
+                resident /= cluster.machines
+            label = event.label or "?"
+            if event.spillable:
+                label += " (spill)"
+            totals[label] += resident / 2**30
+    return sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+
+
+def collect_trace(factory, machines: int, iterations: int) -> Tracer:
+    """Run an implementation and return its trace (no simulation)."""
+    tracer = Tracer()
+    cluster = ClusterSpec(machines=machines)
+    impl = factory(cluster, tracer)
+    with tracer.init_phase():
+        impl.initialize()
+    for i in range(iterations):
+        with tracer.iteration_phase(i):
+            impl.iterate(i)
+    return tracer

@@ -1,0 +1,41 @@
+"""Lines-of-code accounting for the paper's LoC columns.
+
+The paper reports lines of code "excluding libraries" for every
+implementation.  We count the source lines of the implementation class
+(plus any bespoke VG functions / vertex programs it names), skipping
+blanks, comments and docstrings — the moral equivalent of the paper's
+counting, applied to our codes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import io
+import tokenize
+
+
+def count_source_lines(*objects) -> int:
+    """Physical code lines of the given classes/functions, docstrings,
+    comments and blank lines excluded."""
+    total = 0
+    for obj in objects:
+        source = inspect.getsource(obj)
+        total += _code_lines(source)
+    return total
+
+
+def _code_lines(source: str) -> int:
+    code_rows: set[int] = set()
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    previous_significant = None
+    for token in tokens:
+        if token.type in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                          tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER):
+            continue
+        if token.type == tokenize.STRING and previous_significant in (None, ":", "\n"):
+            # A docstring: a string token starting a logical line.
+            continue
+        for row in range(token.start[0], token.end[0] + 1):
+            code_rows.add(row)
+        previous_significant = token.string if token.type == tokenize.OP else "x"
+    return len(code_rows)

@@ -1,0 +1,158 @@
+"""The paper's published numbers, as structured data.
+
+Every timing cell of Figures 1-6, machine-readable, for calibration
+reports and EXPERIMENTS.md bookkeeping.  ``parse_cell`` converts the
+paper's ``HH:MM:SS (MM:SS)`` cells into seconds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperCell:
+    """One cell: per-iteration and initialization seconds, or a failure."""
+
+    iteration_seconds: float | None
+    init_seconds: float | None
+    failed: bool = False
+    approximate: bool = False
+
+    @classmethod
+    def fail(cls) -> "PaperCell":
+        return cls(None, None, failed=True)
+
+
+_TIME_RE = re.compile(r"(?:(\d+):)?(\d+):(\d+)")
+
+
+def _to_seconds(text: str) -> float:
+    match = _TIME_RE.fullmatch(text.strip())
+    if match is None:
+        raise ValueError(f"not a paper time: {text!r}")
+    hours = int(match.group(1) or 0)
+    return hours * 3600 + int(match.group(2)) * 60 + int(match.group(3))
+
+
+def parse_cell(text: str) -> PaperCell:
+    """Parse ``"27:55 (13:55)"``, ``"≈15:45:00 (≈2:30:00)"`` or ``"Fail"``."""
+    text = text.strip()
+    if text.lower() in ("fail", "na"):
+        return PaperCell.fail()
+    approximate = "≈" in text
+    text = text.replace("≈", "")
+    match = re.fullmatch(r"([\d:]+)(?:\s*\(([\d:]+)\))?", text)
+    if match is None:
+        raise ValueError(f"unparseable paper cell: {text!r}")
+    init = _to_seconds(match.group(2)) if match.group(2) else None
+    return PaperCell(_to_seconds(match.group(1)), init, approximate=approximate)
+
+
+#: (figure, system) -> list of paper cells in column order.  The strings
+#: are verbatim from the paper; parse with :func:`parse_cell`.
+PAPER_TABLES: dict[str, dict[str, list[str]]] = {
+    "figure_1a": {
+        "SimSQL": ["27:55 (13:55)", "28:55 (14:38)", "35:54 (18:58)", "1:51:12 (36:08)"],
+        "GraphLab": ["Fail", "Fail", "Fail", "Fail"],
+        "Spark (Python)": ["26:04 (4:10)", "37:34 (2:27)", "38:09 (2:00)", "47:40 (0:52)"],
+        "Giraph": ["25:21 (0:18)", "30:26 (0:15)", "Fail", "Fail"],
+    },
+    "figure_1b": {
+        "Spark (Java)": ["12:30 (2:01)", "12:25 (2:03)", "18:11 (2:26)", "6:25:04 (36:08)"],
+        "GraphLab (Super Vertex)": ["6:13 (1:13)", "4:36 (2:47)", "6:09 (1:21)", "33:32 (0:42)"],
+    },
+    "figure_1c": {
+        "SimSQL": ["27:55 (13:55)", "6:20 (12:33)", "1:51:12 (36:08)", "7:22 (14:07)"],
+        "GraphLab": ["Fail", "6:13 (1:13)", "Fail", "33:32 (0:42)"],
+        "Spark (Python)": ["26:04 (4:10)", "29:12 (4:01)", "47:40 (0:52)", "47:03 (2:17)"],
+        "Giraph": ["25:21 (0:18)", "13:48 (0:03)", "Fail", "6:17:32 (0:03)"],
+    },
+    "figure_2": {
+        "SimSQL": ["7:09 (2:40:06)", "8:04 (2:45:28)", "12:24 (2:54:45)"],
+        "GraphLab (Super Vertex)": ["0:36 (0:37)", "0:26 (0:35)", "0:31 (0:50)"],
+        "Spark (Python)": ["0:55 (1:26:59)", "0:59 (1:33:13)", "1:12 (2:06:30)"],
+        "Giraph": ["Fail", "Fail", "Fail"],
+        "Giraph (Super Vertex)": ["0:58 (1:14)", "1:03 (1:14)", "2:08 (6:31)"],
+    },
+    "figure_3a": {
+        "SimSQL (word)": ["8:17:07 (10:51:32)"],
+        "Spark (word)": ["Fail"],
+        "Giraph (word)": ["Fail"],
+        "SimSQL (document)": ["3:42:40 (20:44)"],
+        "Spark (document)": ["4:21:36 (27:36)"],
+        "Giraph (document)": ["11:02 (7:03)"],
+    },
+    "figure_3b": {
+        "Giraph": ["2:27 (1:12)", "2:44 (1:52)", "3:12 (2:56)"],
+        "GraphLab": ["20:39 (16:28)", "Fail", "Fail"],
+        "Spark (Python)": ["3:45:58 (11:02)", "4:01:02 (13:04)", "Fail"],
+        "SimSQL": ["2:05:12 (1:44:45)", "2:05:31 (1:44:36)", "2:19:10 (2:04:40)"],
+    },
+    "figure_4a": {
+        "SimSQL (word)": ["16:34:39 (11:23:22)"],
+        "SimSQL (document)": ["4:52:06 (4:34:27)"],
+        "Spark (document)": ["≈15:45:00 (≈2:30:00)"],
+        "Giraph (document)": ["22:22 (5:46)"],
+    },
+    "figure_4b": {
+        "Giraph": ["18:49 (2:35)", "20:02 (2:46)", "Fail"],
+        "GraphLab": ["39:27 (32:14)", "Fail", "Fail"],
+        "Spark (Python)": ["≈3:56:00 (≈2:15:00)", "≈3:57:00 (≈2:15:00)", "Fail"],
+        "SimSQL": ["1:00:17 (3:09)", "1:06:59 (3:34)", "1:13:58 (4:28)"],
+    },
+    "figure_5": {
+        "Giraph": ["28:43 (0:19)", "31:23 (0:18)", "Fail"],
+        "GraphLab (Super vertex)": ["6:59 (3:41)", "6:12 (8:40)", "6:08 (3:03)"],
+        "Spark (Python)": ["1:22:48 (3:52)", "1:27:39 (4:03)", "1:29:27 (4:27)"],
+        "SimSQL": ["28:53 (14:29)", "30:41 (15:30)", "39:33 (22:15)"],
+    },
+    "figure_6": {
+        "Spark (Java)": ["9:47 (0:53)", "19:36 (1:15)", "Fail"],
+    },
+}
+
+#: The paper's lines-of-code columns (Figures 1-5), for reference.
+PAPER_LOC: dict[str, dict[str, int]] = {
+    "gmm": {"SimSQL": 197, "GraphLab": 661, "Spark (Python)": 236,
+            "Giraph": 2131, "Spark (Java)": 737, "GraphLab (Super Vertex)": 681},
+    "lasso": {"SimSQL": 100, "GraphLab (Super Vertex)": 572,
+              "Spark (Python)": 168, "Giraph": 1871, "Giraph (Super Vertex)": 1953},
+    "hmm-word": {"SimSQL": 131, "Giraph": 1717},
+    "hmm-document": {"SimSQL": 123, "Spark (Python)": 214, "Giraph": 1470},
+    "hmm-super-vertex": {"Giraph": 1735, "GraphLab": 681,
+                         "Spark (Python)": 215, "SimSQL": 136},
+    "lda-word": {"SimSQL": 126},
+    "lda-document": {"SimSQL": 129, "Spark (Python)": 188, "Giraph": 1358},
+    "lda-super-vertex": {"Giraph": 1406, "GraphLab": 517,
+                         "Spark (Python)": 220, "SimSQL": 117},
+    "lda-java": {"Spark (Java)": 377},
+    "imputation": {"Giraph": 2274, "GraphLab (Super vertex)": 1197,
+                   "Spark (Python)": 294, "SimSQL": 182},
+}
+
+
+def compare(figure_name: str, simulated: dict) -> list[dict]:
+    """Per-cell comparison records: ratio of simulated to paper times.
+
+    ``simulated`` is the output of the matching
+    ``repro.bench.experiments`` function.  Fail cells compare by
+    agreement, timed cells by iteration-time ratio.
+    """
+    out = []
+    paper_rows = PAPER_TABLES[figure_name]
+    for system, cells in simulated.items():
+        for column, cell in enumerate(cells):
+            paper = parse_cell(paper_rows[system][column])
+            record = {
+                "figure": figure_name, "system": system, "column": column,
+                "paper_failed": paper.failed, "simulated_failed": cell.report.failed,
+                "fail_agreement": paper.failed == cell.report.failed,
+            }
+            if not paper.failed and not cell.report.failed:
+                record["ratio"] = (
+                    cell.report.mean_iteration_seconds / paper.iteration_seconds
+                )
+            out.append(record)
+    return out

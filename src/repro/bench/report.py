@@ -1,0 +1,58 @@
+"""Table formatting in the paper's layout (Figures 1-6)."""
+
+from __future__ import annotations
+
+from repro.bench.runner import CellResult
+
+
+def format_figure(title: str, rows: dict[str, list[CellResult]],
+                  columns: list[str]) -> str:
+    """Render a paper-style table.
+
+    ``rows`` maps a system label to its cells (one per column); each
+    cell shows ``simulated [paper]`` so the reproduction can be read
+    against the original numbers at a glance.
+    """
+    label_width = max((len(label) for label in rows), default=8) + 2
+    col_width = max(26, max((len(c) for c in columns), default=10) + 2)
+    out = [title, "=" * len(title)]
+    header = " " * label_width + "".join(c.ljust(col_width) for c in columns)
+    out.append(header)
+    for label, cells in rows.items():
+        parts = [label.ljust(label_width)]
+        for cell in cells:
+            text = cell.cell
+            if cell.paper:
+                text = f"{text} [{cell.paper}]"
+            parts.append(text.ljust(col_width))
+        out.append("".join(parts))
+    return "\n".join(out)
+
+
+def seconds_of(result: CellResult) -> float:
+    """Mean per-iteration seconds of a non-failed cell."""
+    if result.report.failed:
+        raise AssertionError(
+            f"{result.label} @ {result.machines} machines unexpectedly failed: "
+            f"{result.report.fail_reason}"
+        )
+    return result.report.mean_iteration_seconds
+
+
+def assert_failed(result: CellResult) -> None:
+    if not result.report.failed:
+        raise AssertionError(
+            f"{result.label} @ {result.machines} machines should have failed "
+            f"(paper: {result.paper}) but took "
+            f"{result.report.mean_iteration_seconds:.0f}s/iter with peak "
+            f"{result.report.peak_memory_bytes / 2**30:.1f} GiB"
+        )
+
+
+def assert_ran(result: CellResult) -> None:
+    if result.report.failed:
+        raise AssertionError(
+            f"{result.label} @ {result.machines} machines should have run "
+            f"(paper: {result.paper}) but failed in {result.report.fail_phase}: "
+            f"{result.report.fail_reason}"
+        )

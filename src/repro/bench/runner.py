@@ -1,0 +1,74 @@
+"""Benchmark runner: drive an implementation, simulate the cluster run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster import ClusterSpec, PLATFORM_PROFILES, RunReport, Simulator, Tracer
+from repro.impls.base import Implementation
+
+
+@dataclass
+class CellResult:
+    """One cell of a paper table: a simulated run plus the paper's value."""
+
+    label: str
+    machines: int
+    report: RunReport
+    paper: str = ""
+    loc: int = 0
+
+    @property
+    def cell(self) -> str:
+        return self.report.cell()
+
+
+def run_benchmark(
+    factory: Callable[[ClusterSpec, Tracer], Implementation],
+    machines: int,
+    iterations: int,
+    scales: dict[str, float],
+) -> RunReport:
+    """Execute one benchmark cell.
+
+    ``factory`` builds the implementation against the given cluster spec
+    and tracer.  The runner owns the tracer phases: one ``init`` phase
+    around ``initialize()`` and one phase per iteration, after which the
+    trace is scaled to paper size and simulated.
+    """
+    cluster = ClusterSpec(machines=machines)
+    tracer = Tracer()
+    impl = factory(cluster, tracer)
+    profile = PLATFORM_PROFILES[impl.platform]
+    with tracer.init_phase():
+        impl.initialize()
+    for i in range(iterations):
+        with tracer.iteration_phase(i):
+            impl.iterate(i)
+    simulator = Simulator(cluster, profile)
+    return simulator.simulate(tracer, scales)
+
+
+def paper_scales(units_per_machine: int, machines: int, laptop_units: int,
+                 **extra: float) -> dict[str, float]:
+    """Scale factors for a cell: the paper keeps data-per-machine fixed,
+    so the data factor is (units/machine x machines) / laptop units.
+    ``extra`` supplies model-axis factors (vocab, p, ...); ``words``
+    defaults to the data factor (corpora keep the paper's words-per-
+    document ratio, so one factor serves both units)."""
+    if laptop_units < 1:
+        raise ValueError(f"laptop_units must be positive, got {laptop_units}")
+    data = units_per_machine * machines / laptop_units
+    scales = {"data": data, "words": data, "d": 1.0, "d2": 1.0,
+              "p": 1.0, "p2": 1.0, "vocab": 1.0, "sv": 1.0}
+    scales.update(extra)
+    return scales
+
+
+def sv_factor(machines: int, laptop_units: int, laptop_block: int) -> float:
+    """Super-vertex-count scale factor: the paper uses ~80 super
+    vertices per machine; the laptop run groups ``laptop_units`` data
+    units into blocks of ``laptop_block``."""
+    laptop_svs = max(1, laptop_units // laptop_block)
+    return 80.0 * machines / laptop_svs

@@ -1,0 +1,50 @@
+"""Simulated EC2 cluster: cost events, tracer, cost/memory model, simulator."""
+
+from repro.cluster.costmodel import (
+    LANGUAGE_COSTS,
+    PLATFORM_PROFILES,
+    LanguageCost,
+    PlatformProfile,
+    ScaleMap,
+    UnknownScaleGroup,
+    combine_scales,
+    event_seconds,
+)
+from repro.cluster.events import DATA, FIXED, CostEvent, Kind, MemoryEvent, Phase, Site
+from repro.cluster.machine import ClusterSpec, MachineSpec
+from repro.cluster.memory import CONNECTIONS_LABEL, MemoryVerdict, check_phase_memory
+from repro.cluster.simulator import PhaseReport, RunReport, Simulator, format_hms
+from repro.cluster.tracer import NullTracer, Tracer
+from repro.cluster.variability import PAPER_CV, perturb_seconds, replicate_study
+
+__all__ = [
+    "CONNECTIONS_LABEL",
+    "ClusterSpec",
+    "CostEvent",
+    "DATA",
+    "FIXED",
+    "Kind",
+    "LANGUAGE_COSTS",
+    "LanguageCost",
+    "MachineSpec",
+    "MemoryEvent",
+    "MemoryVerdict",
+    "NullTracer",
+    "PAPER_CV",
+    "PhaseReport",
+    "Phase",
+    "PlatformProfile",
+    "PLATFORM_PROFILES",
+    "RunReport",
+    "ScaleMap",
+    "Simulator",
+    "Site",
+    "Tracer",
+    "UnknownScaleGroup",
+    "check_phase_memory",
+    "combine_scales",
+    "event_seconds",
+    "format_hms",
+    "perturb_seconds",
+    "replicate_study",
+]

@@ -1,0 +1,282 @@
+"""The calibrated cost model: traced work -> simulated seconds.
+
+Two tables drive the conversion:
+
+* :data:`LANGUAGE_COSTS` — what one record callback / FLOP / serialized
+  byte costs in each language runtime.  These encode the paper's
+  cross-cutting findings: per-record Python callbacks through Py4J are
+  expensive, Java linear algebra via Mallet has a high per-FLOP cost
+  (Section 5.6, Figure 1(b)), tight C++ loops are cheapest, and SimSQL's
+  per-tuple relational processing is the costliest per record.
+* :data:`PLATFORM_PROFILES` — per-platform runtime constants: Hadoop job
+  launch overhead (SimSQL, Giraph setup), BSP barrier cost, parallel
+  efficiency, JVM object overhead, whether the platform can spill to
+  disk instead of failing (SimSQL's robustness, Section 10), and the
+  usable fraction of RAM before an allocation fails.
+
+The constants were calibrated once against the paper's published tables
+(see EXPERIMENTS.md); they are *shared across all experiments* — a
+single set of numbers must reproduce every figure's shape, which is the
+honest version of this exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.events import FIXED, CostEvent, Kind, Site
+from repro.cluster.machine import ClusterSpec
+
+MICRO = 1e-6
+NANO = 1e-9
+
+
+@dataclass(frozen=True)
+class LanguageCost:
+    """Unit costs of one runtime/language."""
+
+    #: Seconds per record-level callback (operator lambda, UDF call,
+    #: vertex program invocation, tuple touch).
+    per_record: float
+    #: Seconds per floating-point operation in this runtime's linalg path.
+    per_flop: float
+    #: Seconds per byte crossing the runtime's serialization boundary.
+    per_serialized_byte: float
+
+
+#: Calibrated language runtimes.  "python" is per-record PySpark-style
+#: code (one small PyGSL/NumPy call per record, pickled through Py4J);
+#: "numpy" is the vectorized bulk path used by super-vertex Python codes;
+#: "java" uses Mallet for linear algebra; "cpp" is GraphLab/VG-function
+#: territory; "sql" is SimSQL's tuple-at-a-time relational engine.
+LANGUAGE_COSTS: dict[str, LanguageCost] = {
+    # A "record" for Python is one interpreted operation: a callback
+    # dispatch or one PyGSL/NumPy library call on small operands.  The
+    # serialization rate is the pickle + Py4J socket path.
+    "python": LanguageCost(per_record=60.0 * MICRO, per_flop=6.0 * NANO, per_serialized_byte=150.0 * NANO),
+    # Vectorized bulk NumPy: a "record" is one element's share of a
+    # vectorized pass, not an interpreted operation.
+    "numpy": LanguageCost(per_record=0.25 * MICRO, per_flop=2.0 * NANO, per_serialized_byte=5.0 * NANO),
+    # JVM callbacks are cheap; Mallet linear algebra is not, and every
+    # serialized byte drags object allocation + GC along with it.
+    "java": LanguageCost(per_record=2.0 * MICRO, per_flop=100.0 * NANO, per_serialized_byte=120.0 * NANO),
+    # A C++ "record" is one vertex-program inner step — GSL RNG draws,
+    # engine instrumentation and locking included, which is why it is
+    # microseconds, not nanoseconds (GraphLab's measured per-element
+    # rates in the paper are far above raw C++ loop speed).
+    "cpp": LanguageCost(per_record=6.0 * MICRO, per_flop=12.0 * NANO, per_serialized_byte=2.0 * NANO),
+    # Plain JVM array code (no Mallet): tight loops at near-memory
+    # speed — the reason the paper's Java LDA runs in ~10 minutes where
+    # the Python one needs ~16 hours.
+    "jvm": LanguageCost(per_record=2.0 * MICRO, per_flop=4.0 * NANO, per_serialized_byte=120.0 * NANO),
+    # SimSQL's tuple-at-a-time relational engine (JVM).
+    "sql": LanguageCost(per_record=1.0 * MICRO, per_flop=8.0 * NANO, per_serialized_byte=8.0 * NANO),
+}
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Runtime constants of one benchmarked platform."""
+
+    name: str
+    #: Default language of operator callbacks on this platform.
+    language: str
+    #: Seconds per launched job (Hadoop MR job, Spark stage, GAS round,
+    #: BSP superstep setup).
+    job_overhead: float
+    #: Seconds per global synchronization barrier.
+    barrier_overhead: float
+    #: Effective fraction of cluster cores doing useful work.
+    parallel_efficiency: float
+    #: Fraction of machine RAM a computation may use before failing.
+    usable_memory_fraction: float
+    #: Bookkeeping bytes per materialized object (JVM headers, boxing,
+    #: graph-store entries ...).
+    object_overhead_bytes: float
+    #: Multiplier on raw materialized bytes (copies, fragmentation).
+    byte_overhead_factor: float
+    #: Seconds of routing/handling per message record.
+    per_message_overhead: float
+    #: Platform can spill oversized working sets to disk instead of
+    #: failing (the database lineage of SimSQL).
+    spill_allowed: bool
+    #: Bytes of network buffering per open peer connection at a machine.
+    connection_buffer_bytes: float
+
+
+PLATFORM_PROFILES: dict[str, PlatformProfile] = {
+    # Spark: fast stage scheduling, in-memory RDDs; Python callbacks pay
+    # Py4J costs (in LANGUAGE_COSTS); lazy-evaluation tuning pain shows
+    # up as mediocre parallel efficiency on complicated jobs.
+    "spark": PlatformProfile(
+        name="spark",
+        language="python",
+        job_overhead=1.2,
+        barrier_overhead=0.3,
+        parallel_efficiency=0.70,
+        usable_memory_fraction=0.55,
+        object_overhead_bytes=64.0,
+        byte_overhead_factor=2.2,
+        per_message_overhead=2.0 * MICRO,
+        spill_allowed=False,
+        connection_buffer_bytes=48.0 * 1024,
+    ),
+    # SimSQL: every query compiles to Hadoop MapReduce jobs (high fixed
+    # overhead, materialization through HDFS) but the engine is a
+    # database: hash aggregation spills, so it never dies.
+    "simsql": PlatformProfile(
+        name="simsql",
+        language="sql",
+        job_overhead=15.0,
+        barrier_overhead=1.0,
+        parallel_efficiency=0.75,
+        usable_memory_fraction=0.80,
+        object_overhead_bytes=32.0,
+        byte_overhead_factor=1.4,
+        per_message_overhead=1.5 * MICRO,
+        spill_allowed=True,
+        connection_buffer_bytes=16.0 * 1024,
+    ),
+    # GraphLab: C++ speed, but the engine owns data movement; gather
+    # results are materialized per edge and the user cannot intervene
+    # (Section 5.6), so the usable-memory bar is effectively lower and
+    # object overhead per gather entry is real.
+    "graphlab": PlatformProfile(
+        name="graphlab",
+        language="cpp",
+        job_overhead=12.0,
+        barrier_overhead=0.8,
+        parallel_efficiency=0.80,
+        usable_memory_fraction=0.50,
+        object_overhead_bytes=48.0,
+        byte_overhead_factor=2.0,
+        per_message_overhead=1.2 * MICRO,
+        spill_allowed=False,
+        connection_buffer_bytes=256.0 * 1024,
+    ),
+    # Giraph: BSP on Hadoop; one job per run but per-superstep barriers;
+    # JVM message objects are heavy, and every peer connection at a
+    # worker holds Netty buffers — the term that grows with cluster size
+    # and kills the largest runs.
+    "giraph": PlatformProfile(
+        name="giraph",
+        language="java",
+        job_overhead=15.0,
+        barrier_overhead=12.0,
+        parallel_efficiency=0.80,
+        usable_memory_fraction=0.55,
+        object_overhead_bytes=96.0,
+        byte_overhead_factor=2.0,
+        per_message_overhead=1.5 * MICRO,
+        spill_allowed=False,
+        connection_buffer_bytes=2.0 * 1024 * 1024,
+    ),
+}
+
+
+class UnknownScaleGroup(KeyError):
+    """An event referenced a scale group the caller did not provide."""
+
+
+class ScaleMap:
+    """Maps scale-group labels to multiplication factors.
+
+    ``FIXED`` is always 1.0; every other group must be supplied
+    explicitly so a typo in an engine cannot silently drop a scale-up.
+    Compound labels like ``"data*data"`` (a relational cross product of
+    two data-scaled inputs) multiply their components' factors.
+    """
+
+    def __init__(self, factors: dict[str, float] | None = None) -> None:
+        factors = dict(factors or {})
+        for group, factor in factors.items():
+            if factor <= 0:
+                raise ValueError(f"scale factor for {group!r} must be positive, got {factor}")
+            if "*" in group:
+                raise ValueError(f"compound group {group!r} cannot be assigned directly")
+        factors[FIXED] = 1.0
+        self._factors = factors
+
+    def factor(self, group: str) -> float:
+        if "*" in group:
+            result = 1.0
+            for part in group.split("*"):
+                result *= self.factor(part)
+            return result
+        try:
+            return self._factors[group]
+        except KeyError:
+            known = ", ".join(sorted(self._factors))
+            raise UnknownScaleGroup(f"no scale factor for group {group!r} (known: {known})") from None
+
+
+def combine_scales(left: str, right: str) -> str:
+    """Scale-group label of a product of two inputs (cross join)."""
+    if left == FIXED:
+        return right
+    if right == FIXED:
+        return left
+    return f"{left}*{right}"
+
+
+def _slots(site: Site, cluster: ClusterSpec, efficiency: float) -> float:
+    """Effective parallel workers available at ``site``."""
+    if site is Site.CLUSTER:
+        return max(1.0, cluster.total_cores * efficiency)
+    if site is Site.MACHINE:
+        return max(1.0, cluster.machine.cores * efficiency)
+    return 1.0
+
+
+def _network_seconds(site: Site, nbytes: float, cluster: ClusterSpec) -> float:
+    """Time to move ``nbytes`` given where they converge."""
+    bandwidth = cluster.machine.network_bandwidth
+    if site is Site.CLUSTER:
+        # All-to-all: every machine sources and sinks an even share.
+        return nbytes / (cluster.machines * bandwidth)
+    # Fan-in to a single machine (hotspot vertex or the driver).
+    return nbytes / bandwidth
+
+
+def event_seconds(
+    event: CostEvent,
+    scales: ScaleMap,
+    cluster: ClusterSpec,
+    profile: PlatformProfile,
+) -> float:
+    """Simulated seconds one traced event contributes."""
+    factor = scales.factor(event.scale)
+    records = event.records * factor
+    flops = event.flops * factor
+    nbytes = event.bytes * factor
+    lang = LANGUAGE_COSTS[event.language]
+    slots = _slots(event.site, cluster, profile.parallel_efficiency)
+
+    if event.kind is Kind.COMPUTE:
+        return (records * lang.per_record + flops * lang.per_flop) / slots
+    if event.kind in (Kind.SHUFFLE, Kind.MESSAGE):
+        network = _network_seconds(event.site, nbytes, cluster)
+        handling = records * profile.per_message_overhead / slots
+        serialization = nbytes * lang.per_serialized_byte / slots
+        return network + handling + serialization
+    if event.kind is Kind.BROADCAST:
+        # Tree/torrent distribution: every machine receives the payload
+        # once; latency is dominated by one link plus per-machine hops.
+        return nbytes / cluster.machine.network_bandwidth * (
+            1.0 + 0.1 * max(0, cluster.machines - 1) ** 0.5
+        ) + nbytes * lang.per_serialized_byte
+    if event.kind is Kind.DISK_READ or event.kind is Kind.DISK_WRITE:
+        disk = cluster.machine.disk_bandwidth
+        if event.site is Site.CLUSTER:
+            return nbytes / (cluster.machines * disk)
+        return nbytes / disk
+    if event.kind is Kind.JOB:
+        return records * profile.job_overhead
+    if event.kind is Kind.BARRIER:
+        # Global barriers slow down as stragglers multiply with the
+        # cluster (the paper's Giraph setup costs grow from 1:14 at five
+        # machines to 6:31 at a hundred).
+        return records * profile.barrier_overhead * (1.0 + cluster.machines / 20.0)
+    if event.kind is Kind.SERIALIZE:
+        return nbytes * lang.per_serialized_byte / slots
+    raise ValueError(f"unhandled event kind: {event.kind}")

@@ -1,0 +1,125 @@
+"""Cost-event taxonomy emitted by the platform engines.
+
+The engines in :mod:`repro.dataflow`, :mod:`repro.relational` and
+:mod:`repro.graph` really execute the MCMC computation on laptop-scale
+data.  While doing so they emit two kinds of events into a
+:class:`repro.cluster.tracer.Tracer`:
+
+* :class:`CostEvent` — work done: records pushed through an operator,
+  FLOPs executed in some language runtime, bytes moved over network or
+  disk, jobs launched, barriers crossed.
+* :class:`MemoryEvent` — bytes (and object counts) materialized at some
+  site for the duration of the enclosing phase.
+
+Every event carries a *scale group*: a label naming the workload axis
+its quantities are proportional to.  ``"data"`` quantities grow linearly
+with the data set and are multiplied up to paper scale by the simulator;
+``FIXED`` quantities (model-sized state, per-partition bookkeeping) are
+not.  This is what lets a 20k-point laptop run predict a billion-point
+cluster run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Scale-group label for quantities that do not grow with the data.
+FIXED = "fixed"
+#: Default scale-group label for data-proportional quantities.
+DATA = "data"
+
+
+class Site(enum.Enum):
+    """Where an event's work or memory lands.
+
+    CLUSTER work is spread evenly over every core in the cluster;
+    MACHINE work is concentrated on a single machine (a hotspot vertex,
+    a single reducer); DRIVER work is serial at the driver/master.
+    """
+
+    CLUSTER = "cluster"
+    MACHINE = "machine"
+    DRIVER = "driver"
+
+
+class Kind(enum.Enum):
+    """What an event costs."""
+
+    #: Per-record callback / operator work plus FLOPs.
+    COMPUTE = "compute"
+    #: All-to-all repartition over the network (bytes + per-record cost).
+    SHUFFLE = "shuffle"
+    #: One-to-all distribution of ``bytes`` to every machine.
+    BROADCAST = "broadcast"
+    #: Point-to-point messages (BSP); ``records`` messages, ``bytes`` total.
+    MESSAGE = "message"
+    #: Sequential disk read of ``bytes``.
+    DISK_READ = "disk_read"
+    #: Sequential disk write of ``bytes``.
+    DISK_WRITE = "disk_write"
+    #: ``records`` job/stage/superstep launches (fixed overhead each).
+    JOB = "job"
+    #: Crossing a synchronization barrier ``records`` times.
+    BARRIER = "barrier"
+    #: Bytes crossing a language boundary (Py4J pickling, JNI).
+    SERIALIZE = "serialize"
+
+
+@dataclass(frozen=True)
+class CostEvent:
+    """One unit of traced work.
+
+    ``records``, ``flops`` and ``bytes`` are the quantities *observed at
+    laptop scale*; the simulator multiplies each by the factor of the
+    event's ``scale`` group before applying the cost model.
+    """
+
+    kind: Kind
+    records: float = 0.0
+    flops: float = 0.0
+    bytes: float = 0.0
+    language: str = "python"
+    scale: str = DATA
+    site: Site = Site.CLUSTER
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.records < 0 or self.flops < 0 or self.bytes < 0:
+            raise ValueError(f"event quantities must be non-negative: {self}")
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """Bytes/objects resident at ``site`` for the enclosing phase.
+
+    ``spillable`` memory (e.g. SimSQL's out-of-core hash aggregation)
+    never causes an out-of-memory failure; the simulator instead converts
+    the excess over RAM into disk traffic.  Non-spillable memory above
+    the platform's usable fraction of RAM is a **Fail**, which is how the
+    paper's Fail table entries are reproduced.
+    """
+
+    bytes: float = 0.0
+    objects: float = 0.0
+    scale: str = DATA
+    site: Site = Site.CLUSTER
+    spillable: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0 or self.objects < 0:
+            raise ValueError(f"memory quantities must be non-negative: {self}")
+
+
+@dataclass
+class Phase:
+    """A named span of the traced run (``init`` or ``iteration:k``)."""
+
+    name: str
+    events: list[CostEvent] = field(default_factory=list)
+    memory: list[MemoryEvent] = field(default_factory=list)
+
+    @property
+    def is_iteration(self) -> bool:
+        return self.name.startswith("iteration:")

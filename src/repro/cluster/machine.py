@@ -1,0 +1,60 @@
+"""Machine and cluster specifications for the simulated EC2 substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EC2_M2_4XLARGE, MachineProfile
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One simulated machine; thin wrapper over the hardware profile."""
+
+    profile: MachineProfile = EC2_M2_4XLARGE
+
+    @property
+    def cores(self) -> int:
+        return self.profile.cores
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.profile.ram_bytes
+
+    @property
+    def disk_bandwidth(self) -> float:
+        """Aggregate sequential disk bandwidth (all spindles), bytes/s."""
+        return self.profile.disk_bandwidth * self.profile.disks
+
+    @property
+    def network_bandwidth(self) -> float:
+        return self.profile.network_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``machines`` identical machines.
+
+    The paper's experiments use 5, 20 and 100 EC2 m2.4xlarge machines;
+    :data:`repro.config.PAPER_CLUSTER_SIZES` lists them.
+    """
+
+    machines: int
+    machine: MachineSpec = MachineSpec()
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ValueError(f"cluster needs at least one machine, got {self.machines}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.machines * self.machine.cores
+
+    @property
+    def total_ram_bytes(self) -> int:
+        return self.machines * self.machine.ram_bytes
+
+    @property
+    def aggregate_network_bandwidth(self) -> float:
+        """Bisection-style aggregate bandwidth for all-to-all shuffles."""
+        return self.machines * self.machine.network_bandwidth

@@ -1,0 +1,108 @@
+"""Per-machine memory accounting: where the paper's "Fail" entries come from.
+
+For each phase the model sums the memory events at each site into a
+per-machine resident figure, inflated by the platform's byte-overhead
+factor and per-object bookkeeping.  A platform that can spill (SimSQL)
+converts any excess over RAM into disk traffic, charged back as time; a
+platform that cannot (Spark, GraphLab, Giraph in these codes) **fails**
+once the resident set exceeds its usable fraction of machine RAM.
+
+The special ``"connections"`` label counts open peer connections at a
+machine; each costs ``connection_buffer_bytes``.  This is the term that
+grows with cluster size and reproduces failures that appear only at 100
+machines (e.g. Giraph GMM and LDA, Spark LDA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.events import MemoryEvent, Site
+from repro.cluster.costmodel import PlatformProfile, ScaleMap
+from repro.cluster.machine import ClusterSpec
+
+#: MemoryEvent label with per-connection buffer semantics.
+CONNECTIONS_LABEL = "connections"
+
+
+@dataclass(frozen=True)
+class MemoryVerdict:
+    """Outcome of checking one phase's memory footprint."""
+
+    #: Peak non-spillable resident bytes on the most loaded machine.
+    peak_bytes_per_machine: float
+    #: Bytes that had to spill to disk on that machine (0 if it all fit).
+    spilled_bytes: float
+    #: True when the non-spillable resident set exceeded the budget.
+    out_of_memory: bool
+    #: Human-readable reason (largest contributor) when out of memory.
+    reason: str = ""
+
+
+def _event_resident_bytes(
+    event: MemoryEvent,
+    scales: ScaleMap,
+    profile: PlatformProfile,
+) -> float:
+    """Resident bytes this event occupies, after runtime overheads."""
+    factor = scales.factor(event.scale)
+    if event.label == CONNECTIONS_LABEL:
+        return event.objects * factor * profile.connection_buffer_bytes
+    return (
+        event.bytes * factor * profile.byte_overhead_factor
+        + event.objects * factor * profile.object_overhead_bytes
+    )
+
+
+def check_phase_memory(
+    memory_events: list[MemoryEvent],
+    scales: ScaleMap,
+    cluster: ClusterSpec,
+    profile: PlatformProfile,
+) -> MemoryVerdict:
+    """Evaluate one phase's memory events against machine RAM."""
+    per_machine_fixed = 0.0  # pinned on one machine (hotspots, driver)
+    per_machine_shared = 0.0  # spread across the cluster
+    spillable_total = 0.0
+    contributions: list[tuple[float, str]] = []
+
+    for event in memory_events:
+        resident = _event_resident_bytes(event, scales, profile)
+        if event.spillable:
+            spillable_total += resident / (cluster.machines if event.site is Site.CLUSTER else 1)
+            continue
+        if event.site is Site.CLUSTER:
+            share = resident / cluster.machines
+            per_machine_shared += share
+            contributions.append((share, event.label or "cluster-shared"))
+        else:
+            per_machine_fixed += resident
+            contributions.append((resident, event.label or event.site.value))
+
+    budget = profile.usable_memory_fraction * cluster.machine.ram_bytes
+    peak = per_machine_fixed + per_machine_shared
+    spilled = 0.0
+
+    headroom = budget - peak
+    if spillable_total > 0:
+        if spillable_total > max(headroom, 0.0):
+            spilled = spillable_total - max(headroom, 0.0)
+        peak += min(spillable_total, max(headroom, 0.0))
+
+    if per_machine_fixed + per_machine_shared > budget:
+        worst = max(contributions, default=(0.0, "unknown"))
+        reason = (
+            f"{worst[1]}: {worst[0] / 2**30:.1f} GiB resident on one machine, "
+            f"budget {budget / 2**30:.1f} GiB"
+        )
+        return MemoryVerdict(
+            peak_bytes_per_machine=per_machine_fixed + per_machine_shared,
+            spilled_bytes=spilled,
+            out_of_memory=True,
+            reason=reason,
+        )
+    return MemoryVerdict(
+        peak_bytes_per_machine=peak,
+        spilled_bytes=spilled,
+        out_of_memory=False,
+    )

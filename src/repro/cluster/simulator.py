@@ -1,0 +1,117 @@
+"""The run simulator: trace + scale factors + cluster -> RunReport.
+
+This is the piece that turns a laptop-scale engine execution into the
+numbers the paper's tables report: initialization time, average
+per-iteration time, and Fail entries with their causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.costmodel import PlatformProfile, ScaleMap, event_seconds
+from repro.cluster.events import Phase
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.memory import MemoryVerdict, check_phase_memory
+from repro.cluster.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Simulated outcome of one traced phase."""
+
+    name: str
+    seconds: float
+    memory: MemoryVerdict
+
+
+@dataclass
+class RunReport:
+    """Simulated outcome of a full benchmark run.
+
+    Mirrors one cell of the paper's tables: an average per-iteration
+    time, an initialization time in parentheses, or the word "Fail".
+    """
+
+    platform: str
+    machines: int
+    phases: list[PhaseReport] = field(default_factory=list)
+    failed: bool = False
+    fail_phase: str = ""
+    fail_reason: str = ""
+
+    @property
+    def init_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if p.name == "init")
+
+    @property
+    def iteration_seconds(self) -> list[float]:
+        return [p.seconds for p in self.phases if p.name.startswith("iteration:")]
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        iters = self.iteration_seconds
+        if not iters:
+            raise ValueError("run traced no iterations")
+        return sum(iters) / len(iters)
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        if not self.phases:
+            return 0.0
+        return max(p.memory.peak_bytes_per_machine for p in self.phases)
+
+    def cell(self) -> str:
+        """Format as a table cell the way the paper does."""
+        if self.failed:
+            return "Fail"
+        return f"{format_hms(self.mean_iteration_seconds)} ({format_hms(self.init_seconds)})"
+
+
+def format_hms(seconds: float) -> str:
+    """Format seconds as the paper's HH:MM:SS / MM:SS."""
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class Simulator:
+    """Applies the cost and memory models to a collected trace."""
+
+    def __init__(self, cluster: ClusterSpec, profile: PlatformProfile) -> None:
+        self.cluster = cluster
+        self.profile = profile
+
+    def simulate(self, tracer: Tracer, scales: dict[str, float] | None = None) -> RunReport:
+        """Simulate every traced phase; stop at the first memory failure.
+
+        A failed phase still contributes a PhaseReport (with the doomed
+        footprint) so diagnostics can show *where* the run died, matching
+        how the paper reports "could not be made to run at this scale".
+        """
+        scale_map = ScaleMap(scales)
+        report = RunReport(platform=self.profile.name, machines=self.cluster.machines)
+        for phase in tracer.phases:
+            phase_report = self._simulate_phase(phase, scale_map)
+            report.phases.append(phase_report)
+            if phase_report.memory.out_of_memory:
+                report.failed = True
+                report.fail_phase = phase.name
+                report.fail_reason = phase_report.memory.reason
+                break
+        return report
+
+    def _simulate_phase(self, phase: Phase, scale_map: ScaleMap) -> PhaseReport:
+        seconds = sum(
+            event_seconds(event, scale_map, self.cluster, self.profile)
+            for event in phase.events
+        )
+        verdict = check_phase_memory(phase.memory, scale_map, self.cluster, self.profile)
+        if verdict.spilled_bytes > 0:
+            # Spilled working set makes one extra round trip to local
+            # disk on the loaded machine (write out, read back).
+            seconds += 2.0 * verdict.spilled_bytes / self.cluster.machine.disk_bandwidth
+        return PhaseReport(name=phase.name, seconds=seconds, memory=verdict)

@@ -1,0 +1,159 @@
+"""Trace collection: the engines' side of the cost/memory accounting.
+
+A :class:`Tracer` groups :class:`~repro.cluster.events.CostEvent` and
+:class:`~repro.cluster.events.MemoryEvent` records into named phases
+(``init``, ``iteration:0``, ``iteration:1``, ...).  Platform engines are
+handed a tracer (or the do-nothing :class:`NullTracer`) and call
+:meth:`Tracer.emit` / :meth:`Tracer.materialize` as they execute.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.cluster.events import DATA, CostEvent, Kind, MemoryEvent, Phase, Site
+
+
+class Tracer:
+    """Collects phased cost and memory events from an engine run."""
+
+    def __init__(self) -> None:
+        self.phases: list[Phase] = []
+        self._current: Phase | None = None
+        self._pinned: dict[int, MemoryEvent] = {}
+        self._next_pin = 0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Phase]:
+        """Open a named phase; events emitted inside are attributed to it.
+
+        Re-entering a name appends a new phase with the same name (the
+        simulator sums same-named phases), but nesting is an error —
+        engine phases are strictly sequential, like the paper's
+        initialization-then-iterations structure.
+
+        Memory pinned via :meth:`pin` (cached RDDs, resident graphs) is
+        added to every phase that closes while the pin is live.
+        """
+        if self._current is not None:
+            raise RuntimeError(f"phase {name!r} opened inside phase {self._current.name!r}")
+        opened = Phase(name)
+        self.phases.append(opened)
+        self._current = opened
+        try:
+            yield opened
+        finally:
+            opened.memory.extend(self._pinned.values())
+            self._current = None
+
+    def pin(
+        self,
+        bytes: float = 0.0,
+        objects: float = 0.0,
+        scale: str = DATA,
+        site: Site = Site.CLUSTER,
+        spillable: bool = False,
+        label: str = "",
+    ) -> int:
+        """Register memory resident across phases (e.g. a cached RDD).
+
+        Returns a handle for :meth:`unpin`.  The memory is charged to
+        every phase that closes while pinned, including the current one.
+        """
+        event = MemoryEvent(
+            bytes=bytes, objects=objects, scale=scale, site=site, spillable=spillable, label=label
+        )
+        handle = self._next_pin
+        self._next_pin += 1
+        self._pinned[handle] = event
+        return handle
+
+    def unpin(self, handle: int) -> None:
+        """Release pinned memory; future phases no longer pay for it."""
+        self._pinned.pop(handle, None)
+
+    def init_phase(self):
+        return self.phase("init")
+
+    def iteration_phase(self, index: int):
+        return self.phase(f"iteration:{index}")
+
+    def emit(
+        self,
+        kind: Kind,
+        records: float = 0.0,
+        flops: float = 0.0,
+        bytes: float = 0.0,
+        language: str = "python",
+        scale: str = DATA,
+        site: Site = Site.CLUSTER,
+        label: str = "",
+    ) -> None:
+        """Record one unit of work in the current phase."""
+        event = CostEvent(
+            kind=kind,
+            records=records,
+            flops=flops,
+            bytes=bytes,
+            language=language,
+            scale=scale,
+            site=site,
+            label=label,
+        )
+        self._require_phase().events.append(event)
+
+    def materialize(
+        self,
+        bytes: float = 0.0,
+        objects: float = 0.0,
+        scale: str = DATA,
+        site: Site = Site.CLUSTER,
+        spillable: bool = False,
+        label: str = "",
+    ) -> None:
+        """Record memory resident for the remainder of the current phase."""
+        event = MemoryEvent(
+            bytes=bytes,
+            objects=objects,
+            scale=scale,
+            site=site,
+            spillable=spillable,
+            label=label,
+        )
+        self._require_phase().memory.append(event)
+
+    def iteration_phases(self) -> list[Phase]:
+        return [p for p in self.phases if p.is_iteration]
+
+    def named(self, name: str) -> list[Phase]:
+        return [p for p in self.phases if p.name == name]
+
+    def _require_phase(self) -> Phase:
+        if self._current is None:
+            raise RuntimeError("emit/materialize called outside any phase")
+        return self._current
+
+
+class NullTracer(Tracer):
+    """A tracer that accepts and discards everything.
+
+    Used when an engine is exercised for correctness only (unit tests,
+    examples) and no cost accounting is wanted.  Phases may nest freely.
+    """
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Phase]:
+        yield Phase(name)
+
+    def emit(self, *args, **kwargs) -> None:
+        pass
+
+    def materialize(self, *args, **kwargs) -> None:
+        pass
+
+    def pin(self, *args, **kwargs) -> int:
+        return -1
+
+    def unpin(self, handle: int) -> None:
+        pass

@@ -1,0 +1,54 @@
+"""EC2 performance-variability model (paper Section 3.4).
+
+The authors worried that EC2 performance varies day-to-day and
+machine-to-machine, measured the same MCMC simulation on five different
+days with five different clusters, and found a standard deviation of
+only 32 seconds on a 27-minute mean per-iteration time (~2%), which they
+deemed insignificant.  This module models that noise so the benchmark
+harness can rerun the experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's measured coefficient of variation: 32 s / (27 min).
+PAPER_CV = 32.0 / (27.0 * 60.0)
+
+
+def perturb_seconds(
+    seconds: float,
+    rng: np.random.Generator,
+    cv: float = PAPER_CV,
+) -> float:
+    """One noisy observation of a nominal running time.
+
+    Multiplicative lognormal noise whose coefficient of variation is
+    ``cv``; day/cluster effects are i.i.d. at this granularity.
+    """
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    if cv == 0 or seconds == 0:
+        return seconds
+    sigma = np.sqrt(np.log1p(cv**2))
+    mu = -0.5 * sigma**2  # unit-mean lognormal
+    return float(seconds * rng.lognormal(mu, sigma))
+
+
+def replicate_study(
+    seconds: float,
+    rng: np.random.Generator,
+    days: int = 5,
+    cv: float = PAPER_CV,
+) -> tuple[float, float]:
+    """Re-run the paper's five-day variability study.
+
+    Returns ``(mean, standard deviation)`` of the observed per-iteration
+    times across ``days`` independent clusters/days.
+    """
+    if days < 2:
+        raise ValueError(f"need at least two days to estimate a deviation, got {days}")
+    observations = np.array([perturb_seconds(seconds, rng, cv) for _ in range(days)])
+    return float(observations.mean()), float(observations.std(ddof=1))

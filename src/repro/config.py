@@ -1,0 +1,80 @@
+"""Cluster hardware and paper-scale workload constants.
+
+Everything here is lifted from the paper's Section 3.4 (experimental
+platform) and the per-experiment setups in Sections 5-9: Amazon EC2
+m2.4xlarge machines (eight virtual cores, two disks, 68 GB of RAM),
+clusters of 5 / 20 / 100 machines, and a fixed data volume per machine
+for every experiment so the cluster scales with the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+MB = 1024**2
+KB = 1024
+
+#: Cluster sizes used throughout the paper's evaluation.
+PAPER_CLUSTER_SIZES = (5, 20, 100)
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Static description of one cluster machine."""
+
+    name: str
+    cores: int
+    ram_bytes: int
+    disks: int
+    #: Sequential disk bandwidth per disk, bytes/second.
+    disk_bandwidth: float
+    #: Network bandwidth per machine, bytes/second (full-duplex NIC).
+    network_bandwidth: float
+
+    @property
+    def ram_gb(self) -> float:
+        return self.ram_bytes / GB
+
+
+#: The paper's machine: EC2 m2.4xlarge (8 vcores, 68 GB RAM, 2 disks).
+#: Bandwidths are the published figures for that 2013-era instance class
+#: (~100 MB/s per local disk, ~1 Gbit/s network).
+EC2_M2_4XLARGE = MachineProfile(
+    name="m2.4xlarge",
+    cores=8,
+    ram_bytes=68 * GB,
+    disks=2,
+    disk_bandwidth=100 * MB,
+    network_bandwidth=125 * MB,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Paper-scale workload parameters for one experiment family."""
+
+    #: Data units (points, documents, ...) stored per machine.
+    units_per_machine: int
+    #: Human-readable name of the data unit.
+    unit: str
+
+
+#: GMM and Gaussian imputation: ten million data points per machine.
+GMM_SCALE = WorkloadScale(units_per_machine=10_000_000, unit="points")
+#: 100-dimensional GMM: one million data points per machine.
+GMM_100D_SCALE = WorkloadScale(units_per_machine=1_000_000, unit="points")
+#: Bayesian Lasso: 10^5 data points per machine.
+LASSO_SCALE = WorkloadScale(units_per_machine=100_000, unit="points")
+#: HMM and LDA: 2.5 million documents per machine.
+TEXT_SCALE = WorkloadScale(units_per_machine=2_500_000, unit="documents")
+
+#: Corpus statistics shared by the HMM and LDA experiments (Section 7.5).
+TEXT_VOCABULARY = 10_000
+TEXT_MEAN_DOC_LENGTH = 210
+
+#: Model sizes from the paper.
+GMM_CLUSTERS = 10
+HMM_STATES = 20
+LDA_TOPICS = 100
+LASSO_DIMENSIONS = 1000

@@ -1,0 +1,14 @@
+"""Spark-style dataflow engine: lazy RDDs with lineage, shuffles, caching."""
+
+from repro.dataflow.context import Broadcast, SparkContext
+from repro.dataflow.rdd import RDD, SourceRDD
+from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
+
+__all__ = [
+    "Broadcast",
+    "RDD",
+    "SourceRDD",
+    "SparkContext",
+    "estimate_bytes",
+    "estimate_records_bytes",
+]

@@ -1,0 +1,153 @@
+"""Cost-based RDD materialization advisor — the paper's "ultimate solution".
+
+Section 10: "Perhaps the ultimate solution is to make Spark — and other
+dataflow systems — work more like a database system, carefully planning
+computational choices such as RDD materialization and pipelining using
+cost models."  This module is that planner, built on the same cost
+accounting the benchmark uses.
+
+The advisor observes a workload (a function that exercises RDDs on a
+context), records how often each RDD's partitions were computed and what
+each computation cost, and then recommends a cache set under a memory
+budget: greedily pick the RDDs with the highest recomputation-seconds
+saved per byte of cache, counting only the *avoidable* recomputations
+(all but the first).
+
+Example::
+
+    advisor = CacheAdvisor(sc)
+    with advisor.observe():
+        run_two_iterations()           # exercise the workload uncached
+    plan = advisor.recommend(budget_bytes=4 * 2**30)
+    for suggestion in plan.suggestions:
+        print(suggestion)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.cluster.sizes import estimate_records_bytes
+
+
+@dataclass
+class RDDProfile:
+    """Observed behaviour of one RDD during the observation window."""
+
+    rdd_id: int
+    label: str
+    computations: int = 0
+    total_seconds: float = 0.0
+    cached_bytes: float = 0.0
+
+    @property
+    def seconds_per_computation(self) -> float:
+        if self.computations == 0:
+            return 0.0
+        return self.total_seconds / self.computations
+
+    @property
+    def avoidable_seconds(self) -> float:
+        """Recompute time a cache would have saved."""
+        return max(0, self.computations - 1) * self.seconds_per_computation
+
+    @property
+    def value_density(self) -> float:
+        """Saved seconds per byte of cache — the greedy ranking key."""
+        if self.cached_bytes <= 0:
+            return 0.0
+        return self.avoidable_seconds / self.cached_bytes
+
+
+@dataclass(frozen=True)
+class CacheSuggestion:
+    rdd_id: int
+    label: str
+    saved_seconds: float
+    cache_bytes: float
+
+    def __str__(self) -> str:
+        return (f"cache RDD {self.rdd_id} ({self.label}): saves "
+                f"~{self.saved_seconds:.2f}s for "
+                f"{self.cache_bytes / 2**20:.1f} MiB")
+
+
+@dataclass
+class CachePlan:
+    suggestions: list[CacheSuggestion] = field(default_factory=list)
+    total_saved_seconds: float = 0.0
+    total_cache_bytes: float = 0.0
+
+    def rdd_ids(self) -> set[int]:
+        return {s.rdd_id for s in self.suggestions}
+
+
+class CacheAdvisor:
+    """Profiles RDD computation on a SparkContext and plans caching."""
+
+    def __init__(self, sc) -> None:
+        self.sc = sc
+        self.profiles: dict[int, RDDProfile] = {}
+        self._installed = False
+
+    @contextmanager
+    def observe(self):
+        """Instrument the context's RDDs for the duration of the block."""
+        from repro.dataflow import rdd as rdd_module
+
+        original_compute = rdd_module.RDD._partitions
+        advisor = self
+
+        def instrumented(rdd_self):
+            cached = rdd_self.ctx._cache.get(rdd_self.rdd_id)
+            if cached is not None or rdd_self.ctx is not advisor.sc:
+                return original_compute(rdd_self)
+            started = time.perf_counter()
+            parts = original_compute(rdd_self)
+            elapsed = time.perf_counter() - started
+            profile = advisor.profiles.setdefault(
+                rdd_self.rdd_id,
+                RDDProfile(rdd_self.rdd_id, getattr(rdd_self, "_label", "")
+                           or type(rdd_self).__name__),
+            )
+            profile.computations += 1
+            profile.total_seconds += elapsed
+            if profile.cached_bytes == 0:
+                profile.cached_bytes = sum(
+                    estimate_records_bytes(p) for p in parts
+                )
+            return parts
+
+        rdd_module.RDD._partitions = instrumented
+        self._installed = True
+        try:
+            yield self
+        finally:
+            rdd_module.RDD._partitions = original_compute
+            self._installed = False
+
+    def recommend(self, budget_bytes: float) -> CachePlan:
+        """Greedy knapsack over value density, within the budget."""
+        if budget_bytes < 0:
+            raise ValueError(f"budget must be non-negative, got {budget_bytes}")
+        plan = CachePlan()
+        remaining = budget_bytes
+        candidates = sorted(
+            (p for p in self.profiles.values()
+             if p.avoidable_seconds > 0 and p.cached_bytes > 0),
+            key=lambda p: p.value_density, reverse=True,
+        )
+        for profile in candidates:
+            if profile.cached_bytes > remaining:
+                continue
+            plan.suggestions.append(CacheSuggestion(
+                rdd_id=profile.rdd_id, label=profile.label,
+                saved_seconds=profile.avoidable_seconds,
+                cache_bytes=profile.cached_bytes,
+            ))
+            plan.total_saved_seconds += profile.avoidable_seconds
+            plan.total_cache_bytes += profile.cached_bytes
+            remaining -= profile.cached_bytes
+        return plan

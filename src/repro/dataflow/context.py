@@ -1,0 +1,85 @@
+"""SparkContext-style entry point for the dataflow engine."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.events import DATA, FIXED, Kind, Site
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import NullTracer, Tracer
+from repro.dataflow.rdd import RDD, SourceRDD
+from repro.cluster.sizes import estimate_bytes
+
+
+class Broadcast:
+    """A read-only value shipped once to every machine (``sc.broadcast``)."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class SparkContext:
+    """Driver-side handle, mirroring Spark's ``sc``.
+
+    ``language`` selects the callback runtime the cost model charges:
+    ``"python"`` for the paper's PySpark codes, ``"java"`` for the
+    Spark-Java variants (Figure 1(b), Figure 6).  Correctness is
+    identical either way — only the simulated cost differs, as in the
+    paper, where both languages run the same MCMC updates.
+    """
+
+    def __init__(self, cluster: ClusterSpec, tracer: Tracer | None = None,
+                 language: str = "python") -> None:
+        if language not in ("python", "java"):
+            raise ValueError(f"Spark callback language must be python or java, got {language!r}")
+        self.cluster = cluster
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.language = language
+        self.default_parallelism = cluster.total_cores
+        self._cache: dict[int, list[list]] = {}
+        self._rdd_counter = 0
+
+    def parallelize(self, data: Iterable, num_partitions: int | None = None,
+                    scale: str = FIXED) -> RDD:
+        """Distribute a driver-side collection (model-sized by default)."""
+        return SourceRDD(self, data, num_partitions or self.default_parallelism,
+                         scale=scale, from_storage=False, bytes_per_record=None)
+
+    def text_file(self, records: Iterable, num_partitions: int | None = None,
+                  scale: str = DATA, bytes_per_record: float | None = None) -> RDD:
+        """A dataset read (and re-read, when uncached lineage recomputes)
+        from distributed storage — the engine's stand-in for
+        ``sc.textFile("hdfs://...")`` over already-parsed records."""
+        return SourceRDD(self, records, num_partitions or self.default_parallelism,
+                         scale=scale, from_storage=True, bytes_per_record=bytes_per_record)
+
+    textFile = text_file
+
+    def driver_compute(self, flops: float = 0.0, records: float = 0.0,
+                       scale: str = FIXED, label: str = "driver") -> None:
+        """Charge driver-side (serial) work — the small model updates the
+        paper's codes run locally between jobs."""
+        self.tracer.emit(Kind.COMPUTE, records=records, flops=flops,
+                         language=self.language, scale=scale,
+                         site=Site.DRIVER, label=label)
+
+    def broadcast(self, value) -> Broadcast:
+        """Ship ``value`` to every machine once, charging the broadcast."""
+        self.tracer.emit(Kind.BROADCAST, bytes=estimate_bytes(value),
+                         language=self.language, scale=FIXED, label="broadcast")
+        return Broadcast(value)
+
+    # ------------------------------------------------------------------
+    # job execution (called by RDD actions)
+    # ------------------------------------------------------------------
+
+    def _run_job(self, rdd: RDD) -> list[list]:
+        # One result stage plus one stage per unmaterialized shuffle
+        # boundary in the lineage, like Spark's DAG scheduler.
+        stages = 1 + rdd._stage_count()
+        self.tracer.emit(Kind.JOB, records=stages, scale=FIXED, label="spark-job")
+        return rdd._partitions()
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter

@@ -1,0 +1,549 @@
+"""Lazy, lineage-tracked RDDs in the style of Spark 0.7/0.8.
+
+The engine really executes every transformation (the benchmark samplers
+produce real posterior draws through it) while emitting cost events into
+the owning context's tracer:
+
+* narrow transformations emit ``COMPUTE`` work for each record that
+  passes through a user callback, in the context's language (Python
+  records pay Py4J-era per-record costs via the cost model);
+* shuffle boundaries (``reduce_by_key``, ``group_by_key``, ``join``)
+  emit ``SHUFFLE`` traffic and materialize shuffle buffers;
+* caching pins the materialized partitions in (simulated) cluster
+  memory until ``unpersist``;
+* uncached lineage is **recomputed on every action**, exactly like
+  Spark — this is what makes the paper's Gaussian-imputation finding
+  (Section 9.2: the mutating data set defeats ``cache()``) fall out of
+  the model instead of being hard-coded.
+
+Spark-style camelCase aliases (``flatMap``, ``reduceByKey``,
+``collectAsMap`` ...) are provided so the implementations read like the
+paper's listings.
+
+Scale groups: every RDD carries the scale-group label of its records
+(default ``"data"``).  Transformations inherit it; operations accept
+``out_scale`` (for the produced RDD and its shuffle) and ``work_scale``
+(for the compute event) when the data-flow changes axis — e.g. a
+``reduce_by_key`` that collapses a billion points into ten cluster
+aggregates produces a ``FIXED``-scale RDD.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable
+
+from repro.cluster.events import DATA, FIXED, Kind, Site
+from repro.cluster.sizes import estimate_records_bytes
+
+
+class RDD:
+    """Base class: one lazily evaluated, partitioned dataset."""
+
+    def __init__(self, ctx, scale: str, parents: tuple["RDD", ...], num_partitions: int) -> None:
+        self.ctx = ctx
+        self.scale = scale
+        self.parents = parents
+        self.num_partitions = num_partitions
+        self.rdd_id = ctx._next_rdd_id()
+        self._want_cache = False
+        self._cache_pin: int | None = None
+
+    # ------------------------------------------------------------------
+    # transformations (lazy)
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable, *, flops_per_record: float = 0.0,
+            ops_per_record: float = 0.0, language: str | None = None,
+            work_scale: str | None = None, out_scale: str | None = None,
+            closure_bytes: float = 0.0, label: str = "") -> "RDD":
+        """Apply ``fn`` to every record.
+
+        ``ops_per_record`` counts the interpreted-language operations
+        (library calls, per-element loop bodies) ``fn`` performs per
+        record — the quantity that dominates per-record Python costs;
+        ``flops_per_record`` counts the numeric work inside those calls.
+        """
+        return _MappedRDD(self, lambda part: [fn(r) for r in part],
+                          flops_per_record=flops_per_record,
+                          ops_per_record=ops_per_record, language=language,
+                          work_scale=work_scale, out_scale=out_scale,
+                          closure_bytes=closure_bytes, label=label or "map")
+
+    def flat_map(self, fn: Callable, *, flops_per_record: float = 0.0,
+                 ops_per_record: float = 0.0, language: str | None = None,
+                 work_scale: str | None = None, out_scale: str | None = None,
+                 closure_bytes: float = 0.0, label: str = "") -> "RDD":
+        """Apply ``fn`` and concatenate the resulting iterables."""
+        return _MappedRDD(self, lambda part: [o for r in part for o in fn(r)],
+                          flops_per_record=flops_per_record,
+                          ops_per_record=ops_per_record, language=language,
+                          work_scale=work_scale, out_scale=out_scale,
+                          closure_bytes=closure_bytes, label=label or "flat_map")
+
+    def filter(self, pred: Callable, *, language: str | None = None,
+               out_scale: str | None = None, label: str = "") -> "RDD":
+        """Keep records satisfying ``pred``; pass ``out_scale`` when the
+        survivors' cardinality follows a different axis (e.g. picking
+        the one block-summary record out of each partition)."""
+        return _MappedRDD(self, lambda part: [r for r in part if pred(r)],
+                          out_scale=out_scale, label=label or "filter",
+                          language=language)
+
+    def map_values(self, fn: Callable, *, flops_per_record: float = 0.0,
+                   ops_per_record: float = 0.0, language: str | None = None,
+                   work_scale: str | None = None, out_scale: str | None = None,
+                   closure_bytes: float = 0.0, label: str = "") -> "RDD":
+        """Apply ``fn`` to the value of every (key, value) record."""
+        return _MappedRDD(self, lambda part: [(k, fn(v)) for k, v in part],
+                          flops_per_record=flops_per_record,
+                          ops_per_record=ops_per_record, language=language,
+                          work_scale=work_scale, out_scale=out_scale,
+                          closure_bytes=closure_bytes, label=label or "map_values")
+
+    def key_by(self, fn: Callable, *, label: str = "") -> "RDD":
+        return _MappedRDD(self, lambda part: [(fn(r), r) for r in part], label=label or "key_by")
+
+    def map_partitions(self, fn: Callable, *, flops_per_partition: float = 0.0,
+                       ops_per_partition: float = 0.0, language: str | None = None,
+                       work_scale: str | None = None, out_scale: str | None = None,
+                       closure_bytes: float = 0.0, label: str = "") -> "RDD":
+        """Apply ``fn`` to whole partitions (the bulk/vectorized path).
+
+        The per-record callback overhead is charged once per *partition*
+        rather than once per record, which is how super-vertex style
+        Python codes escape per-record Py4J costs; pass ``language=
+        "numpy"`` for vectorized work, and ``ops_per_partition`` for any
+        interpreted per-element loop the block function still runs.
+        """
+        return _MappedRDD(self, fn, per_partition=True,
+                          flops_per_record=flops_per_partition,
+                          ops_per_record=ops_per_partition, language=language,
+                          work_scale=work_scale, out_scale=out_scale,
+                          closure_bytes=closure_bytes, label=label or "map_partitions")
+
+    def union(self, other: "RDD") -> "RDD":
+        return _UnionRDD(self, other)
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli sample of the records (used for diagnostics)."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        import numpy as np
+
+        def sample_part(part):
+            rng = np.random.default_rng(seed)
+            return [r for r in part if rng.uniform() < fraction]
+
+        return _MappedRDD(self, sample_part, per_partition=True, label="sample")
+
+    def reduce_by_key(self, fn: Callable, *, flops_per_record: float = 0.0,
+                      language: str | None = None, work_scale: str | None = None,
+                      out_scale: str | None = None, label: str = "") -> "RDD":
+        """Combine values per key with map-side combining (like Spark)."""
+        return _ShuffleRDD(self, combiner=fn, flops_per_record=flops_per_record,
+                           language=language, work_scale=work_scale,
+                           out_scale=FIXED if out_scale is None else out_scale,
+                           label=label or "reduce_by_key")
+
+    def group_by_key(self, *, language: str | None = None, out_scale: str | None = None,
+                     label: str = "") -> "RDD":
+        """Group values per key — no combining, the full data shuffles."""
+        return _ShuffleRDD(self, combiner=None, language=language,
+                           out_scale=self.scale if out_scale is None else out_scale,
+                           label=label or "group_by_key")
+
+    def join(self, other: "RDD", *, language: str | None = None,
+             out_scale: str | None = None, label: str = "") -> "RDD":
+        """Inner equi-join on keys; both sides shuffle in full."""
+        return _JoinRDD(self, other, language=language,
+                        out_scale=self.scale if out_scale is None else out_scale,
+                        label=label or "join")
+
+    def distinct(self, *, label: str = "") -> "RDD":
+        keyed = self.map(lambda r: (r, None), label="distinct:key")
+        deduped = keyed.reduce_by_key(lambda a, b: a, out_scale=self.scale, label=label or "distinct")
+        return deduped.map(lambda kv: kv[0], label="distinct:unkey")
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Keep the materialized partitions in cluster memory."""
+        self._want_cache = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        """Drop cached partitions and release the pinned memory."""
+        self._want_cache = False
+        self.ctx._cache.pop(self.rdd_id, None)
+        if self._cache_pin is not None:
+            self.ctx.tracer.unpin(self._cache_pin)
+            self._cache_pin = None
+        return self
+
+    # ------------------------------------------------------------------
+    # actions (eager)
+    # ------------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Materialize every record at the driver."""
+        parts = self.ctx._run_job(self)
+        records = [r for part in parts for r in part]
+        self._charge_driver_fan_in(records)
+        return records
+
+    def collect_as_map(self) -> dict:
+        """``collect`` into a dict; records must be (key, value) pairs."""
+        return dict(self.collect())
+
+    def count(self) -> int:
+        parts = self.ctx._run_job(self)
+        n = sum(len(p) for p in parts)
+        self._emit_compute(records=n, label="count")
+        return n
+
+    def reduce(self, fn: Callable, *, flops_per_record: float = 0.0):
+        """Tree-reduce: per-partition fold, then a small driver fold."""
+        parts = self.ctx._run_job(self)
+        n = sum(len(p) for p in parts)
+        if n == 0:
+            raise ValueError("reduce of an empty RDD")
+        self._emit_compute(records=n, flops=n * flops_per_record, label="reduce")
+        partials = [_fold(part, fn) for part in parts if part]
+        self._charge_driver_fan_in(partials, scale=FIXED)
+        return _fold(partials, fn)
+
+    def sum(self):
+        return self.reduce(lambda a, b: a + b)
+
+    def take(self, n: int) -> list:
+        parts = self.ctx._run_job(self)
+        return list(itertools.islice((r for p in parts for r in p), n))
+
+    def first(self):
+        taken = self.take(1)
+        if not taken:
+            raise ValueError("first() on an empty RDD")
+        return taken[0]
+
+    def foreach(self, fn: Callable) -> None:
+        parts = self.ctx._run_job(self)
+        n = sum(len(p) for p in parts)
+        self._emit_compute(records=n, label="foreach")
+        for part in parts:
+            for record in part:
+                fn(record)
+
+    # Spark-style aliases so implementations read like the paper.
+    flatMap = flat_map
+    mapValues = map_values
+    mapPartitions = map_partitions
+    reduceByKey = reduce_by_key
+    groupByKey = group_by_key
+    collectAsMap = collect_as_map
+    keyBy = key_by
+
+    # ------------------------------------------------------------------
+    # execution machinery
+    # ------------------------------------------------------------------
+
+    def _partitions(self) -> list[list]:
+        cached = self.ctx._cache.get(self.rdd_id)
+        if cached is not None:
+            return cached
+        parts = self._compute()
+        if isinstance(self, (_ShuffleRDD, _JoinRDD)) and not self._want_cache:
+            # Spark keeps shuffle outputs on disk across jobs; later
+            # actions skip the map stage instead of recomputing it.
+            self.ctx._cache[self.rdd_id] = parts
+            return parts
+        if self._want_cache:
+            self.ctx._cache[self.rdd_id] = parts
+            nbytes = sum(estimate_records_bytes(p) for p in parts)
+            objects = sum(len(p) for p in parts)
+            self._cache_pin = self.ctx.tracer.pin(
+                bytes=nbytes, objects=objects, scale=self.scale,
+                site=Site.CLUSTER, label=f"rdd-cache:{self.rdd_id}",
+            )
+        return parts
+
+    def _compute(self) -> list[list]:
+        raise NotImplementedError
+
+    def _stage_count(self) -> int:
+        """Stages this RDD's next materialization needs (shuffle cuts)."""
+        if self.rdd_id in self.ctx._cache:
+            return 0
+        own = 1 if isinstance(self, (_ShuffleRDD, _JoinRDD)) else 0
+        return own + sum(p._stage_count() for p in self.parents)
+
+    def _language(self, override: str | None = None) -> str:
+        return override or self.ctx.language
+
+    def _emit_compute(self, records: float, flops: float = 0.0, language: str | None = None,
+                      scale: str | None = None, label: str = "") -> None:
+        self.ctx.tracer.emit(
+            Kind.COMPUTE, records=records, flops=flops,
+            language=self._language(language),
+            scale=self.scale if scale is None else scale, label=label,
+        )
+
+    def _charge_driver_fan_in(self, records: list, scale: str | None = None) -> None:
+        nbytes = estimate_records_bytes(records)
+        self.ctx.tracer.emit(
+            Kind.MESSAGE, records=len(records), bytes=nbytes,
+            language=self._language(), site=Site.MACHINE,
+            scale=self.scale if scale is None else scale, label="collect",
+        )
+        self.ctx.tracer.materialize(
+            bytes=nbytes, objects=len(records), site=Site.DRIVER,
+            scale=self.scale if scale is None else scale, label="driver-collect",
+        )
+
+
+class SourceRDD(RDD):
+    """A materialized source: ``parallelize`` or ``text_file`` data."""
+
+    def __init__(self, ctx, data: Iterable, num_partitions: int, scale: str,
+                 from_storage: bool, bytes_per_record: float | None) -> None:
+        data = list(data)
+        num_partitions = max(1, min(num_partitions, max(1, len(data))))
+        super().__init__(ctx, scale, parents=(), num_partitions=num_partitions)
+        self._data = data
+        self._from_storage = from_storage
+        self._bytes_per_record = bytes_per_record
+
+    def _compute(self) -> list[list]:
+        parts = _split(self._data, self.num_partitions)
+        if self._from_storage:
+            per_record = self._bytes_per_record
+            nbytes = (per_record * len(self._data) if per_record is not None
+                      else estimate_records_bytes(self._data))
+            self.ctx.tracer.emit(Kind.DISK_READ, bytes=nbytes, scale=self.scale, label="hdfs-read")
+            self.ctx.tracer.emit(Kind.COMPUTE, records=len(self._data),
+                                 language=self.ctx.language, scale=self.scale, label="parse")
+        return parts
+
+
+class _MappedRDD(RDD):
+    """Narrow transformation: map / flat_map / filter / map_partitions."""
+
+    def __init__(self, parent: RDD, part_fn: Callable, *, per_partition: bool = False,
+                 flops_per_record: float = 0.0, ops_per_record: float = 0.0,
+                 language: str | None = None,
+                 work_scale: str | None = None, out_scale: str | None = None,
+                 closure_bytes: float = 0.0, label: str = "") -> None:
+        super().__init__(parent.ctx, out_scale or parent.scale, (parent,), parent.num_partitions)
+        self._part_fn = part_fn
+        self._per_partition = per_partition
+        self._flops_per_record = flops_per_record
+        self._ops_per_record = ops_per_record
+        self._op_language = language
+        self._work_scale = work_scale or parent.scale
+        self._closure_bytes = closure_bytes
+        self._label = label
+
+    def _compute(self) -> list[list]:
+        parent_parts = self.parents[0]._partitions()
+        n_in = sum(len(p) for p in parent_parts)
+        language = self._language(self._op_language)
+        if self._per_partition:
+            # One callback per partition (FIXED — the partition count does
+            # not grow with the data) but the bulk work inside it does.
+            self.ctx.tracer.emit(
+                Kind.COMPUTE, records=len(parent_parts), language=language,
+                scale=FIXED, label=self._label,
+            )
+            self.ctx.tracer.emit(
+                Kind.COMPUTE,
+                records=len(parent_parts) * self._ops_per_record,
+                flops=len(parent_parts) * self._flops_per_record,
+                language=language, scale=self._work_scale, label=f"{self._label}:bulk",
+            )
+        else:
+            self.ctx.tracer.emit(
+                Kind.COMPUTE, records=n_in * (1.0 + self._ops_per_record),
+                flops=n_in * self._flops_per_record,
+                language=language, scale=self._work_scale, label=self._label,
+            )
+        if self._closure_bytes:
+            self.ctx.tracer.emit(
+                Kind.BROADCAST, bytes=self._closure_bytes * len(parent_parts),
+                language=self._language(self._op_language), scale=FIXED,
+                label=f"{self._label}:closure",
+            )
+        out = [list(self._part_fn(part)) for part in parent_parts]
+        n_out = sum(len(p) for p in out)
+        # Every record crosses the runtime boundary into the callback and
+        # its result crosses back (Py4J pickling for Python, object
+        # construction/GC for Java).  This is what blows up the paper's
+        # Spark GMM at 100 dimensions: the per-record scatter matrix is
+        # a 10,000-entry payload.
+        in_bytes = sum(estimate_records_bytes(p) for p in parent_parts)
+        out_bytes = sum(estimate_records_bytes(p) for p in out)
+        self.ctx.tracer.emit(
+            Kind.SERIALIZE, bytes=in_bytes + out_bytes, language=language,
+            scale=self._work_scale, label=f"{self._label}:boundary",
+        )
+        if n_out > n_in:
+            # Fan-out (flat_map): building the extra output records is
+            # real per-record work, charged at the output's scale (a
+            # Gram-matrix flat_map emits p^2 pairs per input record).
+            self.ctx.tracer.emit(
+                Kind.COMPUTE, records=n_out - n_in, language=language,
+                scale=self.scale, label=f"{self._label}:out",
+            )
+        return out
+
+
+class _UnionRDD(RDD):
+    def __init__(self, left: RDD, right: RDD) -> None:
+        if left.ctx is not right.ctx:
+            raise ValueError("cannot union RDDs from different contexts")
+        scale = left.scale if left.scale == right.scale else DATA
+        super().__init__(left.ctx, scale, (left, right),
+                         left.num_partitions + right.num_partitions)
+
+    def _compute(self) -> list[list]:
+        return self.parents[0]._partitions() + self.parents[1]._partitions()
+
+
+class _ShuffleRDD(RDD):
+    """Wide transformation: reduce_by_key (with combiner) / group_by_key."""
+
+    def __init__(self, parent: RDD, combiner: Callable | None, *,
+                 flops_per_record: float = 0.0, language: str | None = None,
+                 work_scale: str | None = None, out_scale: str = FIXED,
+                 label: str = "") -> None:
+        super().__init__(parent.ctx, out_scale, (parent,), parent.num_partitions)
+        self._combiner = combiner
+        self._flops_per_record = flops_per_record
+        self._op_language = language
+        self._work_scale = work_scale or parent.scale
+        self._label = label
+
+    def _compute(self) -> list[list]:
+        parent = self.parents[0]
+        parent_parts = parent._partitions()
+        n_in = sum(len(p) for p in parent_parts)
+        language = self._language(self._op_language)
+
+        if self._combiner is not None:
+            # Map-side combine touches every input record.
+            self.ctx.tracer.emit(
+                Kind.COMPUTE, records=n_in, flops=n_in * self._flops_per_record,
+                language=language, scale=self._work_scale, label=f"{self._label}:combine",
+            )
+            combined_parts = []
+            for part in parent_parts:
+                acc: dict = {}
+                for key, value in part:
+                    acc[key] = value if key not in acc else self._combiner(acc[key], value)
+                combined_parts.append(list(acc.items()))
+            to_shuffle = combined_parts
+            shuffle_scale = self.scale
+        else:
+            to_shuffle = [list(p) for p in parent_parts]
+            shuffle_scale = self._work_scale
+
+        shuffle_records = sum(len(p) for p in to_shuffle)
+        shuffle_bytes = sum(estimate_records_bytes(p) for p in to_shuffle)
+        self.ctx.tracer.emit(
+            Kind.SHUFFLE, records=shuffle_records, bytes=shuffle_bytes,
+            language=language, scale=shuffle_scale, label=self._label,
+        )
+        self.ctx.tracer.materialize(
+            bytes=shuffle_bytes, objects=shuffle_records, scale=shuffle_scale,
+            site=Site.CLUSTER, label=f"shuffle:{self._label}",
+        )
+
+        buckets: list[dict] = [dict() for _ in range(self.num_partitions)]
+        merge_touches = 0
+        for part in to_shuffle:
+            for key, value in part:
+                bucket = buckets[hash(key) % self.num_partitions]
+                merge_touches += 1
+                if self._combiner is None:
+                    bucket.setdefault(key, []).append(value)
+                elif key in bucket:
+                    bucket[key] = self._combiner(bucket[key], value)
+                else:
+                    bucket[key] = value
+        self.ctx.tracer.emit(
+            Kind.COMPUTE, records=merge_touches,
+            flops=merge_touches * self._flops_per_record,
+            language=language, scale=shuffle_scale, label=f"{self._label}:merge",
+        )
+        return [list(b.items()) for b in buckets]
+
+
+class _JoinRDD(RDD):
+    """Inner equi-join; shuffles both inputs in full (no combining)."""
+
+    def __init__(self, left: RDD, right: RDD, *, language: str | None = None,
+                 out_scale: str = DATA, label: str = "") -> None:
+        if left.ctx is not right.ctx:
+            raise ValueError("cannot join RDDs from different contexts")
+        super().__init__(left.ctx, out_scale, (left, right),
+                         max(left.num_partitions, right.num_partitions))
+        self._op_language = language
+        self._label = label
+
+    def _compute(self) -> list[list]:
+        left, right = self.parents
+        language = self._language(self._op_language)
+        sides = []
+        for side, rdd in (("left", left), ("right", right)):
+            parts = rdd._partitions()
+            records = sum(len(p) for p in parts)
+            nbytes = sum(estimate_records_bytes(p) for p in parts)
+            self.ctx.tracer.emit(
+                Kind.SHUFFLE, records=records, bytes=nbytes, language=language,
+                scale=rdd.scale, label=f"{self._label}:{side}",
+            )
+            self.ctx.tracer.materialize(
+                bytes=nbytes, objects=records, scale=rdd.scale,
+                site=Site.CLUSTER, label=f"join-buffer:{self._label}:{side}",
+            )
+            sides.append(parts)
+
+        left_map: dict = {}
+        for part in sides[0]:
+            for key, value in part:
+                left_map.setdefault(key, []).append(value)
+        out: list[tuple] = []
+        touches = 0
+        for part in sides[1]:
+            for key, rvalue in part:
+                for lvalue in left_map.get(key, ()):
+                    out.append((key, (lvalue, rvalue)))
+                    touches += 1
+        self.ctx.tracer.emit(
+            Kind.COMPUTE, records=touches, language=language,
+            scale=self.scale, label=f"{self._label}:probe",
+        )
+        return _split(out, self.num_partitions)
+
+
+def _split(data: list, num_partitions: int) -> list[list]:
+    """Split ``data`` into ``num_partitions`` near-equal chunks."""
+    num_partitions = max(1, num_partitions)
+    size, extra = divmod(len(data), num_partitions)
+    parts, start = [], 0
+    for i in range(num_partitions):
+        end = start + size + (1 if i < extra else 0)
+        parts.append(data[start:end])
+        start = end
+    return parts
+
+
+def _fold(items: list, fn: Callable):
+    it = iter(items)
+    acc = next(it)
+    for item in it:
+        acc = fn(acc, item)
+    return acc

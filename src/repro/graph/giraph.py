@@ -1,0 +1,312 @@
+"""Giraph-style BSP engine: supersteps, messages, combiners, aggregators.
+
+The engine mirrors Giraph 1.0's model (paper Section 4.4): computation
+proceeds in synchronized supersteps; every vertex runs a user compute
+function that receives the messages sent to it in the previous
+superstep, updates its state, and sends messages for the next one.
+
+Cost/memory mechanisms the paper's findings rest on, all modelled here:
+
+* **Combiners** (Section 4.4, 7.6): when a destination kind registers a
+  combiner, messages from the same machine to the same vertex are merged
+  before hitting the network, collapsing a data-scaled fan-in into a
+  per-machine one — "a far faster (and safer) mechanism for gathering
+  the required statistics" than GraphLab's per-edge gather.
+* **Aggregators**: tree aggregation machine -> master -> broadcast, used
+  by the paper's codes to distribute small model state.
+* **Broadcast to a kind** ("the cluster vertex broadcasts the triple to
+  the whole system"): one payload copy per worker, per-recipient
+  handling charged, no per-recipient materialization.
+* **JVM message pressure**: un-combined fan-in materializes at the
+  receiving machines; a fraction of each superstep's outgoing traffic is
+  buffered on the senders; and every worker holds network buffers per
+  peer connection — the term that grows with cluster size and produces
+  the paper's failures that appear only at 100 machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.cluster.events import FIXED, Kind as EventKind, Site
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
+from repro.cluster.tracer import Tracer
+from repro.graph.graph import GraphEngine, VertexId
+
+#: Fraction of one superstep's outgoing message volume resident in
+#: sender-side serialization buffers at the peak.
+OUTGOING_BUFFER_FRACTION = 0.25
+
+
+class GiraphContext:
+    """Per-superstep API handed to vertex compute functions."""
+
+    def __init__(self, engine: "GiraphEngine", kind_name: str) -> None:
+        self._engine = engine
+        self._kind = kind_name
+        self._current_vertex: Hashable = None
+
+    @property
+    def superstep(self) -> int:
+        return self._engine.superstep_index
+
+    def send(self, dst_kind: str, dst_vertex: Hashable, message) -> None:
+        """Send ``message`` to one vertex, delivered next superstep."""
+        sender_machine = self._engine.machine_of(self._kind, self._current_vertex)
+        self._engine._enqueue(self._kind, sender_machine, dst_kind, dst_vertex, message)
+
+    def send_to_kind(self, dst_kind: str, message) -> None:
+        """Broadcast ``message`` to every vertex of ``dst_kind``."""
+        self._engine._enqueue_broadcast(self._kind, dst_kind, message)
+
+    def aggregate(self, name: str, value) -> None:
+        """Contribute to a global aggregator (visible next superstep)."""
+        self._engine._aggregate(name, value)
+
+    def aggregated(self, name: str):
+        """The aggregator value folded in the previous superstep."""
+        return self._engine.aggregated(name)
+
+    def charge_flops(self, flops: float) -> None:
+        """Report bulk numeric work done inside this compute call."""
+        self._engine._charge_flops(self._kind, flops)
+
+    def charge_ops(self, ops: float) -> None:
+        """Report per-element interpreted/JVM operations (loop bodies,
+        library calls) done inside this compute call."""
+        self._engine._charge_ops(self._kind, ops)
+
+
+class GiraphEngine(GraphEngine):
+    """The BSP engine; drive it with :meth:`superstep`."""
+
+    language = "java"
+
+    def __init__(self, cluster: ClusterSpec, tracer: Tracer | None = None) -> None:
+        super().__init__(cluster, tracer)
+        self.superstep_index = 0
+        self._computes: dict[str, Callable] = {}
+        self._combiners: dict[str, Callable] = {}
+        self._aggregators: dict[str, tuple[Callable, object]] = {}
+        self._aggregator_state: dict[str, object] = {}
+        self._aggregator_next: dict[str, object] = {}
+        self._inbox: dict[VertexId, list] = {}
+        self._outbox: list[tuple[str, int, str, Hashable, object]] = []
+        self._broadcasts_in: dict[str, list] = {}
+        self._broadcasts_out: list[tuple[str, str, object]] = []
+        self._flops: dict[str, float] = {}
+        self._ops: dict[str, float] = {}
+        self._job_charged = False
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def set_compute(self, kind: str, fn: Callable) -> None:
+        """Register ``fn(ctx, vertex_id, value, messages)`` for a kind."""
+        self._kind(kind)  # validate
+        self._computes[kind] = fn
+
+    def set_combiner(self, dst_kind: str, fn: Callable) -> None:
+        """Register a message combiner for messages *to* ``dst_kind``."""
+        self._kind(dst_kind)
+        self._combiners[dst_kind] = fn
+
+    def register_aggregator(self, name: str, fn: Callable, initial) -> None:
+        if name in self._aggregators:
+            raise ValueError(f"aggregator {name!r} already registered")
+        self._aggregators[name] = (fn, initial)
+        self._aggregator_state[name] = initial
+
+    def aggregated(self, name: str):
+        if name not in self._aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        return self._aggregator_state[name]
+
+    # ------------------------------------------------------------------
+    # the BSP loop
+    # ------------------------------------------------------------------
+
+    def superstep(self, active_kinds: list[str] | None = None) -> None:
+        """Run one superstep over ``active_kinds`` (default: all kinds)."""
+        if not self._job_charged:
+            # Giraph runs the whole simulation as one Hadoop job.
+            self.tracer.emit(EventKind.JOB, records=1, scale=FIXED, label="giraph-job")
+            self._job_charged = True
+        self.tracer.emit(EventKind.BARRIER, records=1, scale=FIXED, label="superstep-barrier")
+
+        kinds = list(self.kinds) if active_kinds is None else active_kinds
+        for kind_name in kinds:
+            fn = self._computes.get(kind_name)
+            if fn is None:
+                continue
+            population = self._kind(kind_name)
+            broadcasts = self._broadcasts_in.get(kind_name, [])
+            ctx = GiraphContext(self, kind_name)
+            invocations = 0
+            for vertex, value in population.values.items():
+                messages = self._inbox.pop((kind_name, vertex), [])
+                if broadcasts:
+                    messages = broadcasts + messages
+                ctx._current_vertex = vertex
+                fn(ctx, vertex, value, messages)
+                invocations += 1
+            self.tracer.emit(
+                EventKind.COMPUTE,
+                records=invocations + self._ops.pop(kind_name, 0.0),
+                flops=self._flops.pop(kind_name, 0.0),
+                language=self.language, scale=population.scale,
+                label=f"compute:{kind_name}",
+            )
+
+        self._inbox.clear()  # undelivered messages die with the superstep
+        self._broadcasts_in.clear()
+        self._deliver_messages()
+        self._deliver_broadcasts()
+        self._fold_aggregators()
+        self._charge_connections()
+        self.superstep_index += 1
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, src_kind: str, sender_machine: int, dst_kind: str,
+                 dst_vertex: Hashable, message) -> None:
+        self._kind(dst_kind)
+        self._outbox.append((src_kind, sender_machine, dst_kind, dst_vertex, message))
+
+    def _enqueue_broadcast(self, src_kind: str, dst_kind: str, message) -> None:
+        self._kind(dst_kind)
+        self._broadcasts_out.append((src_kind, dst_kind, message))
+
+    def _aggregate(self, name: str, value) -> None:
+        fn, _ = self._aggregators[name]
+        if name in self._aggregator_next:
+            self._aggregator_next[name] = fn(self._aggregator_next[name], value)
+        else:
+            self._aggregator_next[name] = value
+
+    def _charge_flops(self, kind: str, flops: float) -> None:
+        self._flops[kind] = self._flops.get(kind, 0.0) + flops
+
+    def _charge_ops(self, kind: str, ops: float) -> None:
+        self._ops[kind] = self._ops.get(kind, 0.0) + ops
+
+    def _deliver_messages(self) -> None:
+        """Move the outbox into next superstep's inbox, with accounting."""
+        flows: dict[tuple[str, str], list[tuple[int, Hashable, object]]] = {}
+        for src_kind, sender_machine, dst_kind, dst_vertex, message in self._outbox:
+            flows.setdefault((src_kind, dst_kind), []).append(
+                (sender_machine, dst_vertex, message)
+            )
+        self._outbox.clear()
+
+        for (src_kind, dst_kind), entries in flows.items():
+            src = self._kind(src_kind)
+            dst = self._kind(dst_kind)
+            combiner = self._combiners.get(dst_kind)
+            if combiner is not None:
+                # Combining happens at the sender: messages from one
+                # machine to one destination vertex merge before hitting
+                # the network.
+                combined: dict[tuple[int, Hashable], object] = {}
+                for sender_machine, dst_vertex, message in entries:
+                    key = (sender_machine, dst_vertex)
+                    if key in combined:
+                        combined[key] = combiner(combined[key], message)
+                    else:
+                        combined[key] = message
+                wire = [(dst_vertex, message) for (_, dst_vertex), message in combined.items()]
+                wire_scale = dst.edge_scale
+            else:
+                wire = [(dst_vertex, message) for _, dst_vertex, message in entries]
+                wire_scale = src.edge_scale
+
+            wire_bytes = estimate_records_bytes([m for _, m in wire])
+            self.tracer.emit(
+                EventKind.MESSAGE, records=len(wire), bytes=wire_bytes,
+                language=self.language, scale=wire_scale,
+                label=f"messages:{src_kind}->{dst_kind}",
+            )
+            # Every produced message is serialized (and combined) on the
+            # sender before the wire — charged on the raw volume.
+            raw_bytes = estimate_records_bytes([m for _, _, m in entries])
+            self.tracer.emit(
+                EventKind.SERIALIZE, bytes=raw_bytes, language=self.language,
+                scale=src.edge_scale, label=f"message-serialize:{src_kind}",
+            )
+            # Sender-side buffers hold a fraction of the superstep's
+            # outgoing volume — the term that kills the 100-dimensional
+            # Giraph GMM (an 80 KB scatter matrix per point in flight).
+            self.tracer.materialize(
+                bytes=raw_bytes * OUTGOING_BUFFER_FRACTION, scale=src.edge_scale,
+                site=Site.CLUSTER, label=f"outgoing-buffers:{src_kind}",
+            )
+            # Receiver-side message store.
+            per_machine: dict[int, float] = {}
+            for dst_vertex, message in wire:
+                machine = self.machine_of(dst_kind, dst_vertex)
+                per_machine[machine] = per_machine.get(machine, 0.0) + estimate_bytes(message)
+            if per_machine:
+                hotspot = len(dst.values) < self.cluster.machines
+                if hotspot:
+                    self.tracer.materialize(
+                        bytes=max(per_machine.values()), objects=len(wire),
+                        scale=wire_scale, site=Site.MACHINE,
+                        label=f"message-store:{dst_kind}",
+                    )
+                else:
+                    self.tracer.materialize(
+                        bytes=wire_bytes, objects=len(wire), scale=wire_scale,
+                        site=Site.CLUSTER, label=f"message-store:{dst_kind}",
+                    )
+            for dst_vertex, message in wire:
+                self._inbox.setdefault((dst_kind, dst_vertex), []).append(message)
+
+    def _deliver_broadcasts(self) -> None:
+        for src_kind, dst_kind, message in self._broadcasts_out:
+            dst = self._kind(dst_kind)
+            nbytes = estimate_bytes(message)
+            self.tracer.emit(
+                EventKind.BROADCAST, bytes=nbytes, language=self.language,
+                scale=FIXED, label=f"broadcast:{src_kind}->{dst_kind}",
+            )
+            # One resident copy per worker core, not per recipient.
+            self.tracer.materialize(
+                bytes=nbytes * self.cluster.machine.cores, scale=FIXED,
+                site=Site.MACHINE, label=f"broadcast-store:{dst_kind}",
+            )
+            # Every recipient still handles the message.
+            self.tracer.emit(
+                EventKind.COMPUTE, records=len(dst.values), language=self.language,
+                scale=dst.scale, label=f"broadcast-handling:{dst_kind}",
+            )
+            self._broadcasts_in.setdefault(dst_kind, []).append(message)
+        self._broadcasts_out.clear()
+
+    def _fold_aggregators(self) -> None:
+        for name, (fn, initial) in self._aggregators.items():
+            if name in self._aggregator_next:
+                value = self._aggregator_next.pop(name)
+                self._aggregator_state[name] = value
+                nbytes = estimate_bytes(value)
+                self.tracer.emit(
+                    EventKind.MESSAGE, records=self.cluster.machines,
+                    bytes=self.cluster.machines * nbytes, language=self.language,
+                    scale=FIXED, site=Site.MACHINE, label=f"aggregator:{name}",
+                )
+                self.tracer.emit(
+                    EventKind.BROADCAST, bytes=nbytes, language=self.language,
+                    scale=FIXED, label=f"aggregator:{name}:broadcast",
+                )
+            else:
+                self._aggregator_state[name] = initial
+
+    def _charge_connections(self) -> None:
+        """Netty channel buffers: one per peer worker, at every machine."""
+        peers = self.cluster.machines * self.cluster.machine.cores
+        self.tracer.materialize(
+            objects=peers, scale=FIXED, site=Site.MACHINE, label="connections",
+        )

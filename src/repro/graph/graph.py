@@ -1,0 +1,140 @@
+"""Shared graph substrate for the GraphLab and Giraph engines.
+
+Vertices are namespaced by *kind* (``"data"``, ``"cluster"``,
+``"state"`` ...), matching how the paper's graphs are built: a large,
+data-scaled population of data vertices plus a handful of model
+vertices.  Each kind carries a scale group so the cost model knows which
+populations grow with the workload.
+
+Vertex placement follows both real systems: hash partitioning of the
+vertex id across machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.cluster.events import FIXED, Site
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
+from repro.cluster.tracer import NullTracer, Tracer
+
+#: A vertex is addressed by (kind, local id).
+VertexId = tuple[str, Hashable]
+
+
+class VertexKind:
+    """One named population of vertices with a common scale group.
+
+    ``scale`` governs the population's storage and per-unit work (a
+    super-vertex population's blobs and FLOPs still grow with the data);
+    ``edge_scale`` governs its *cardinality-proportional* costs — edges
+    gathered, messages sent — which for super vertices grow only with
+    the super-vertex count.
+    """
+
+    def __init__(self, name: str, scale: str = FIXED,
+                 edge_scale: str | None = None) -> None:
+        self.name = name
+        self.scale = scale
+        self.edge_scale = edge_scale if edge_scale is not None else scale
+        self.values: dict[Hashable, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class GraphEngine:
+    """Base class: vertex-kind registry, placement, storage accounting."""
+
+    def __init__(self, cluster: ClusterSpec, tracer: Tracer | None = None) -> None:
+        self.cluster = cluster
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.kinds: dict[str, VertexKind] = {}
+        self._storage_pins: dict[str, int] = {}
+
+    def add_vertex_kind(self, name: str, scale: str = FIXED,
+                        edge_scale: str | None = None) -> VertexKind:
+        if name in self.kinds:
+            raise ValueError(f"vertex kind {name!r} already exists")
+        kind = VertexKind(name, scale, edge_scale)
+        self.kinds[name] = kind
+        return kind
+
+    def add_vertices(self, kind: str, values: dict) -> None:
+        """Load vertices; their storage is pinned in cluster memory."""
+        population = self._kind(kind)
+        clash = population.values.keys() & values.keys()
+        if clash:
+            raise ValueError(f"vertex ids already present in {kind!r}: {sorted(clash)[:5]}")
+        population.values.update(values)
+        self._repin_storage(population)
+
+    def vertex_value(self, kind: str, vertex: Hashable):
+        return self._kind(kind).values[vertex]
+
+    def machine_of(self, kind: str, vertex: Hashable) -> int:
+        """Hash placement of a vertex onto a machine."""
+        return hash((kind, vertex)) % self.cluster.machines
+
+    def transform_vertices(self, kind: str, fn: Callable, language: str,
+                           flops_per_vertex: float = 0.0, label: str = "") -> None:
+        """Apply ``fn(vertex_id, value) -> new_value`` to every vertex."""
+        from repro.cluster.events import Kind as EventKind
+
+        population = self._kind(kind)
+        self.tracer.emit(
+            EventKind.COMPUTE, records=len(population),
+            flops=len(population) * flops_per_vertex,
+            language=language, scale=population.scale,
+            label=label or f"transform:{kind}",
+        )
+        population.values = {
+            vertex: fn(vertex, value) for vertex, value in population.values.items()
+        }
+
+    def map_reduce_vertices(self, kind: str, map_fn: Callable, reduce_fn: Callable,
+                            language: str, flops_per_vertex: float = 0.0, label: str = ""):
+        """Map every vertex and fold the results (GraphLab's
+        ``map_reduce_vertices``; also used for Giraph aggregator sweeps)."""
+        from repro.cluster.events import Kind as EventKind
+
+        population = self._kind(kind)
+        if not population.values:
+            raise ValueError(f"map_reduce over empty vertex kind {kind!r}")
+        self.tracer.emit(
+            EventKind.COMPUTE, records=len(population),
+            flops=len(population) * flops_per_vertex,
+            language=language, scale=population.scale,
+            label=label or f"map_reduce:{kind}",
+        )
+        out = None
+        first = True
+        for vertex, value in population.values.items():
+            mapped = map_fn(vertex, value)
+            out = mapped if first else reduce_fn(out, mapped)
+            first = False
+        # Partial aggregates flow machine -> master.
+        self.tracer.emit(
+            EventKind.MESSAGE, records=self.cluster.machines,
+            bytes=self.cluster.machines * estimate_bytes(out),
+            language=language, scale=FIXED, site=Site.MACHINE,
+            label=f"{label or kind}:aggregate",
+        )
+        return out
+
+    def _kind(self, name: str) -> VertexKind:
+        try:
+            return self.kinds[name]
+        except KeyError:
+            raise KeyError(f"unknown vertex kind {name!r} (have {sorted(self.kinds)})") from None
+
+    def _repin_storage(self, population: VertexKind) -> None:
+        old_pin = self._storage_pins.pop(population.name, None)
+        if old_pin is not None:
+            self.tracer.unpin(old_pin)
+        nbytes = estimate_records_bytes(list(population.values.values()))
+        self._storage_pins[population.name] = self.tracer.pin(
+            bytes=nbytes, objects=len(population), scale=population.scale,
+            site=Site.CLUSTER, label=f"vertices:{population.name}",
+        )

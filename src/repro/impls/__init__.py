@@ -1,0 +1,19 @@
+"""Platform x model benchmark implementations.
+
+Every class implements :class:`repro.impls.base.Implementation`; the
+registry below maps (platform, model, variant) to classes, which is what
+the benchmark harness iterates over.
+"""
+
+from repro.impls.base import Implementation
+from repro.impls import giraph, graphlab, simsql, spark
+
+#: (platform, model, variant) -> implementation class.
+REGISTRY: dict[tuple[str, str, str], type] = {}
+
+for _module in (spark, simsql, graphlab, giraph):
+    for _name in _module.__all__:
+        _cls = getattr(_module, _name)
+        REGISTRY[(_cls.platform, _cls.model, _cls.variant)] = _cls
+
+__all__ = ["Implementation", "REGISTRY", "giraph", "graphlab", "simsql", "spark"]

@@ -1,0 +1,20 @@
+"""Giraph implementations of the five benchmark models."""
+
+from repro.impls.giraph.gmm import GiraphGMM, GiraphGMMSuperVertex
+from repro.impls.giraph.hmm import GiraphHMMDocument, GiraphHMMSuperVertex, GiraphHMMWord
+from repro.impls.giraph.imputation import GiraphImputation
+from repro.impls.giraph.lasso import GiraphLasso, GiraphLassoSuperVertex
+from repro.impls.giraph.lda import GiraphLDADocument, GiraphLDASuperVertex
+
+__all__ = [
+    "GiraphGMM",
+    "GiraphGMMSuperVertex",
+    "GiraphHMMDocument",
+    "GiraphHMMSuperVertex",
+    "GiraphHMMWord",
+    "GiraphImputation",
+    "GiraphLDADocument",
+    "GiraphLDASuperVertex",
+    "GiraphLasso",
+    "GiraphLassoSuperVertex",
+]

@@ -1,0 +1,336 @@
+"""Giraph HMM implementations (paper Section 7.4, Figure 3).
+
+``GiraphHMMWord`` is the word-per-vertex code (Fail at scale: half a
+billion word vertices per machine).  Each word vertex messages its state
+to its sequence neighbors, resamples on its parity turn, and sends
+(word, 1) / (state-pair, 1) counts to the state vertices through
+combiners.  ``GiraphHMMDocument`` keeps one vertex per document (the
+11-minute entry); ``GiraphHMMSuperVertex`` one vertex per block of
+documents (the ~2.5-minute code that also scales to 100 machines).
+
+delta_0 travels through a global aggregator; the emission/transition
+rows live at the K state vertices, which broadcast the full model to the
+data kind each iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.events import DATA
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.graph import GiraphEngine, group_items
+from repro.impls.base import Implementation
+from repro.models import hmm
+from repro.stats import Dirichlet
+
+
+def _sparse_counts(counts: hmm.HMMCounts, state: int) -> dict:
+    """One state's slice of a document's counts as a sparse message —
+    a dense vocabulary row per message would be a 10k-float payload."""
+    emissions = counts.emissions[state]
+    nonzero = np.flatnonzero(emissions)
+    return {
+        "emit": {int(w): float(emissions[w]) for w in nonzero},
+        "trans": counts.transitions[state].copy(),
+    }
+
+
+def _merge_state_counts(a: dict, b: dict) -> dict:
+    out = {"emit": dict(a["emit"]), "trans": a["trans"] + b["trans"]}
+    for word, count in b["emit"].items():
+        out["emit"][word] = out["emit"].get(word, 0.0) + count
+    return out
+
+
+class GiraphHMMDocument(Implementation):
+    platform = "giraph"
+    model = "hmm"
+    variant = "document"
+
+    #: Supersteps per Gibbs iteration: data resample + state update.
+    SUPERSTEPS = 2
+
+    def __init__(self, documents: list, vocabulary: int, states: int,
+                 rng: np.random.Generator, cluster_spec: ClusterSpec,
+                 tracer: Tracer | None = None, alpha: float = 1.0,
+                 beta: float = 1.0) -> None:
+        self.documents = [np.asarray(d, dtype=int) for d in documents]
+        self.vocabulary = vocabulary
+        self.states = states
+        self.rng = rng
+        self.alpha = alpha
+        self.beta = beta
+        self.engine = GiraphEngine(cluster_spec, tracer=tracer)
+        self.model: hmm.HMMState | None = None
+        self._iteration = 0
+
+    def _data_values(self) -> dict:
+        rng = self.rng
+        return {
+            d_id: {"words": words,
+                   "states": rng.integers(self.states, size=len(words))}
+            for d_id, words in enumerate(self.documents)
+        }
+
+    def initialize(self) -> None:
+        engine = self.engine
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertex_kind("state")
+        engine.add_vertices("data", self._data_values())
+        self.model = hmm.initial_model(self.rng, self.states, self.vocabulary,
+                                       self.alpha, self.beta)
+        engine.add_vertices("state", {
+            s: {"psi": self.model.psi[s], "delta": self.model.delta[s]}
+            for s in range(self.states)
+        })
+        engine.set_combiner("state", _merge_state_counts)
+        engine.register_aggregator("delta0", lambda a, b: a + b,
+                                   np.zeros(self.states))
+        engine.set_compute("data", self._data_compute)
+        engine.set_compute("state", self._state_compute)
+
+    def iterate(self, iteration: int) -> None:
+        self._iteration = iteration
+        for _ in range(self.SUPERSTEPS):
+            self.engine.superstep()
+        self._refresh_model()
+
+    # -- vertex programs ---------------------------------------------------
+
+    def _data_compute(self, ctx, vid, value, messages):
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        model = self._current_model(ctx)
+        words, states = value["words"], value["states"]
+        updated = hmm.resample_document_states(self.rng, words, states, model,
+                                               self._iteration)
+        value["states"] = updated
+        counts = hmm.document_counts(words, updated, self.states, self.vocabulary)
+        # Hand-coded Java inner loop: ~4 JVM operations per word
+        # (calibrated to the paper's 11:02 document-based entry).
+        ctx.charge_ops(float(len(words) * 4))
+        for s in range(self.states):
+            ctx.send("state", s, _sparse_counts(counts, s))
+        ctx.aggregate("delta0", counts.starts)
+
+    def _state_compute(self, ctx, vid, value, messages):
+        if ctx.superstep % self.SUPERSTEPS != 1:
+            return
+        emissions = np.zeros(self.vocabulary)
+        transitions = np.zeros(self.states)
+        for message in messages:
+            for word, count in message["emit"].items():
+                emissions[word] += count
+            transitions += message["trans"]
+        value["psi"] = Dirichlet(self.beta + emissions).sample(self.rng)
+        value["delta"] = Dirichlet(self.alpha + transitions).sample(self.rng)
+        ctx.charge_flops(float(self.vocabulary * 20))
+        ctx.send_to_kind("data", ("model-row", vid, value["psi"], value["delta"]))
+
+    def _current_model(self, ctx) -> hmm.HMMState:
+        """The model the data vertices see this superstep.
+
+        psi/delta rows were broadcast by the state vertices (and mirrored
+        into ``self.model`` by ``_refresh_model``); delta0 comes from the
+        global aggregator and is drawn once per superstep.
+        """
+        assert self.model is not None
+        starts = ctx.aggregated("delta0")
+        if np.any(starts > 0) and getattr(self, "_delta0_superstep", -1) != ctx.superstep:
+            self.model.delta0 = Dirichlet(self.alpha + starts).sample(self.rng)
+            self._delta0_superstep = ctx.superstep
+        return self.model
+
+    def _refresh_model(self) -> None:
+        assert self.model is not None
+        for s in range(self.states):
+            vertex = self.engine.vertex_value("state", s)
+            self.model.psi[s] = vertex["psi"]
+            self.model.delta[s] = vertex["delta"]
+
+    def assignments(self) -> list:
+        return [self.engine.vertex_value("data", d)["states"]
+                for d in range(len(self.documents))]
+
+
+class GiraphHMMSuperVertex(GiraphHMMDocument):
+    variant = "super-vertex"
+
+    def __init__(self, documents, vocabulary, states, rng, cluster_spec,
+                 tracer=None, alpha=1.0, beta=1.0, docs_per_block: int = 16) -> None:
+        super().__init__(documents, vocabulary, states, rng, cluster_spec,
+                         tracer, alpha, beta)
+        self.docs_per_block = docs_per_block
+
+    def initialize(self) -> None:
+        super().initialize()
+        self.engine.kinds["data"].edge_scale = "sv"
+
+    def _data_values(self) -> dict:
+        rng = self.rng
+        blocks = group_items(list(range(len(self.documents))),
+                             max(1, len(self.documents) // self.docs_per_block))
+        return {
+            b: {"docs": block,
+                "words": [self.documents[d] for d in block],
+                "states": [rng.integers(self.states, size=len(self.documents[d]))
+                           for d in block]}
+            for b, block in enumerate(blocks)
+        }
+
+    def _data_compute(self, ctx, vid, value, messages):
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        model = self._current_model(ctx)
+        counts = hmm.HMMCounts.zeros(self.states, self.vocabulary)
+        total_words = 0
+        for slot, (words, states) in enumerate(zip(value["words"], value["states"])):
+            updated = hmm.resample_document_states(self.rng, words, states, model,
+                                                   self._iteration)
+            value["states"][slot] = updated
+            counts = counts.merge(
+                hmm.document_counts(words, updated, self.states, self.vocabulary))
+            total_words += len(words)
+        # The super-vertex rewrite drives the per-word cost down to ~1
+        # JVM operation (the paper's 2:27-per-iteration code).
+        ctx.charge_ops(float(total_words * 1))
+        for s in range(self.states):
+            ctx.send("state", s, _sparse_counts(counts, s))
+        ctx.aggregate("delta0", counts.starts)
+
+    def assignments(self) -> list:
+        out: dict[int, np.ndarray] = {}
+        for vertex in self.engine.kinds["data"].values.values():
+            for doc_id, states in zip(vertex["docs"], vertex["states"]):
+                out[doc_id] = states
+        return [out[d] for d in range(len(self.documents))]
+
+
+class GiraphHMMWord(Implementation):
+    """One vertex per word — the granularity that Fails at paper scale."""
+
+    platform = "giraph"
+    model = "hmm"
+    variant = "word"
+
+    SUPERSTEPS = 3
+
+    def __init__(self, documents: list, vocabulary: int, states: int,
+                 rng: np.random.Generator, cluster_spec: ClusterSpec,
+                 tracer: Tracer | None = None, alpha: float = 1.0,
+                 beta: float = 1.0) -> None:
+        self.documents = [np.asarray(d, dtype=int) for d in documents]
+        self.vocabulary = vocabulary
+        self.states = states
+        self.rng = rng
+        self.alpha = alpha
+        self.beta = beta
+        self.engine = GiraphEngine(cluster_spec, tracer=tracer)
+        self.model: hmm.HMMState | None = None
+        self._iteration = 0
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data",)
+
+    def initialize(self) -> None:
+        engine, rng = self.engine, self.rng
+        engine.add_vertex_kind("word", scale=DATA)
+        engine.add_vertex_kind("state")
+        vertices = {}
+        for d_id, words in enumerate(self.documents):
+            length = len(words)
+            for pos, word in enumerate(words):
+                vertices[(d_id, pos)] = {
+                    "word": int(word), "state": int(rng.integers(self.states)),
+                    "len": length, "prev": None, "next": None,
+                }
+        engine.add_vertices("word", vertices)
+        self.model = hmm.initial_model(rng, self.states, self.vocabulary,
+                                       self.alpha, self.beta)
+        engine.add_vertices("state", {
+            s: {"psi": self.model.psi[s], "delta": self.model.delta[s]}
+            for s in range(self.states)
+        })
+        engine.set_combiner("state", _merge_pair_counts)
+        engine.register_aggregator("delta0", lambda a, b: a + b,
+                                   np.zeros(self.states))
+        engine.set_compute("word", self._word_compute)
+        engine.set_compute("state", self._state_compute)
+
+    def iterate(self, iteration: int) -> None:
+        self._iteration = iteration
+        for _ in range(self.SUPERSTEPS):
+            self.engine.superstep()
+        for s in range(self.states):
+            vertex = self.engine.vertex_value("state", s)
+            self.model.psi[s] = vertex["psi"]
+            self.model.delta[s] = vertex["delta"]
+
+    def _word_compute(self, ctx, vid, value, messages):
+        phase = ctx.superstep % self.SUPERSTEPS
+        d_id, pos = vid
+        if phase == 0:
+            # Tell the neighbors (by the naming scheme, no edges stored).
+            if pos + 1 < value["len"]:
+                ctx.send("word", (d_id, pos + 1), ("prev", value["state"]))
+            if pos > 0:
+                ctx.send("word", (d_id, pos - 1), ("next", value["state"]))
+            return
+        if phase == 1:
+            for kind, state in messages:
+                value[kind] = state
+            if (pos + 1) % 2 == self._iteration % 2:
+                model = self.model
+                weights = model.psi[:, value["word"]].copy()
+                weights *= (model.delta[value["prev"]] if value["prev"] is not None
+                            and pos > 0 else model.delta0)
+                if value["next"] is not None and pos < value["len"] - 1:
+                    weights *= model.delta[:, value["next"]]
+                if weights.sum() <= 0:
+                    weights[:] = 1.0
+                value["state"] = int(self.rng.choice(self.states,
+                                                     p=weights / weights.sum()))
+                ctx.charge_ops(4.0)
+            # The paper's tiny pair messages: <word, 1> and <next-state, 1>
+            # to the (current state)'th state vertex, dict-combined.
+            if pos == 0:
+                ctx.aggregate("delta0", _one_hot(value["state"], self.states))
+            pair_counts = {"emit": {value["word"]: 1.0}, "trans": {}}
+            if value["next"] is not None and pos < value["len"] - 1:
+                pair_counts["trans"][value["next"]] = 1.0
+            ctx.send("state", value["state"], pair_counts)
+
+    def _state_compute(self, ctx, vid, value, messages):
+        if ctx.superstep % self.SUPERSTEPS != 2:
+            return
+        emissions = np.zeros(self.vocabulary)
+        transitions = np.zeros(self.states)
+        for message in messages:
+            for word, count in message["emit"].items():
+                emissions[word] += count
+            for nxt, count in message["trans"].items():
+                transitions[nxt] += count
+        value["psi"] = Dirichlet(self.beta + emissions).sample(self.rng)
+        value["delta"] = Dirichlet(self.alpha + transitions).sample(self.rng)
+        ctx.send_to_kind("word", ("model-row", vid, value["psi"], value["delta"]))
+        starts = ctx.aggregated("delta0")
+        if vid == 0 and np.any(starts > 0):
+            self.model.delta0 = Dirichlet(self.alpha + starts).sample(self.rng)
+
+
+def _one_hot(index: int, size: int) -> np.ndarray:
+    out = np.zeros(size)
+    out[index] = 1.0
+    return out
+
+
+def _merge_pair_counts(a: dict, b: dict) -> dict:
+    """Combiner for the word-based code's sparse pair-count messages."""
+    out = {"emit": dict(a["emit"]), "trans": dict(a["trans"])}
+    for word, count in b["emit"].items():
+        out["emit"][word] = out["emit"].get(word, 0.0) + count
+    for nxt, count in b["trans"].items():
+        out["trans"][nxt] = out["trans"].get(nxt, 0.0) + count
+    return out

@@ -1,0 +1,76 @@
+"""Giraph Gaussian imputation (paper Section 9, Figure 5).
+
+The Giraph GMM message dance plus the per-point imputation step inside
+the data vertices' compute: each data vertex keeps its censoring mask,
+samples its membership from the observed coordinates, redraws the
+censored ones from the conditional normal, and ships the completed
+statistics triple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.events import DATA
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.impls.giraph.gmm import GiraphGMM
+from repro.models import gmm
+from repro.models.imputation import impute_point
+from repro.stats import Categorical, MultivariateNormal
+
+
+class GiraphImputation(GiraphGMM):
+    platform = "giraph"
+    model = "imputation"
+    variant = "initial"
+
+    def __init__(self, censored_points: np.ndarray, mask: np.ndarray, clusters: int,
+                 rng: np.random.Generator, cluster_spec: ClusterSpec,
+                 tracer: Tracer | None = None) -> None:
+        censored_points = np.asarray(censored_points, dtype=float)
+        self.mask = np.asarray(mask, dtype=bool)
+        column_means = np.nanmean(censored_points, axis=0)
+        completed = censored_points.copy()
+        fill = np.broadcast_to(column_means, completed.shape)
+        completed[self.mask] = fill[self.mask]
+        super().__init__(completed, clusters, rng, cluster_spec, tracer)
+
+    def initialize(self) -> None:
+        super().initialize()
+        # Attach each point's censoring mask to its vertex.
+        data = self.engine.kinds["data"]
+        data.values = {
+            j: {"x": x, "mask": self.mask[j]} for j, x in data.values.items()
+        }
+
+    def _data_compute(self, ctx, vid, value, messages):
+        if self._phase(ctx.superstep) != 2:
+            return
+        triples = sorted(m for m in messages if isinstance(m, tuple) and len(m) == 4)
+        if not triples:
+            return
+        x, mask = value["x"], value["mask"]
+        observed = np.flatnonzero(~mask)
+        log_w = np.empty(len(triples))
+        for slot, (k, pi, mu, dist) in enumerate(triples):
+            if observed.size == 0:
+                log_w[slot] = np.log(max(pi, 1e-300))
+                continue
+            marginal = MultivariateNormal(
+                mu[observed], dist.cov[np.ix_(observed, observed)]
+            )
+            log_w[slot] = np.log(max(pi, 1e-300)) + marginal.logpdf(x[observed])
+        weights = np.exp(log_w - log_w.max())
+        choice = int(Categorical(weights).sample(self.rng))
+        k, _, mu, dist = triples[choice]
+        completed = impute_point(self.rng, x, mask, mu, dist.cov)
+        value["x"] = completed
+        diff = completed - mu
+        d = completed.size
+        ctx.charge_flops(self.clusters * (6.0 * d**3 / 8.0 + 3.0 * d * d) + d * d)
+        ctx.send("cluster", k, (1.0, completed, np.outer(diff, diff)))
+
+    def completed_points(self) -> np.ndarray:
+        data = self.engine.kinds["data"]
+        return np.vstack([data.values[j]["x"] for j in sorted(data.values)])

@@ -1,0 +1,16 @@
+"""GraphLab implementations of the five benchmark models."""
+
+from repro.impls.graphlab.gmm import GraphLabGMM, GraphLabGMMSuperVertex
+from repro.impls.graphlab.hmm import GraphLabHMMSuperVertex
+from repro.impls.graphlab.imputation import GraphLabImputationSuperVertex
+from repro.impls.graphlab.lasso import GraphLabLassoSuperVertex
+from repro.impls.graphlab.lda import GraphLabLDASuperVertex
+
+__all__ = [
+    "GraphLabGMM",
+    "GraphLabGMMSuperVertex",
+    "GraphLabHMMSuperVertex",
+    "GraphLabImputationSuperVertex",
+    "GraphLabLDASuperVertex",
+    "GraphLabLassoSuperVertex",
+]

@@ -1,0 +1,20 @@
+"""SimSQL implementations of the five benchmark models."""
+
+from repro.impls.simsql.gmm import SimSQLGMM, SimSQLGMMSuperVertex
+from repro.impls.simsql.hmm import SimSQLHMMDocument, SimSQLHMMSuperVertex, SimSQLHMMWord
+from repro.impls.simsql.imputation import SimSQLImputation
+from repro.impls.simsql.lasso import SimSQLLasso
+from repro.impls.simsql.lda import SimSQLLDADocument, SimSQLLDASuperVertex, SimSQLLDAWord
+
+__all__ = [
+    "SimSQLGMM",
+    "SimSQLGMMSuperVertex",
+    "SimSQLHMMDocument",
+    "SimSQLHMMSuperVertex",
+    "SimSQLHMMWord",
+    "SimSQLImputation",
+    "SimSQLLDADocument",
+    "SimSQLLDASuperVertex",
+    "SimSQLLDAWord",
+    "SimSQLLasso",
+]

@@ -1,0 +1,57 @@
+"""Shared plan-building helpers for the SimSQL implementations."""
+
+from __future__ import annotations
+
+from repro.relational import GroupBy, Join, Plan, Project, Scan, Union, col, lit
+
+
+def project(plan: Plan, *outputs: tuple) -> Project:
+    """``Project`` with ``(name, expr-or-column-name)`` pairs."""
+    resolved = []
+    for name, expr in outputs:
+        resolved.append((name, col(expr) if isinstance(expr, str) else expr))
+    return Project(plan, resolved)
+
+
+def counts_with_zeros(member_plan: Plan, member_key: str, universe_plan: Plan,
+                      universe_key: str, base_expr=None) -> GroupBy:
+    """Per-key counts that include zero rows for absent keys.
+
+    SQL's inner-join aggregation drops groups with no members (an empty
+    GMM cluster, say); unioning one ``base`` row per key from the
+    universe table keeps every key present.  ``base_expr`` (default 0)
+    is added to each count — pass the Dirichlet prior column to get
+    ``alpha + n_k`` directly.
+    """
+    base = lit(0.0) if base_expr is None else base_expr
+    members = project(member_plan, ("key", member_key), ("w", lit(1.0)))
+    bases = project(universe_plan, ("key", universe_key), ("w", base))
+    return GroupBy(Union([members, bases]), keys=["key"],
+                   aggs=[("value", "sum", col("w"))])
+
+
+def padded_sum(value_plan: Plan, keys: list[str], value_col: str,
+               pad_plan: Plan, pad_value_col: str | None = None) -> GroupBy:
+    """Group-sum ``value_plan`` unioned with a padding frame so every
+    (key...) combination appears even when no member contributed.
+
+    The pad contributes 0 by default; pass ``pad_value_col`` to add a
+    base quantity instead (e.g. the Psi entries under a scatter sum, so
+    the result is ``Psi + scatter`` per cluster).
+    """
+    width = len(keys) + 1
+    value_part = project(value_plan, *[(f"k{i}", k) for i, k in enumerate(keys)],
+                         ("v", value_col))
+    pad_value = lit(0.0) if pad_value_col is None else col(pad_value_col)
+    pad_part = project(pad_plan, *[(f"k{i}", k) for i, k in enumerate(keys)],
+                       ("v", pad_value))
+    if len(value_part.outputs) != width or len(pad_part.outputs) != width:
+        raise ValueError("key arity mismatch in padded_sum")
+    return GroupBy(Union([value_part, pad_part]),
+                   keys=[f"k{i}" for i in range(len(keys))],
+                   aggs=[("value", "sum", col("v"))])
+
+
+def cross(left: Plan, right: Plan) -> Join:
+    """An explicit (cheap, small-side) cross join for building frames."""
+    return Join(left, right)

@@ -1,0 +1,149 @@
+"""SimSQL Gaussian imputation (paper Section 9, Figure 5).
+
+The GMM chain with the data itself turned into a random table: each
+iteration, one ``gaussian_impute`` VG invocation per data point redraws
+the censored coordinates (and the point's membership) from the current
+model; the GMM model tables then update from the completed values.  The
+model-update plans are inherited from :class:`SimSQLGMM`, re-pointed at
+the per-iteration ``point_state`` table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.impls.simsql.common import project
+from repro.impls.simsql.gmm import SimSQLGMM
+from repro.impls.simsql.vgs import ImputationVG
+from repro.relational import (
+    Join,
+    MarkovChain,
+    RandomTable,
+    Scan,
+    Select,
+    VGOp,
+    col,
+    lit,
+    versioned,
+)
+
+
+class SimSQLImputation(SimSQLGMM):
+    platform = "simsql"
+    model = "imputation"
+    variant = "initial"
+
+    def __init__(self, censored_points: np.ndarray, mask: np.ndarray, clusters: int,
+                 rng: np.random.Generator, cluster_spec: ClusterSpec,
+                 tracer: Tracer | None = None, alpha: float = 1.0) -> None:
+        censored_points = np.asarray(censored_points, dtype=float)
+        self.mask = np.asarray(mask, dtype=bool)
+        column_means = np.nanmean(censored_points, axis=0)
+        completed = censored_points.copy()
+        fill = np.broadcast_to(column_means, completed.shape)
+        completed[self.mask] = fill[self.mask]
+        super().__init__(completed, clusters, rng, cluster_spec, tracer, alpha)
+
+    def initialize(self) -> None:
+        n, d = self.points.shape
+        # The base class builds "data" (the mean-filled completion used
+        # for the empirical priors), the model frames and prior views —
+        # then we re-wire the chain around the point_state table.
+        db = self.db
+        db.create_table(
+            "censor_mask", ["data_id", "dim_id", "censored"],
+            [(j, i, bool(self.mask[j, i])) for j in range(n) for i in range(d)],
+            scale="data",
+        )
+        super().initialize()
+        assert self.chain is not None
+        self.chain = MarkovChain(db, [
+            self._point_state(), self._clus_prob(), self._clus_means(),
+            self._clus_covas(),
+        ])
+        # The model tables' version 0 already exists from the parent
+        # initialize(); rebuild the chain's bookkeeping around them by
+        # storing point_state[0] and aligning the version counter.
+        state0 = db.query(self._point_state().init(db))
+        db.store(versioned("point_state", 0), state0)
+        self.chain._version = 0
+
+    # -- the data-as-a-random-table --------------------------------------
+
+    def _point_state(self) -> RandomTable:
+        def init(db):
+            # Version 0: the mean-filled completion plus the version-0
+            # memberships already drawn by the GMM initialization.
+            values = project(
+                Join(Scan("data"), Scan("censor_mask"),
+                     predicate=(col("data_id") == col("data_id"))
+                     & (col("dim_id") == col("dim_id")),
+                     out_scale="data"),
+                ("data_id", "data_id"), ("kind", lit("x")), ("i", "dim_id"),
+                ("value", "data_val"),
+            )
+            members = project(Scan(versioned("membership", 0)),
+                              ("data_id", "data_id"), ("kind", lit("c")),
+                              ("i", "clus_id"), ("value", lit(1.0)))
+            from repro.relational import Union
+
+            return Union([values, members])
+
+        def update(db, i):
+            prev = versioned("point_state", i - 1)
+            prev_values = Select(Scan(prev), col("kind") == lit("x"))
+            point_rows = project(
+                Join(project(prev_values, ("data_id", "data_id"), ("dim_id", "i"),
+                             ("value", "value")),
+                     Scan("censor_mask"),
+                     predicate=(col("data_id") == col("data_id"))
+                     & (col("dim_id") == col("dim_id")),
+                     out_scale="data"),
+                ("data_id", "data_id"), ("dim_id", "dim_id"), ("value", "value"),
+                ("censored", "censored"),
+            )
+            vg = VGOp(
+                ImputationVG(self.rng), {
+                    "point": point_rows,
+                    "means": Scan(versioned("clus_means", i - 1)),
+                    "covas": Scan(versioned("clus_covas", i - 1)),
+                    "probs": Scan(versioned("clus_prob", i - 1)),
+                }, group_key="data_id", out_scale="data",
+            )
+            return vg  # (data_id, kind, i, value)
+
+        return RandomTable("point_state", init, update)
+
+    # -- re-point the inherited GMM model updates ------------------------
+
+    def _member_plan(self, i: int):
+        members = Select(Scan(versioned("point_state", i)), col("kind") == lit("c"))
+        return project(members, ("data_id", "data_id"), ("clus_id", "i"))
+
+    def _values_plan(self, i: int):
+        values = Select(Scan(versioned("point_state", i)), col("kind") == lit("x"))
+        return project(values, ("data_id", "data_id"), ("dim_id", "i"),
+                       ("data_val", "value"))
+
+    # -- validation helpers ------------------------------------------------
+
+    def completed_points(self) -> np.ndarray:
+        assert self.chain is not None
+        n, d = self.points.shape
+        out = np.empty((n, d))
+        table = self.chain.current("point_state")
+        for data_id, kind, i, value in table.rows:
+            if kind == "x":
+                out[int(data_id), int(i)] = value
+        return out
+
+    def labels(self) -> np.ndarray:
+        assert self.chain is not None
+        n = self.points.shape[0]
+        out = np.zeros(n, dtype=int)
+        for data_id, kind, i, value in self.chain.current("point_state").rows:
+            if kind == "c":
+                out[int(data_id)] = int(i)
+        return out

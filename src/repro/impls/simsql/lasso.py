@@ -1,0 +1,222 @@
+"""SimSQL Bayesian Lasso (paper Section 6.2, Figure 2).
+
+Initialization materializes three views the chain reuses every
+iteration: the Gram matrix (a self-join of the tuple-per-coordinate
+``data`` table, producing one group per Gram entry — the computation the
+paper blames for SimSQL's 2:40 h setup), the centered response, and
+``X^T y``.  The chain then runs three random tables per iteration:
+
+    tau[i]   — one InvGaussian VG invocation per regressor
+               (the paper's ``FOR EACH r IN regressor IDs``),
+    beta[i]  — a single lasso_beta VG fed p^2 Gram tuples,
+    sigma[i] — an InvGamma VG whose scale aggregates the residual sum
+               of squares with a data-sized join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.impls.base import Implementation
+from repro.impls.simsql.common import cross, project
+from repro.impls.simsql.vgs import LassoBetaVG
+from repro.models import lasso
+from repro.relational import (
+    Alias,
+    Database,
+    GroupBy,
+    InvGammaVG,
+    InvGaussianVG,
+    Join,
+    MarkovChain,
+    RandomTable,
+    Scan,
+    VGOp,
+    col,
+    lit,
+    sqrt,
+    versioned,
+)
+
+
+class SimSQLLasso(Implementation):
+    platform = "simsql"
+    model = "lasso"
+    variant = "initial"
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
+                 cluster_spec: ClusterSpec, tracer: Tracer | None = None,
+                 lam: float = 1.0) -> None:
+        self.x = np.asarray(x, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        self.rng = rng
+        self.lam = lam
+        self.db = Database(cluster_spec, tracer=tracer, rng=rng)
+        self.chain: MarkovChain | None = None
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "p", "p2")
+
+    def initialize(self) -> None:
+        n, p = self.x.shape
+        db = self.db
+        db.create_table(
+            "data", ["data_id", "dim_id", "value"],
+            [(j, i, float(self.x[j, i])) for j in range(n) for i in range(p)],
+            scale="data",
+        )
+        db.create_table("response", ["data_id", "y"],
+                        [(j, float(self.y[j])) for j in range(n)], scale="data")
+        db.create_table("regressor", ["rigid"], [(j,) for j in range(p)])
+        db.create_table("prior", ["lam"], [(self.lam,)])
+
+        # Materialized view 1: the centered response.
+        db.create_view("y_mean", GroupBy(
+            Scan("response"), keys=[], aggs=[("m", "avg", col("y"))],
+        ), materialized=True)
+        db.create_view("y_center", project(
+            cross(Scan("response"), Scan("y_mean")),
+            ("data_id", "data_id"), ("yc", col("y") - col("m")),
+        ), materialized=True)
+
+        # Materialized view 2: the Gram matrix — a self-join over data_id
+        # with one aggregation group per (d1, d2) entry.
+        x1 = Alias(Scan("data"), "x1")
+        x2 = Alias(Scan("data"), "x2")
+        gram = GroupBy(
+            project(
+                Join(x1, x2, predicate=col("x1.data_id") == col("x2.data_id"),
+                     out_scale="data*p2"),
+                ("d1", "x1.dim_id"), ("d2", "x2.dim_id"),
+                ("v", col("x1.value") * col("x2.value")),
+            ),
+            keys=["d1", "d2"], aggs=[("value", "sum", col("v"))], out_scale="p2",
+        )
+        db.create_view("gram", gram, materialized=True)
+
+        # Materialized view 3: X^T y over the centered response.
+        xty = GroupBy(
+            project(
+                Join(Scan("data"), Scan("y_center"),
+                     predicate=col("data_id") == col("data_id"),
+                     out_scale="data*p"),
+                ("dim_id", "dim_id"), ("v", col("value") * col("yc")),
+            ),
+            keys=["dim_id"], aggs=[("value", "sum", col("v"))], out_scale="p",
+        )
+        db.create_view("xty", xty, materialized=True)
+
+        self.chain = MarkovChain(db, [self._tau(), self._beta(), self._sigma()])
+        self.chain.initialize()
+
+    def iterate(self, iteration: int) -> None:
+        assert self.chain is not None
+        self.chain.step()
+
+    # ------------------------------------------------------------------
+
+    def _tau(self) -> RandomTable:
+        def init(db):
+            return project(Scan("regressor"), ("rigid", "rigid"),
+                           ("tau2_inv", lit(1.0)))
+
+        def update(db, i):
+            # CREATE TABLE tau[i] AS FOR EACH r IN regressor IDs
+            #   WITH IG AS InvGaussian(sqrt(lam^2 sigma / beta^2), lam^2) ...
+            beta = Alias(Scan(versioned("beta", i - 1)), "b")
+            sig = Alias(Scan(versioned("sigma", i - 1)), "s")
+            pr = Alias(Scan("prior"), "pr")
+            mu = project(
+                cross(cross(beta, sig), pr),
+                ("rigid", "b.rigid"),
+                ("value", sqrt((col("pr.lam") * col("pr.lam") * col("s.sigma2"))
+                               / (col("b.value") * col("b.value") + lit(1e-300)))),
+            )
+            lam2 = project(Scan("prior"), ("value", col("lam") * col("lam")))
+            vg = VGOp(InvGaussianVG(), {"mu": mu, "lam": lam2}, group_key="rigid",
+                      out_scale="p")
+            return project(vg, ("rigid", "rigid"), ("tau2_inv", "value"))
+
+        return RandomTable("tau", init, update)
+
+    def _beta(self) -> RandomTable:
+        def plan(db, i):
+            vg = VGOp(LassoBetaVG(self.rng), {
+                "gram": Scan("gram"),
+                "xty": Scan("xty"),
+                "tau": Scan(versioned("tau", i)),
+                "sigma": (Scan(versioned("sigma", i - 1)) if i > 0
+                          else project(Scan("prior"), ("sigma2", lit(1.0)))),
+            }, out_scale="p")
+            return project(vg, ("rigid", "rigid"), ("value", "value"))
+
+        return RandomTable("beta", lambda db: plan(db, 0),
+                           lambda db, i: plan(db, i))
+
+    def _sigma(self) -> RandomTable:
+        def init(db):
+            return project(Scan("prior"), ("sigma2", lit(1.0)))
+
+        def update(db, i):
+            beta = versioned("beta", i)
+            tau = versioned("tau", i)
+            # Residual sum of squares: join data with beta per dimension,
+            # aggregate the prediction per point, square the residual.
+            predictions = GroupBy(
+                project(
+                    Join(Scan("data"), Scan(beta),
+                         predicate=col("dim_id") == col("rigid"),
+                         out_scale="data*p"),
+                    ("data_id", "data_id"),
+                    # beta's clashing "value" column is suffixed by the join
+                    ("term", col("value") * col("value_r")),
+                ),
+                keys=["data_id"], aggs=[("pred", "sum", col("term"))],
+                out_scale="data",
+            )
+            rss = GroupBy(
+                project(
+                    Join(predictions, Scan("y_center"),
+                         predicate=col("data_id") == col("data_id"),
+                         out_scale="data"),
+                    ("sq", (col("yc") - col("pred")) * (col("yc") - col("pred"))),
+                ),
+                keys=[], aggs=[("value", "sum", col("sq"))],
+            )
+            # sum_j beta_j^2 / tau_j^2  (tau table stores 1/tau^2).
+            shrink = GroupBy(
+                project(
+                    Join(Scan(beta), Scan(tau), predicate=col("rigid") == col("rigid")),
+                    ("term", col("value") * col("value") * col("tau2_inv")),
+                ),
+                keys=[], aggs=[("value", "sum", col("term"))],
+            )
+            n_count = GroupBy(Scan("response"), keys=[], aggs=[("n", "count", None)])
+            p_count = GroupBy(Scan("regressor"), keys=[], aggs=[("p", "count", None)])
+            shape = project(
+                cross(n_count, p_count),
+                ("value", (lit(1.0) + col("n") + col("p")) / lit(2.0)),
+            )
+            scale = project(
+                cross(rss, Alias(shrink, "sh")),
+                ("value", (lit(2.0) + col("value") + col("sh.value")) / lit(2.0)),
+            )
+            vg = VGOp(InvGammaVG(), {"shape": shape, "scale": scale})
+            return project(vg, ("sigma2", "value"))
+
+        return RandomTable("sigma", init, update)
+
+    # ------------------------------------------------------------------
+
+    def state(self) -> lasso.LassoState:
+        assert self.chain is not None
+        beta_rows = sorted(self.chain.current("beta").rows)
+        tau_rows = sorted(self.chain.current("tau").rows)
+        (sigma2,), = self.chain.current("sigma").rows
+        return lasso.LassoState(
+            beta=np.array([v for _, v in beta_rows]),
+            sigma2=float(sigma2),
+            tau2_inv=np.array([v for _, v in tau_rows]),
+        )

@@ -1,0 +1,22 @@
+"""Spark implementations of the five benchmark models."""
+
+from repro.impls.spark.gmm import SparkGMM, SparkGMMJava, SparkGMMSuperVertex
+from repro.impls.spark.hmm import SparkHMMDocument, SparkHMMSuperVertex, SparkHMMWord
+from repro.impls.spark.imputation import SparkImputation
+from repro.impls.spark.lasso import SparkLasso, SparkLassoJava
+from repro.impls.spark.lda import SparkLDADocument, SparkLDAJava, SparkLDASuperVertex
+
+__all__ = [
+    "SparkGMM",
+    "SparkGMMJava",
+    "SparkGMMSuperVertex",
+    "SparkHMMDocument",
+    "SparkHMMSuperVertex",
+    "SparkHMMWord",
+    "SparkImputation",
+    "SparkLDADocument",
+    "SparkLDAJava",
+    "SparkLDASuperVertex",
+    "SparkLasso",
+    "SparkLassoJava",
+]

@@ -1,0 +1,26 @@
+"""Model mathematics, reference samplers, diagnostics, and metrics."""
+
+from repro.models import collapsed_lda, diagnostics, evaluation, gmm, hmm, imputation, lasso, lda
+from repro.models.reference import (
+    ReferenceGMM,
+    ReferenceHMM,
+    ReferenceImputation,
+    ReferenceLDA,
+    ReferenceLasso,
+)
+
+__all__ = [
+    "ReferenceGMM",
+    "collapsed_lda",
+    "diagnostics",
+    "evaluation",
+    "ReferenceHMM",
+    "ReferenceImputation",
+    "ReferenceLDA",
+    "ReferenceLasso",
+    "gmm",
+    "hmm",
+    "imputation",
+    "lasso",
+    "lda",
+]

@@ -1,0 +1,105 @@
+"""MCMC convergence diagnostics.
+
+The paper averages "the first five iterations" for its timing tables and
+notes that a few dozen to a few thousand steps suffice to mix
+(Section 2).  These diagnostics let the examples and tests make that
+kind of statement quantitatively: effective sample size, the Geweke
+z-score, lag-k autocorrelation, and the split-chain potential scale
+reduction factor (Gelman-Rubin R-hat).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def autocorrelation(draws: np.ndarray, lag: int) -> float:
+    """Lag-``lag`` autocorrelation of a scalar chain."""
+    draws = np.asarray(draws, dtype=float)
+    if draws.ndim != 1:
+        raise ValueError(f"draws must be a 1-D chain, got shape {draws.shape}")
+    n = draws.size
+    if not 0 <= lag < n:
+        raise ValueError(f"lag must be in [0, {n}), got {lag}")
+    if lag == 0:
+        return 1.0
+    centered = draws - draws.mean()
+    denominator = float(centered @ centered)
+    if denominator == 0:
+        return 0.0
+    return float(centered[:-lag] @ centered[lag:]) / denominator
+
+
+def effective_sample_size(draws: np.ndarray, max_lag: int | None = None) -> float:
+    """ESS via the initial-positive-sequence estimator.
+
+    Sums autocorrelations until they turn non-positive (Geyer's initial
+    positive sequence), then returns ``n / (1 + 2 sum rho_k)``.
+    """
+    draws = np.asarray(draws, dtype=float)
+    n = draws.size
+    if n < 4:
+        raise ValueError(f"need at least 4 draws, got {n}")
+    if max_lag is None:
+        max_lag = n // 2
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = autocorrelation(draws, lag)
+        if rho <= 0:
+            break
+        rho_sum += rho
+    return float(n / (1.0 + 2.0 * rho_sum))
+
+
+def geweke_z(draws: np.ndarray, first: float = 0.1, last: float = 0.5) -> float:
+    """Geweke's convergence z-score.
+
+    Compares the mean of the first ``first`` fraction of the chain with
+    the mean of the last ``last`` fraction; |z| >> 2 indicates the chain
+    has not reached its stationary regime.
+    """
+    draws = np.asarray(draws, dtype=float)
+    n = draws.size
+    if n < 10:
+        raise ValueError(f"need at least 10 draws, got {n}")
+    if not 0 < first < 1 or not 0 < last < 1 or first + last > 1:
+        raise ValueError(f"invalid window fractions ({first}, {last})")
+    head = draws[: max(2, int(first * n))]
+    tail = draws[-max(2, int(last * n)):]
+    # Spectral-density-at-zero approximated by the sample variances over
+    # the window sizes (adequate for the short chains used here).
+    variance = head.var(ddof=1) / head.size + tail.var(ddof=1) / tail.size
+    if variance == 0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / np.sqrt(variance))
+
+
+def gelman_rubin(chains: np.ndarray) -> float:
+    """Split-chain potential scale reduction factor (R-hat).
+
+    ``chains`` is an (m, n) array of m independent chains; values near
+    1.0 indicate the chains agree on the stationary distribution.
+    """
+    chains = np.asarray(chains, dtype=float)
+    if chains.ndim != 2 or chains.shape[0] < 2 or chains.shape[1] < 4:
+        raise ValueError(f"need an (m>=2, n>=4) array, got shape {chains.shape}")
+    m, n = chains.shape
+    chain_means = chains.mean(axis=1)
+    chain_vars = chains.var(axis=1, ddof=1)
+    between = n * chain_means.var(ddof=1)
+    within = chain_vars.mean()
+    if within == 0:
+        return 1.0
+    pooled = ((n - 1) / n) * within + between / n
+    return float(np.sqrt(pooled / within))
+
+
+def summarize_chain(draws: np.ndarray) -> dict:
+    """Convenience summary used by the examples."""
+    draws = np.asarray(draws, dtype=float)
+    return {
+        "mean": float(draws.mean()),
+        "std": float(draws.std(ddof=1)) if draws.size > 1 else 0.0,
+        "ess": effective_sample_size(draws) if draws.size >= 4 else float(draws.size),
+        "geweke_z": geweke_z(draws) if draws.size >= 10 else 0.0,
+    }

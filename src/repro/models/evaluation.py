@@ -1,0 +1,119 @@
+"""Recovery metrics for the planted-structure validation tests.
+
+Mixture components, HMM states and LDA topics are identifiable only up
+to permutation, so comparing a learned model against a planted one needs
+an assignment step.  These helpers implement the matchings the tests and
+examples use: greedy/optimal mean matching for mixtures, permutation-
+invariant label accuracy, the adjusted Rand index, and topic overlap
+scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+from scipy.special import comb
+
+
+def match_means(learned: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal assignment of learned component means to planted means.
+
+    Returns ``(permutation, distances)`` where ``permutation[i]`` is the
+    learned row matched to planted row ``i`` and ``distances[i]`` the
+    Euclidean error of that match (Hungarian algorithm, so the total
+    distance is minimal).
+    """
+    learned = np.asarray(learned, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if learned.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {learned.shape} vs {truth.shape}")
+    cost = np.linalg.norm(truth[:, None, :] - learned[None, :, :], axis=2)
+    rows, cols = linear_sum_assignment(cost)
+    permutation = np.empty(truth.shape[0], dtype=int)
+    distances = np.empty(truth.shape[0])
+    for r, c in zip(rows, cols):
+        permutation[r] = c
+        distances[r] = cost[r, c]
+    return permutation, distances
+
+
+def mean_recovery_error(learned: np.ndarray, truth: np.ndarray) -> float:
+    """Worst matched-mean distance (the tests' headline number)."""
+    _, distances = match_means(learned, truth)
+    return float(distances.max())
+
+
+def label_accuracy(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Permutation-invariant clustering accuracy."""
+    predicted = np.asarray(predicted, dtype=int)
+    truth = np.asarray(truth, dtype=int)
+    if predicted.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {truth.shape}")
+    k = int(max(predicted.max(), truth.max())) + 1
+    confusion = np.zeros((k, k))
+    for t, p in zip(truth, predicted):
+        confusion[t, p] += 1
+    rows, cols = linear_sum_assignment(-confusion)
+    return float(confusion[rows, cols].sum() / predicted.size)
+
+
+def adjusted_rand_index(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """The adjusted Rand index between two labelings."""
+    predicted = np.asarray(predicted, dtype=int)
+    truth = np.asarray(truth, dtype=int)
+    if predicted.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {truth.shape}")
+    n = predicted.size
+    k_t = int(truth.max()) + 1
+    k_p = int(predicted.max()) + 1
+    contingency = np.zeros((k_t, k_p))
+    for t, p in zip(truth, predicted):
+        contingency[t, p] += 1
+    sum_cells = comb(contingency, 2).sum()
+    sum_rows = comb(contingency.sum(axis=1), 2).sum()
+    sum_cols = comb(contingency.sum(axis=0), 2).sum()
+    total = comb(n, 2)
+    expected = sum_rows * sum_cols / total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def topic_overlap(learned_phi: np.ndarray, true_phi: np.ndarray,
+                  top: int = 10) -> list[int]:
+    """Shared top-``top`` words per optimally matched topic pair."""
+    learned_phi = np.asarray(learned_phi, dtype=float)
+    true_phi = np.asarray(true_phi, dtype=float)
+    if learned_phi.shape != true_phi.shape:
+        raise ValueError(f"shape mismatch: {learned_phi.shape} vs {true_phi.shape}")
+    topics = true_phi.shape[0]
+    learned_tops = [set(np.argsort(row)[::-1][:top]) for row in learned_phi]
+    true_tops = [set(np.argsort(row)[::-1][:top]) for row in true_phi]
+    overlap = np.zeros((topics, topics))
+    for i in range(topics):
+        for j in range(topics):
+            overlap[i, j] = len(true_tops[i] & learned_tops[j])
+    rows, cols = linear_sum_assignment(-overlap)
+    out = [0] * topics
+    for r, c in zip(rows, cols):
+        out[r] = int(overlap[r, c])
+    return out
+
+
+def support_recovery(posterior_mean: np.ndarray, true_beta: np.ndarray,
+                     threshold: float = 1.0) -> dict:
+    """Sparse-regression support metrics for the Lasso experiments."""
+    posterior_mean = np.asarray(posterior_mean, dtype=float)
+    true_beta = np.asarray(true_beta, dtype=float)
+    if posterior_mean.shape != true_beta.shape:
+        raise ValueError("shape mismatch")
+    predicted = np.abs(posterior_mean) > threshold
+    actual = np.abs(true_beta) > 0
+    true_positive = int(np.sum(predicted & actual))
+    return {
+        "precision": true_positive / max(1, int(predicted.sum())),
+        "recall": true_positive / max(1, int(actual.sum())),
+        "exact": bool(np.array_equal(predicted, actual)),
+        "max_error": float(np.abs(posterior_mean - true_beta).max()),
+    }

@@ -1,0 +1,216 @@
+"""Scalar expressions for the relational engine's plans.
+
+Expressions are built with :func:`col` / :func:`lit` and Python operator
+overloading, then *bound* to a schema to produce a fast row-callable::
+
+    predicate = (col("clus_id") == lit(3)) & (col("prob") > lit(0.1))
+    fn = predicate.bind(schema)      # tuple -> bool
+
+The structure is inspectable, which the optimizer uses to recognize
+equi-join keys — and, faithfully to the paper (Section 7.2), to *fail*
+to recognize ``t1.curPos == t2.curPos + 1`` as anything better than a
+cross product.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.relational.schema import Schema
+
+
+class Expr:
+    """Base expression node."""
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        raise NotImplementedError
+
+    # Arithmetic -------------------------------------------------------
+    def __add__(self, other):
+        return BinOp("+", self, _wrap(other), lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return BinOp("+", _wrap(other), self, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return BinOp("-", self, _wrap(other), lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return BinOp("-", _wrap(other), self, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return BinOp("*", self, _wrap(other), lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return BinOp("*", _wrap(other), self, lambda a, b: a * b)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, _wrap(other), lambda a, b: a / b)
+
+    def __rtruediv__(self, other):
+        return BinOp("/", _wrap(other), self, lambda a, b: a / b)
+
+    # Comparisons ------------------------------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        return BinOp("=", self, _wrap(other), lambda a, b: a == b)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return BinOp("<>", self, _wrap(other), lambda a, b: a != b)
+
+    def __lt__(self, other):
+        return BinOp("<", self, _wrap(other), lambda a, b: a < b)
+
+    def __le__(self, other):
+        return BinOp("<=", self, _wrap(other), lambda a, b: a <= b)
+
+    def __gt__(self, other):
+        return BinOp(">", self, _wrap(other), lambda a, b: a > b)
+
+    def __ge__(self, other):
+        return BinOp(">=", self, _wrap(other), lambda a, b: a >= b)
+
+    # Boolean ----------------------------------------------------------
+    def __and__(self, other):
+        return BinOp("AND", self, _wrap(other), lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other):
+        return BinOp("OR", self, _wrap(other), lambda a, b: bool(a) or bool(b))
+
+    def __invert__(self):
+        return Func("NOT", (self,), lambda a: not a)
+
+    __hash__ = object.__hash__  # __eq__ is overloaded to build SQL, not compare
+
+
+class Col(Expr):
+    """A column reference, resolved the way SQL resolves names.
+
+    Exact match first; then a qualified name (``a.x``) falls back to its
+    bare suffix (``x``), and a bare name falls back to a *unique*
+    qualified match (``a.x`` when no other ``*.x`` exists).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        idx = schema.resolve(self.name)
+        return lambda row: row[idx]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class BinOp(Expr):
+    """A binary operation."""
+
+    def __init__(self, symbol: str, left: Expr, right: Expr, fn: Callable) -> None:
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+        self.fn = fn
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        lf, rf, fn = self.left.bind(schema), self.right.bind(schema), self.fn
+        return lambda row: fn(lf(row), rf(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Func(Expr):
+    """An n-ary scalar function application."""
+
+    def __init__(self, name: str, args: tuple[Expr, ...], fn: Callable) -> None:
+        self.name = name
+        self.args = args
+        self.fn = fn
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        bound = [a.bind(schema) for a in self.args]
+        fn = self.fn
+        return lambda row: fn(*(b(row) for b in bound))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value) -> Lit:
+    return Lit(value)
+
+
+def sqrt(expr: Expr) -> Func:
+    return Func("sqrt", (_wrap(expr),), math.sqrt)
+
+
+def log(expr: Expr) -> Func:
+    return Func("log", (_wrap(expr),), math.log)
+
+
+def exp(expr: Expr) -> Func:
+    return Func("exp", (_wrap(expr),), math.exp)
+
+
+def absval(expr: Expr) -> Func:
+    return Func("abs", (_wrap(expr),), abs)
+
+
+def mod(expr: Expr, divisor: int) -> Func:
+    return Func("mod", (_wrap(expr), _wrap(divisor)), lambda a, b: a % b)
+
+
+def _wrap(value) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a tree of ANDs into its leaf predicates."""
+    if isinstance(expr, BinOp) and expr.symbol == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def as_column_equality(expr: Expr) -> tuple[str, str] | None:
+    """Recognize ``col_a == col_b`` — and nothing cleverer.
+
+    Faithful to the paper's SimSQL optimizer quirk: an equality with
+    arithmetic on either side (``t1.pos == t2.pos + 1``) is *not*
+    recognized as a join key, forcing a cross product (Section 7.2).
+    """
+    if isinstance(expr, BinOp) and expr.symbol == "=":
+        if isinstance(expr.left, Col) and isinstance(expr.right, Col):
+            return expr.left.name, expr.right.name
+    return None
+
+
+def columns_referenced(expr: Expr) -> set[str]:
+    """Every column name an expression reads."""
+    if isinstance(expr, Col):
+        return {expr.name}
+    if isinstance(expr, BinOp):
+        return columns_referenced(expr.left) | columns_referenced(expr.right)
+    if isinstance(expr, Func):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= columns_referenced(arg)
+        return out
+    return set()

@@ -1,0 +1,99 @@
+"""Versioned random tables and the Markov-chain driver.
+
+SimSQL's defining capability (paper Section 4.2): SQL definitions of
+*random tables* that may be mutually recursive across an iteration
+index, e.g.::
+
+    create table clus_prob[i](clus_id, prob) as
+    with diri_res as Dirichlet(...membership[i-1]...)
+    select diri_res.out_id, diri_res.prob from diri_res;
+
+Here a :class:`RandomTable` supplies two plan builders: ``init`` for
+version 0 and ``update`` for version ``i`` (which may reference any
+table's version ``i-1`` through :func:`versioned`).  The
+:class:`MarkovChain` driver executes one database query per random
+table per iteration, exactly as SimSQL unrolls the recursion, and
+garbage-collects old versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.relational.database import Database
+from repro.relational.plan import Plan
+
+
+def versioned(name: str, index: int) -> str:
+    """The stored name of version ``index`` of random table ``name``."""
+    if index < 0:
+        raise ValueError(f"version index must be non-negative, got {index}")
+    return f"{name}[{index}]"
+
+
+@dataclass(frozen=True)
+class RandomTable:
+    """One recursively defined random table.
+
+    ``init`` builds the version-0 plan; ``update(db, i)`` builds the
+    version-``i`` plan, referencing prior versions via
+    ``versioned(other, i - 1)`` (or ``i`` for tables updated earlier in
+    the same iteration, matching SimSQL's intra-iteration ordering).
+    """
+
+    name: str
+    init: Callable[[Database], Plan]
+    update: Callable[[Database, int], Plan]
+
+
+class MarkovChain:
+    """Sequences random-table updates into an MCMC simulation."""
+
+    def __init__(self, db: Database, tables: list[RandomTable], keep_versions: int = 2) -> None:
+        if keep_versions < 2:
+            raise ValueError("need to keep at least the current and previous versions")
+        names = [t.name for t in tables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate random-table names: {names}")
+        self.db = db
+        self.tables = list(tables)
+        self.keep_versions = keep_versions
+        self._version = -1
+
+    @property
+    def version(self) -> int:
+        """Index of the most recently completed iteration (-1 = none)."""
+        return self._version
+
+    def initialize(self) -> None:
+        """Run every table's version-0 definition."""
+        if self._version >= 0:
+            raise RuntimeError("chain already initialized")
+        for table in self.tables:
+            result = self.db.query(table.init(self.db))
+            self.db.store(versioned(table.name, 0), result)
+        self._version = 0
+
+    def step(self) -> int:
+        """Advance the chain one iteration; returns the new version."""
+        if self._version < 0:
+            raise RuntimeError("initialize() must run before step()")
+        i = self._version + 1
+        for table in self.tables:
+            result = self.db.query(table.update(self.db, i))
+            self.db.store(versioned(table.name, i), result)
+        self._version = i
+        self._collect_garbage()
+        return i
+
+    def current(self, name: str):
+        """The latest stored version of random table ``name``."""
+        return self.db.table(versioned(name, self._version))
+
+    def _collect_garbage(self) -> None:
+        horizon = self._version - self.keep_versions + 1
+        if horizon <= 0:
+            return
+        for table in self.tables:
+            self.db.drop(versioned(table.name, horizon - 1))

@@ -1,0 +1,48 @@
+"""Table storage for the SimSQL-style engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.events import DATA
+from repro.cluster.sizes import estimate_records_bytes
+from repro.relational.schema import Schema
+
+
+@dataclass
+class Table:
+    """A named relation: schema + rows + the scale group its cardinality
+    belongs to (``"data"`` tables grow with the workload; model-sized
+    tables are ``FIXED``)."""
+
+    name: str
+    schema: Schema
+    rows: list[tuple] = field(default_factory=list)
+    scale: str = DATA
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.schema, Schema):
+            self.schema = Schema(self.schema)
+        width = len(self.schema)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row {row!r} has {len(row)} fields, schema {self.schema.columns} has {width}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        idx = self.schema.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dicts(self) -> list[dict]:
+        cols = self.schema.columns
+        return [dict(zip(cols, row)) for row in self.rows]
+
+    def estimated_bytes(self) -> float:
+        """Approximate on-disk footprint (sampled; fields may hold
+        blobs such as a super vertex's point matrix)."""
+        framing = len(self.rows) * 8.0
+        return estimate_records_bytes(self.rows) + framing

@@ -1,0 +1,30 @@
+"""Probability substrate: the distributions the five benchmark models use.
+
+The paper's implementations call PyGSL (Spark/Python), Mallet
+(Giraph/Spark-Java) or GSL via C++ (SimSQL VG functions, GraphLab); this
+package is the single numerics library all our platform engines share.
+"""
+
+from repro.stats.dirichlet import Categorical, Dirichlet, Multinomial, sample_categorical_rows
+from repro.stats.distributions import Beta, Gamma, InverseGamma
+from repro.stats.invgaussian import InverseGaussian
+from repro.stats.mvn import MultivariateNormal
+from repro.stats.rng import DEFAULT_SEED, make_rng, spawn
+from repro.stats.wishart import InverseWishart, Wishart
+
+__all__ = [
+    "Beta",
+    "Categorical",
+    "DEFAULT_SEED",
+    "Dirichlet",
+    "Gamma",
+    "InverseGamma",
+    "InverseGaussian",
+    "InverseWishart",
+    "Multinomial",
+    "MultivariateNormal",
+    "Wishart",
+    "make_rng",
+    "sample_categorical_rows",
+    "spawn",
+]

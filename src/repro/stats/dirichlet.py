@@ -1,0 +1,125 @@
+"""Dirichlet, Categorical and Multinomial distributions.
+
+These drive every discrete update in the paper's five models: GMM mixing
+proportions and memberships, HMM transition/emission rows and state
+assignments, and LDA topic proportions and topic assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+
+class Dirichlet:
+    """Dirichlet distribution over the simplex, concentration ``alpha``."""
+
+    def __init__(self, alpha: np.ndarray) -> None:
+        alpha = np.asarray(alpha, dtype=float)
+        if alpha.ndim != 1 or alpha.size < 2:
+            raise ValueError(f"alpha must be a vector of length >= 2, got shape {alpha.shape}")
+        if np.any(alpha <= 0):
+            raise ValueError("alpha entries must be positive")
+        self.alpha = alpha
+
+    @property
+    def dim(self) -> int:
+        return self.alpha.size
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray:
+        return rng.dirichlet(self.alpha, size=size)
+
+    def logpdf(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        if np.any(x < 0) or not np.isclose(x.sum(), 1.0):
+            return -np.inf
+        with np.errstate(divide="ignore"):
+            terms = np.where(self.alpha == 1.0, 0.0, (self.alpha - 1) * np.log(x))
+        if np.any(np.isneginf(terms)):
+            return -np.inf
+        norm = special.gammaln(self.alpha.sum()) - special.gammaln(self.alpha).sum()
+        return float(norm + terms.sum())
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.alpha / self.alpha.sum()
+
+
+class Categorical:
+    """Categorical distribution over ``{0, ..., K-1}``.
+
+    Accepts unnormalized weights, matching the paper's usage where the
+    membership probabilities are built as products of densities and only
+    normalized at sampling time.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError(f"weights must be a non-empty vector, got shape {weights.shape}")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.probs = weights / total
+
+    @property
+    def dim(self) -> int:
+        return self.probs.size
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return int(rng.choice(self.dim, p=self.probs))
+        return rng.choice(self.dim, size=size, p=self.probs)
+
+    def logpmf(self, k: int) -> float:
+        if not 0 <= k < self.dim:
+            return -np.inf
+        p = self.probs[k]
+        return float(np.log(p)) if p > 0 else -np.inf
+
+
+def sample_categorical_rows(rng: np.random.Generator, weights: np.ndarray) -> np.ndarray:
+    """Vectorized draw of one category per row of an (n, K) weight matrix.
+
+    This is the hot path of every membership update; the inverse-CDF
+    trick with one uniform per row keeps it a single numpy pass.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    totals = weights.sum(axis=1, keepdims=True)
+    if np.any(totals <= 0) or not np.all(np.isfinite(totals)):
+        raise ValueError("each row must have positive, finite total weight")
+    cdf = np.cumsum(weights, axis=1)
+    u = rng.uniform(size=(weights.shape[0], 1)) * totals
+    return (u > cdf).sum(axis=1)
+
+
+class Multinomial:
+    """Multinomial distribution with ``n`` trials and probabilities ``probs``."""
+
+    def __init__(self, n: int, probs: np.ndarray) -> None:
+        probs = np.asarray(probs, dtype=float)
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if np.any(probs < 0) or not np.isclose(probs.sum(), 1.0):
+            raise ValueError("probs must be non-negative and sum to 1")
+        self.n = int(n)
+        self.probs = probs
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray:
+        return rng.multinomial(self.n, self.probs, size=size)
+
+    def logpmf(self, counts: np.ndarray) -> float:
+        counts = np.asarray(counts, dtype=int)
+        if counts.sum() != self.n or np.any(counts < 0):
+            return -np.inf
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(counts == 0, 0.0, counts * np.log(self.probs))
+        if np.any(np.isnan(terms)) or np.any(np.isneginf(terms)):
+            return -np.inf
+        return float(
+            special.gammaln(self.n + 1) - special.gammaln(counts + 1).sum() + terms.sum()
+        )

@@ -1,0 +1,117 @@
+"""Scalar distributions used by the benchmark samplers.
+
+These are the conjugate building blocks of the paper's five models that
+are not covered by the dedicated modules (:mod:`repro.stats.mvn`,
+:mod:`repro.stats.wishart`, :mod:`repro.stats.invgaussian`,
+:mod:`repro.stats.dirichlet`).  Each class exposes ``sample``, ``logpdf``
+and ``mean`` with an explicit generator argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+
+@dataclass(frozen=True)
+class Gamma:
+    """Gamma distribution with shape ``alpha`` and rate ``beta``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError(f"Gamma requires alpha, beta > 0, got {self.alpha}, {self.beta}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.gamma(self.alpha, 1.0 / self.beta, size=size)
+
+    def logpdf(self, x: float) -> float:
+        if x <= 0:
+            return -np.inf
+        a, b = self.alpha, self.beta
+        return a * np.log(b) - special.gammaln(a) + (a - 1) * np.log(x) - b * x
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / self.beta
+
+    @property
+    def variance(self) -> float:
+        return self.alpha / self.beta**2
+
+
+@dataclass(frozen=True)
+class InverseGamma:
+    """Inverse-gamma distribution; the conjugate prior for a normal variance.
+
+    Used for the Bayesian Lasso's ``sigma^2`` update (Section 6 of the
+    paper).  Parameterized by shape ``alpha`` and scale ``beta`` so that
+    ``X ~ InvGamma(alpha, beta)`` iff ``1/X ~ Gamma(alpha, rate=beta)``.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError(f"InverseGamma requires alpha, beta > 0, got {self.alpha}, {self.beta}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return 1.0 / rng.gamma(self.alpha, 1.0 / self.beta, size=size)
+
+    def logpdf(self, x: float) -> float:
+        if x <= 0:
+            return -np.inf
+        a, b = self.alpha, self.beta
+        return a * np.log(b) - special.gammaln(a) - (a + 1) * np.log(x) - b / x
+
+    @property
+    def mean(self) -> float:
+        """Mean (defined for ``alpha > 1``)."""
+        if self.alpha <= 1:
+            raise ValueError("mean undefined for alpha <= 1")
+        return self.beta / (self.alpha - 1)
+
+    @property
+    def variance(self) -> float:
+        """Variance (defined for ``alpha > 2``)."""
+        if self.alpha <= 2:
+            raise ValueError("variance undefined for alpha <= 2")
+        return self.beta**2 / ((self.alpha - 1) ** 2 * (self.alpha - 2))
+
+
+@dataclass(frozen=True)
+class Beta:
+    """Beta distribution; the paper uses ``Beta(1, 1)`` censoring coins."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValueError(f"Beta requires a, b > 0, got {self.a}, {self.b}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.beta(self.a, self.b, size=size)
+
+    def logpdf(self, x: float) -> float:
+        if not 0 < x < 1:
+            return -np.inf
+        return (
+            (self.a - 1) * np.log(x)
+            + (self.b - 1) * np.log1p(-x)
+            - special.betaln(self.a, self.b)
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.a / (self.a + self.b)
+
+    @property
+    def variance(self) -> float:
+        s = self.a + self.b
+        return self.a * self.b / (s**2 * (s + 1))

@@ -1,0 +1,110 @@
+"""Multivariate normal distribution with conditional partitioning.
+
+The GMM sampler needs draws and log-densities; the Gaussian-imputation
+model (paper Section 9) additionally needs the conditional distribution
+of the censored coordinates given the observed ones:
+
+    x1 | x2  ~  Normal( mu1 + S12 S22^-1 (x2 - mu2),
+                        S11 - S12 S22^-1 S21 )
+
+which :meth:`MultivariateNormal.condition` computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MultivariateNormal:
+    """A d-dimensional normal with mean ``mu`` and covariance ``cov``.
+
+    The covariance is Cholesky-factored once at construction, so repeated
+    sampling and density evaluation are cheap.  A small diagonal jitter is
+    retried automatically when the covariance is numerically singular.
+    """
+
+    def __init__(self, mean: np.ndarray, cov: np.ndarray) -> None:
+        mean = np.asarray(mean, dtype=float)
+        cov = np.asarray(cov, dtype=float)
+        if mean.ndim != 1:
+            raise ValueError(f"mean must be a vector, got shape {mean.shape}")
+        if cov.shape != (mean.size, mean.size):
+            raise ValueError(f"cov shape {cov.shape} incompatible with mean of size {mean.size}")
+        self.mean = mean
+        self.cov = cov
+        self._chol = _stable_cholesky(cov)
+
+    @property
+    def dim(self) -> int:
+        return self.mean.size
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray:
+        """Draw one vector (or ``size`` rows) via the Cholesky factor."""
+        if size is None:
+            z = rng.standard_normal(self.dim)
+            return self.mean + self._chol @ z
+        z = rng.standard_normal((size, self.dim))
+        return self.mean + z @ self._chol.T
+
+    def logpdf(self, x: np.ndarray) -> float | np.ndarray:
+        """Log density at ``x`` (a vector, or a matrix of row vectors)."""
+        x = np.asarray(x, dtype=float)
+        dev = x - self.mean
+        # Solve L z = dev for z; the quadratic form is ||z||^2.
+        z = _tri_solve(self._chol, dev)
+        quad = np.sum(z**2, axis=-1)
+        logdet = 2.0 * np.sum(np.log(np.diag(self._chol)))
+        return -0.5 * (self.dim * np.log(2 * np.pi) + logdet + quad)
+
+    def condition(self, observed_idx: np.ndarray, observed_values: np.ndarray) -> "MultivariateNormal":
+        """Distribution of the unobserved coordinates given observed ones.
+
+        ``observed_idx`` selects the observed coordinates; the returned
+        normal is over the remaining coordinates in their original order.
+        With no observed coordinates this is the marginal (``self``
+        reordered is unnecessary); with all observed it is degenerate and
+        raises.
+        """
+        observed_idx = np.asarray(observed_idx, dtype=int)
+        observed_values = np.asarray(observed_values, dtype=float)
+        if observed_idx.size != observed_values.size:
+            raise ValueError("observed_idx and observed_values must have equal length")
+        mask = np.zeros(self.dim, dtype=bool)
+        mask[observed_idx] = True
+        hidden_idx = np.flatnonzero(~mask)
+        if hidden_idx.size == 0:
+            raise ValueError("cannot condition on every coordinate")
+        if observed_idx.size == 0:
+            return MultivariateNormal(self.mean, self.cov)
+        mu1 = self.mean[hidden_idx]
+        mu2 = self.mean[observed_idx]
+        s11 = self.cov[np.ix_(hidden_idx, hidden_idx)]
+        s12 = self.cov[np.ix_(hidden_idx, observed_idx)]
+        s22 = self.cov[np.ix_(observed_idx, observed_idx)]
+        gain = np.linalg.solve(s22, s12.T).T  # S12 S22^-1
+        cond_mean = mu1 + gain @ (observed_values - mu2)
+        cond_cov = s11 - gain @ s12.T
+        # Symmetrize against round-off before the Cholesky.
+        cond_cov = 0.5 * (cond_cov + cond_cov.T)
+        return MultivariateNormal(cond_mean, cond_cov)
+
+
+def _stable_cholesky(cov: np.ndarray, max_tries: int = 5) -> np.ndarray:
+    """Cholesky factor with escalating diagonal jitter on failure."""
+    jitter = 0.0
+    scale = float(np.mean(np.diag(cov))) or 1.0
+    for attempt in range(max_tries):
+        try:
+            return np.linalg.cholesky(cov + jitter * np.eye(cov.shape[0]))
+        except np.linalg.LinAlgError:
+            jitter = scale * 10.0 ** (attempt - 10)
+    raise np.linalg.LinAlgError(f"covariance not positive definite even with jitter {jitter:g}")
+
+
+def _tri_solve(chol: np.ndarray, dev: np.ndarray) -> np.ndarray:
+    """Solve ``L z = dev`` for lower-triangular ``L`` (vector or rows)."""
+    from scipy.linalg import solve_triangular
+
+    if dev.ndim == 1:
+        return solve_triangular(chol, dev, lower=True)
+    return solve_triangular(chol, dev.T, lower=True).T

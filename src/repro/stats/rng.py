@@ -1,0 +1,26 @@
+"""Seeded random-generator management.
+
+Every sampler in the package takes an explicit :class:`numpy.random.Generator`
+so that platform implementations can be replayed against the reference
+samplers with an identical random stream.  :func:`spawn` derives
+statistically independent child streams, which is how the simulated
+"machines" of a cluster each get their own generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 20140622  # SIGMOD'14 started June 22, 2014.
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a generator from ``seed`` (package default when ``None``)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.Generator(np.random.PCG64(s)) for s in rng.bit_generator.seed_seq.spawn(count)]

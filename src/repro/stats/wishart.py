@@ -1,0 +1,125 @@
+"""Wishart and inverse-Wishart distributions.
+
+The GMM sampler (paper Section 5) places an ``InvWishart(v, Psi)`` prior
+on each cluster covariance and resamples
+
+    Sigma_k ~ InvWish(n + v, Psi + sum_j c_jk (x_j - mu_k)(x_j - mu_k)^T)
+
+Sampling uses the Bartlett decomposition of the Wishart: with
+``Psi = L L^T``, draw a lower-triangular ``A`` with chi-distributed
+diagonal and standard-normal subdiagonal, then ``W = L A A^T L^T`` is
+``Wishart(df, Psi)`` and the inverse-Wishart draw is ``(L A)^-T (L A)^-1``
+scaled appropriately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+from scipy.linalg import solve_triangular
+
+
+class Wishart:
+    """Wishart distribution with ``df`` degrees of freedom, scale ``scale``."""
+
+    def __init__(self, df: float, scale: np.ndarray) -> None:
+        scale = np.asarray(scale, dtype=float)
+        if scale.ndim != 2 or scale.shape[0] != scale.shape[1]:
+            raise ValueError(f"scale must be square, got shape {scale.shape}")
+        if df <= scale.shape[0] - 1:
+            raise ValueError(f"df must exceed dim-1 ({scale.shape[0] - 1}), got {df}")
+        self.df = float(df)
+        self.scale = scale
+        self._chol = np.linalg.cholesky(scale)
+
+    @property
+    def dim(self) -> int:
+        return self.scale.shape[0]
+
+    def _bartlett_factor(self, rng: np.random.Generator) -> np.ndarray:
+        """Lower-triangular Bartlett factor ``A`` with A A^T ~ W(df, I)."""
+        d = self.dim
+        a = np.zeros((d, d))
+        rows, cols = np.tril_indices(d, k=-1)
+        a[rows, cols] = rng.standard_normal(rows.size)
+        # chi(df - i) diagonal entries, i = 0..d-1.
+        a[np.diag_indices(d)] = np.sqrt(rng.chisquare(self.df - np.arange(d)))
+        return a
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        factor = self._chol @ self._bartlett_factor(rng)
+        return factor @ factor.T
+
+    def logpdf(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        d, df = self.dim, self.df
+        eigvals = np.linalg.eigvalsh(0.5 * (x + x.T))
+        if eigvals.min() <= 0:
+            return -np.inf
+        logdet_x = float(np.sum(np.log(eigvals)))
+        logdet_scale = 2.0 * np.sum(np.log(np.diag(self._chol)))
+        trace_term = np.trace(np.linalg.solve(self.scale, x))
+        return (
+            0.5 * (df - d - 1) * logdet_x
+            - 0.5 * trace_term
+            - 0.5 * df * d * np.log(2)
+            - 0.5 * df * logdet_scale
+            - special.multigammaln(0.5 * df, d)
+        )
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.df * self.scale
+
+
+class InverseWishart:
+    """Inverse-Wishart distribution with ``df`` degrees of freedom, scale ``scale``.
+
+    ``X ~ InvWishart(df, Psi)`` iff ``X^-1 ~ Wishart(df, Psi^-1)``.
+    """
+
+    def __init__(self, df: float, scale: np.ndarray) -> None:
+        scale = np.asarray(scale, dtype=float)
+        if scale.ndim != 2 or scale.shape[0] != scale.shape[1]:
+            raise ValueError(f"scale must be square, got shape {scale.shape}")
+        if df <= scale.shape[0] - 1:
+            raise ValueError(f"df must exceed dim-1 ({scale.shape[0] - 1}), got {df}")
+        self.df = float(df)
+        self.scale = scale
+        self._chol = np.linalg.cholesky(scale)
+        self._wishart_identity = Wishart(df, np.eye(scale.shape[0]))
+
+    @property
+    def dim(self) -> int:
+        return self.scale.shape[0]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw via Bartlett: X = L A^-T A^-1 L^T with Psi = L L^T."""
+        a = self._wishart_identity._bartlett_factor(rng)
+        # Solve A Z = L^T -> Z = A^-1 L^T; then X = Z^T Z.
+        z = solve_triangular(a, self._chol.T, lower=True)
+        return z.T @ z
+
+    def logpdf(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        d, df = self.dim, self.df
+        eigvals = np.linalg.eigvalsh(0.5 * (x + x.T))
+        if eigvals.min() <= 0:
+            return -np.inf
+        logdet_x = float(np.sum(np.log(eigvals)))
+        logdet_scale = 2.0 * np.sum(np.log(np.diag(self._chol)))
+        trace_term = np.trace(np.linalg.solve(x, self.scale))
+        return (
+            0.5 * df * logdet_scale
+            - 0.5 * (df + d + 1) * logdet_x
+            - 0.5 * trace_term
+            - 0.5 * df * d * np.log(2)
+            - special.multigammaln(0.5 * df, d)
+        )
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Mean (defined for ``df > dim + 1``)."""
+        if self.df <= self.dim + 1:
+            raise ValueError("mean undefined for df <= dim + 1")
+        return self.scale / (self.df - self.dim - 1)

@@ -1,0 +1,24 @@
+"""Synthetic workload generators for the five benchmark models."""
+
+from repro.workloads.censoring import CensoredData, censor_beta_coin
+from repro.workloads.gmm_data import GMMDataset, generate_gmm_data
+from repro.workloads.regression import LassoDataset, generate_lasso_data
+from repro.workloads.text import (
+    Corpus,
+    generate_hmm_corpus,
+    generate_lda_corpus,
+    newsgroup_style_corpus,
+)
+
+__all__ = [
+    "CensoredData",
+    "Corpus",
+    "GMMDataset",
+    "LassoDataset",
+    "censor_beta_coin",
+    "generate_gmm_data",
+    "generate_hmm_corpus",
+    "generate_lda_corpus",
+    "generate_lasso_data",
+    "newsgroup_style_corpus",
+]

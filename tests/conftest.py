@@ -1,0 +1,12 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.stats import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, deterministically seeded generator per test."""
+    return make_rng(12345)

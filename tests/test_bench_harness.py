@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness: runner, scales, LoC, report, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench.loc import count_source_lines
+from repro.bench.report import assert_failed, assert_ran, format_figure, seconds_of
+from repro.bench.runner import CellResult, paper_scales, run_benchmark, sv_factor
+from repro.cluster import ClusterSpec, RunReport, Tracer
+from repro.impls.spark import SparkGMM
+from repro.stats import make_rng
+from repro.workloads import generate_gmm_data
+
+
+class TestPaperScales:
+    def test_data_factor(self):
+        scales = paper_scales(10_000_000, 5, 1000)
+        assert scales["data"] == 50_000.0
+        assert scales["words"] == scales["data"]
+        assert scales["sv"] == 1.0
+
+    def test_extra_overrides(self):
+        scales = paper_scales(100, 1, 10, p=25.0, vocab=5.0)
+        assert scales["p"] == 25.0
+        assert scales["vocab"] == 5.0
+
+    def test_rejects_empty_laptop(self):
+        with pytest.raises(ValueError):
+            paper_scales(100, 1, 0)
+
+    def test_sv_factor(self):
+        # 80 super vertices per machine; laptop groups 640/64 = 10.
+        assert sv_factor(5, 640, 64) == 40.0
+        assert sv_factor(100, 640, 64) == 800.0
+
+
+class TestRunBenchmark:
+    def test_produces_phased_report(self):
+        data = generate_gmm_data(make_rng(0), 200, dim=3, clusters=3)
+
+        def factory(cluster_spec, tracer):
+            return SparkGMM(data.points, 3, make_rng(1), cluster_spec, tracer)
+
+        report = run_benchmark(factory, 5, 3, paper_scales(10_000_000, 5, 200))
+        assert isinstance(report, RunReport)
+        assert report.machines == 5
+        assert len(report.iteration_seconds) == 3
+        assert report.init_seconds > 0
+        assert not report.failed
+
+    def test_scaling_data_increases_time(self):
+        data = generate_gmm_data(make_rng(0), 200, dim=3, clusters=3)
+
+        def factory(cluster_spec, tracer):
+            return SparkGMM(data.points, 3, make_rng(1), cluster_spec, tracer)
+
+        small = run_benchmark(factory, 5, 1, paper_scales(1_000, 5, 200))
+        big = run_benchmark(factory, 5, 1, paper_scales(10_000_000, 5, 200))
+        assert big.mean_iteration_seconds > 100 * small.mean_iteration_seconds
+
+
+class TestLoc:
+    def test_excludes_comments_and_docstrings(self):
+        def sample():
+            """Docstring line one.
+
+            Line two.
+            """
+            # a comment
+            x = 1
+            return x
+
+        assert count_source_lines(sample) == 3  # def + two statements
+
+    def test_multiple_objects_sum(self):
+        def a():
+            return 1
+
+        def b():
+            return 2
+
+        assert count_source_lines(a, b) == count_source_lines(a) + count_source_lines(b)
+
+    def test_implementation_counts_plausible(self):
+        from repro.impls.simsql import SimSQLGMM
+        from repro.impls.spark import SparkGMM as SG
+
+        # The SQL chains are the longest GMM code, as in the paper.
+        assert count_source_lines(SimSQLGMM) > count_source_lines(SG)
+
+
+class TestReport:
+    def _cell(self, failed: bool, seconds: float = 60.0) -> CellResult:
+        report = RunReport(platform="spark", machines=5)
+        if failed:
+            report.failed = True
+            report.fail_phase = "iteration:0"
+            report.fail_reason = "test"
+        else:
+            from repro.cluster import PhaseReport
+            from repro.cluster.memory import MemoryVerdict
+
+            verdict = MemoryVerdict(0.0, 0.0, False)
+            report.phases = [PhaseReport("iteration:0", seconds, verdict)]
+        return CellResult(label="x", machines=5, report=report, paper="1:00")
+
+    def test_seconds_of_running_cell(self):
+        assert seconds_of(self._cell(False, 90.0)) == 90.0
+
+    def test_seconds_of_failed_cell_raises(self):
+        with pytest.raises(AssertionError):
+            seconds_of(self._cell(True))
+
+    def test_assert_failed(self):
+        assert_failed(self._cell(True))
+        with pytest.raises(AssertionError):
+            assert_failed(self._cell(False))
+
+    def test_assert_ran(self):
+        assert_ran(self._cell(False))
+        with pytest.raises(AssertionError):
+            assert_ran(self._cell(True))
+
+    def test_format_figure_includes_paper_values(self):
+        text = format_figure("T", {"sys": [self._cell(False)]}, ["c1"])
+        assert "T" in text and "[1:00]" in text and "1:00 " in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure_1a" in out and "figure_6" in out
+
+    def test_unknown_figure(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["figure_99"]) == 2
+
+    def test_help(self):
+        from repro.bench.__main__ import main
+
+        assert main(["--help"]) == 2
+
+
+class TestDiagnose:
+    def test_breakdowns_run(self):
+        from repro.bench.diagnose import collect_trace, memory_breakdown, time_breakdown
+
+        data = generate_gmm_data(make_rng(0), 150, dim=3, clusters=3)
+        tracer = collect_trace(
+            lambda cs, t: SparkGMM(data.points, 3, make_rng(1), cs, t), 5, 1)
+        scales = paper_scales(10_000_000, 5, 150)
+        top = time_breakdown(tracer, 5, "spark", scales, top=5)
+        assert top and top[0][1] > 0
+        mem = memory_breakdown(tracer, 5, "spark", scales, "iteration:0")
+        assert any("cache" in label for label, _ in mem)

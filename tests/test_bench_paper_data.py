@@ -1,0 +1,74 @@
+"""Tests for the structured paper data and calibration comparisons."""
+
+import pytest
+
+from repro.bench.paper_data import PAPER_LOC, PAPER_TABLES, PaperCell, compare, parse_cell
+
+
+class TestParseCell:
+    def test_minutes_seconds(self):
+        cell = parse_cell("27:55 (13:55)")
+        assert cell.iteration_seconds == 27 * 60 + 55
+        assert cell.init_seconds == 13 * 60 + 55
+        assert not cell.failed
+
+    def test_hours(self):
+        cell = parse_cell("1:51:12 (36:08)")
+        assert cell.iteration_seconds == 3600 + 51 * 60 + 12
+
+    def test_fail(self):
+        cell = parse_cell("Fail")
+        assert cell.failed and cell.iteration_seconds is None
+
+    def test_approximate(self):
+        cell = parse_cell("≈15:45:00 (≈2:30:00)")
+        assert cell.approximate
+        assert cell.iteration_seconds == 15 * 3600 + 45 * 60
+
+    def test_no_init(self):
+        cell = parse_cell("5:00")
+        assert cell.init_seconds is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_cell("soon")
+
+
+class TestPaperTables:
+    def test_every_cell_parses(self):
+        for figure, rows in PAPER_TABLES.items():
+            widths = {len(cells) for cells in rows.values()}
+            assert len(widths) == 1, f"ragged table {figure}"
+            for system, cells in rows.items():
+                for cell in cells:
+                    parse_cell(cell)
+
+    def test_headline_fail_counts(self):
+        """The failure census the paper's Section 10 narrative rests on."""
+        def fails(figure):
+            return sum(parse_cell(c).failed
+                       for cells in PAPER_TABLES[figure].values() for c in cells)
+
+        assert fails("figure_1a") == 6   # GraphLab x4 + Giraph @100 and @100d
+        # SimSQL never fails anywhere in the paper.
+        for figure, rows in PAPER_TABLES.items():
+            for system, cells in rows.items():
+                if system.startswith("SimSQL"):
+                    assert not any(parse_cell(c).failed for c in cells), (figure, system)
+
+    def test_paper_loc_giraph_largest_for_gmm(self):
+        gmm = PAPER_LOC["gmm"]
+        assert gmm["Giraph"] == max(gmm.values())
+        assert gmm["SimSQL"] < gmm["Spark (Python)"]
+
+
+class TestCompare:
+    def test_compare_against_simulated_figure(self):
+        """Smoke the comparison on a real (small) figure run."""
+        from repro.bench import experiments
+
+        records = compare("figure_6", experiments.figure_6())
+        assert len(records) == 3
+        assert all(r["fail_agreement"] for r in records)
+        timed = [r for r in records if "ratio" in r]
+        assert timed and all(r["ratio"] > 0 for r in timed)

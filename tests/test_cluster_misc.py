@@ -1,0 +1,118 @@
+"""Tests for remaining cluster-layer pieces: sizes, pins, compound scales."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DATA,
+    FIXED,
+    ClusterSpec,
+    Kind,
+    ScaleMap,
+    Simulator,
+    Tracer,
+    combine_scales,
+)
+from repro.cluster.costmodel import PLATFORM_PROFILES
+from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
+from repro.config import EC2_M2_4XLARGE, GB
+
+
+class TestSizeEstimation:
+    def test_scalars(self):
+        assert estimate_bytes(3) == 8.0
+        assert estimate_bytes(2.5) == 8.0
+        assert estimate_bytes(True) == 1.0
+        assert estimate_bytes(None) == 1.0
+
+    def test_ndarray_uses_nbytes(self):
+        a = np.zeros((10, 10))
+        assert estimate_bytes(a) == pytest.approx(800.0, abs=16)
+
+    def test_strings(self):
+        assert estimate_bytes("hello") == pytest.approx(5 + 8)
+
+    def test_containers_recursive(self):
+        nested = {"a": [1.0, 2.0], "b": (3.0,)}
+        assert estimate_bytes(nested) > 3 * 8
+
+    def test_object_with_dict(self):
+        class Thing:
+            def __init__(self):
+                self.x = np.zeros(4)
+                self.y = 1.0
+
+        assert estimate_bytes(Thing()) > 32
+
+    def test_opaque_object_flat_cost(self):
+        assert estimate_bytes(object()) == 64.0
+
+    def test_records_sampling_close_to_exact(self):
+        records = [np.zeros(10) for _ in range(1000)]
+        sampled = estimate_records_bytes(records)
+        exact = sum(estimate_bytes(r) for r in records)
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+    def test_empty_records(self):
+        assert estimate_records_bytes([]) == 0.0
+
+    def test_generator_input(self):
+        assert estimate_records_bytes(iter([1.0, 2.0])) == 16.0
+
+
+class TestCompoundScales:
+    def test_combine_scales(self):
+        assert combine_scales("data", FIXED) == "data"
+        assert combine_scales(FIXED, "p2") == "p2"
+        assert combine_scales("data", "p2") == "data*p2"
+
+    def test_compound_factor_multiplies(self):
+        scales = ScaleMap({"data": 10.0, "p2": 5.0})
+        assert scales.factor("data*p2") == 50.0
+        assert scales.factor("data*p2*p2") == 250.0
+
+    def test_compound_cannot_be_assigned(self):
+        with pytest.raises(ValueError):
+            ScaleMap({"a*b": 2.0})
+
+
+class TestPinnedMemory:
+    def test_pin_charged_to_every_open_phase(self):
+        tracer = Tracer()
+        with tracer.phase("one"):
+            handle = tracer.pin(bytes=1000, label="cache")
+        with tracer.phase("two"):
+            pass
+        tracer.unpin(handle)
+        with tracer.phase("three"):
+            pass
+        assert any(m.label == "cache" for m in tracer.named("one")[0].memory)
+        assert any(m.label == "cache" for m in tracer.named("two")[0].memory)
+        assert not any(m.label == "cache" for m in tracer.named("three")[0].memory)
+
+    def test_unpin_unknown_handle_is_noop(self):
+        Tracer().unpin(12345)
+
+    def test_pinned_memory_can_fail_a_later_phase(self):
+        tracer = Tracer()
+        with tracer.phase("init"):
+            tracer.pin(bytes=10 * GB, scale=DATA, label="big-cache")
+        with tracer.iteration_phase(0):
+            tracer.emit(Kind.COMPUTE, records=1, scale=FIXED)
+        sim = Simulator(ClusterSpec(machines=5), PLATFORM_PROFILES["spark"])
+        report = sim.simulate(tracer, {DATA: 100.0})
+        assert report.failed
+        assert "big-cache" in report.fail_reason
+
+
+class TestMachineProfile:
+    def test_paper_hardware(self):
+        assert EC2_M2_4XLARGE.cores == 8
+        assert EC2_M2_4XLARGE.ram_gb == pytest.approx(68.0)
+        assert EC2_M2_4XLARGE.disks == 2
+
+    def test_cluster_aggregates(self):
+        cluster = ClusterSpec(machines=20)
+        assert cluster.total_cores == 160
+        assert cluster.total_ram_bytes == 20 * 68 * GB
+        assert cluster.machine.disk_bandwidth == 2 * EC2_M2_4XLARGE.disk_bandwidth

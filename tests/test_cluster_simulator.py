@@ -1,0 +1,268 @@
+"""Tests for the cost model, memory model and simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    CONNECTIONS_LABEL,
+    DATA,
+    FIXED,
+    LANGUAGE_COSTS,
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    CostEvent,
+    Kind,
+    MemoryEvent,
+    ScaleMap,
+    Simulator,
+    Site,
+    Tracer,
+    check_phase_memory,
+    event_seconds,
+    format_hms,
+    perturb_seconds,
+    replicate_study,
+)
+from repro.config import GB
+from repro.stats import make_rng
+
+SPARK = PLATFORM_PROFILES["spark"]
+SIMSQL = PLATFORM_PROFILES["simsql"]
+GIRAPH = PLATFORM_PROFILES["giraph"]
+
+five = ClusterSpec(machines=5)
+twenty = ClusterSpec(machines=20)
+
+
+class TestClusterSpec:
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(machines=0)
+
+    def test_paper_machine(self):
+        assert five.machine.cores == 8
+        assert five.machine.ram_bytes == 68 * GB
+        assert five.total_cores == 40
+
+
+class TestEventSeconds:
+    def test_compute_scales_with_records(self):
+        small = CostEvent(Kind.COMPUTE, records=100, language="python")
+        big = CostEvent(Kind.COMPUTE, records=10_000, language="python")
+        scales = ScaleMap({DATA: 1.0})
+        t_small = event_seconds(small, scales, five, SPARK)
+        assert event_seconds(big, scales, five, SPARK) == pytest.approx(100 * t_small)
+
+    def test_scale_factor_multiplies(self):
+        event = CostEvent(Kind.COMPUTE, records=100, language="python")
+        one = event_seconds(event, ScaleMap({DATA: 1.0}), five, SPARK)
+        thousand = event_seconds(event, ScaleMap({DATA: 1000.0}), five, SPARK)
+        assert thousand == pytest.approx(1000 * one)
+
+    def test_fixed_scale_unaffected(self):
+        event = CostEvent(Kind.COMPUTE, records=100, language="python", scale=FIXED)
+        one = event_seconds(event, ScaleMap({DATA: 1.0}), five, SPARK)
+        big = event_seconds(event, ScaleMap({DATA: 1e6}), five, SPARK)
+        assert big == one
+
+    def test_cluster_work_speeds_up_with_machines(self):
+        event = CostEvent(Kind.COMPUTE, records=1e6, language="java")
+        scales = ScaleMap({DATA: 1.0})
+        assert event_seconds(event, scales, twenty, GIRAPH) == pytest.approx(
+            event_seconds(event, scales, five, GIRAPH) / 4
+        )
+
+    def test_driver_work_does_not_parallelize(self):
+        event = CostEvent(Kind.COMPUTE, records=1e6, language="python", site=Site.DRIVER)
+        scales = ScaleMap({DATA: 1.0})
+        assert event_seconds(event, scales, twenty, SPARK) == pytest.approx(
+            event_seconds(event, scales, five, SPARK)
+        )
+
+    def test_language_costs_ordering(self):
+        """Interpreted Python ops are by far the most expensive unit of
+        work; vectorized numpy elements the cheapest (paper Sections 5-10).
+        Note each language's "record" is a different unit: a Python
+        library call, a JVM callback, a relational tuple touch, a C++
+        vertex-program step, a vectorized element."""
+        per_record = {lang: cost.per_record for lang, cost in LANGUAGE_COSTS.items()}
+        assert per_record["python"] == max(per_record.values())
+        assert per_record["python"] > 10 * per_record["java"]
+        assert per_record["numpy"] == min(per_record.values())
+
+    def test_java_flops_slowest(self):
+        """Mallet linear algebra: highest per-FLOP cost (Figure 1(b))."""
+        per_flop = {lang: cost.per_flop for lang, cost in LANGUAGE_COSTS.items()}
+        assert per_flop["java"] == max(per_flop.values())
+
+    def test_shuffle_includes_network_and_handling(self):
+        event = CostEvent(Kind.SHUFFLE, records=1000, bytes=1e9, language="java")
+        scales = ScaleMap({DATA: 1.0})
+        seconds = event_seconds(event, scales, five, GIRAPH)
+        pure_network = 1e9 / (5 * five.machine.network_bandwidth)
+        assert seconds > pure_network
+
+    def test_fanin_slower_than_all_to_all(self):
+        scales = ScaleMap({DATA: 1.0})
+        spread = CostEvent(Kind.SHUFFLE, bytes=1e9, language="java", site=Site.CLUSTER)
+        hotspot = CostEvent(Kind.SHUFFLE, bytes=1e9, language="java", site=Site.MACHINE)
+        assert event_seconds(hotspot, scales, five, GIRAPH) > event_seconds(spread, scales, five, GIRAPH)
+
+    def test_job_overhead_simsql_dominates_spark(self):
+        """Hadoop MR job launch vs Spark stage scheduling."""
+        event = CostEvent(Kind.JOB, records=1, scale=FIXED)
+        scales = ScaleMap()
+        assert event_seconds(event, scales, five, SIMSQL) > 10 * event_seconds(event, scales, five, SPARK)
+
+    @given(
+        records=st.floats(min_value=0, max_value=1e9),
+        factor=st.floats(min_value=0.1, max_value=1e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_monotone(self, records, factor):
+        event = CostEvent(Kind.COMPUTE, records=records, language="cpp")
+        scales = ScaleMap({DATA: factor})
+        assert event_seconds(event, scales, five, SPARK) >= 0
+
+
+class TestMemoryModel:
+    def test_small_footprint_passes(self):
+        verdict = check_phase_memory(
+            [MemoryEvent(bytes=1 * GB, scale=FIXED)], ScaleMap(), five, SPARK
+        )
+        assert not verdict.out_of_memory
+        assert verdict.peak_bytes_per_machine > 0
+
+    def test_cluster_memory_divided_across_machines(self):
+        events = [MemoryEvent(bytes=100 * GB, scale=FIXED, site=Site.CLUSTER)]
+        ok_at_20 = check_phase_memory(events, ScaleMap(), twenty, SPARK)
+        assert not ok_at_20.out_of_memory
+
+    def test_hotspot_memory_not_divided(self):
+        events = [MemoryEvent(bytes=100 * GB, scale=FIXED, site=Site.MACHINE)]
+        verdict = check_phase_memory(events, ScaleMap(), twenty, SPARK)
+        assert verdict.out_of_memory
+        assert "GiB" in verdict.reason
+
+    def test_scale_factor_can_push_over(self):
+        events = [MemoryEvent(bytes=1 * GB, scale=DATA, site=Site.CLUSTER, label="gather")]
+        ok = check_phase_memory(events, ScaleMap({DATA: 1.0}), five, SPARK)
+        boom = check_phase_memory(events, ScaleMap({DATA: 1e4}), five, SPARK)
+        assert not ok.out_of_memory
+        assert boom.out_of_memory
+        assert "gather" in boom.reason
+
+    def test_spillable_never_fails(self):
+        events = [MemoryEvent(bytes=1000 * GB, scale=FIXED, site=Site.MACHINE, spillable=True)]
+        verdict = check_phase_memory(events, ScaleMap(), five, SIMSQL)
+        assert not verdict.out_of_memory
+        assert verdict.spilled_bytes > 0
+
+    def test_object_overhead_counts(self):
+        """A billion tiny JVM objects is real memory even at 0 raw bytes."""
+        events = [MemoryEvent(objects=2e9, scale=FIXED, site=Site.MACHINE)]
+        verdict = check_phase_memory(events, ScaleMap(), five, GIRAPH)
+        assert verdict.out_of_memory
+
+    def test_connection_buffers_grow_with_count(self):
+        few = [MemoryEvent(objects=10, scale=FIXED, site=Site.MACHINE, label=CONNECTIONS_LABEL)]
+        many = [MemoryEvent(objects=100_000, scale=FIXED, site=Site.MACHINE, label=CONNECTIONS_LABEL)]
+        v_few = check_phase_memory(few, ScaleMap(), five, GIRAPH)
+        v_many = check_phase_memory(many, ScaleMap(), five, GIRAPH)
+        assert v_many.peak_bytes_per_machine > 1000 * v_few.peak_bytes_per_machine
+
+
+class TestSimulator:
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+            tracer.emit(Kind.COMPUTE, records=1000, language="python")
+        for i in range(3):
+            with tracer.iteration_phase(i):
+                tracer.emit(Kind.COMPUTE, records=1000, language="python")
+                tracer.materialize(bytes=1000, scale=DATA)
+        return tracer
+
+    def test_report_structure(self):
+        report = Simulator(five, SPARK).simulate(self._trace(), {DATA: 10.0})
+        assert not report.failed
+        assert report.init_seconds > 0
+        assert len(report.iteration_seconds) == 3
+        assert report.mean_iteration_seconds > 0
+        assert "(" in report.cell()
+
+    def test_failure_stops_simulation(self):
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+        with tracer.iteration_phase(0):
+            tracer.materialize(bytes=1 * GB, scale=DATA, site=Site.MACHINE, label="model copies")
+        with tracer.iteration_phase(1):
+            tracer.emit(Kind.COMPUTE, records=1)
+        report = Simulator(five, SPARK).simulate(tracer, {DATA: 1e5})
+        assert report.failed
+        assert report.fail_phase == "iteration:0"
+        assert "model copies" in report.fail_reason
+        assert report.cell() == "Fail"
+        # iteration:1 never simulated
+        assert [p.name for p in report.phases] == ["init", "iteration:0"]
+
+    def test_spill_adds_time_instead_of_failing(self):
+        def run(factor):
+            tracer = Tracer()
+            with tracer.iteration_phase(0):
+                tracer.emit(Kind.COMPUTE, records=1000, language="sql")
+                tracer.materialize(bytes=1 * GB, scale=DATA, site=Site.MACHINE, spillable=True)
+            return Simulator(five, SIMSQL).simulate(tracer, {DATA: factor})
+
+        small = run(1.0)
+        big = run(500.0)
+        assert not big.failed
+        assert big.mean_iteration_seconds > small.mean_iteration_seconds + 100
+
+    def test_mean_iteration_requires_iterations(self):
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+        report = Simulator(five, SPARK).simulate(tracer)
+        with pytest.raises(ValueError):
+            _ = report.mean_iteration_seconds
+
+
+class TestFormatHms:
+    def test_minutes_seconds(self):
+        assert format_hms(85) == "1:25"
+
+    def test_hours(self):
+        assert format_hms(3 * 3600 + 42 * 60 + 40) == "3:42:40"
+
+    def test_zero(self):
+        assert format_hms(0) == "0:00"
+
+    def test_rounding(self):
+        assert format_hms(59.6) == "1:00"
+
+
+class TestVariability:
+    def test_mean_preserved(self):
+        rng = make_rng(0)
+        draws = [perturb_seconds(1620.0, rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(1620.0, rel=0.01)
+
+    def test_replicates_paper_study(self):
+        """Five days, 27-minute iterations: std dev should be ~32 s."""
+        rng = make_rng(0)
+        stds = [replicate_study(27 * 60, rng)[1] for _ in range(2000)]
+        assert np.median(stds) == pytest.approx(32.0, rel=0.2)
+
+    def test_zero_cv_is_identity(self):
+        assert perturb_seconds(100.0, make_rng(0), cv=0.0) == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            perturb_seconds(-1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            replicate_study(10.0, make_rng(0), days=1)

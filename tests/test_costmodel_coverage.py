@@ -1,0 +1,89 @@
+"""Coverage tests for the remaining cost-model event kinds and paths."""
+
+import pytest
+
+from repro.cluster import (
+    DATA,
+    FIXED,
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    CostEvent,
+    Kind,
+    ScaleMap,
+    Site,
+    event_seconds,
+)
+
+SPARK = PLATFORM_PROFILES["spark"]
+GIRAPH = PLATFORM_PROFILES["giraph"]
+scales = ScaleMap({DATA: 1.0})
+five = ClusterSpec(machines=5)
+hundred = ClusterSpec(machines=100)
+
+
+class TestBroadcast:
+    def test_cost_scales_with_bytes(self):
+        small = CostEvent(Kind.BROADCAST, bytes=1e6, language="java")
+        large = CostEvent(Kind.BROADCAST, bytes=1e9, language="java")
+        assert event_seconds(large, scales, five, GIRAPH) > \
+            100 * event_seconds(small, scales, five, GIRAPH)
+
+    def test_more_machines_cost_more_hops(self):
+        event = CostEvent(Kind.BROADCAST, bytes=1e9, language="java")
+        assert event_seconds(event, scales, hundred, GIRAPH) > \
+            event_seconds(event, scales, five, GIRAPH)
+
+
+class TestDisk:
+    def test_cluster_reads_parallel_across_machines(self):
+        event = CostEvent(Kind.DISK_READ, bytes=1e11)
+        t5 = event_seconds(event, scales, five, SPARK)
+        t100 = event_seconds(event, scales, hundred, SPARK)
+        assert t5 == pytest.approx(20 * t100)
+
+    def test_machine_site_reads_one_machine(self):
+        spread = CostEvent(Kind.DISK_WRITE, bytes=1e10, site=Site.CLUSTER)
+        local = CostEvent(Kind.DISK_WRITE, bytes=1e10, site=Site.MACHINE)
+        assert event_seconds(local, scales, five, SPARK) == \
+            pytest.approx(5 * event_seconds(spread, scales, five, SPARK))
+
+
+class TestSerialize:
+    def test_language_rate_applies(self):
+        python = CostEvent(Kind.SERIALIZE, bytes=1e9, language="python")
+        cpp = CostEvent(Kind.SERIALIZE, bytes=1e9, language="cpp")
+        assert event_seconds(python, scales, five, SPARK) > \
+            10 * event_seconds(cpp, scales, five, SPARK)
+
+
+class TestBarrier:
+    def test_barriers_slow_down_with_cluster_size(self):
+        event = CostEvent(Kind.BARRIER, records=1, scale=FIXED)
+        t5 = event_seconds(event, scales, five, GIRAPH)
+        t100 = event_seconds(event, scales, hundred, GIRAPH)
+        assert t100 > 3 * t5
+
+
+class TestUnknownKind:
+    def test_every_kind_has_a_cost(self):
+        """No Kind falls through to the unhandled branch."""
+        for kind in Kind:
+            event = CostEvent(kind, records=1, bytes=10, flops=5,
+                              language="java", scale=FIXED)
+            assert event_seconds(event, scales, five, GIRAPH) >= 0
+
+
+class TestSpillPath:
+    def test_cluster_site_spill_divided(self):
+        """Spillable cluster-shared memory spills the per-machine share."""
+        from repro.cluster import MemoryEvent, check_phase_memory
+        from repro.config import GB
+
+        events = [MemoryEvent(bytes=10_000 * GB, scale=FIXED,
+                              site=Site.CLUSTER, spillable=True)]
+        verdict = check_phase_memory(events, ScaleMap(), hundred,
+                                     PLATFORM_PROFILES["simsql"])
+        assert not verdict.out_of_memory
+        # 10 TB over 100 machines = 100 GB/machine x overhead, minus the
+        # budget headroom: most of it spills.
+        assert verdict.spilled_bytes > 50 * GB

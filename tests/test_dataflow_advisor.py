@@ -1,0 +1,121 @@
+"""Tests for the cost-based cache advisor (the paper's Section 10 idea)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.dataflow import SparkContext
+from repro.dataflow.advisor import CacheAdvisor, CachePlan
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(ClusterSpec(machines=2))
+
+
+def hot_workload(sc):
+    """An RDD recomputed by every action — the classic cache miss."""
+    base = sc.text_file(list(range(2000)))
+    derived = base.map(lambda x: x * 2, label="hot")
+    for _ in range(4):
+        derived.count()
+    return derived
+
+
+class TestObservation:
+    def test_counts_recomputations(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            derived = hot_workload(sc)
+        profile = advisor.profiles[derived.rdd_id]
+        assert profile.computations == 4
+        assert profile.cached_bytes > 0
+        assert profile.avoidable_seconds > 0
+
+    def test_cached_rdds_not_profiled_as_recomputed(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            base = sc.text_file(list(range(500)))
+            cached = base.map(lambda x: x, label="cached").cache()
+            for _ in range(3):
+                cached.count()
+        profile = advisor.profiles[cached.rdd_id]
+        assert profile.computations == 1  # materialized once, then served
+
+    def test_instrumentation_removed_after_block(self, sc):
+        from repro.dataflow import rdd as rdd_module
+
+        original = rdd_module.RDD._partitions
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            sc.parallelize([1]).count()
+        assert rdd_module.RDD._partitions is original
+
+    def test_other_contexts_ignored(self, sc):
+        other = SparkContext(ClusterSpec(machines=1))
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            rdd = other.parallelize(range(10)).map(lambda x: x)
+            rdd.count()
+        assert rdd.rdd_id not in advisor.profiles
+
+
+class TestRecommendation:
+    def test_recommends_the_hot_rdd(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            derived = hot_workload(sc)
+        plan = advisor.recommend(budget_bytes=10 * 2**20)
+        assert derived.rdd_id in plan.rdd_ids()
+        assert plan.total_saved_seconds > 0
+
+    def test_budget_zero_recommends_nothing(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            hot_workload(sc)
+        plan = advisor.recommend(budget_bytes=0.0)
+        assert plan.suggestions == []
+
+    def test_budget_respected(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            hot_workload(sc)
+        budget = 10 * 2**20
+        plan = advisor.recommend(budget_bytes=budget)
+        assert plan.total_cache_bytes <= budget
+
+    def test_negative_budget_rejected(self, sc):
+        with pytest.raises(ValueError):
+            CacheAdvisor(sc).recommend(budget_bytes=-1)
+
+    def test_single_use_rdds_not_recommended(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            sc.text_file(range(100)).map(lambda x: x).count()  # used once
+        plan = advisor.recommend(budget_bytes=10 * 2**20)
+        assert plan.suggestions == []
+
+    def test_applying_the_plan_removes_recompute(self, sc):
+        """End-to-end: follow the advice, observe again, nothing left."""
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            derived = hot_workload(sc)
+        plan = advisor.recommend(budget_bytes=10 * 2**20)
+        assert plan.suggestions
+
+        sc2 = SparkContext(ClusterSpec(machines=2))
+        advisor2 = CacheAdvisor(sc2)
+        with advisor2.observe():
+            base = sc2.text_file(list(range(2000)))
+            derived = base.map(lambda x: x * 2, label="hot").cache()
+            for _ in range(4):
+                derived.count()
+        followup = advisor2.recommend(budget_bytes=10 * 2**20)
+        assert followup.total_saved_seconds < plan.total_saved_seconds
+
+    def test_suggestion_string(self, sc):
+        advisor = CacheAdvisor(sc)
+        with advisor.observe():
+            hot_workload(sc)
+        plan = advisor.recommend(budget_bytes=10 * 2**20)
+        text = str(plan.suggestions[0])
+        assert "cache RDD" in text and "MiB" in text

@@ -1,0 +1,248 @@
+"""Tests for the Spark-style RDD engine: semantics and cost accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DATA, FIXED, ClusterSpec, Kind, Tracer
+from repro.dataflow import SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(ClusterSpec(machines=2))
+
+
+@pytest.fixture
+def traced_sc():
+    tracer = Tracer()
+    return SparkContext(ClusterSpec(machines=2), tracer=tracer), tracer
+
+
+def events_of(tracer, kind=None, label_prefix=""):
+    out = []
+    for phase in tracer.phases:
+        for e in phase.events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if label_prefix and not e.label.startswith(label_prefix):
+                continue
+            out.append(e)
+    return out
+
+
+class TestTransformations:
+    def test_map_collect(self, sc):
+        assert sc.parallelize(range(5)).map(lambda x: x * 2).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize([1, 2, 3]).flat_map(lambda x: [x] * x)
+        assert sorted(rdd.collect()) == [1, 2, 2, 3, 3, 3]
+
+    def test_filter(self, sc):
+        assert sc.parallelize(range(10)).filter(lambda x: x % 3 == 0).collect() == [0, 3, 6, 9]
+
+    def test_map_values(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2)]).map_values(lambda v: v + 10)
+        assert dict(rdd.collect()) == {"a": 11, "b": 12}
+
+    def test_key_by(self, sc):
+        assert sc.parallelize([3, 4]).key_by(lambda x: x % 2).collect() == [(1, 3), (0, 4)]
+
+    def test_map_partitions(self, sc):
+        rdd = sc.parallelize(range(10), num_partitions=3).map_partitions(lambda p: [sum(p)])
+        assert sum(rdd.collect()) == 45
+        assert len(rdd.collect()) == 3
+
+    def test_union(self, sc):
+        rdd = sc.parallelize([1, 2]).union(sc.parallelize([3]))
+        assert sorted(rdd.collect()) == [1, 2, 3]
+
+    def test_union_across_contexts_rejected(self, sc):
+        other = SparkContext(ClusterSpec(machines=1))
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).union(other.parallelize([2]))
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([1, 2, 2, 3, 3, 3]).distinct().collect()) == [1, 2, 3]
+
+    def test_sample_bounds(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize(range(10)).sample(1.5)
+
+    def test_camelcase_aliases(self, sc):
+        rdd = sc.parallelize([("a", 1), ("a", 2)])
+        assert rdd.reduceByKey(lambda a, b: a + b).collectAsMap() == {"a": 3}
+        assert sc.parallelize([1]).flatMap(lambda x: [x, x]).collect() == [1, 1]
+
+
+class TestShuffles:
+    def test_reduce_by_key(self, sc):
+        data = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("a", 5)]
+        result = sc.parallelize(data, num_partitions=3).reduce_by_key(lambda a, b: a + b)
+        assert result.collect_as_map() == {"a": 9, "b": 6}
+
+    def test_group_by_key(self, sc):
+        data = [("x", 1), ("y", 2), ("x", 3)]
+        grouped = sc.parallelize(data).group_by_key().collect_as_map()
+        assert sorted(grouped["x"]) == [1, 3]
+        assert grouped["y"] == [2]
+
+    def test_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        right = sc.parallelize([("a", "x"), ("c", "y")])
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, "x")), ("a", (3, "x"))]
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)), max_size=60
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_by_key_matches_sequential(self, pairs):
+        sc = SparkContext(ClusterSpec(machines=3))
+        expected: dict[int, int] = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        result = sc.parallelize(pairs, num_partitions=4).reduce_by_key(lambda a, b: a + b)
+        assert result.collect_as_map() == expected
+
+    @given(n=st.integers(0, 100), parts=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_partitioning_preserves_all_records(self, n, parts):
+        sc = SparkContext(ClusterSpec(machines=2))
+        rdd = sc.parallelize(range(n), num_partitions=parts)
+        assert sorted(rdd.collect()) == list(range(n))
+        assert rdd.count() == n
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(17)).count() == 17
+
+    def test_reduce(self, sc):
+        assert sc.parallelize(range(1, 6)).reduce(lambda a, b: a * b) == 120
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_sum(self, sc):
+        assert sc.parallelize([1.5, 2.5, 3.0]).sum() == 7.0
+
+    def test_take_first(self, sc):
+        rdd = sc.parallelize(range(100), num_partitions=7)
+        assert rdd.take(3) == [0, 1, 2]
+        assert rdd.first() == 0
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([]).first()
+
+    def test_foreach(self, sc):
+        seen = []
+        sc.parallelize(range(4)).foreach(seen.append)
+        assert seen == [0, 1, 2, 3]
+
+
+class TestCostAccounting:
+    def test_map_emits_compute_per_record(self, traced_sc):
+        sc, tracer = traced_sc
+        with tracer.iteration_phase(0):
+            sc.text_file(range(100)).map(lambda x: x + 1).collect()
+        computes = events_of(tracer, Kind.COMPUTE, "map")
+        assert sum(e.records for e in computes) == 100
+        assert computes[0].scale == DATA
+
+    def test_text_file_reads_disk_every_recompute(self, traced_sc):
+        sc, tracer = traced_sc
+        rdd = sc.text_file(range(50)).map(lambda x: x)
+        with tracer.iteration_phase(0):
+            rdd.collect()
+            rdd.collect()
+        reads = events_of(tracer, Kind.DISK_READ)
+        assert len(reads) == 2
+
+    def test_cache_prevents_recompute(self, traced_sc):
+        sc, tracer = traced_sc
+        rdd = sc.text_file(range(50)).map(lambda x: x).cache()
+        with tracer.iteration_phase(0):
+            rdd.collect()
+            rdd.collect()
+        assert len(events_of(tracer, Kind.DISK_READ)) == 1
+        # Cached partitions are pinned in memory for subsequent phases.
+        with tracer.iteration_phase(1):
+            rdd.count()
+        phase = tracer.phases[-1]
+        assert any(m.label.startswith("rdd-cache") for m in phase.memory)
+
+    def test_unpersist_releases_pin(self, traced_sc):
+        sc, tracer = traced_sc
+        rdd = sc.parallelize(range(10)).map(lambda x: x).cache()
+        with tracer.iteration_phase(0):
+            rdd.collect()
+            rdd.unpersist()
+        with tracer.iteration_phase(1):
+            pass
+        assert not any(m.label.startswith("rdd-cache") for m in tracer.phases[-1].memory)
+
+    def test_shuffle_emits_traffic_and_buffers(self, traced_sc):
+        sc, tracer = traced_sc
+        pairs = [(i % 3, i) for i in range(60)]
+        with tracer.iteration_phase(0):
+            sc.text_file(pairs).reduce_by_key(lambda a, b: a + b).collect()
+        shuffles = events_of(tracer, Kind.SHUFFLE)
+        assert shuffles and shuffles[0].bytes > 0
+        # With combining, at most (partitions x keys) records shuffle.
+        assert shuffles[0].records <= 16 * 3
+        assert any(m.label.startswith("shuffle") for m in tracer.phases[0].memory)
+
+    def test_reduce_by_key_output_scale_fixed_by_default(self, traced_sc):
+        sc, tracer = traced_sc
+        with tracer.iteration_phase(0):
+            out = sc.text_file([(1, 2)] * 10).reduce_by_key(lambda a, b: a + b)
+            out.collect()
+        assert out.scale == FIXED
+
+    def test_group_by_key_shuffles_everything(self, traced_sc):
+        sc, tracer = traced_sc
+        pairs = [(i % 3, i) for i in range(60)]
+        with tracer.iteration_phase(0):
+            sc.text_file(pairs).group_by_key().collect()
+        shuffles = events_of(tracer, Kind.SHUFFLE)
+        assert shuffles[0].records == 60
+        assert shuffles[0].scale == DATA
+
+    def test_job_counts_stages(self, traced_sc):
+        sc, tracer = traced_sc
+        with tracer.iteration_phase(0):
+            rdd = sc.parallelize([(1, 1)] * 10).reduce_by_key(lambda a, b: a + b)
+            rdd.map(lambda kv: kv).collect()
+        jobs = events_of(tracer, Kind.JOB)
+        assert jobs[0].records == 2  # shuffle boundary => two stages
+
+    def test_broadcast_emits_bytes(self, traced_sc):
+        sc, tracer = traced_sc
+        with tracer.init_phase():
+            b = sc.broadcast({"model": list(range(100))})
+        assert b.value["model"][0] == 0
+        assert events_of(tracer, Kind.BROADCAST)[0].bytes > 800
+
+    def test_java_language_charged(self):
+        tracer = Tracer()
+        sc = SparkContext(ClusterSpec(machines=2), tracer=tracer, language="java")
+        with tracer.iteration_phase(0):
+            sc.text_file(range(10)).map(lambda x: x).collect()
+        assert all(e.language == "java" for e in events_of(tracer, Kind.COMPUTE))
+
+    def test_rejects_unknown_language(self):
+        with pytest.raises(ValueError):
+            SparkContext(ClusterSpec(machines=1), language="scala")
+
+    def test_collect_charges_driver_fan_in(self, traced_sc):
+        sc, tracer = traced_sc
+        with tracer.iteration_phase(0):
+            sc.text_file(range(100)).collect()
+        fan_in = events_of(tracer, Kind.MESSAGE, "collect")
+        assert fan_in and fan_in[0].records == 100

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs clean and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "simulated time at paper scale" in out
+    # Every platform's cell renders as a time, not a failure.
+    platform_lines = [line for line in out.splitlines()
+                      if line.startswith(("Spark", "SimSQL", "GraphLab", "Giraph"))]
+    assert len(platform_lines) == 4
+    assert not any("Fail" in line for line in platform_lines)
+
+
+@pytest.mark.slow
+def test_topic_mining():
+    out = run_example("topic_mining.py")
+    assert "planted topic" in out
+    assert "Giraph" in out and "SimSQL" in out
+
+
+@pytest.mark.slow
+def test_sparse_regression():
+    out = run_example("sparse_regression.py")
+    assert "recovered support" in out
+    # All four platforms find the same support set.
+    support_lines = [line for line in out.splitlines() if "[" in line and "]" in line]
+    supports = {line[line.index("["):line.index("]") + 1] for line in support_lines
+                if line.strip() and not line.startswith("true")}
+    assert len(supports) == 1
+
+
+@pytest.mark.slow
+def test_missing_data_imputation():
+    out = run_example("missing_data_imputation.py")
+    assert "imputation RMSE" in out
+    assert "defeats cache()" in out

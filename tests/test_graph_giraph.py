@@ -1,0 +1,238 @@
+"""Tests for the Giraph-style BSP engine."""
+
+import pytest
+
+from repro.cluster import DATA, FIXED, ClusterSpec, Kind, Site, Tracer
+from repro.graph import GiraphEngine
+
+
+@pytest.fixture
+def engine():
+    return GiraphEngine(ClusterSpec(machines=3), tracer=Tracer())
+
+
+def events(engine, kind=None, label_prefix=""):
+    out = []
+    for phase in engine.tracer.phases:
+        for e in phase.events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if label_prefix and not e.label.startswith(label_prefix):
+                continue
+            out.append(e)
+    return out
+
+
+class TestVertexManagement:
+    def test_duplicate_kind_rejected(self, engine):
+        engine.add_vertex_kind("a")
+        with pytest.raises(ValueError):
+            engine.add_vertex_kind("a")
+
+    def test_duplicate_vertex_rejected(self, engine):
+        engine.add_vertex_kind("a")
+        engine.add_vertices("a", {0: 1.0})
+        with pytest.raises(ValueError):
+            engine.add_vertices("a", {0: 2.0})
+
+    def test_unknown_kind_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.add_vertices("ghost", {0: 1})
+
+    def test_storage_pinned(self, engine):
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertices("data", {i: float(i) for i in range(100)})
+        with engine.tracer.phase("p"):
+            pass
+        pins = [m for m in engine.tracer.phases[0].memory if m.label == "vertices:data"]
+        assert pins and pins[0].objects == 100
+
+    def test_machine_placement_stable_and_in_range(self, engine):
+        engine.add_vertex_kind("data", scale=DATA)
+        for i in range(50):
+            m = engine.machine_of("data", i)
+            assert 0 <= m < 3
+            assert m == engine.machine_of("data", i)
+
+
+class TestMessaging:
+    def _ping_pong(self, engine):
+        engine.add_vertex_kind("ping")
+        engine.add_vertex_kind("pong")
+        engine.add_vertices("ping", {0: {"got": []}})
+        engine.add_vertices("pong", {0: {"got": []}})
+
+        def ping_compute(ctx, vid, value, messages):
+            value["got"].extend(messages)
+            ctx.send("pong", 0, ctx.superstep)
+
+        def pong_compute(ctx, vid, value, messages):
+            value["got"].extend(messages)
+
+        engine.set_compute("ping", ping_compute)
+        engine.set_compute("pong", pong_compute)
+        return engine
+
+    def test_messages_delivered_next_superstep(self, engine):
+        self._ping_pong(engine)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+            assert engine.vertex_value("pong", 0)["got"] == []
+            engine.superstep()
+        assert engine.vertex_value("pong", 0)["got"] == [0]
+
+    def test_message_events_emitted(self, engine):
+        self._ping_pong(engine)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+        msgs = events(engine, Kind.MESSAGE, "messages:ping->pong")
+        assert msgs and msgs[0].records == 1
+
+    def test_one_job_many_barriers(self, engine):
+        self._ping_pong(engine)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+            engine.superstep()
+            engine.superstep()
+        assert len(events(engine, Kind.JOB)) == 1
+        assert len(events(engine, Kind.BARRIER)) == 3
+
+    def test_combiner_reduces_wire_messages(self):
+        cluster = ClusterSpec(machines=4)
+
+        def build(with_combiner):
+            eng = GiraphEngine(cluster, tracer=Tracer())
+            eng.add_vertex_kind("data", scale=DATA)
+            eng.add_vertex_kind("sink")
+            eng.add_vertices("data", {i: 1.0 for i in range(200)})
+            eng.add_vertices("sink", {0: {"total": 0.0}})
+            eng.set_compute("data", lambda ctx, vid, value, msgs: ctx.send("sink", 0, value))
+
+            def sink_compute(ctx, vid, value, msgs):
+                value["total"] += sum(msgs)
+
+            eng.set_compute("sink", sink_compute)
+            if with_combiner:
+                eng.set_combiner("sink", lambda a, b: a + b)
+            with eng.tracer.phase("run"):
+                eng.superstep()
+                eng.superstep()
+            return eng
+
+        plain = build(False)
+        combined = build(True)
+        # Semantics identical...
+        assert plain.vertex_value("sink", 0)["total"] == 200.0
+        assert combined.vertex_value("sink", 0)["total"] == 200.0
+        # ...but the combined run puts at most machines x sinks on the wire.
+        plain_msgs = events(plain, Kind.MESSAGE, "messages:data->sink")[0]
+        combined_msgs = events(combined, Kind.MESSAGE, "messages:data->sink")[0]
+        assert plain_msgs.records == 200
+        assert plain_msgs.scale == DATA
+        assert combined_msgs.records <= 4
+        assert combined_msgs.scale == FIXED
+
+    def test_fan_in_materializes_at_hotspot(self, engine):
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertex_kind("sink")
+        engine.add_vertices("data", {i: 1.0 for i in range(50)})
+        engine.add_vertices("sink", {0: 0.0})
+        engine.set_compute("data", lambda ctx, vid, v, m: ctx.send("sink", 0, v))
+        with engine.tracer.phase("run"):
+            engine.superstep()
+        stores = [m for p in engine.tracer.phases for m in p.memory
+                  if m.label == "message-store:sink"]
+        assert stores and stores[0].site is Site.MACHINE
+        assert stores[0].scale == DATA
+
+    def test_connections_grow_with_cluster(self):
+        def peak_connections(machines):
+            eng = GiraphEngine(ClusterSpec(machines=machines), tracer=Tracer())
+            eng.add_vertex_kind("a")
+            eng.add_vertices("a", {0: 0})
+            eng.set_compute("a", lambda ctx, vid, v, m: None)
+            with eng.tracer.phase("run"):
+                eng.superstep()
+            conns = [m for p in eng.tracer.phases for m in p.memory
+                     if m.label == "connections"]
+            return conns[0].objects
+
+        assert peak_connections(100) == 20 * peak_connections(5)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_vertex(self, engine):
+        engine.add_vertex_kind("model")
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertices("model", {0: "m"})
+        engine.add_vertices("data", {i: {"seen": []} for i in range(10)})
+        engine.set_compute("model", lambda ctx, vid, v, m: ctx.send_to_kind("data", "hello"))
+        engine.set_compute("data", lambda ctx, vid, v, m: v["seen"].extend(m))
+        with engine.tracer.phase("run"):
+            engine.superstep()
+            engine.superstep()
+        assert all(engine.vertex_value("data", i)["seen"] == ["hello"] for i in range(10))
+
+    def test_broadcast_store_is_per_worker_not_per_recipient(self, engine):
+        engine.add_vertex_kind("model")
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertices("model", {0: "m"})
+        engine.add_vertices("data", {i: None for i in range(1000)})
+        engine.set_compute("model", lambda ctx, vid, v, m: ctx.send_to_kind("data", [1.0] * 10))
+        engine.set_compute("data", lambda ctx, vid, v, m: None)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+        stores = [m for p in engine.tracer.phases for m in p.memory
+                  if m.label == "broadcast-store:data"]
+        # ~8 worker copies of a ~100-byte message, nothing like 1000 copies.
+        assert stores[0].bytes < 100 * 8 * 2
+        handling = events(engine, Kind.COMPUTE, "broadcast-handling:data")
+        assert handling[0].records == 1000
+
+
+class TestAggregators:
+    def test_aggregate_visible_next_superstep(self, engine):
+        engine.add_vertex_kind("a")
+        engine.add_vertices("a", {i: float(i) for i in range(5)})
+        engine.register_aggregator("total", lambda x, y: x + y, 0.0)
+        seen = []
+
+        def compute(ctx, vid, value, messages):
+            seen.append(ctx.aggregated("total"))
+            ctx.aggregate("total", value)
+
+        engine.set_compute("a", compute)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+            seen.clear()
+            engine.superstep()
+        assert seen == [10.0] * 5
+
+    def test_unset_aggregator_resets_to_initial(self, engine):
+        engine.add_vertex_kind("a")
+        engine.add_vertices("a", {0: 0.0})
+        engine.register_aggregator("x", lambda a, b: a + b, -1.0)
+        engine.set_compute("a", lambda ctx, vid, v, m: None)
+        with engine.tracer.phase("run"):
+            engine.superstep()
+        assert engine.aggregated("x") == -1.0
+
+    def test_duplicate_aggregator_rejected(self, engine):
+        engine.register_aggregator("x", lambda a, b: a + b, 0)
+        with pytest.raises(ValueError):
+            engine.register_aggregator("x", lambda a, b: a + b, 0)
+
+    def test_unknown_aggregator_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.aggregated("nope")
+
+
+class TestChargeFlops:
+    def test_flops_attributed_to_kind_compute(self, engine):
+        engine.add_vertex_kind("sv", scale=DATA)
+        engine.add_vertices("sv", {0: None, 1: None})
+        engine.set_compute("sv", lambda ctx, vid, v, m: ctx.charge_flops(500.0))
+        with engine.tracer.phase("run"):
+            engine.superstep()
+        computes = events(engine, Kind.COMPUTE, "compute:sv")
+        assert computes[0].flops == 1000.0

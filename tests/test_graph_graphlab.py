@@ -1,0 +1,156 @@
+"""Tests for the GraphLab-style GAS engine and super-vertex helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DATA, ClusterSpec, Kind, Tracer
+from repro.graph import GASProgram, GraphLabEngine, group_items, group_rows, paper_group_count
+
+
+@pytest.fixture
+def engine():
+    return GraphLabEngine(ClusterSpec(machines=4), tracer=Tracer())
+
+
+class SumFromNeighbors(GASProgram):
+    """Each center vertex becomes the sum of its neighbors' values."""
+
+    def gather(self, center_id, center_value, nbr_kind, nbr_id, nbr_value):
+        return nbr_value
+
+    def sum(self, a, b):
+        return a + b
+
+    def apply(self, center_id, center_value, total):
+        return 0.0 if total is None else total
+
+
+def mem(engine, label_prefix):
+    return [m for p in engine.tracer.phases for m in p.memory
+            if m.label.startswith(label_prefix)]
+
+
+class TestGAS:
+    def _bipartite(self, engine, n_data=6, n_model=3):
+        engine.add_vertex_kind("data", scale=DATA)
+        engine.add_vertex_kind("model")
+        engine.add_vertices("data", {i: float(i) for i in range(n_data)})
+        engine.add_vertices("model", {j: 100.0 * (j + 1) for j in range(n_model)})
+        engine.add_bipartite_edges("data", "model")
+        return engine
+
+    def test_gather_sums_neighbors(self, engine):
+        self._bipartite(engine)
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="data")
+        # Every data vertex gathered all three model values: 100+200+300.
+        assert all(engine.vertex_value("data", i) == 600.0 for i in range(6))
+
+    def test_reverse_direction(self, engine):
+        self._bipartite(engine)
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="model")
+        assert engine.vertex_value("model", 0) == sum(range(6))
+
+    def test_gather_materializes_per_edge(self, engine):
+        self._bipartite(engine)
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="data")
+        gm = mem(engine, "gather-materialization:data")
+        assert gm and gm[0].objects == 6 * 3  # complete bipartite
+        assert gm[0].scale == DATA  # data x fixed edges scale with data
+        assert not gm[0].spillable  # the OOM mechanism
+
+    def test_gather_skips_none(self, engine):
+        self._bipartite(engine)
+
+        class Picky(SumFromNeighbors):
+            def gather(self, center_id, center_value, nbr_kind, nbr_id, nbr_value):
+                return nbr_value if nbr_id == 0 else None
+
+        with engine.tracer.phase("run"):
+            engine.gas(Picky(), center_kind="data")
+        assert all(engine.vertex_value("data", i) == 100.0 for i in range(6))
+
+    def test_explicit_sparse_edges(self, engine):
+        engine.add_vertex_kind("a")
+        engine.add_vertex_kind("b")
+        engine.add_vertices("a", {0: 1.0, 1: 2.0})
+        engine.add_vertices("b", {0: 10.0, 1: 20.0})
+        engine.add_edges("a", "b", [(0, 0), (1, 1)])
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="a")
+        assert engine.vertex_value("a", 0) == 10.0
+        assert engine.vertex_value("a", 1) == 20.0
+
+    def test_vertex_without_neighbors_gets_none_total(self, engine):
+        engine.add_vertex_kind("lonely")
+        engine.add_vertices("lonely", {0: 42.0})
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="lonely")
+        assert engine.vertex_value("lonely", 0) == 0.0
+
+    def test_gas_round_charges_job(self, engine):
+        self._bipartite(engine)
+        with engine.tracer.phase("run"):
+            engine.gas(SumFromNeighbors(), center_kind="data")
+        jobs = [e for p in engine.tracer.phases for e in p.events if e.kind is Kind.JOB]
+        assert len(jobs) == 1
+
+
+class TestSetupSweeps:
+    def test_transform(self, engine):
+        engine.add_vertex_kind("v", scale=DATA)
+        engine.add_vertices("v", {i: float(i) for i in range(4)})
+        with engine.tracer.phase("run"):
+            engine.transform("v", lambda vid, value: value * 2)
+        assert engine.vertex_value("v", 3) == 6.0
+
+    def test_map_reduce(self, engine):
+        engine.add_vertex_kind("v", scale=DATA)
+        engine.add_vertices("v", {i: float(i) for i in range(5)})
+        with engine.tracer.phase("run"):
+            total = engine.map_reduce("v", lambda vid, value: value, lambda a, b: a + b)
+        assert total == 10.0
+
+    def test_map_reduce_empty_raises(self, engine):
+        engine.add_vertex_kind("v")
+        with engine.tracer.phase("run"):
+            with pytest.raises(ValueError):
+                engine.map_reduce("v", lambda vid, v: v, lambda a, b: a + b)
+
+    def test_charge_emits_cpp_compute(self, engine):
+        with engine.tracer.phase("run"):
+            engine.charge(flops=1e6, scale=DATA, label="gram")
+        event = engine.tracer.phases[0].events[0]
+        assert event.language == "cpp"
+        assert event.flops == 1e6
+
+
+class TestSuperVertexHelpers:
+    def test_paper_group_count(self):
+        assert paper_group_count(100) == 8000
+        assert paper_group_count(5) == 400
+        with pytest.raises(ValueError):
+            paper_group_count(0)
+
+    def test_group_rows_preserves_data(self):
+        rows = np.arange(20).reshape(10, 2)
+        blocks = group_rows(rows, 3)
+        np.testing.assert_array_equal(np.vstack(blocks), rows)
+        assert all(len(b) in (3, 4) for b in blocks)
+
+    def test_group_rows_drops_empty(self):
+        blocks = group_rows(np.zeros((2, 3)), 10)
+        assert len(blocks) == 2
+
+    def test_group_items(self):
+        groups = group_items(list(range(7)), 3)
+        assert [len(g) for g in groups] == [3, 2, 2]
+        assert [x for g in groups for x in g] == list(range(7))
+
+    def test_group_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            group_items([1], 0)
+        with pytest.raises(ValueError):
+            group_rows(np.zeros((2, 2)), -1)

@@ -1,0 +1,77 @@
+"""Plan-level fidelity tests for the SimSQL implementations.
+
+The paper's Section 7.2 explains that storing ``nextPos`` explicitly is
+what lets the word-based HMM's neighbor lookups run as equi-joins
+instead of cross products.  These tests verify that property directly on
+the optimized plans, and that the GMM's scatter aggregation really is
+the multi-way join + GROUP BY the paper describes.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.impls.simsql import SimSQLGMM, SimSQLHMMWord
+from repro.relational import GroupBy, Join, VGOp, optimize
+from repro.stats import make_rng
+from repro.workloads import generate_gmm_data, generate_hmm_corpus
+
+
+def walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+@pytest.fixture(scope="module")
+def word_hmm():
+    corpus = generate_hmm_corpus(make_rng(0), 12, vocabulary=15, states=3,
+                                 mean_length=12)
+    impl = SimSQLHMMWord(corpus.documents, 15, 3, make_rng(1),
+                         ClusterSpec(machines=2))
+    impl.initialize()
+    impl.iterate(0)
+    return impl
+
+
+class TestNextPosWorkaround:
+    def test_state_update_joins_are_all_hash(self, word_hmm):
+        """Every neighbor join in the word-state update is an equi-join —
+        the whole point of storing prev_cell/next_cell explicitly."""
+        plan = optimize(word_hmm._states().update(word_hmm.db, 1))
+        joins = [node for node in walk(plan) if isinstance(node, Join)]
+        assert joins, "the word-based update must join states with words"
+        assert all(join.strategy == "hash" for join in joins), [
+            j.strategy for j in joins
+        ]
+
+    def test_transition_counts_join_on_next_cell(self, word_hmm):
+        plan = optimize(word_hmm._transition_counts(1))
+        joins = [node for node in walk(plan) if isinstance(node, Join)]
+        assert all(join.strategy == "hash" for join in joins)
+        keys = {key for join in joins for pair in join.equi_keys for key in pair}
+        assert any("next_cell" in key for key in keys)
+
+
+class TestGMMPlans:
+    def test_scatter_is_multiway_join_plus_group_by(self):
+        data = generate_gmm_data(make_rng(2), 60, dim=3, clusters=2)
+        impl = SimSQLGMM(data.points, 2, make_rng(3), ClusterSpec(machines=2))
+        impl.initialize()
+        plan = optimize(impl._clus_covas().update(impl.db, 1))
+        joins = [node for node in walk(plan) if isinstance(node, Join)]
+        groups = [node for node in walk(plan) if isinstance(node, GroupBy)]
+        # data joined with itself and the means (plus the model frames).
+        assert len(joins) >= 3
+        assert groups, "the scatter must aggregate per (cluster, d1, d2)"
+        assert any(set(g.keys) >= {"clus_id", "dim_id1", "dim_id2"}
+                   for g in groups if g.keys)
+
+    def test_membership_is_one_vg_per_point(self):
+        data = generate_gmm_data(make_rng(4), 40, dim=3, clusters=2)
+        impl = SimSQLGMM(data.points, 2, make_rng(5), ClusterSpec(machines=2))
+        impl.initialize()
+        plan = impl._membership().update(impl.db, 0)
+        vgs = [node for node in walk(plan) if isinstance(node, VGOp)]
+        assert len(vgs) == 1
+        assert vgs[0].group_key == "data_id"
+        assert vgs[0].out_scale == "data"

@@ -1,0 +1,154 @@
+"""Tests for the MCMC diagnostics and the collapsed-LDA ablation pair."""
+
+import numpy as np
+import pytest
+
+from repro.models.collapsed_lda import CollapsedLDA, StaleCollapsedLDA
+from repro.models.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+    geweke_z,
+    summarize_chain,
+)
+from repro.stats import make_rng
+from repro.workloads import generate_lda_corpus
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        assert autocorrelation(rng.standard_normal(100), 0) == 1.0
+
+    def test_iid_near_zero(self, rng):
+        draws = rng.standard_normal(20_000)
+        assert abs(autocorrelation(draws, 1)) < 0.05
+
+    def test_ar1_matches_coefficient(self, rng):
+        phi = 0.8
+        chain = np.empty(50_000)
+        chain[0] = 0.0
+        noise = rng.standard_normal(50_000)
+        for t in range(1, chain.size):
+            chain[t] = phi * chain[t - 1] + noise[t]
+        assert autocorrelation(chain, 1) == pytest.approx(phi, abs=0.02)
+
+    def test_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            autocorrelation(rng.standard_normal((4, 4)), 1)
+        with pytest.raises(ValueError):
+            autocorrelation(rng.standard_normal(10), 10)
+
+
+class TestESS:
+    def test_iid_ess_near_n(self, rng):
+        draws = rng.standard_normal(5000)
+        assert effective_sample_size(draws) > 0.7 * draws.size
+
+    def test_correlated_chain_has_lower_ess(self, rng):
+        phi = 0.9
+        chain = np.empty(5000)
+        chain[0] = 0.0
+        noise = rng.standard_normal(5000)
+        for t in range(1, chain.size):
+            chain[t] = phi * chain[t - 1] + noise[t]
+        assert effective_sample_size(chain) < 0.25 * chain.size
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([1.0, 2.0]))
+
+
+class TestGeweke:
+    def test_stationary_chain_small_z(self, rng):
+        assert abs(geweke_z(rng.standard_normal(5000))) < 3.0
+
+    def test_trending_chain_large_z(self):
+        assert abs(geweke_z(np.linspace(0, 10, 1000))) > 5.0
+
+    def test_bad_windows(self, rng):
+        with pytest.raises(ValueError):
+            geweke_z(rng.standard_normal(100), first=0.7, last=0.7)
+
+
+class TestGelmanRubin:
+    def test_agreeing_chains_near_one(self, rng):
+        chains = rng.standard_normal((4, 2000))
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.02)
+
+    def test_disagreeing_chains_large(self, rng):
+        chains = rng.standard_normal((4, 500))
+        chains[0] += 10.0
+        assert gelman_rubin(chains) > 2.0
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            gelman_rubin(rng.standard_normal(10))
+
+    def test_summarize(self, rng):
+        summary = summarize_chain(rng.standard_normal(500) + 3.0)
+        assert summary["mean"] == pytest.approx(3.0, abs=0.2)
+        assert summary["ess"] > 100
+
+
+class TestCollapsedLDA:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_lda_corpus(make_rng(0), 30, vocabulary=25, topics=3,
+                                   mean_length=25)
+
+    def test_counts_stay_consistent(self, corpus):
+        sampler = CollapsedLDA(corpus.documents, 25, 3, make_rng(1)).run(5)
+        total_words = sum(len(d) for d in corpus.documents)
+        assert sampler.doc_topic.sum() == total_words
+        assert sampler.topic_word.sum() == total_words
+        assert sampler.topic_totals.sum() == total_words
+        np.testing.assert_allclose(sampler.topic_word.sum(axis=1),
+                                   sampler.topic_totals)
+
+    def test_log_joint_improves(self, corpus):
+        sampler = CollapsedLDA(corpus.documents, 25, 3, make_rng(2))
+        before = sampler.log_joint()
+        sampler.run(15)
+        assert sampler.log_joint() > before
+
+    def test_recovers_disjoint_topics(self):
+        rng = make_rng(3)
+        phi_true = np.zeros((2, 20))
+        phi_true[0, :10] = 0.1
+        phi_true[1, 10:] = 0.1
+        docs = [rng.choice(20, size=40, p=phi_true[rng.choice(2)])
+                for _ in range(50)]
+        sampler = CollapsedLDA(docs, 20, 2, rng, alpha=0.2).run(25)
+        phi = sampler.phi_estimate()
+        low_mass = phi[:, :10].sum(axis=1)
+        assert low_mass.max() > 0.9 and low_mass.min() < 0.1
+
+    def test_stale_with_one_partition_matches_exact(self, corpus):
+        """partitions=1 reduces the stale sampler to the exact one."""
+        exact = CollapsedLDA(corpus.documents, 25, 3, make_rng(4)).run(3)
+        stale = StaleCollapsedLDA(corpus.documents, 25, 3, make_rng(4),
+                                  partitions=1).run(3)
+        np.testing.assert_allclose(exact.topic_word, stale.topic_word)
+
+    def test_stale_counts_remain_consistent(self, corpus):
+        """Even with stale updates the merged counts must balance —
+        the approximation breaks the distribution, not the bookkeeping."""
+        stale = StaleCollapsedLDA(corpus.documents, 25, 3, make_rng(5),
+                                  partitions=6).run(5)
+        total_words = sum(len(d) for d in corpus.documents)
+        assert stale.topic_word.sum() == total_words
+        np.testing.assert_allclose(stale.topic_word.sum(axis=1),
+                                   stale.topic_totals)
+
+    def test_stale_diverges_from_exact(self, corpus):
+        """The paper's complaint: parallel collapsed updates ignore the
+        induced correlations.  With many partitions the per-iteration
+        transition differs from the exact chain's."""
+        exact = CollapsedLDA(corpus.documents, 25, 3, make_rng(6)).run(1)
+        stale = StaleCollapsedLDA(corpus.documents, 25, 3, make_rng(6),
+                                  partitions=10).run(1)
+        assert not np.allclose(exact.topic_word, stale.topic_word)
+
+    def test_partitions_validation(self, corpus):
+        with pytest.raises(ValueError):
+            StaleCollapsedLDA(corpus.documents, 25, 3, make_rng(7), partitions=0)

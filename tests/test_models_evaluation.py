@@ -1,0 +1,125 @@
+"""Tests for the planted-structure recovery metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.evaluation import (
+    adjusted_rand_index,
+    label_accuracy,
+    match_means,
+    mean_recovery_error,
+    support_recovery,
+    topic_overlap,
+)
+from repro.stats import make_rng
+
+
+class TestMatchMeans:
+    def test_identity_match(self):
+        truth = np.array([[0.0, 0.0], [5.0, 5.0]])
+        perm, dist = match_means(truth, truth)
+        assert list(perm) == [0, 1]
+        np.testing.assert_allclose(dist, 0.0)
+
+    def test_permuted_match(self):
+        truth = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, -9.0]])
+        learned = truth[[2, 0, 1]]
+        perm, dist = match_means(learned, truth)
+        np.testing.assert_allclose(dist, 0.0)
+        assert list(perm) == [1, 2, 0]
+
+    def test_optimal_not_greedy(self):
+        """A case where greedy nearest-first matching is suboptimal."""
+        truth = np.array([[0.0], [1.0]])
+        learned = np.array([[0.9], [2.0]])
+        _, dist = match_means(learned, truth)
+        # Optimal total: |0-0.9| + |1-2| = 1.9 (greedy would pair 1<->0.9).
+        assert dist.sum() == pytest.approx(1.9)
+
+    def test_error_metric(self):
+        truth = np.array([[0.0, 0.0], [4.0, 0.0]])
+        learned = np.array([[0.0, 0.3], [4.0, 0.0]])
+        assert mean_recovery_error(learned, truth) == pytest.approx(0.3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            match_means(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestLabelMetrics:
+    def test_perfect_accuracy_under_permutation(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        predicted = np.array([2, 2, 0, 0, 1, 1])
+        assert label_accuracy(predicted, truth) == 1.0
+        assert adjusted_rand_index(predicted, truth) == pytest.approx(1.0)
+
+    def test_random_labels_low_ari(self, rng):
+        truth = rng.integers(4, size=3000)
+        predicted = rng.integers(4, size=3000)
+        assert abs(adjusted_rand_index(predicted, truth)) < 0.05
+
+    def test_partial_accuracy(self):
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        predicted = np.array([0, 0, 1, 1, 1, 1])
+        assert label_accuracy(predicted, truth) == pytest.approx(5 / 6)
+
+    @given(seed=st.integers(0, 1000), k=st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_ari_invariant_to_relabeling(self, seed, k):
+        rng = make_rng(seed)
+        truth = rng.integers(k, size=60)
+        predicted = rng.integers(k, size=60)
+        relabel = rng.permutation(k)
+        assert adjusted_rand_index(predicted, truth) == pytest.approx(
+            adjusted_rand_index(relabel[predicted], truth)
+        )
+
+
+class TestTopicOverlap:
+    def test_identical_topics_full_overlap(self, rng):
+        phi = rng.dirichlet(np.full(50, 0.1), size=4)
+        assert topic_overlap(phi, phi, top=8) == [8, 8, 8, 8]
+
+    def test_permuted_topics_still_matched(self, rng):
+        phi = rng.dirichlet(np.full(50, 0.1), size=4)
+        assert topic_overlap(phi[[3, 0, 1, 2]], phi, top=8) == [8, 8, 8, 8]
+
+    def test_disjoint_topics_zero_overlap(self):
+        phi_a = np.zeros((2, 20))
+        phi_a[0, :10] = 0.1
+        phi_a[1, 10:] = 0.1
+        phi_b = np.zeros((2, 20))
+        phi_b[0, ::2] = 0.1
+        phi_b[1, 1::2] = 0.1
+        scores = topic_overlap(phi_b, phi_a, top=10)
+        assert all(s == 5 for s in scores)  # half the words intersect
+
+
+class TestSupportRecovery:
+    def test_exact_recovery(self):
+        beta = np.array([0.0, 5.0, 0.0, -4.0])
+        out = support_recovery(np.array([0.1, 4.8, -0.2, -4.2]), beta)
+        assert out["exact"]
+        assert out["precision"] == 1.0 and out["recall"] == 1.0
+        assert out["max_error"] == pytest.approx(0.2)
+
+    def test_false_positive_hits_precision(self):
+        beta = np.array([0.0, 5.0])
+        out = support_recovery(np.array([2.0, 5.0]), beta)
+        assert out["precision"] == 0.5 and out["recall"] == 1.0
+        assert not out["exact"]
+
+    def test_end_to_end_with_reference_sampler(self):
+        from repro.models import ReferenceLasso
+        from repro.workloads import generate_lasso_data
+
+        data = generate_lasso_data(make_rng(4), 400, p=20, active=3, signal=5.0)
+        sampler = ReferenceLasso(data.x, data.y, make_rng(5), lam=2.0).run(80)
+        draws = []
+        for _ in range(60):
+            sampler.step()
+            draws.append(sampler.state.beta.copy())
+        out = support_recovery(np.mean(draws, axis=0), data.beta)
+        assert out["exact"]

@@ -1,0 +1,133 @@
+"""Property-based tests: the relational operators against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.relational import (
+    Database,
+    Distinct,
+    GroupBy,
+    Join,
+    Scan,
+    Select,
+    col,
+    lit,
+)
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(-20, 20)), max_size=50,
+)
+
+
+def fresh_db() -> Database:
+    return Database(ClusterSpec(machines=2))
+
+
+class TestJoinProperties:
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_equi_join_matches_nested_loop(self, left, right):
+        db = fresh_db()
+        db.create_table("l", ["k", "a"], left)
+        db.create_table("r", ["j", "b"], right)
+        out = db.query(Join(Scan("l"), Scan("r"), predicate=col("k") == col("j")))
+        expected = sorted(
+            (k, a, j, b) for k, a in left for j, b in right if k == j
+        )
+        assert sorted(out.rows) == expected
+
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_cross_join_cardinality(self, left, right):
+        db = fresh_db()
+        db.create_table("l", ["k", "a"], left)
+        db.create_table("r", ["j", "b"], right)
+        out = db.query(Join(Scan("l"), Scan("r")))
+        assert len(out) == len(left) * len(right)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_join_with_arithmetic_predicate_matches_filtered_product(self, rows):
+        """The cross-product quirk is slow, never wrong."""
+        db = fresh_db()
+        db.create_table("l", ["k", "a"], rows)
+        db.create_table("r", ["j", "b"], rows)
+        out = db.query(Join(Scan("l"), Scan("r"),
+                            predicate=col("k") == col("j") + lit(1)))
+        expected = sorted(
+            (k, a, j, b) for k, a in rows for j, b in rows if k == j + 1
+        )
+        assert sorted(out.rows) == expected
+
+
+class TestGroupByProperties:
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_group_sums_partition_the_total(self, rows):
+        db = fresh_db()
+        db.create_table("t", ["k", "v"], rows)
+        out = db.query(GroupBy(Scan("t"), keys=["k"],
+                               aggs=[("s", "sum", col("v")),
+                                     ("n", "count", None)]))
+        assert sum(r[1] for r in out.rows) == sum(v for _, v in rows)
+        assert sum(r[2] for r in out.rows) == len(rows)
+        assert len(out) == len({k for k, _ in rows})
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_min_max_bound_members(self, rows):
+        db = fresh_db()
+        db.create_table("t", ["k", "v"], rows)
+        out = db.query(GroupBy(Scan("t"), keys=["k"],
+                               aggs=[("lo", "min", col("v")),
+                                     ("hi", "max", col("v"))]))
+        by_key: dict[int, list[int]] = {}
+        for k, v in rows:
+            by_key.setdefault(k, []).append(v)
+        for k, lo, hi in out.rows:
+            assert lo == min(by_key[k])
+            assert hi == max(by_key[k])
+
+
+class TestSelectDistinctProperties:
+    @given(rows=rows_strategy, threshold=st.integers(-20, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_select_is_a_filter(self, rows, threshold):
+        db = fresh_db()
+        db.create_table("t", ["k", "v"], rows)
+        out = db.query(Select(Scan("t"), col("v") > lit(threshold)))
+        assert sorted(out.rows) == sorted((k, v) for k, v in rows if v > threshold)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_removes_duplicates_only(self, rows):
+        db = fresh_db()
+        db.create_table("t", ["k", "v"], rows)
+        out = db.query(Distinct(Scan("t")))
+        assert sorted(out.rows) == sorted(set(rows))
+
+
+class TestSimulatorProperties:
+    @given(
+        factor=st.floats(min_value=1.0, max_value=1e6),
+        machines=st.sampled_from([5, 20, 100]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_time_monotone_in_scale(self, factor, machines):
+        """More data never simulates faster on the same trace."""
+        from repro.cluster import (
+            PLATFORM_PROFILES, ClusterSpec, Kind, Simulator, Tracer,
+        )
+
+        tracer = Tracer()
+        with tracer.iteration_phase(0):
+            tracer.emit(Kind.COMPUTE, records=100, flops=1000, language="python")
+            tracer.emit(Kind.SHUFFLE, records=10, bytes=1e6, language="python")
+        sim = Simulator(ClusterSpec(machines=machines), PLATFORM_PROFILES["spark"])
+        base = sim.simulate(tracer, {"data": 1.0}).mean_iteration_seconds
+        scaled = sim.simulate(tracer, {"data": factor}).mean_iteration_seconds
+        assert scaled >= base * 0.999
+        assert scaled == pytest.approx(base * factor, rel=1e-6)

@@ -1,0 +1,141 @@
+"""Tests for Dirichlet / Categorical / Multinomial and the Inverse Gaussian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats import (
+    Categorical,
+    Dirichlet,
+    InverseGaussian,
+    Multinomial,
+    make_rng,
+    sample_categorical_rows,
+)
+
+
+class TestDirichlet:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            Dirichlet(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Dirichlet(np.array([1.0, -1.0]))
+
+    def test_samples_on_simplex(self, rng):
+        draws = Dirichlet(np.array([1.0, 2.0, 3.0])).sample(rng, size=100)
+        assert np.all(draws >= 0)
+        np.testing.assert_allclose(draws.sum(axis=1), 1.0)
+
+    def test_mean(self, rng):
+        alpha = np.array([2.0, 3.0, 5.0])
+        dist = Dirichlet(alpha)
+        draws = dist.sample(rng, size=200_000)
+        np.testing.assert_allclose(draws.mean(axis=0), dist.mean, atol=0.005)
+
+    def test_logpdf_matches_scipy(self):
+        alpha = np.array([2.0, 3.0, 4.0])
+        x = np.array([0.2, 0.3, 0.5])
+        assert Dirichlet(alpha).logpdf(x) == pytest.approx(sps.dirichlet.logpdf(x, alpha))
+
+    def test_logpdf_off_simplex(self):
+        assert Dirichlet(np.array([1.0, 1.0])).logpdf(np.array([0.7, 0.7])) == -np.inf
+
+
+class TestCategorical:
+    def test_accepts_unnormalized_weights(self):
+        dist = Categorical(np.array([2.0, 6.0]))
+        np.testing.assert_allclose(dist.probs, [0.25, 0.75])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            Categorical(np.zeros(3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Categorical(np.array([1.0, -0.5]))
+
+    def test_frequencies(self, rng):
+        dist = Categorical(np.array([1.0, 2.0, 7.0]))
+        draws = dist.sample(rng, size=100_000)
+        freqs = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freqs, dist.probs, atol=0.01)
+
+    def test_logpmf(self):
+        dist = Categorical(np.array([1.0, 3.0]))
+        assert dist.logpmf(1) == pytest.approx(np.log(0.75))
+        assert dist.logpmf(5) == -np.inf
+
+
+class TestSampleCategoricalRows:
+    def test_deterministic_rows(self, rng):
+        weights = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(sample_categorical_rows(rng, weights), [0, 2])
+
+    def test_rejects_zero_row(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical_rows(rng, np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            sample_categorical_rows(rng, np.array([1.0, 2.0]))
+
+    def test_marginal_frequencies(self, rng):
+        weights = np.tile([1.0, 2.0, 1.0], (60_000, 1))
+        draws = sample_categorical_rows(rng, weights)
+        freqs = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freqs, [0.25, 0.5, 0.25], atol=0.01)
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 50), k=st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_range(self, seed, n, k):
+        rng = make_rng(seed)
+        weights = rng.uniform(0.1, 1.0, size=(n, k))
+        draws = sample_categorical_rows(rng, weights)
+        assert draws.shape == (n,)
+        assert np.all((draws >= 0) & (draws < k))
+
+
+class TestMultinomial:
+    def test_counts_sum_to_n(self, rng):
+        draw = Multinomial(10, np.array([0.2, 0.3, 0.5])).sample(rng)
+        assert draw.sum() == 10
+
+    def test_logpmf_matches_scipy(self):
+        dist = Multinomial(6, np.array([0.5, 0.25, 0.25]))
+        counts = np.array([3, 1, 2])
+        assert dist.logpmf(counts) == pytest.approx(
+            sps.multinomial.logpmf(counts, 6, [0.5, 0.25, 0.25])
+        )
+
+    def test_logpmf_wrong_total(self):
+        dist = Multinomial(5, np.array([0.5, 0.5]))
+        assert dist.logpmf(np.array([1, 1])) == -np.inf
+
+
+class TestInverseGaussian:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            InverseGaussian(0.0, 1.0)
+
+    def test_moments(self, rng):
+        dist = InverseGaussian(1.5, 4.0)
+        draws = dist.sample(rng, size=400_000)
+        assert draws.mean() == pytest.approx(dist.mean, rel=0.01)
+        assert draws.var() == pytest.approx(dist.variance, rel=0.05)
+
+    def test_logpdf_matches_scipy(self):
+        mu, lam = 2.0, 3.0
+        dist = InverseGaussian(mu, lam)
+        for x in (0.5, 1.0, 3.0):
+            assert dist.logpdf(x) == pytest.approx(
+                sps.invgauss.logpdf(x, mu / lam, scale=lam)
+            )
+
+    def test_scalar_draw_is_float(self, rng):
+        assert isinstance(InverseGaussian(1.0, 1.0).sample(rng), float)
+
+    def test_samples_positive(self, rng):
+        draws = InverseGaussian(0.7, 0.3).sample(rng, size=10_000)
+        assert np.all(draws > 0)

@@ -1,0 +1,103 @@
+"""Unit and property tests for the scalar distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import integrate, stats as sps
+
+from repro.stats import Beta, Gamma, InverseGamma, make_rng
+
+positive = st.floats(min_value=0.5, max_value=20.0, allow_nan=False)
+
+
+class TestGamma:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            Gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Gamma(1.0, -1.0)
+
+    def test_moments_match_monte_carlo(self, rng):
+        dist = Gamma(3.0, 2.0)
+        draws = dist.sample(rng, size=200_000)
+        assert draws.mean() == pytest.approx(dist.mean, rel=0.02)
+        assert draws.var() == pytest.approx(dist.variance, rel=0.05)
+
+    def test_logpdf_matches_scipy(self):
+        dist = Gamma(2.5, 1.5)
+        for x in (0.1, 1.0, 3.7):
+            assert dist.logpdf(x) == pytest.approx(sps.gamma.logpdf(x, 2.5, scale=1 / 1.5))
+
+    def test_logpdf_outside_support(self):
+        assert Gamma(1.0, 1.0).logpdf(-1.0) == -np.inf
+
+    @given(alpha=positive, beta=positive)
+    @settings(max_examples=25, deadline=None)
+    def test_logpdf_integrates_to_one(self, alpha, beta):
+        dist = Gamma(alpha, beta)
+        total, _ = integrate.quad(lambda x: np.exp(dist.logpdf(x)), 0, np.inf)
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+
+class TestInverseGamma:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            InverseGamma(-1.0, 1.0)
+
+    def test_reciprocal_of_gamma(self, rng):
+        """X ~ IG(a, b) iff 1/X ~ Gamma(a, rate=b)."""
+        dist = InverseGamma(4.0, 3.0)
+        draws = dist.sample(rng, size=100_000)
+        recip = 1.0 / draws
+        assert recip.mean() == pytest.approx(Gamma(4.0, 3.0).mean, rel=0.02)
+
+    def test_moments(self, rng):
+        dist = InverseGamma(5.0, 2.0)
+        draws = dist.sample(rng, size=300_000)
+        assert draws.mean() == pytest.approx(dist.mean, rel=0.02)
+        assert draws.var() == pytest.approx(dist.variance, rel=0.1)
+
+    def test_logpdf_matches_scipy(self):
+        dist = InverseGamma(2.0, 3.0)
+        for x in (0.5, 1.0, 4.0):
+            assert dist.logpdf(x) == pytest.approx(sps.invgamma.logpdf(x, 2.0, scale=3.0))
+
+    def test_mean_undefined_for_small_alpha(self):
+        with pytest.raises(ValueError):
+            _ = InverseGamma(0.9, 1.0).mean
+        with pytest.raises(ValueError):
+            _ = InverseGamma(1.5, 1.0).variance
+
+
+class TestBeta:
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            Beta(0.0, 1.0)
+
+    def test_uniform_special_case(self, rng):
+        """Beta(1,1) is the paper's censoring coin: uniform on (0,1)."""
+        draws = Beta(1.0, 1.0).sample(rng, size=100_000)
+        assert draws.mean() == pytest.approx(0.5, abs=0.01)
+        assert draws.min() > 0 and draws.max() < 1
+
+    def test_logpdf_matches_scipy(self):
+        dist = Beta(2.0, 5.0)
+        for x in (0.1, 0.5, 0.9):
+            assert dist.logpdf(x) == pytest.approx(sps.beta.logpdf(x, 2.0, 5.0))
+
+    def test_logpdf_outside_support(self):
+        dist = Beta(2.0, 2.0)
+        assert dist.logpdf(0.0) == -np.inf
+        assert dist.logpdf(1.5) == -np.inf
+
+    @given(a=positive, b=positive)
+    @settings(max_examples=25, deadline=None)
+    def test_mean_in_unit_interval(self, a, b):
+        assert 0 < Beta(a, b).mean < 1
+
+
+def test_samples_are_reproducible():
+    d1 = Gamma(2.0, 2.0).sample(make_rng(7), size=10)
+    d2 = Gamma(2.0, 2.0).sample(make_rng(7), size=10)
+    np.testing.assert_array_equal(d1, d2)

@@ -1,0 +1,115 @@
+"""Tests for the multivariate normal, including the imputation conditional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import stats as sps
+
+from repro.stats import MultivariateNormal, make_rng
+
+
+def random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestConstruction:
+    def test_rejects_matrix_mean(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros((2, 2)), np.eye(2))
+
+    def test_rejects_mismatched_cov(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros(3), np.eye(2))
+
+    def test_jitter_recovers_singular_cov(self, rng):
+        """A rank-deficient covariance still yields a usable factor."""
+        cov = np.ones((3, 3))  # rank one
+        dist = MultivariateNormal(np.zeros(3), cov)
+        draw = dist.sample(rng)
+        assert draw.shape == (3,)
+
+
+class TestSampling:
+    def test_sample_shapes(self, rng):
+        dist = MultivariateNormal(np.zeros(4), np.eye(4))
+        assert dist.sample(rng).shape == (4,)
+        assert dist.sample(rng, size=7).shape == (7, 4)
+
+    def test_sample_moments(self, rng):
+        mean = np.array([1.0, -2.0, 0.5])
+        cov = random_spd(rng, 3)
+        draws = MultivariateNormal(mean, cov).sample(rng, size=200_000)
+        np.testing.assert_allclose(draws.mean(axis=0), mean, atol=0.03)
+        np.testing.assert_allclose(np.cov(draws.T), cov, atol=0.1)
+
+
+class TestLogpdf:
+    def test_matches_scipy(self, rng):
+        mean = rng.standard_normal(5)
+        cov = random_spd(rng, 5)
+        dist = MultivariateNormal(mean, cov)
+        for _ in range(5):
+            x = rng.standard_normal(5)
+            assert dist.logpdf(x) == pytest.approx(sps.multivariate_normal.logpdf(x, mean, cov))
+
+    def test_batched_rows(self, rng):
+        dist = MultivariateNormal(np.zeros(3), np.eye(3))
+        xs = rng.standard_normal((6, 3))
+        batched = dist.logpdf(xs)
+        singles = np.array([dist.logpdf(x) for x in xs])
+        np.testing.assert_allclose(batched, singles)
+
+
+class TestConditioning:
+    def test_independent_coordinates_unchanged(self):
+        """With a diagonal covariance, conditioning leaves the rest alone."""
+        dist = MultivariateNormal(np.array([1.0, 2.0, 3.0]), np.diag([1.0, 4.0, 9.0]))
+        cond = dist.condition(np.array([1]), np.array([10.0]))
+        np.testing.assert_allclose(cond.mean, [1.0, 3.0])
+        np.testing.assert_allclose(cond.cov, np.diag([1.0, 9.0]))
+
+    def test_bivariate_closed_form(self):
+        """Check against the textbook bivariate conditional."""
+        rho, s1, s2 = 0.8, 2.0, 3.0
+        cov = np.array([[s1**2, rho * s1 * s2], [rho * s1 * s2, s2**2]])
+        dist = MultivariateNormal(np.array([0.0, 1.0]), cov)
+        cond = dist.condition(np.array([1]), np.array([4.0]))
+        assert cond.mean[0] == pytest.approx(rho * s1 / s2 * (4.0 - 1.0))
+        assert cond.cov[0, 0] == pytest.approx(s1**2 * (1 - rho**2))
+
+    def test_rejects_conditioning_on_everything(self):
+        dist = MultivariateNormal(np.zeros(2), np.eye(2))
+        with pytest.raises(ValueError):
+            dist.condition(np.array([0, 1]), np.array([0.0, 0.0]))
+
+    def test_empty_conditioning_is_marginal(self):
+        dist = MultivariateNormal(np.zeros(2), np.eye(2))
+        cond = dist.condition(np.array([], dtype=int), np.array([]))
+        np.testing.assert_allclose(cond.mean, dist.mean)
+
+    def test_conditional_matches_empirical(self, rng):
+        """Conditioning agrees with filtering a big joint sample."""
+        cov = random_spd(rng, 3)
+        dist = MultivariateNormal(np.zeros(3), cov)
+        draws = dist.sample(rng, size=400_000)
+        observed_value = 0.5
+        near = draws[np.abs(draws[:, 2] - observed_value) < 0.05]
+        cond = dist.condition(np.array([2]), np.array([observed_value]))
+        np.testing.assert_allclose(near[:, :2].mean(axis=0), cond.mean, atol=0.05)
+
+    @given(
+        observed=st.lists(st.sampled_from([0, 1, 2, 3]), unique=True, max_size=3),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_cov_is_psd(self, observed, seed):
+        rng = make_rng(seed)
+        cov = random_spd(rng, 4)
+        dist = MultivariateNormal(rng.standard_normal(4), cov)
+        idx = np.array(sorted(observed), dtype=int)
+        cond = dist.condition(idx, rng.standard_normal(idx.size))
+        assert cond.dim == 4 - idx.size
+        assert np.linalg.eigvalsh(cond.cov).min() > -1e-8

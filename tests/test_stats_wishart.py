@@ -1,0 +1,87 @@
+"""Tests for Wishart / inverse-Wishart samplers."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats import InverseWishart, Wishart, make_rng
+
+
+def random_spd(rng, d):
+    a = rng.standard_normal((d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestWishart:
+    def test_rejects_small_df(self):
+        with pytest.raises(ValueError):
+            Wishart(2.0, np.eye(3))
+
+    def test_rejects_nonsquare_scale(self):
+        with pytest.raises(ValueError):
+            Wishart(5.0, np.ones((2, 3)))
+
+    def test_samples_positive_definite(self, rng):
+        dist = Wishart(10.0, random_spd(rng, 4))
+        for _ in range(20):
+            assert np.linalg.eigvalsh(dist.sample(rng)).min() > 0
+
+    def test_sample_mean(self, rng):
+        scale = random_spd(rng, 3)
+        dist = Wishart(8.0, scale)
+        draws = np.mean([dist.sample(rng) for _ in range(20_000)], axis=0)
+        np.testing.assert_allclose(draws, dist.mean, rtol=0.05)
+
+    def test_logpdf_matches_scipy(self, rng):
+        scale = random_spd(rng, 3)
+        dist = Wishart(7.0, scale)
+        x = dist.sample(rng)
+        assert dist.logpdf(x) == pytest.approx(sps.wishart.logpdf(x, 7, scale))
+
+    def test_logpdf_outside_support(self):
+        dist = Wishart(5.0, np.eye(2))
+        assert dist.logpdf(-np.eye(2)) == -np.inf
+
+    def test_one_dimensional_is_scaled_chisquare(self, rng):
+        """W(df, s) in 1-D is s * chi2(df)."""
+        draws = np.array([Wishart(6.0, np.array([[2.0]])).sample(rng)[0, 0] for _ in range(50_000)])
+        assert draws.mean() == pytest.approx(2.0 * 6.0, rel=0.02)
+
+
+class TestInverseWishart:
+    def test_rejects_small_df(self):
+        with pytest.raises(ValueError):
+            InverseWishart(1.0, np.eye(3))
+
+    def test_samples_positive_definite(self, rng):
+        dist = InverseWishart(12.0, random_spd(rng, 5))
+        for _ in range(20):
+            assert np.linalg.eigvalsh(dist.sample(rng)).min() > 0
+
+    def test_sample_mean(self, rng):
+        scale = random_spd(rng, 3)
+        dist = InverseWishart(10.0, scale)
+        draws = np.mean([dist.sample(rng) for _ in range(40_000)], axis=0)
+        np.testing.assert_allclose(draws, dist.mean, atol=0.05 * np.abs(dist.mean).max())
+
+    def test_logpdf_matches_scipy(self, rng):
+        scale = random_spd(rng, 3)
+        dist = InverseWishart(8.0, scale)
+        x = dist.sample(rng)
+        assert dist.logpdf(x) == pytest.approx(sps.invwishart.logpdf(x, 8, scale))
+
+    def test_inverse_relation(self, rng):
+        """X ~ IW(df, Psi) implies X^-1 has Wishart(df, Psi^-1) mean."""
+        dist = InverseWishart(9.0, 2.0 * np.eye(2))
+        inverses = np.mean([np.linalg.inv(dist.sample(rng)) for _ in range(30_000)], axis=0)
+        expected = Wishart(9.0, np.linalg.inv(2.0 * np.eye(2))).mean
+        np.testing.assert_allclose(inverses, expected, atol=0.05 * np.abs(expected).max())
+
+    def test_mean_undefined_for_small_df(self):
+        with pytest.raises(ValueError):
+            _ = InverseWishart(3.5, np.eye(3)).mean
+
+    def test_reproducible(self):
+        d1 = InverseWishart(6.0, np.eye(3)).sample(make_rng(3))
+        d2 = InverseWishart(6.0, np.eye(3)).sample(make_rng(3))
+        np.testing.assert_array_equal(d1, d2)

@@ -1,0 +1,151 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import make_rng
+from repro.workloads import (
+    censor_beta_coin,
+    generate_gmm_data,
+    generate_hmm_corpus,
+    generate_lda_corpus,
+    generate_lasso_data,
+    newsgroup_style_corpus,
+)
+
+
+class TestGMMData:
+    def test_shapes(self, rng):
+        data = generate_gmm_data(rng, 500, dim=4, clusters=3)
+        assert data.points.shape == (500, 4)
+        assert data.means.shape == (3, 4)
+        assert data.covariances.shape == (3, 4, 4)
+        assert data.labels.shape == (500,)
+        assert data.n == 500 and data.dim == 4 and data.clusters == 3
+
+    def test_weights_on_simplex(self, rng):
+        data = generate_gmm_data(rng, 100, dim=2, clusters=5)
+        assert data.weights.sum() == pytest.approx(1.0)
+
+    def test_clusters_separated(self, rng):
+        """Points should sit near their own component mean."""
+        data = generate_gmm_data(rng, 2000, dim=5, clusters=4, separation=8.0)
+        for k in range(4):
+            members = data.points[data.labels == k]
+            if len(members) > 10:
+                centroid = members.mean(axis=0)
+                own = np.linalg.norm(centroid - data.means[k])
+                others = min(np.linalg.norm(centroid - data.means[j])
+                             for j in range(4) if j != k)
+                assert own < others
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            generate_gmm_data(rng, 0)
+        with pytest.raises(ValueError):
+            generate_gmm_data(rng, 10, dim=0)
+
+    def test_reproducible(self):
+        a = generate_gmm_data(make_rng(5), 50, dim=2, clusters=2)
+        b = generate_gmm_data(make_rng(5), 50, dim=2, clusters=2)
+        np.testing.assert_array_equal(a.points, b.points)
+
+
+class TestLassoData:
+    def test_shapes_and_sparsity(self, rng):
+        data = generate_lasso_data(rng, 100, p=50, active=5)
+        assert data.x.shape == (100, 50)
+        assert data.y.shape == (100,)
+        assert np.count_nonzero(data.beta) == 5
+
+    def test_default_active_fraction(self, rng):
+        data = generate_lasso_data(rng, 10, p=100)
+        assert np.count_nonzero(data.beta) == 10
+
+    def test_noise_level(self, rng):
+        data = generate_lasso_data(rng, 5000, p=10, active=2, noise_sigma=0.5)
+        residual = data.y - data.x @ data.beta
+        assert residual.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_rejects_bad_active(self, rng):
+        with pytest.raises(ValueError):
+            generate_lasso_data(rng, 10, p=5, active=6)
+
+
+class TestCorpora:
+    def test_newsgroup_style_statistics(self, rng):
+        corpus = newsgroup_style_corpus(rng, 300, vocabulary=1000, mean_length=210)
+        assert corpus.n_documents == 300
+        assert corpus.mean_length() == pytest.approx(210, rel=0.2)
+        assert all(d.max() < 1000 for d in corpus.documents)
+        assert all(len(d) >= 4 for d in corpus.documents)
+
+    def test_newsgroup_words_skewed(self, rng):
+        """Zipf construction: low word ids much more frequent."""
+        corpus = newsgroup_style_corpus(rng, 200, vocabulary=1000, mean_length=100)
+        words = np.concatenate(corpus.documents)
+        low = np.mean(words < 100)
+        assert low > 0.25  # 10% of vocabulary carries >25% of the mass
+
+    def test_hmm_corpus_truth(self, rng):
+        corpus = generate_hmm_corpus(rng, 20, vocabulary=50, states=4)
+        assert corpus.truth["transitions"].shape == (4, 4)
+        np.testing.assert_allclose(corpus.truth["emissions"].sum(axis=1), 1.0)
+        assert len(corpus.truth["paths"]) == 20
+        for words, path in zip(corpus.documents, corpus.truth["paths"]):
+            assert len(words) == len(path)
+
+    def test_lda_corpus_truth(self, rng):
+        corpus = generate_lda_corpus(rng, 15, vocabulary=60, topics=3)
+        assert corpus.truth["phi"].shape == (3, 60)
+        assert len(corpus.truth["assignments"]) == 15
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            newsgroup_style_corpus(rng, 0)
+        with pytest.raises(ValueError):
+            generate_hmm_corpus(rng, 5, states=1)
+        with pytest.raises(ValueError):
+            generate_lda_corpus(rng, 5, topics=1)
+
+    def test_empty_corpus_mean_length_raises(self):
+        from repro.workloads import Corpus
+
+        with pytest.raises(ValueError):
+            Corpus([], 10).mean_length()
+
+
+class TestCensoring:
+    def test_roughly_half_censored(self, rng):
+        """Beta(1,1) coin => 50% of attribute values censored on average."""
+        points = rng.standard_normal((5000, 10))
+        censored = censor_beta_coin(rng, points)
+        assert censored.censored_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_censored_entries_are_nan(self, rng):
+        censored = censor_beta_coin(rng, rng.standard_normal((100, 5)))
+        assert np.isnan(censored.points[censored.mask]).all()
+        assert not np.isnan(censored.points[~censored.mask]).any()
+
+    def test_no_fully_censored_rows(self, rng):
+        censored = censor_beta_coin(rng, rng.standard_normal((3000, 3)))
+        assert not censored.mask.all(axis=1).any()
+
+    def test_original_untouched(self, rng):
+        points = rng.standard_normal((50, 4))
+        censored = censor_beta_coin(rng, points)
+        np.testing.assert_array_equal(censored.original, points)
+        assert not np.isnan(points).any()
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(ValueError):
+            censor_beta_coin(rng, np.zeros(10))
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(2, 50), d=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_matches_nans(self, seed, n, d):
+        rng = make_rng(seed)
+        censored = censor_beta_coin(rng, rng.standard_normal((n, d)))
+        np.testing.assert_array_equal(np.isnan(censored.points), censored.mask)
