@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Host fast-path microbenchmarks: ``python benchmarks/microbench.py``.
+
+Times each model's per-iteration host cost per backend with the fast
+path on vs off (``repro.bench.wallclock``) and writes ``BENCH_<rev>.json``
+to the output directory.  The simulated cost events are identical either
+way — this measures only real wall-clock on the host.
+
+    python benchmarks/microbench.py             # full suite
+    python benchmarks/microbench.py --quick     # CI smoke (2 cases, 1 repeat)
+    python benchmarks/microbench.py --out /tmp  # write the JSON elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import wallclock  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke subset with a single repeat per case")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_<rev>.json (default: cwd)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        cases = [replace(case, repeats=1) for case in wallclock.quick_cases()]
+    else:
+        cases = wallclock.default_cases()
+
+    payload = wallclock.run_suite(cases, progress=print)
+    path = wallclock.write_report(payload, args.out)
+    print(f"wrote {path}")
+
+    bad = [name for name, r in payload["cases"].items()
+           if not r["events_identical"]]
+    if bad:
+        print(f"FAIL: cost events changed under the fast path: {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

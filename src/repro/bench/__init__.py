@@ -2,7 +2,13 @@
 
 from repro.bench import experiments
 from repro.bench.loc import count_source_lines
-from repro.bench.report import assert_failed, assert_ran, format_figure, seconds_of
+from repro.bench.report import (
+    assert_failed,
+    assert_ran,
+    format_figure,
+    format_summary,
+    seconds_of,
+)
 from repro.bench.runner import CellResult, paper_scales, run_benchmark
 
 __all__ = [
@@ -12,6 +18,7 @@ __all__ = [
     "count_source_lines",
     "experiments",
     "format_figure",
+    "format_summary",
     "paper_scales",
     "run_benchmark",
     "seconds_of",

@@ -29,6 +29,24 @@ def format_figure(title: str, rows: dict[str, list[CellResult]],
     return "\n".join(out)
 
 
+def format_summary(summary: dict) -> str:
+    """One-line cost totals from :meth:`Tracer.summary`.
+
+    The same summarizer feeds the paper-table tooling and the
+    microbenchmark JSON (``bench/wallclock.py``), so totals printed next
+    to a table and totals recorded in ``BENCH_<rev>.json`` can never
+    disagree about what was traced.
+    """
+    by_scale = ", ".join(f"{scale}={bytes_ / 2**20:.1f}"
+                         for scale, bytes_ in summary["bytes_by_scale"].items())
+    return (f"{summary['phases']} phases / {summary['events']} events "
+            f"({summary['compute_events']} compute, "
+            f"{summary['shuffle_events']} shuffle), "
+            f"{summary['records']:.3g} records, {summary['flops']:.3g} flops, "
+            f"{summary['bytes'] / 2**20:.1f} MiB" +
+            (f" [{by_scale}]" if by_scale else ""))
+
+
 def seconds_of(result: CellResult) -> float:
     """Mean per-iteration seconds of a non-failed cell."""
     if result.report.failed:

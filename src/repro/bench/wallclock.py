@@ -1,0 +1,230 @@
+"""Wall-clock microbenchmarks for the host-execution fast path.
+
+The tracer charges the paper's per-record costs no matter how the host
+actually executes, so host execution is free to batch and memoize
+(``repro.fastpath``).  This module measures what that buys: each case
+runs one model on one backend twice — fast path on, then off — and
+times the *per-iteration host cost* (initialization excluded, best of
+``repeats`` runs).  Both runs use identical seeds, so the tracer event
+streams must come out identical; the JSON records that check next to
+the speedup.
+
+``python benchmarks/microbench.py`` drives this and writes
+``BENCH_<rev>.json`` so the perf trajectory is kept per revision.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro import fastpath
+from repro.bench.report import format_summary
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.impls import giraph, graphlab, simsql, spark
+from repro.workloads import (
+    censor_beta_coin,
+    generate_gmm_data,
+    generate_lasso_data,
+    generate_lda_corpus,
+    newsgroup_style_corpus,
+)
+
+SEED = 20140622
+MACHINES = 3
+IMPL_SEED = 42
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (model, backend) microbenchmark."""
+
+    name: str
+    model: str
+    platform: str
+    factory: Callable[[ClusterSpec, Tracer], object]
+    iterations: int = 3
+    repeats: int = 5
+
+
+def _spark_gmm() -> Callable:
+    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
+                              cluster_spec, tracer)
+    return factory
+
+
+def _spark_lda() -> Callable:
+    corpus = generate_lda_corpus(np.random.default_rng(5), 400, vocabulary=600,
+                                 topics=5, mean_length=120)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkLDADocument(corpus.documents, 600, 5,
+                                      np.random.default_rng(IMPL_SEED),
+                                      cluster_spec, tracer)
+    return factory
+
+
+def _spark_lasso() -> Callable:
+    data = generate_lasso_data(np.random.default_rng(11), 800, p=25)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkLasso(data.x, data.y, np.random.default_rng(IMPL_SEED),
+                                cluster_spec, tracer)
+    return factory
+
+
+def _spark_hmm() -> Callable:
+    corpus = newsgroup_style_corpus(np.random.default_rng(13), 40, vocabulary=500)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkHMMDocument(corpus.documents, 500, 10,
+                                      np.random.default_rng(IMPL_SEED),
+                                      cluster_spec, tracer)
+    return factory
+
+
+def _spark_imputation() -> Callable:
+    rng = np.random.default_rng(17)
+    censored = censor_beta_coin(rng, generate_gmm_data(rng, 400, dim=5,
+                                                       clusters=3).points)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkImputation(censored.points, censored.mask, 3,
+                                     np.random.default_rng(IMPL_SEED),
+                                     cluster_spec, tracer)
+    return factory
+
+
+def _simsql_gmm() -> Callable:
+    data = generate_gmm_data(np.random.default_rng(7), 100, dim=5, clusters=3)
+
+    def factory(cluster_spec, tracer):
+        return simsql.SimSQLGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
+                                cluster_spec, tracer)
+    return factory
+
+
+def _giraph_gmm() -> Callable:
+    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
+
+    def factory(cluster_spec, tracer):
+        return giraph.GiraphGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
+                                cluster_spec, tracer)
+    return factory
+
+
+def _graphlab_gmm() -> Callable:
+    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
+
+    def factory(cluster_spec, tracer):
+        return graphlab.GraphLabGMM(data.points, 3,
+                                    np.random.default_rng(IMPL_SEED),
+                                    cluster_spec, tracer)
+    return factory
+
+
+def default_cases() -> list[BenchCase]:
+    """The five models on Spark plus GMM on every other backend."""
+    return [
+        BenchCase("spark_gmm", "gmm", "spark", _spark_gmm()),
+        BenchCase("spark_lda", "lda", "spark", _spark_lda()),
+        BenchCase("spark_lasso", "lasso", "spark", _spark_lasso()),
+        BenchCase("spark_hmm", "hmm", "spark", _spark_hmm()),
+        BenchCase("spark_imputation", "imputation", "spark", _spark_imputation()),
+        BenchCase("simsql_gmm", "gmm", "simsql", _simsql_gmm(),
+                  iterations=2, repeats=2),
+        BenchCase("giraph_gmm", "gmm", "giraph", _giraph_gmm(), repeats=3),
+        BenchCase("graphlab_gmm", "gmm", "graphlab", _graphlab_gmm(), repeats=3),
+    ]
+
+
+def quick_cases() -> list[BenchCase]:
+    """CI smoke subset: the two cases with acceptance-bar speedups."""
+    return [case for case in default_cases()
+            if case.name in ("spark_gmm", "spark_lda")]
+
+
+def _run_once(case: BenchCase, fast: bool) -> tuple[float, list, dict]:
+    """One full run: init (untimed) + timed iterations.  Returns the
+    iteration wall-clock, the phase event streams, and the summary."""
+    with fastpath.fast_path(fast):
+        tracer = Tracer()
+        impl = case.factory(ClusterSpec(machines=MACHINES), tracer)
+        with tracer.phase("init"):
+            impl.initialize()
+        started = time.perf_counter()
+        for i in range(case.iterations):
+            with tracer.phase(f"iteration-{i}"):
+                impl.iterate(i)
+        elapsed = time.perf_counter() - started
+    events = [(p.name, p.events, p.memory) for p in tracer.phases]
+    return elapsed, events, tracer.summary()
+
+
+def run_case(case: BenchCase) -> dict:
+    """Benchmark one case fast-vs-slow; best-of-``repeats`` timing."""
+    fast_best, fast_events, summary = _run_once(case, fast=True)
+    slow_best, slow_events, _ = _run_once(case, fast=False)
+    for _ in range(case.repeats - 1):
+        fast_best = min(fast_best, _run_once(case, fast=True)[0])
+        slow_best = min(slow_best, _run_once(case, fast=False)[0])
+    return {
+        "model": case.model,
+        "platform": case.platform,
+        "iterations": case.iterations,
+        "repeats": case.repeats,
+        "fast_seconds_per_iteration": fast_best / case.iterations,
+        "slow_seconds_per_iteration": slow_best / case.iterations,
+        "speedup": slow_best / fast_best if fast_best > 0 else float("inf"),
+        "events_identical": fast_events == slow_events,
+        "summary": summary,
+    }
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip() or "dev"
+    except Exception:
+        return "dev"
+
+
+def run_suite(cases: list[BenchCase] | None = None,
+              progress: Callable[[str], None] | None = None) -> dict:
+    """Run every case and assemble the ``BENCH_<rev>.json`` payload."""
+    results: dict[str, dict] = {}
+    for case in (cases if cases is not None else default_cases()):
+        results[case.name] = run_case(case)
+        if progress is not None:
+            r = results[case.name]
+            progress(f"{case.name}: {r['speedup']:.2f}x "
+                     f"({r['slow_seconds_per_iteration']:.4f}s -> "
+                     f"{r['fast_seconds_per_iteration']:.4f}s/iter, "
+                     f"events {'identical' if r['events_identical'] else 'DIFFER'})")
+            progress(f"  trace: {format_summary(r['summary'])}")
+    return {
+        "rev": git_revision(),
+        "machines": MACHINES,
+        "fast_path_default": fastpath.enabled(),
+        "cases": results,
+    }
+
+
+def write_report(payload: dict, out_dir: str | Path = ".") -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{payload['rev']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

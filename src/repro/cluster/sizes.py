@@ -12,8 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
+
 #: Framing bytes charged per container / record boundary.
 CONTAINER_OVERHEAD = 8.0
+
+#: Types that estimate at exactly 8 bytes (see the scalar branch below).
+#: ``bool`` is deliberately absent: it estimates at 1 byte.
+_NUMERIC_TYPES = frozenset({int, float, complex, np.int64, np.float64,
+                            np.int32, np.float32})
 
 
 def estimate_bytes(value) -> float:
@@ -27,6 +34,14 @@ def estimate_bytes(value) -> float:
     if isinstance(value, (str, bytes)):
         return float(len(value)) + CONTAINER_OVERHEAD
     if isinstance(value, dict):
+        if fastpath.enabled():
+            # All-numeric dicts (e.g. LDA's word -> count maps) estimate
+            # at exactly 16 bytes per item; the C-level type scan is the
+            # same value as the recursion, much cheaper.
+            types = set(map(type, value.keys()))
+            types.update(map(type, value.values()))
+            if types <= _NUMERIC_TYPES:
+                return 16.0 * len(value) + CONTAINER_OVERHEAD
         items = sum(estimate_bytes(k) + estimate_bytes(v) for k, v in value.items())
         return items + CONTAINER_OVERHEAD
     if isinstance(value, (list, tuple, set, frozenset)):

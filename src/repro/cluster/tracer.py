@@ -129,6 +129,69 @@ class Tracer:
     def named(self, name: str) -> list[Phase]:
         return [p for p in self.phases if p.name == name]
 
+    def summary(self) -> dict:
+        """Aggregate totals over every phase, for reports and benchmarks.
+
+        Returns a plain-JSON-able dict with event counts by kind, total
+        records/flops, and bytes broken down by scale group — the shared
+        summarizer behind ``bench/report.py`` and the microbenchmark
+        output.
+        """
+        events_by_kind: dict[str, int] = {}
+        records = 0.0
+        flops = 0.0
+        total_bytes = 0.0
+        bytes_by_scale: dict[str, float] = {}
+        for phase in self.phases:
+            for event in phase.events:
+                kind = event.kind.value
+                events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
+                records += event.records
+                flops += event.flops
+                total_bytes += event.bytes
+                if event.bytes:
+                    bytes_by_scale[event.scale] = (
+                        bytes_by_scale.get(event.scale, 0.0) + event.bytes)
+        return {
+            "phases": len(self.phases),
+            "events": sum(events_by_kind.values()),
+            "events_by_kind": dict(sorted(events_by_kind.items())),
+            "compute_events": events_by_kind.get("compute", 0),
+            "shuffle_events": events_by_kind.get("shuffle", 0),
+            "records": records,
+            "flops": flops,
+            "bytes": total_bytes,
+            "bytes_by_scale": dict(sorted(bytes_by_scale.items())),
+        }
+
+    # ------------------------------------------------------------------
+    # event capture/replay (host fast path)
+    # ------------------------------------------------------------------
+    #
+    # The dataflow engine memoizes partition results within an action and
+    # must re-emit the *exact* events a recomputation would have emitted.
+    # ``_mark``/``_events_since`` snapshot the span a computation emitted
+    # into the current phase; ``_replay`` appends those (frozen) events
+    # again in order.
+
+    def _mark(self) -> tuple[int, int] | None:
+        if self._current is None:
+            return None
+        return (len(self._current.events), len(self._current.memory))
+
+    def _events_since(self, mark) -> tuple[tuple, tuple]:
+        if mark is None or self._current is None:
+            return ((), ())
+        return (tuple(self._current.events[mark[0]:]),
+                tuple(self._current.memory[mark[1]:]))
+
+    def _replay(self, events, memory) -> None:
+        if not events and not memory:
+            return
+        phase = self._require_phase()
+        phase.events.extend(events)
+        phase.memory.extend(memory)
+
     def _require_phase(self) -> Phase:
         if self._current is None:
             raise RuntimeError("emit/materialize called outside any phase")
@@ -156,4 +219,10 @@ class NullTracer(Tracer):
         return -1
 
     def unpin(self, handle: int) -> None:
+        pass
+
+    def _mark(self) -> None:
+        return None
+
+    def _replay(self, events, memory) -> None:
         pass

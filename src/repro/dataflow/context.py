@@ -4,11 +4,12 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import fastpath
 from repro.cluster.events import DATA, FIXED, Kind, Site
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import NullTracer, Tracer
 from repro.dataflow.rdd import RDD, SourceRDD
-from repro.cluster.sizes import estimate_bytes
+from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
 
 
 class Broadcast:
@@ -29,7 +30,7 @@ class SparkContext:
     """
 
     def __init__(self, cluster: ClusterSpec, tracer: Tracer | None = None,
-                 language: str = "python") -> None:
+                 language: str = "python", fast_path: bool | None = None) -> None:
         if language not in ("python", "java"):
             raise ValueError(f"Spark callback language must be python or java, got {language!r}")
         self.cluster = cluster
@@ -38,6 +39,37 @@ class SparkContext:
         self.default_parallelism = cluster.total_cores
         self._cache: dict[int, list[list]] = {}
         self._rdd_counter = 0
+        # Host-execution fast path (None follows the repro.fastpath
+        # global).  Affects wall-clock only; cost events are identical.
+        self._fast_path_override = fast_path
+        # Per-action memo of materialized lineage: rdd_id -> (partitions,
+        # captured cost events, captured memory events).  Cleared at each
+        # job so cross-action recomputation (and its RNG consumption)
+        # behaves exactly like the scalar engine.
+        self._host_cache: dict[int, tuple] = {}
+        # Byte-estimate memo keyed by partition-list identity; estimates
+        # are structure-only, so identical objects give identical values.
+        self._bytes_cache: dict[int, tuple[list, float]] = {}
+
+    @property
+    def fast_path(self) -> bool:
+        if self._fast_path_override is not None:
+            return self._fast_path_override
+        return fastpath.enabled()
+
+    def _records_bytes(self, records: list) -> float:
+        """``estimate_records_bytes`` with a fast-path identity memo."""
+        if not self.fast_path:
+            return estimate_records_bytes(records)
+        key = id(records)
+        hit = self._bytes_cache.get(key)
+        if hit is not None and hit[0] is records:
+            return hit[1]
+        nbytes = estimate_records_bytes(records)
+        if len(self._bytes_cache) >= 8192:
+            self._bytes_cache.clear()
+        self._bytes_cache[key] = (records, nbytes)
+        return nbytes
 
     def parallelize(self, data: Iterable, num_partitions: int | None = None,
                     scale: str = FIXED) -> RDD:
@@ -78,6 +110,11 @@ class SparkContext:
         # boundary in the lineage, like Spark's DAG scheduler.
         stages = 1 + rdd._stage_count()
         self.tracer.emit(Kind.JOB, records=stages, scale=FIXED, label="spark-job")
+        # The host memo is per action: a new job recomputes uncached
+        # lineage for real, exactly like the scalar engine (this is what
+        # keeps the Section 9.2 imputation recomputation — and its RNG
+        # draws — faithful with the fast path on).
+        self._host_cache.clear()
         return rdd._partitions()
 
     def _next_rdd_id(self) -> int:

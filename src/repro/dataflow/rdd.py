@@ -56,15 +56,24 @@ class RDD:
     def map(self, fn: Callable, *, flops_per_record: float = 0.0,
             ops_per_record: float = 0.0, language: str | None = None,
             work_scale: str | None = None, out_scale: str | None = None,
-            closure_bytes: float = 0.0, label: str = "") -> "RDD":
+            closure_bytes: float = 0.0, label: str = "",
+            batch_fn: Callable | None = None) -> "RDD":
         """Apply ``fn`` to every record.
 
         ``ops_per_record`` counts the interpreted-language operations
         (library calls, per-element loop bodies) ``fn`` performs per
         record — the quantity that dominates per-record Python costs;
         ``flops_per_record`` counts the numeric work inside those calls.
+
+        ``batch_fn``, when given, is a vectorized form taking a whole
+        non-empty partition (list of records) and returning the list
+        ``[fn(r) for r in part]`` — bitwise identical, same RNG stream.
+        The host runs it when the fast path is on; the tracer charges
+        per-record execution either way.
         """
+        batch_part_fn = None if batch_fn is None else (lambda part: batch_fn(part))
         return _MappedRDD(self, lambda part: [fn(r) for r in part],
+                          batch_part_fn=batch_part_fn,
                           flops_per_record=flops_per_record,
                           ops_per_record=ops_per_record, language=language,
                           work_scale=work_scale, out_scale=out_scale,
@@ -73,9 +82,16 @@ class RDD:
     def flat_map(self, fn: Callable, *, flops_per_record: float = 0.0,
                  ops_per_record: float = 0.0, language: str | None = None,
                  work_scale: str | None = None, out_scale: str | None = None,
-                 closure_bytes: float = 0.0, label: str = "") -> "RDD":
-        """Apply ``fn`` and concatenate the resulting iterables."""
+                 closure_bytes: float = 0.0, label: str = "",
+                 batch_fn: Callable | None = None) -> "RDD":
+        """Apply ``fn`` and concatenate the resulting iterables.
+
+        ``batch_fn`` (fast path) takes a non-empty partition and returns
+        the already-concatenated outputs in identical order.
+        """
+        batch_part_fn = None if batch_fn is None else (lambda part: batch_fn(part))
         return _MappedRDD(self, lambda part: [o for r in part for o in fn(r)],
+                          batch_part_fn=batch_part_fn,
                           flops_per_record=flops_per_record,
                           ops_per_record=ops_per_record, language=language,
                           work_scale=work_scale, out_scale=out_scale,
@@ -93,9 +109,21 @@ class RDD:
     def map_values(self, fn: Callable, *, flops_per_record: float = 0.0,
                    ops_per_record: float = 0.0, language: str | None = None,
                    work_scale: str | None = None, out_scale: str | None = None,
-                   closure_bytes: float = 0.0, label: str = "") -> "RDD":
-        """Apply ``fn`` to the value of every (key, value) record."""
+                   closure_bytes: float = 0.0, label: str = "",
+                   batch_fn: Callable | None = None) -> "RDD":
+        """Apply ``fn`` to the value of every (key, value) record.
+
+        ``batch_fn`` (fast path) takes the list of values of a non-empty
+        partition and returns ``[fn(v) for v in values]``.
+        """
+        if batch_fn is None:
+            batch_part_fn = None
+        else:
+            def batch_part_fn(part):
+                new_values = batch_fn([v for _, v in part])
+                return [(kv[0], nv) for kv, nv in zip(part, new_values)]
         return _MappedRDD(self, lambda part: [(k, fn(v)) for k, v in part],
+                          batch_part_fn=batch_part_fn,
                           flops_per_record=flops_per_record,
                           ops_per_record=ops_per_record, language=language,
                           work_scale=work_scale, out_scale=out_scale,
@@ -139,9 +167,16 @@ class RDD:
 
     def reduce_by_key(self, fn: Callable, *, flops_per_record: float = 0.0,
                       language: str | None = None, work_scale: str | None = None,
-                      out_scale: str | None = None, label: str = "") -> "RDD":
-        """Combine values per key with map-side combining (like Spark)."""
-        return _ShuffleRDD(self, combiner=fn, flops_per_record=flops_per_record,
+                      out_scale: str | None = None, label: str = "",
+                      batch_combiner: Callable | None = None) -> "RDD":
+        """Combine values per key with map-side combining (like Spark).
+
+        ``batch_combiner`` (fast path) takes a list of two or more values
+        in arrival order and must return exactly the left fold of ``fn``
+        over them, bitwise.
+        """
+        return _ShuffleRDD(self, combiner=fn, batch_combiner=batch_combiner,
+                           flops_per_record=flops_per_record,
                            language=language, work_scale=work_scale,
                            out_scale=FIXED if out_scale is None else out_scale,
                            label=label or "reduce_by_key")
@@ -255,7 +290,22 @@ class RDD:
         cached = self.ctx._cache.get(self.rdd_id)
         if cached is not None:
             return cached
-        parts = self._compute()
+        fast = self.ctx.fast_path
+        entry = self.ctx._host_cache.get(self.rdd_id) if fast else None
+        if entry is not None:
+            # Host fast path: this lineage already materialized during the
+            # current action.  Replay the exact cost/memory events the
+            # original computation emitted (recursively including any
+            # recomputed parents), so the tracer still charges full
+            # Spark-style recomputation, and reuse the partitions.
+            parts, events, memory = entry
+            self.ctx.tracer._replay(events, memory)
+        else:
+            mark = self.ctx.tracer._mark() if fast else None
+            parts = self._compute()
+            if fast:
+                events, memory = self.ctx.tracer._events_since(mark)
+                self.ctx._host_cache[self.rdd_id] = (parts, events, memory)
         if isinstance(self, (_ShuffleRDD, _JoinRDD)) and not self._want_cache:
             # Spark keeps shuffle outputs on disk across jobs; later
             # actions skip the map stage instead of recomputing it.
@@ -263,7 +313,7 @@ class RDD:
             return parts
         if self._want_cache:
             self.ctx._cache[self.rdd_id] = parts
-            nbytes = sum(estimate_records_bytes(p) for p in parts)
+            nbytes = sum(self.ctx._records_bytes(p) for p in parts)
             objects = sum(len(p) for p in parts)
             self._cache_pin = self.ctx.tracer.pin(
                 bytes=nbytes, objects=objects, scale=self.scale,
@@ -333,12 +383,14 @@ class _MappedRDD(RDD):
     """Narrow transformation: map / flat_map / filter / map_partitions."""
 
     def __init__(self, parent: RDD, part_fn: Callable, *, per_partition: bool = False,
+                 batch_part_fn: Callable | None = None,
                  flops_per_record: float = 0.0, ops_per_record: float = 0.0,
                  language: str | None = None,
                  work_scale: str | None = None, out_scale: str | None = None,
                  closure_bytes: float = 0.0, label: str = "") -> None:
         super().__init__(parent.ctx, out_scale or parent.scale, (parent,), parent.num_partitions)
         self._part_fn = part_fn
+        self._batch_part_fn = batch_part_fn
         self._per_partition = per_partition
         self._flops_per_record = flops_per_record
         self._ops_per_record = ops_per_record
@@ -376,15 +428,22 @@ class _MappedRDD(RDD):
                 language=self._language(self._op_language), scale=FIXED,
                 label=f"{self._label}:closure",
             )
-        out = [list(self._part_fn(part)) for part in parent_parts]
+        if self._batch_part_fn is not None and self.ctx.fast_path:
+            # Vectorized host execution: one callback per non-empty
+            # partition, contracted to return the same records (and to
+            # consume the same RNG stream) as the per-record form.
+            out = [list(self._batch_part_fn(part)) if part else []
+                   for part in parent_parts]
+        else:
+            out = [list(self._part_fn(part)) for part in parent_parts]
         n_out = sum(len(p) for p in out)
         # Every record crosses the runtime boundary into the callback and
         # its result crosses back (Py4J pickling for Python, object
         # construction/GC for Java).  This is what blows up the paper's
         # Spark GMM at 100 dimensions: the per-record scatter matrix is
         # a 10,000-entry payload.
-        in_bytes = sum(estimate_records_bytes(p) for p in parent_parts)
-        out_bytes = sum(estimate_records_bytes(p) for p in out)
+        in_bytes = sum(self.ctx._records_bytes(p) for p in parent_parts)
+        out_bytes = sum(self.ctx._records_bytes(p) for p in out)
         self.ctx.tracer.emit(
             Kind.SERIALIZE, bytes=in_bytes + out_bytes, language=language,
             scale=self._work_scale, label=f"{self._label}:boundary",
@@ -416,11 +475,13 @@ class _ShuffleRDD(RDD):
     """Wide transformation: reduce_by_key (with combiner) / group_by_key."""
 
     def __init__(self, parent: RDD, combiner: Callable | None, *,
+                 batch_combiner: Callable | None = None,
                  flops_per_record: float = 0.0, language: str | None = None,
                  work_scale: str | None = None, out_scale: str = FIXED,
                  label: str = "") -> None:
         super().__init__(parent.ctx, out_scale, (parent,), parent.num_partitions)
         self._combiner = combiner
+        self._batch_combiner = batch_combiner
         self._flops_per_record = flops_per_record
         self._op_language = language
         self._work_scale = work_scale or parent.scale
@@ -432,6 +493,7 @@ class _ShuffleRDD(RDD):
         n_in = sum(len(p) for p in parent_parts)
         language = self._language(self._op_language)
 
+        batch = self._batch_combiner if self.ctx.fast_path else None
         if self._combiner is not None:
             # Map-side combine touches every input record.
             self.ctx.tracer.emit(
@@ -439,11 +501,24 @@ class _ShuffleRDD(RDD):
                 language=language, scale=self._work_scale, label=f"{self._label}:combine",
             )
             combined_parts = []
-            for part in parent_parts:
-                acc: dict = {}
-                for key, value in part:
-                    acc[key] = value if key not in acc else self._combiner(acc[key], value)
-                combined_parts.append(list(acc.items()))
+            if batch is not None:
+                # Same key order (first occurrence) and per-key value
+                # order as the scalar fold; batch_combiner is contracted
+                # to equal the left fold of the combiner bitwise.
+                for part in parent_parts:
+                    groups: dict = {}
+                    for key, value in part:
+                        groups.setdefault(key, []).append(value)
+                    combined_parts.append([
+                        (key, vals[0] if len(vals) == 1 else batch(vals))
+                        for key, vals in groups.items()
+                    ])
+            else:
+                for part in parent_parts:
+                    acc: dict = {}
+                    for key, value in part:
+                        acc[key] = value if key not in acc else self._combiner(acc[key], value)
+                    combined_parts.append(list(acc.items()))
             to_shuffle = combined_parts
             shuffle_scale = self.scale
         else:
@@ -461,24 +536,35 @@ class _ShuffleRDD(RDD):
             site=Site.CLUSTER, label=f"shuffle:{self._label}",
         )
 
-        buckets: list[dict] = [dict() for _ in range(self.num_partitions)]
         merge_touches = 0
-        for part in to_shuffle:
-            for key, value in part:
-                bucket = buckets[hash(key) % self.num_partitions]
-                merge_touches += 1
-                if self._combiner is None:
+        if self._combiner is not None and batch is not None:
+            grouped: list[dict] = [dict() for _ in range(self.num_partitions)]
+            for part in to_shuffle:
+                for key, value in part:
+                    bucket = grouped[hash(key) % self.num_partitions]
+                    merge_touches += 1
                     bucket.setdefault(key, []).append(value)
-                elif key in bucket:
-                    bucket[key] = self._combiner(bucket[key], value)
-                else:
-                    bucket[key] = value
+            out = [[(key, vals[0] if len(vals) == 1 else batch(vals))
+                    for key, vals in bucket.items()] for bucket in grouped]
+        else:
+            buckets: list[dict] = [dict() for _ in range(self.num_partitions)]
+            for part in to_shuffle:
+                for key, value in part:
+                    bucket = buckets[hash(key) % self.num_partitions]
+                    merge_touches += 1
+                    if self._combiner is None:
+                        bucket.setdefault(key, []).append(value)
+                    elif key in bucket:
+                        bucket[key] = self._combiner(bucket[key], value)
+                    else:
+                        bucket[key] = value
+            out = [list(b.items()) for b in buckets]
         self.ctx.tracer.emit(
             Kind.COMPUTE, records=merge_touches,
             flops=merge_touches * self._flops_per_record,
             language=language, scale=shuffle_scale, label=f"{self._label}:merge",
         )
-        return [list(b.items()) for b in buckets]
+        return out
 
 
 class _JoinRDD(RDD):
@@ -500,7 +586,7 @@ class _JoinRDD(RDD):
         for side, rdd in (("left", left), ("right", right)):
             parts = rdd._partitions()
             records = sum(len(p) for p in parts)
-            nbytes = sum(estimate_records_bytes(p) for p in parts)
+            nbytes = sum(self.ctx._records_bytes(p) for p in parts)
             self.ctx.tracer.emit(
                 Kind.SHUFFLE, records=records, bytes=nbytes, language=language,
                 scale=rdd.scale, label=f"{self._label}:{side}",
@@ -530,8 +616,14 @@ class _JoinRDD(RDD):
 
 
 def _split(data: list, num_partitions: int) -> list[list]:
-    """Split ``data`` into ``num_partitions`` near-equal chunks."""
-    num_partitions = max(1, num_partitions)
+    """Split ``data`` into at most ``num_partitions`` near-equal chunks.
+
+    Never produces degenerate empty trailing partitions: when there are
+    fewer records than requested partitions the result has one record
+    per partition (and an empty ``data`` yields a single empty
+    partition, so downstream per-partition code still has work units).
+    """
+    num_partitions = max(1, min(num_partitions, len(data)))
     size, extra = divmod(len(data), num_partitions)
     parts, start = [], 0
     for i in range(num_partitions):

@@ -1,0 +1,41 @@
+"""Global toggle for the host-execution fast path.
+
+The tracer charges the *simulated* platforms for record-at-a-time
+execution no matter what; this switch only controls whether the host
+process is allowed to memoize partition results within an action and to
+run vectorized batch kernels.  Cost events are required to be
+byte-identical either way (see tests/test_fastpath_golden.py), so the
+default is on.  Set ``REPRO_FAST_PATH=0`` to force the scalar path.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = os.environ.get("REPRO_FAST_PATH", "1").strip().lower() not in (
+    "0", "false", "no", "off", "",
+)
+
+
+def enabled() -> bool:
+    """True when host execution may cache partitions and batch kernels."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip the fast path globally; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    return previous
+
+
+@contextmanager
+def fast_path(value: bool):
+    """Temporarily force the fast path on or off (tests, benchmarks)."""
+    previous = set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -30,6 +30,20 @@ def add_triples(a, b):
     return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
 
 
+def add_triples_batch(triples):
+    """Left fold of :func:`add_triples`, vectorized over the arrays.
+
+    ``np.cumsum`` accumulates sequentially, so the last row equals the
+    scalar fold bitwise (pairwise ``np.sum`` would not).
+    """
+    count = triples[0][0]
+    for t in triples[1:]:
+        count = count + t[0]
+    sums = np.cumsum(np.stack([t[1] for t in triples]), axis=0)[-1]
+    scatters = np.cumsum(np.stack([t[2] for t in triples]), axis=0)[-1]
+    return (count, sums, scatters)
+
+
 class GiraphGMM(Implementation):
     platform = "giraph"
     model = "gmm"
@@ -78,7 +92,7 @@ class GiraphGMM(Implementation):
         })
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
-        engine.set_combiner("cluster", add_triples)
+        engine.set_combiner("cluster", add_triples, batch_fn=add_triples_batch)
         engine.set_compute("data", self._data_compute)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)
@@ -212,7 +226,7 @@ class GiraphGMMSuperVertex(GiraphGMM):
         })
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
-        engine.set_combiner("cluster", add_triples)
+        engine.set_combiner("cluster", add_triples, batch_fn=add_triples_batch)
         engine.set_compute("data", self._data_compute)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)

@@ -44,6 +44,13 @@ class _GatherModel(GASProgram):
     def sum(self, a, b):
         return a + b
 
+    def sum_batch(self, contributions):
+        # List concatenation: the left fold of + in one pass.
+        out = []
+        for contribution in contributions:
+            out.extend(contribution)
+        return out
+
     def apply(self, center_id, center_value, total):
         return self.impl.apply_data(center_value, total)
 
@@ -60,6 +67,16 @@ class _GatherTriples(GASProgram):
     def sum(self, a, b):
         return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
 
+    def sum_batch(self, contributions):
+        # np.cumsum accumulates sequentially, so the last row equals the
+        # left fold of ``sum`` bitwise.
+        count = contributions[0][0]
+        for c in contributions[1:]:
+            count = count + c[0]
+        sums = np.cumsum(np.stack([c[1] for c in contributions]), axis=0)[-1]
+        scatters = np.cumsum(np.stack([c[2] for c in contributions]), axis=0)[-1]
+        return (count, sums, scatters)
+
     def apply(self, center_id, center_value, total):
         return self.impl.apply_cluster(center_id, center_value, total)
 
@@ -75,6 +92,9 @@ class _GatherCounts(GASProgram):
 
     def sum(self, a, b):
         return a + b
+
+    def sum_batch(self, contributions):
+        return np.cumsum(np.stack(contributions), axis=0)[-1]
 
     def apply(self, center_id, center_value, total):
         counts = total if total is not None else np.zeros(self.impl.clusters)

@@ -34,6 +34,20 @@ def _add_triples(a, b):
     return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
 
 
+def _add_triples_batch(triples):
+    """Left fold of :func:`_add_triples`, vectorized over the arrays.
+
+    ``np.cumsum`` accumulates sequentially, so the last row equals the
+    scalar fold bitwise (pairwise ``np.sum`` would not).
+    """
+    count = triples[0][0]
+    for t in triples[1:]:
+        count = count + t[0]
+    sums = np.cumsum(np.stack([t[1] for t in triples]), axis=0)[-1]
+    scatters = np.cumsum(np.stack([t[2] for t in triples]), axis=0)[-1]
+    return (count, sums, scatters)
+
+
 class SparkGMM(Implementation):
     """The paper's initial (per-record) Spark GMM."""
 
@@ -90,16 +104,31 @@ class SparkGMM(Implementation):
             diff = x - state.means[k]
             return (k, (1.0, x, np.outer(diff, diff)))
 
+        def sample_mem_batch(part):
+            # Vectorized sample_mem: logpdf is row-stable and the batched
+            # categorical draw consumes the identical uniform stream, so
+            # the records (and the posterior) match the scalar map bitwise.
+            xs = np.vstack(part)
+            log_w = np.empty((len(part), len(dists)))
+            for k in range(len(dists)):
+                log_w[:, k] = log_pi[k] + dists[k].logpdf(xs)
+            weights = np.exp(log_w - log_w.max(axis=1, keepdims=True))
+            ks = sample_categorical_rows(rng, weights)
+            diffs = xs - state.means[ks]
+            scatters = diffs[:, :, None] * diffs[:, None, :]
+            return [(ks[i], (1.0, part[i], scatters[i])) for i in range(len(part))]
+
         # Job 1: membership + per-cluster aggregation (dominates runtime).
         # Per record: K density-library calls plus sampling and the
         # outer product — the interpreted operations of the paper's
         # sample_mem — and K d^2-ish numeric work inside them.
         flops_mem = self.clusters * (3.0 * d * d + 4.0 * d) + d * d
         c_agg = self.data.map(
-            sample_mem, flops_per_record=flops_mem,
+            sample_mem, batch_fn=sample_mem_batch, flops_per_record=flops_mem,
             ops_per_record=float(self.clusters * 0.5 + 2),
             closure_bytes=self.clusters * (d * d + d + 1) * 8.0, label="sample_mem",
-        ).reduce_by_key(_add_triples, flops_per_record=d * d + d, label="agg")
+        ).reduce_by_key(_add_triples, batch_combiner=_add_triples_batch,
+                        flops_per_record=d * d + d, label="agg")
 
         # Job 2: map-only model update per cluster (the update needs the
         # cluster id, so it maps over the (k, stats) pair).
@@ -169,7 +198,8 @@ class SparkGMMSuperVertex(SparkGMM):
             process_block, flops_per_partition=block_flops,
             ops_per_partition=float(n_per_part * (self.clusters * 0.5 + 2)),
             closure_bytes=self.clusters * (d * d + d + 1) * 8.0, label="block_mem",
-        ).reduce_by_key(_add_triples, flops_per_record=d * d + d,
+        ).reduce_by_key(_add_triples, batch_combiner=_add_triples_batch,
+                        flops_per_record=d * d + d,
                         work_scale=FIXED, label="agg")
 
         c_stats = c_agg.collect_as_map()

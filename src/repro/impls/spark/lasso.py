@@ -63,9 +63,29 @@ class SparkLasso(Implementation):
             outer = np.outer(x_row, x_row)
             return [((i, j), outer[i, j]) for i in range(p) for j in range(p)]
 
+        pair_keys = [(i, j) for i in range(p) for j in range(p)]
+
+        def compute_pair_sum_batch(part):
+            # One einsum for the whole partition; element products are the
+            # same IEEE multiplies as np.outer, and zip over the flattened
+            # row yields the same ((i, j), np.float64) records in order.
+            rows = np.vstack([r[1][0] for r in part])
+            outers = np.einsum("ni,nj->nij", rows, rows).reshape(len(part), -1)
+            return [pair for row in outers for pair in zip(pair_keys, row)]
+
         def compute_xy_sum(record):
             x_row, y_c = record[1]
             return [(j, x_row[j] * y_c) for j in range(p)]
+
+        def compute_xy_sum_batch(part):
+            rows = np.vstack([r[1][0] for r in part])
+            ys = np.array([r[1][1] for r in part])
+            scaled = rows * ys[:, None]
+            return [pair for row in scaled for pair in zip(range(p), row)]
+
+        def add_batch(values):
+            # Sequential cumsum == the left fold of + bitwise.
+            return np.cumsum(np.asarray(values))[-1]
 
         # The pair fan-out is bulk element work (an outer product sliced
         # into pairs), not one interpreted call per pair — charged at
@@ -74,13 +94,17 @@ class SparkLasso(Implementation):
         xx = self.data.flat_map(
             compute_pair_sum, flops_per_record=float(p * p), language="numpy",
             out_scale="data*p2", label="computePairSum",
+            batch_fn=compute_pair_sum_batch,
         ).reduce_by_key(lambda a, b: a + b, work_scale="data*p2",
-                        language="numpy", out_scale="p2", label="gram")
+                        language="numpy", out_scale="p2", label="gram",
+                        batch_combiner=add_batch)
         xy = self.data.flat_map(
             compute_xy_sum, flops_per_record=float(p), language="numpy",
             out_scale="data*p", label="computeXYSum",
+            batch_fn=compute_xy_sum_batch,
         ).reduce_by_key(lambda a, b: a + b, work_scale="data*p",
-                        language="numpy", out_scale="p", label="xty")
+                        language="numpy", out_scale="p", label="xty",
+                        batch_combiner=add_batch)
 
         xtx = np.zeros((p, p))
         for (i, j), value in xx.collect():
@@ -102,10 +126,20 @@ class SparkLasso(Implementation):
 
         # The one distributed job: sum (y - beta . x)^2.
         beta = state.beta
+
+        def remain_square_batch(part):
+            # BLAS dgemv folds the dot in a different order than the
+            # per-row ddot, so keep the scalar path's 1-D @ 1-D op and
+            # vectorize only the subtract and square.
+            dots = np.array([float(r[1][0] @ beta) for r in part])
+            ys = np.array([r[1][1] for r in part])
+            resid = ys - dots
+            return list(resid * resid)
+
         rss = self.data.map(
             lambda r: (r[1][1] - float(r[1][0] @ beta)) ** 2,
             flops_per_record=2.0 * p, closure_bytes=p * 8.0,
-            label="computeRemainSquare",
+            label="computeRemainSquare", batch_fn=remain_square_batch,
         ).sum()
         state.sigma2 = lasso.sample_sigma2(self.rng, pre.n, state, rss)
 

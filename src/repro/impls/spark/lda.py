@@ -36,6 +36,36 @@ def _sparse_counts(z: np.ndarray, words: np.ndarray) -> list:
     return list(by_topic.items())
 
 
+def _merge_sparse_batch(dicts: list) -> dict:
+    """Left fold of :func:`_merge_sparse` with one accumulator copy.
+
+    The fold copies its accumulator at every step; accumulating into a
+    single dict gives the same key order (first occurrence) and the same
+    per-key addition order, hence identical values.
+    """
+    out = dict(dicts[0])
+    for d in dicts[1:]:
+        for word, count in d.items():
+            out[word] = out.get(word, 0.0) + count
+    return out
+
+
+def _sparse_counts_fast(z: np.ndarray, words: np.ndarray) -> list:
+    """:func:`_sparse_counts` without per-element numpy scalar boxing.
+
+    ``tolist`` converts both arrays to Python ints in one C call, so the
+    scan runs on plain ints.  Same first-occurrence ordering, same
+    integer-valued float counts — the output is identical.  (A
+    bincount/unique formulation was tried and loses: numpy per-call
+    overhead exceeds the pure-Python scan at document lengths ~100.)
+    """
+    by_topic: dict[int, dict[int, float]] = {}
+    for topic, word in zip(z.tolist(), words.tolist()):
+        bucket = by_topic.setdefault(topic, {})
+        bucket[word] = bucket.get(word, 0.0) + 1.0
+    return list(by_topic.items())
+
+
 class SparkLDADocument(Implementation):
     platform = "spark"
     model = "lda"
@@ -81,13 +111,55 @@ class SparkLDADocument(Implementation):
             z, new_theta, _ = lda.resample_document(rng, words, theta, phi, alpha)
             return ((words, new_theta), _sparse_counts(z, words))
 
+        def resample_doc_batch(values):
+            # Vectorized resample_doc over a partition's documents.  The
+            # per-document RNG calls (one uniform block for z, then one
+            # Dirichlet for theta) must stay interleaved in document
+            # order, but the topic weights depend only on last
+            # iteration's thetas, so the whole partition's weight matrix
+            # and CDF are computed upfront in single numpy passes; every
+            # draw matches the scalar path bitwise (row-wise ops only).
+            doc_words = [words for words, _ in values]
+            lengths = [len(words) for words in doc_words]
+            empty_alpha = np.full(topics, alpha)
+            total_len = sum(lengths)
+            if total_len:
+                all_words = np.concatenate([w for w in doc_words if len(w)])
+                gathered = phi[:, all_words].T
+                theta_rows = np.repeat(
+                    np.vstack([theta for (words, theta), n in zip(values, lengths) if n]),
+                    [n for n in lengths if n], axis=0)
+                weights = theta_rows * gathered
+                sums = weights.sum(axis=1)
+                zero = sums <= 0
+                if zero.any():
+                    weights[zero] = 1.0
+                    sums = np.where(zero, weights.sum(axis=1), sums)
+                totals_all = sums[:, None]
+                cdf_all = np.cumsum(weights, axis=1)
+            out = []
+            offset = 0
+            for (words, theta), length in zip(values, lengths):
+                if length == 0:
+                    out.append(((words, rng.dirichlet(empty_alpha)), []))
+                    continue
+                end = offset + length
+                u = rng.uniform(size=(length, 1)) * totals_all[offset:end]
+                z = (u > cdf_all[offset:end]).sum(axis=1)
+                offset = end
+                doc_topic_counts = np.bincount(z, minlength=topics).astype(float)
+                new_theta = rng.dirichlet(alpha + doc_topic_counts)
+                out.append(((words, new_theta), _sparse_counts_fast(z, words)))
+            return out
+
         # Per word: the topic draw over 100 topics is several interpreted
         # operations in Python (the paper's ~16-hour document-based
         # entry); the Java variant runs it as tight array loops.
         java = self.sc.language == "java"
         old = self.docs
         resampled = old.map_values(
-            resample_doc, flops_per_record=float(mean_len * topics * 4),
+            resample_doc, batch_fn=resample_doc_batch,
+            flops_per_record=float(mean_len * topics * 4),
             ops_per_record=float(mean_len * (1 if java else 10)),
             language="jvm" if java else None,
             closure_bytes=topics * vocab * 8.0, label="resample_doc",
@@ -96,7 +168,8 @@ class SparkLDADocument(Implementation):
 
         counts_rdd = resampled.flat_map(
             lambda record: record[1][1], label="emit-counts", out_scale="data",
-        ).reduce_by_key(_merge_sparse, flops_per_record=float(mean_len),
+        ).reduce_by_key(_merge_sparse, batch_combiner=_merge_sparse_batch,
+                        flops_per_record=float(mean_len),
                         label="g-agg")
         g = counts_rdd.collect_as_map()
 

@@ -16,6 +16,9 @@ out-of-core processing instead of failing, reproducing the paper's
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import fastpath
 from repro.cluster.costmodel import combine_scales
 from repro.cluster.events import FIXED, Kind, Site
 from repro.relational.plan import (
@@ -160,16 +163,31 @@ class Executor:
             scale=left.scale, site=Site.CLUSTER, spillable=True, label="join:build",
         )
         l_idx, r_idx = self._resolve_keys(plan, left.schema, right.schema)
-        build: dict = {}
-        for row in left.rows:
-            build.setdefault(tuple(row[i] for i in l_idx), []).append(row)
         residual = plan.residual.bind(out_schema) if plan.residual is not None else None
         out = []
-        for rrow in right.rows:
-            for lrow in build.get(tuple(rrow[i] for i in r_idx), ()):
-                joined = lrow + rrow
-                if residual is None or residual(joined):
-                    out.append(joined)
+        if fastpath.enabled() and len(l_idx) == 1:
+            # Single equi-key: index the build side on the bare column
+            # value, skipping one tuple allocation per row on both sides.
+            # Tuple keys delegate hashing/equality to their elements, so
+            # the grouping (and the joined output) is identical.
+            li, ri = l_idx[0], r_idx[0]
+            build: dict = {}
+            for row in left.rows:
+                build.setdefault(row[li], []).append(row)
+            for rrow in right.rows:
+                for lrow in build.get(rrow[ri], ()):
+                    joined = lrow + rrow
+                    if residual is None or residual(joined):
+                        out.append(joined)
+        else:
+            build = {}
+            for row in left.rows:
+                build.setdefault(tuple(row[i] for i in l_idx), []).append(row)
+            for rrow in right.rows:
+                for lrow in build.get(tuple(rrow[i] for i in r_idx), ()):
+                    joined = lrow + rrow
+                    if residual is None or residual(joined):
+                        out.append(joined)
         # Build and probe are linear per side; output tuples are
         # pipelined into the parent operator (charged there).
         self._touch(len(left), left.scale, label="join:build-touch")
@@ -229,15 +247,19 @@ class Executor:
 
         self._touch(len(child), child.scale, label="group:map")
 
-        groups: dict[tuple, list] = {}
-        for row in child.rows:
-            key = tuple(row[i] for i in key_idx)
-            state = groups.get(key)
-            if state is None:
-                state = [_agg_init(kind) for _, kind, _ in plan.aggs]
-                groups[key] = state
-            for slot, (_, kind, fn) in enumerate(agg_fns):
-                _agg_step(state, slot, kind, fn, row)
+        groups = None
+        if fastpath.enabled() and child.rows:
+            groups = self._group_by_columnar(child.rows, key_idx, agg_fns)
+        if groups is None:
+            groups = {}
+            for row in child.rows:
+                key = tuple(row[i] for i in key_idx)
+                state = groups.get(key)
+                if state is None:
+                    state = [_agg_init(kind) for _, kind, _ in plan.aggs]
+                    groups[key] = state
+                for slot, (_, kind, fn) in enumerate(agg_fns):
+                    _agg_step(state, slot, kind, fn, row)
 
         out_scale = self._shuffle_aggregated(len(child), len(groups), child, plan.out_scale,
                                              label="group:shuffle")
@@ -245,6 +267,70 @@ class Executor:
                 for key, state in groups.items()]
         schema = Schema(tuple(plan.keys) + tuple(name for name, _, _ in plan.aggs))
         return Table("", schema, rows, out_scale)
+
+    def _group_by_columnar(self, rows: list, key_idx: list,
+                           agg_fns: list) -> dict | None:
+        """Columnar aggregation; equals the per-row ``_agg_step`` fold.
+
+        One pass factorizes rows into group ids (first-occurrence order,
+        like dict insertion), then each aggregate runs as a NumPy
+        scatter-reduce.  ``np.add.at`` / ``np.minimum.at`` apply updates
+        in index order, i.e. the same left fold as the scalar code; sums
+        seed with each group's first value (the scalar fold starts from
+        it, not from 0.0) while averages seed with 0.0 (the scalar state
+        does).  Returns ``None`` to fall back on non-numeric columns,
+        NaNs, or signed zeros, where the scalar fold's tie-breaking and
+        type promotion could differ.
+        """
+        gid_of: dict[tuple, int] = {}
+        gids = []
+        first_rows = []
+        for pos, row in enumerate(rows):
+            key = tuple(row[i] for i in key_idx)
+            gid = gid_of.get(key)
+            if gid is None:
+                gid = len(gid_of)
+                gid_of[key] = gid
+                first_rows.append(pos)
+            gids.append(gid)
+        n_groups = len(gid_of)
+        gid_arr = np.asarray(gids)
+        first_arr = np.asarray(first_rows)
+        rest = np.ones(len(rows), dtype=bool)
+        rest[first_arr] = False
+
+        columns = []
+        for _, kind, fn in agg_fns:
+            if kind == "count":
+                columns.append(np.bincount(gid_arr, minlength=n_groups).tolist())
+                continue
+            values = np.asarray([fn(row) for row in rows])
+            if values.ndim != 1 or values.dtype.kind not in "iuf":
+                return None
+            if values.dtype.kind == "f":
+                if np.isnan(values).any():
+                    return None
+                if kind in ("min", "max") and np.any((values == 0)
+                                                     & np.signbit(values)):
+                    return None
+            if kind == "sum":
+                out = values[first_arr].astype(values.dtype, copy=True)
+                np.add.at(out, gid_arr[rest], values[rest])
+            elif kind == "avg":
+                total = np.zeros(n_groups)
+                np.add.at(total, gid_arr, values)
+                counts = np.bincount(gid_arr, minlength=n_groups)
+                columns.append(list(zip(total.tolist(), counts.tolist())))
+                continue
+            elif kind == "min":
+                out = values[first_arr].astype(values.dtype, copy=True)
+                np.minimum.at(out, gid_arr[rest], values[rest])
+            else:  # max
+                out = values[first_arr].astype(values.dtype, copy=True)
+                np.maximum.at(out, gid_arr[rest], values[rest])
+            columns.append(out.tolist())
+        return {key: [column[gid] for column in columns]
+                for key, gid in gid_of.items()}
 
     def _shuffle_aggregated(self, n_in: int, n_groups: int, child: Table,
                             out_scale: str | None, label: str) -> str:

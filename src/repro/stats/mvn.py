@@ -101,10 +101,37 @@ def _stable_cholesky(cov: np.ndarray, max_tries: int = 5) -> np.ndarray:
     raise np.linalg.LinAlgError(f"covariance not positive definite even with jitter {jitter:g}")
 
 
-def _tri_solve(chol: np.ndarray, dev: np.ndarray) -> np.ndarray:
-    """Solve ``L z = dev`` for lower-triangular ``L`` (vector or rows)."""
-    from scipy.linalg import solve_triangular
+#: Dimension bound below which the row-stable substitution is used.
+#: LAPACK's blocked triangular solve is not bitwise row-decomposable
+#: (solving a batch gives different low-order bits than solving each row
+#: alone), which would make vectorized batch kernels diverge from the
+#: per-record path.  Up to this dimension we run an explicit forward
+#: substitution that is vectorized across rows but sequential over
+#: dimensions, so a one-row solve and any batch solve agree bitwise.
+ROW_STABLE_MAX_DIM = 32
 
-    if dev.ndim == 1:
-        return solve_triangular(chol, dev, lower=True)
-    return solve_triangular(chol, dev.T, lower=True).T
+
+def _tri_solve(chol: np.ndarray, dev: np.ndarray) -> np.ndarray:
+    """Solve ``L z = dev`` for lower-triangular ``L`` (vector or rows).
+
+    Bitwise row-decomposable for ``d <= ROW_STABLE_MAX_DIM``: the result
+    for a batch of rows equals the per-row results exactly.
+    """
+    vector = dev.ndim == 1
+    d = chol.shape[0]
+    if d > ROW_STABLE_MAX_DIM:
+        from scipy.linalg import solve_triangular
+
+        if vector:
+            return solve_triangular(chol, dev, lower=True)
+        return solve_triangular(chol, dev.T, lower=True).T
+    rows = dev[None, :] if vector else dev
+    b = rows.T  # (d, n): one column per row of dev
+    z = np.empty_like(b)
+    for j in range(d):
+        acc = b[j]
+        for i in range(j):
+            acc = acc - chol[j, i] * z[i]
+        z[j] = acc / chol[j, j]
+    out = z.T
+    return out[0] if vector else out

@@ -1,0 +1,93 @@
+"""Tracer.summary(), the shared report summarizer, and the wall-clock
+microbenchmark harness."""
+
+import json
+
+import numpy as np
+
+from repro.bench import format_summary
+from repro.bench.wallclock import (
+    BenchCase,
+    default_cases,
+    quick_cases,
+    run_case,
+    run_suite,
+    write_report,
+)
+from repro.cluster import ClusterSpec, Tracer
+from repro.impls import spark
+from repro.workloads import generate_gmm_data
+
+
+def small_case(iterations=2, repeats=1):
+    data = generate_gmm_data(np.random.default_rng(7), 60, dim=3, clusters=2)
+
+    def factory(cluster_spec, tracer):
+        return spark.SparkGMM(data.points, 2, np.random.default_rng(42),
+                              cluster_spec, tracer)
+
+    return BenchCase("tiny_gmm", "gmm", "spark", factory,
+                     iterations=iterations, repeats=repeats)
+
+
+class TestTracerSummary:
+    def test_summary_totals(self):
+        tracer = Tracer()
+        sc_data = generate_gmm_data(np.random.default_rng(7), 40, dim=3, clusters=2)
+        impl = spark.SparkGMM(sc_data.points, 2, np.random.default_rng(42),
+                              ClusterSpec(machines=2), tracer)
+        with tracer.phase("init"):
+            impl.initialize()
+        with tracer.phase("iteration-0"):
+            impl.iterate(0)
+        summary = tracer.summary()
+        assert summary["phases"] == 2
+        assert summary["events"] == sum(summary["events_by_kind"].values())
+        assert summary["compute_events"] == summary["events_by_kind"]["compute"]
+        assert summary["records"] > 0
+        assert summary["bytes"] >= sum(summary["bytes_by_scale"].values())
+        json.dumps(summary)  # must be plain-JSON-able
+
+    def test_empty_tracer_summary(self):
+        summary = Tracer().summary()
+        assert summary["phases"] == 0
+        assert summary["events"] == 0
+        assert summary["bytes_by_scale"] == {}
+
+    def test_format_summary_renders_totals(self):
+        tracer = Tracer()
+        with tracer.phase("p"):
+            pass
+        line = format_summary(tracer.summary())
+        assert "1 phases" in line and "0 events" in line
+
+
+class TestWallclockHarness:
+    def test_run_case_shape_and_identity(self):
+        result = run_case(small_case())
+        assert result["events_identical"]
+        assert result["fast_seconds_per_iteration"] > 0
+        assert result["slow_seconds_per_iteration"] > 0
+        assert result["summary"]["events"] > 0
+
+    def test_suite_payload_well_formed(self, tmp_path):
+        payload = run_suite([small_case()])
+        assert payload["fast_path_default"] is True
+        assert set(payload["cases"]) == {"tiny_gmm"}
+        path = write_report(payload, tmp_path)
+        assert path.name == f"BENCH_{payload['rev']}.json"
+        round_trip = json.loads(path.read_text())
+        case = round_trip["cases"]["tiny_gmm"]
+        for key in ("model", "platform", "iterations", "repeats",
+                    "fast_seconds_per_iteration", "slow_seconds_per_iteration",
+                    "speedup", "events_identical", "summary"):
+            assert key in case
+
+    def test_case_registries(self):
+        names = [case.name for case in default_cases()]
+        assert len(names) == len(set(names))
+        assert {"spark_gmm", "spark_lda", "spark_lasso", "spark_hmm",
+                "spark_imputation"} <= set(names)
+        assert {case.platform for case in default_cases()} == {
+            "spark", "simsql", "giraph", "graphlab"}
+        assert [case.name for case in quick_cases()] == ["spark_gmm", "spark_lda"]

@@ -1,0 +1,218 @@
+"""Host fast path: partition cache, batch kernels, empty partitions,
+and the camelCase alias cost parity required by the ISSUE satellites."""
+
+import numpy as np
+
+from repro import fastpath
+from repro.cluster import ClusterSpec, Kind, Tracer
+from repro.dataflow import SparkContext
+
+
+def traced_pair():
+    """Two identically-seeded contexts: one fast, one scalar."""
+    fast_tracer, slow_tracer = Tracer(), Tracer()
+    fast_sc = SparkContext(ClusterSpec(machines=2), tracer=fast_tracer,
+                           fast_path=True)
+    slow_sc = SparkContext(ClusterSpec(machines=2), tracer=slow_tracer,
+                           fast_path=False)
+    return (fast_sc, fast_tracer), (slow_sc, slow_tracer)
+
+
+def stream_of(tracer):
+    return [(p.name, p.events, p.memory) for p in tracer.phases]
+
+
+class TestFastPathToggle:
+    def test_default_on(self):
+        assert fastpath.enabled()
+
+    def test_context_manager_restores(self):
+        before = fastpath.enabled()
+        with fastpath.fast_path(not before):
+            assert fastpath.enabled() is (not before)
+        assert fastpath.enabled() is before
+
+    def test_spark_context_override_beats_global(self):
+        sc = SparkContext(ClusterSpec(machines=2), fast_path=False)
+        with fastpath.fast_path(True):
+            assert not sc.fast_path
+        sc_on = SparkContext(ClusterSpec(machines=2), fast_path=True)
+        with fastpath.fast_path(False):
+            assert sc_on.fast_path
+
+
+class TestPartitionCache:
+    def test_shared_lineage_computed_once_charged_twice(self):
+        """A diamond over an uncached parent: the host may memoize, the
+        tracer must still charge the full Spark-style recomputation."""
+        (fast_sc, fast_tracer), (slow_sc, slow_tracer) = traced_pair()
+        results = []
+        for sc, tracer in ((fast_sc, fast_tracer), (slow_sc, slow_tracer)):
+            calls = []
+            base = sc.parallelize(range(20), num_partitions=4).map(
+                lambda x: calls.append(x) or x + 1, label="expensive")
+            left = base.map(lambda x: (x % 3, x), label="left")
+            right = base.map(lambda x: (x % 3, -x), label="right")
+            with tracer.phase("join"):
+                joined = left.join(right).collect()
+            results.append((sorted(joined), len(calls)))
+        (fast_rows, fast_calls), (slow_rows, slow_calls) = results
+        assert fast_rows == slow_rows
+        assert slow_calls == 40       # both branches recompute the parent
+        assert fast_calls == 20       # host memoized within the action
+        assert stream_of(fast_tracer) == stream_of(slow_tracer)
+
+    def test_cache_does_not_leak_across_actions(self):
+        sc = SparkContext(ClusterSpec(machines=2), fast_path=True)
+        calls = []
+        rdd = sc.parallelize(range(6)).map(lambda x: calls.append(x) or x)
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 12  # uncached RDDs recompute per action
+
+
+class TestBatchKernels:
+    def test_map_batch_fn_matches_scalar(self):
+        (fast_sc, fast_tracer), (slow_sc, slow_tracer) = traced_pair()
+        out = []
+        for sc, tracer in ((fast_sc, fast_tracer), (slow_sc, slow_tracer)):
+            with tracer.phase("map"):
+                out.append(sc.parallelize(range(11), num_partitions=3).map(
+                    lambda x: x * x,
+                    batch_fn=lambda part: [x * x for x in part],
+                ).collect())
+        assert out[0] == out[1]
+        assert stream_of(fast_tracer) == stream_of(slow_tracer)
+
+    def test_map_values_batch_fn_matches_scalar(self):
+        (fast_sc, fast_tracer), (slow_sc, slow_tracer) = traced_pair()
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        out = []
+        for sc, tracer in ((fast_sc, fast_tracer), (slow_sc, slow_tracer)):
+            with tracer.phase("mv"):
+                out.append(sc.parallelize(pairs).map_values(
+                    lambda v: v + 10,
+                    batch_fn=lambda values: [v + 10 for v in values],
+                ).collect())
+        assert out[0] == out[1]
+        assert stream_of(fast_tracer) == stream_of(slow_tracer)
+
+    def test_flat_map_batch_fn_matches_scalar(self):
+        (fast_sc, fast_tracer), (slow_sc, slow_tracer) = traced_pair()
+        out = []
+        for sc, tracer in ((fast_sc, fast_tracer), (slow_sc, slow_tracer)):
+            with tracer.phase("fm"):
+                out.append(sc.parallelize(range(7), num_partitions=2).flat_map(
+                    lambda x: [x] * (x % 3),
+                    batch_fn=lambda part: [x for x in part for _ in range(x % 3)],
+                ).collect())
+        assert out[0] == out[1]
+        assert stream_of(fast_tracer) == stream_of(slow_tracer)
+
+    def test_batch_combiner_sees_arrival_order(self):
+        (fast_sc, fast_tracer), (slow_sc, slow_tracer) = traced_pair()
+        pairs = [(i % 2, float(i)) for i in range(9)]
+        out = []
+
+        def fold_batch(values):
+            assert len(values) >= 2
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+
+        for sc, tracer in ((fast_sc, fast_tracer), (slow_sc, slow_tracer)):
+            with tracer.phase("rbk"):
+                out.append(sorted(sc.parallelize(pairs).reduce_by_key(
+                    lambda a, b: a + b, batch_combiner=fold_batch,
+                ).collect()))
+        assert out[0] == out[1]
+        assert stream_of(fast_tracer) == stream_of(slow_tracer)
+
+    def test_numpy_batch_kernel_bitwise(self):
+        sc = SparkContext(ClusterSpec(machines=2), fast_path=True)
+        values = list(np.random.default_rng(0).normal(size=31))
+        scalar = [np.exp(v) for v in values]
+        batched = sc.parallelize(values, num_partitions=4).map(
+            lambda v: np.exp(v),
+            batch_fn=lambda part: list(np.exp(np.asarray(part))),
+        ).collect()
+        assert all(a == b for a, b in zip(scalar, batched))
+
+
+class TestEmptyPartitions:
+    """Satellite: `_split` must not hand degenerate empty partitions to
+    the map/shuffle/join paths when len(data) < num_partitions."""
+
+    def test_split_fewer_records_than_partitions(self):
+        sc = SparkContext(ClusterSpec(machines=2))
+        sizes = sc.parallelize([1, 2], num_partitions=8).map_partitions(
+            lambda p: [len(p)]).collect()
+        assert sizes == [1, 1]
+
+    def test_empty_rdd_map_and_count(self):
+        sc = SparkContext(ClusterSpec(machines=2))
+        rdd = sc.parallelize([], num_partitions=4).map(lambda x: x + 1)
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_empty_shuffle(self):
+        sc = SparkContext(ClusterSpec(machines=2))
+        out = sc.parallelize([], num_partitions=3).reduce_by_key(
+            lambda a, b: a + b).collect()
+        assert out == []
+
+    def test_join_with_empty_side(self):
+        sc = SparkContext(ClusterSpec(machines=2))
+        left = sc.parallelize([(1, "x"), (2, "y")], num_partitions=4)
+        right = sc.parallelize([], num_partitions=4)
+        assert left.join(right).collect() == []
+
+    def test_batch_fn_never_sees_empty_partition(self):
+        sc = SparkContext(ClusterSpec(machines=2), fast_path=True)
+
+        def batch(part):
+            assert part, "batch_fn must only receive non-empty partitions"
+            return [x + 1 for x in part]
+
+        out = sc.parallelize([5], num_partitions=6).map(
+            lambda x: x + 1, batch_fn=batch).collect()
+        assert out == [6]
+
+
+class TestCamelCaseAliases:
+    """Satellite: the Spark-spelling aliases must emit identical cost
+    events to the snake_case forms (they are the same bound methods)."""
+
+    def run_pipeline(self, spark_style: bool):
+        tracer = Tracer()
+        sc = SparkContext(ClusterSpec(machines=2), tracer=tracer)
+        base = sc.parallelize(range(12), num_partitions=3)
+        with tracer.phase("pipeline"):
+            if spark_style:
+                pairs = base.flatMap(lambda x: [(x % 4, x), (x % 4, 1)])
+                summed = pairs.reduceByKey(lambda a, b: a + b)
+                as_map = summed.collectAsMap()
+                parts = base.mapPartitions(lambda p: [sum(p)]).collect()
+            else:
+                pairs = base.flat_map(lambda x: [(x % 4, x), (x % 4, 1)])
+                summed = pairs.reduce_by_key(lambda a, b: a + b)
+                as_map = summed.collect_as_map()
+                parts = base.map_partitions(lambda p: [sum(p)]).collect()
+        return as_map, parts, stream_of(tracer)
+
+    def test_aliases_are_bound_to_snake_case(self):
+        from repro.dataflow.rdd import RDD
+        assert RDD.flatMap is RDD.flat_map
+        assert RDD.reduceByKey is RDD.reduce_by_key
+        assert RDD.collectAsMap is RDD.collect_as_map
+        assert RDD.mapPartitions is RDD.map_partitions
+
+    def test_alias_pipeline_identical_events(self):
+        camel_map, camel_parts, camel_stream = self.run_pipeline(True)
+        snake_map, snake_parts, snake_stream = self.run_pipeline(False)
+        assert camel_map == snake_map
+        assert camel_parts == snake_parts
+        assert camel_stream == snake_stream
+        assert any(e.kind is Kind.SHUFFLE for _, events, _ in camel_stream
+                   for e in events)

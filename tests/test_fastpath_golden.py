@@ -1,0 +1,134 @@
+"""Golden determinism: the fast path may not change a single draw or a
+single cost event.
+
+Each model runs 3 iterations twice with identical seeds — fast path on,
+then off — and the posterior state and the full tracer event streams
+(kinds, records, flops, bytes, scale groups, memory events) must match
+exactly.  This is the ISSUE's hard constraint: the simulated cost model
+is the only place per-record costs live; host batching is unobservable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.cluster import ClusterSpec, Tracer
+from repro.impls import giraph, graphlab, simsql, spark
+from repro.workloads import generate_gmm_data, generate_lasso_data, generate_lda_corpus
+
+ITERATIONS = 3
+MACHINES = 3
+
+
+def run_traced(build, fast: bool):
+    """Build, initialize, and iterate one impl under a fast-path setting."""
+    with fastpath.fast_path(fast):
+        tracer = Tracer()
+        impl = build(ClusterSpec(machines=MACHINES), tracer)
+        with tracer.phase("init"):
+            impl.initialize()
+        for i in range(ITERATIONS):
+            with tracer.phase(f"iteration-{i}"):
+                impl.iterate(i)
+    stream = [(p.name, p.events, p.memory) for p in tracer.phases]
+    return impl, stream
+
+
+def assert_identical_streams(fast_stream, slow_stream):
+    assert len(fast_stream) == len(slow_stream)
+    for fast_phase, slow_phase in zip(fast_stream, slow_stream):
+        assert fast_phase == slow_phase
+
+
+def test_spark_gmm_golden():
+    data = generate_gmm_data(np.random.default_rng(7), 300, dim=5, clusters=3)
+
+    def build(spec, tracer):
+        return spark.SparkGMM(data.points, 3, np.random.default_rng(42),
+                              spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    assert np.array_equal(fast_impl.state.means, slow_impl.state.means)
+    assert np.array_equal(fast_impl.state.covariances, slow_impl.state.covariances)
+    assert np.array_equal(fast_impl.state.pi, slow_impl.state.pi)
+
+
+def test_spark_lda_golden():
+    corpus = generate_lda_corpus(np.random.default_rng(5), 60, vocabulary=200,
+                                 topics=4, mean_length=40)
+
+    def run(fast):
+        with fastpath.fast_path(fast):
+            tracer = Tracer()
+            impl = spark.SparkLDADocument(corpus.documents, 200, 4,
+                                          np.random.default_rng(42),
+                                          ClusterSpec(machines=MACHINES), tracer)
+            with tracer.phase("init"):
+                impl.initialize()
+            for i in range(ITERATIONS):
+                with tracer.phase(f"iteration-{i}"):
+                    impl.iterate(i)
+            with tracer.phase("extract"):
+                thetas = impl.thetas()
+        stream = [(p.name, p.events, p.memory) for p in tracer.phases]
+        return impl.phi, thetas, stream
+
+    fast_phi, fast_thetas, fast_stream = run(True)
+    slow_phi, slow_thetas, slow_stream = run(False)
+    assert_identical_streams(fast_stream, slow_stream)
+    assert np.array_equal(fast_phi, slow_phi)
+    assert fast_thetas.keys() == slow_thetas.keys()
+    for doc_id, theta in fast_thetas.items():
+        assert np.array_equal(theta, slow_thetas[doc_id])
+
+
+def test_simsql_gmm_golden():
+    data = generate_gmm_data(np.random.default_rng(7), 60, dim=4, clusters=3)
+
+    def build(spec, tracer):
+        return simsql.SimSQLGMM(data.points, 3, np.random.default_rng(42),
+                                spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    for table in ("clus_means", "clus_covas", "clus_prob", "membership"):
+        fast_rows = fast_impl.chain.current(table).rows
+        slow_rows = slow_impl.chain.current(table).rows
+        assert len(fast_rows) == len(slow_rows)
+        for fast_row, slow_row in zip(fast_rows, slow_rows):
+            for a, b in zip(fast_row, slow_row):
+                assert np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def test_spark_lasso_golden():
+    data = generate_lasso_data(np.random.default_rng(3), 200, p=12)
+
+    def build(spec, tracer):
+        return spark.SparkLasso(data.x, data.y, np.random.default_rng(42),
+                                spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    assert np.array_equal(fast_impl.pre.xtx, slow_impl.pre.xtx)
+    assert np.array_equal(fast_impl.pre.xty, slow_impl.pre.xty)
+    assert np.array_equal(fast_impl.state.beta, slow_impl.state.beta)
+    assert fast_impl.state.sigma2 == slow_impl.state.sigma2
+
+
+@pytest.mark.parametrize("cls", [giraph.GiraphGMM, graphlab.GraphLabGMM])
+def test_graph_gmm_golden(cls):
+    data = generate_gmm_data(np.random.default_rng(7), 200, dim=4, clusters=3)
+
+    def build(spec, tracer):
+        return cls(data.points, 3, np.random.default_rng(42), spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    assert np.array_equal(fast_impl.state.means, slow_impl.state.means)
+    assert np.array_equal(fast_impl.state.covariances, slow_impl.state.covariances)
+    assert np.array_equal(fast_impl.state.pi, slow_impl.state.pi)
