@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Failure sweeps: ``python benchmarks/faultbench.py``.
+
+Runs GMM and LDA on all four platforms, injects seeded machine-crash
+schedules of increasing rate into the simulated runs
+(``repro.bench.faultsweep``), and writes ``BENCH_<rev>_faults.json``.
+The engine traces are byte-identical across the whole sweep — fault
+injection is pure post-processing — and the payload is deterministic
+for a fixed seed (``--selfcheck`` verifies both by running the sweep
+twice and comparing the JSON).
+
+    python benchmarks/faultbench.py              # full sweep
+    python benchmarks/faultbench.py --quick      # CI smoke (GMM only, 5 machines)
+    python benchmarks/faultbench.py --selfcheck  # + determinism assertion
+    python benchmarks/faultbench.py --out /tmp   # write the JSON elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import faultsweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke subset: GMM cases at 5 machines, two rates")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="run the sweep twice and assert identical JSON")
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_<rev>_faults.json (default: cwd)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        cases = faultsweep.quick_cases()
+        machine_counts: tuple[int, ...] = (5,)
+        crash_rates: tuple[float, ...] = (0.0, 0.4)
+    else:
+        cases = faultsweep.default_cases()
+        machine_counts = faultsweep.MACHINE_COUNTS
+        crash_rates = faultsweep.CRASH_RATES
+
+    payload = faultsweep.run_sweep(cases, machine_counts, crash_rates,
+                                   progress=print)
+    faultsweep.validate_payload(payload)
+
+    if args.selfcheck:
+        again = faultsweep.run_sweep(cases, machine_counts, crash_rates)
+        if json.dumps(payload, sort_keys=True) != json.dumps(again, sort_keys=True):
+            print("FAIL: same seed produced two different sweep payloads",
+                  file=sys.stderr)
+            return 1
+        print("selfcheck: sweep is deterministic (identical payload twice)")
+
+    path = faultsweep.write_report(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

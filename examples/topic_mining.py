@@ -15,7 +15,6 @@ import numpy as np
 from repro.bench.runner import paper_scales, run_benchmark
 from repro.impls.giraph import GiraphLDADocument
 from repro.impls.simsql import SimSQLLDADocument
-from repro.models import lda
 from repro.models.evaluation import topic_overlap
 from repro.stats import make_rng
 from repro.workloads import generate_lda_corpus

@@ -12,7 +12,6 @@ from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
     ScaleMap,
-    Simulator,
     Tracer,
     event_seconds,
 )

@@ -1,0 +1,271 @@
+"""Failure-rate sweeps: the paper's Section 10 robustness experiment.
+
+Each case runs one (platform, model) engine once per cluster size at
+laptop scale — exactly like the figure benchmarks — and then replays the
+*same trace* against fault schedules of increasing machine-crash rate.
+Because fault injection is pure post-processing of the trace (see
+:mod:`repro.cluster.faults`), a whole failure sweep costs one engine
+execution per cluster size, and the traced event stream is asserted
+byte-identical before and after the sweep.
+
+``python benchmarks/faultbench.py`` drives this and writes a
+``BENCH_<rev>_faults.json`` so robustness results are kept per revision,
+mirroring the wall-clock microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.runner import paper_scales, sv_factor
+from repro.bench.wallclock import git_revision
+from repro.cluster import (
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    FaultRates,
+    FaultSchedule,
+    RecoveryStrategy,
+    RunReport,
+    Simulator,
+    Tracer,
+)
+from repro.config import GMM_SCALE, TEXT_SCALE
+from repro.impls import giraph, graphlab, simsql, spark
+from repro.stats import make_rng
+from repro.workloads import generate_gmm_data, newsgroup_style_corpus
+
+SEED = 20140622
+#: Seed of the sampled fault schedules.  Chosen so the default rate
+#: grid actually exercises the fault path over the four traced phases:
+#: with this seed the per-phase uniforms are (0.51, 0.33, 0.45, 0.01),
+#: i.e. 0 / 1 / 2 machine crashes at rates 0.0 / 0.15 / 0.4.
+SWEEP_SEED = 1
+ITERATIONS = 3
+#: Machine-crash probability per phase, the swept axis.
+CRASH_RATES = (0.0, 0.15, 0.4)
+MACHINE_COUNTS = (5, 20)
+#: Checkpoint interval used for the lineage platforms' second ride.
+CHECKPOINT_INTERVAL = 2
+
+GMM_N = {"spark": 400, "simsql": 160, "graphlab": 400, "giraph": 400}
+LDA_DOCS = 64
+LDA_VOCAB = 2_000
+LDA_TOPICS = 100
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One (platform, model) robustness case."""
+
+    name: str
+    platform: str
+    model: str
+    #: Builds the implementation for a cluster spec and tracer.
+    factory: Callable[[ClusterSpec, Tracer], object]
+    #: Paper-scale data units per machine for the scale map.
+    units_per_machine: int
+    #: Data units the laptop run actually executes.
+    laptop_units: int
+    extra_scales: dict[str, float] = field(default_factory=dict)
+    #: Super-vertex block size of the laptop run (0 = not a SV code).
+    sv_block: int = 0
+
+
+def _gmm_case(name: str, platform: str, cls, sv_block: int = 0) -> SweepCase:
+    n = GMM_N[platform]
+    data = generate_gmm_data(make_rng(SEED), n, dim=10, clusters=10)
+
+    def factory(cluster_spec, tracer):
+        return cls(data.points, 10, make_rng(SEED), cluster_spec, tracer)
+
+    return SweepCase(name=name, platform=platform, model="gmm", factory=factory,
+                     units_per_machine=GMM_SCALE.units_per_machine,
+                     laptop_units=n, sv_block=sv_block)
+
+
+def _lda_case(name: str, platform: str, cls, sv_block: int = 0) -> SweepCase:
+    corpus = newsgroup_style_corpus(make_rng(SEED), LDA_DOCS, vocabulary=LDA_VOCAB)
+
+    def factory(cluster_spec, tracer):
+        return cls(corpus.documents, LDA_VOCAB, LDA_TOPICS, make_rng(SEED),
+                   cluster_spec, tracer)
+
+    return SweepCase(name=name, platform=platform, model="lda", factory=factory,
+                     units_per_machine=TEXT_SCALE.units_per_machine,
+                     laptop_units=LDA_DOCS,
+                     extra_scales={"vocab": 10_000.0 / LDA_VOCAB},
+                     sv_block=sv_block)
+
+
+def default_cases() -> list[SweepCase]:
+    """GMM and LDA on all four platforms.
+
+    GraphLab runs its super-vertex GMM (the plain one Fails on memory at
+    every scale — Figure 1(a) — which would mask the fault story).
+    """
+    return [
+        _gmm_case("spark/gmm", "spark", spark.SparkGMM),
+        _gmm_case("simsql/gmm", "simsql", simsql.SimSQLGMM),
+        _gmm_case("giraph/gmm", "giraph", giraph.GiraphGMM),
+        _gmm_case("graphlab/gmm", "graphlab", graphlab.GraphLabGMMSuperVertex,
+                  sv_block=64),
+        _lda_case("spark/lda", "spark", spark.SparkLDADocument),
+        _lda_case("simsql/lda", "simsql", simsql.SimSQLLDADocument),
+        _lda_case("giraph/lda", "giraph", giraph.GiraphLDADocument),
+        _lda_case("graphlab/lda", "graphlab", graphlab.GraphLabLDASuperVertex,
+                  sv_block=16),
+    ]
+
+
+def quick_cases() -> list[SweepCase]:
+    """CI smoke subset: GMM on every platform (all four semantics)."""
+    return [case for case in default_cases() if case.model == "gmm"]
+
+
+def _scales_for(case: SweepCase, machines: int) -> dict[str, float]:
+    scales = paper_scales(case.units_per_machine, machines, case.laptop_units,
+                          **case.extra_scales)
+    if case.sv_block:
+        scales["sv"] = sv_factor(machines, case.laptop_units, case.sv_block)
+    return scales
+
+
+def _trace_case(case: SweepCase, machines: int) -> Tracer:
+    """Run the engine once; the sweep replays this trace."""
+    cluster = ClusterSpec(machines=machines)
+    tracer = Tracer()
+    impl = case.factory(cluster, tracer)
+    with tracer.init_phase():
+        impl.initialize()
+    for i in range(ITERATIONS):
+        with tracer.iteration_phase(i):
+            impl.iterate(i)
+    return tracer
+
+
+def _cell_payload(report: RunReport) -> dict:
+    payload = {
+        "completed": not report.failed,
+        "aborted": report.aborted,
+        "recovered_failures": report.recovered_failures,
+        "total_retries": report.total_retries,
+        "lost_seconds": report.lost_seconds,
+        "checkpoint_seconds": report.checkpoint_seconds,
+        "total_seconds": report.total_seconds,
+        "cell": report.cell(verbose=True),
+    }
+    if report.failed:
+        payload["fail_phase"] = report.fail_phase
+        payload["fail_reason"] = report.fail_reason
+    return payload
+
+
+def sweep_case(
+    case: SweepCase,
+    machine_counts: tuple[int, ...] = MACHINE_COUNTS,
+    crash_rates: tuple[float, ...] = CRASH_RATES,
+    seed: int = SWEEP_SEED,
+) -> dict:
+    """One engine run per cluster size, one simulation per crash rate.
+
+    Lineage platforms (Spark) get a second simulation per cell with
+    checkpointing enabled, so the JSON records the recovery-depth
+    trade-off next to the raw lineage cost.
+    """
+    profile = PLATFORM_PROFILES[case.platform]
+    cells = []
+    for machines in machine_counts:
+        tracer = _trace_case(case, machines)
+        frozen = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
+        scales = _scales_for(case, machines)
+        simulator = Simulator(ClusterSpec(machines=machines), profile)
+        for rate in crash_rates:
+            schedule = FaultSchedule.sampled(
+                FaultRates(machine_crash=rate), seed=seed
+            )
+            report = simulator.simulate(tracer, scales, faults=schedule)
+            cell = {"machines": machines, "crash_rate": rate}
+            cell.update(_cell_payload(report))
+            if profile.recovery.strategy is RecoveryStrategy.LINEAGE:
+                checkpointed = simulator.simulate(
+                    tracer, scales, faults=schedule,
+                    checkpoint_interval=CHECKPOINT_INTERVAL,
+                )
+                cell["checkpointed_total_seconds"] = checkpointed.total_seconds
+            cells.append(cell)
+        after = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
+        if after != frozen:
+            raise AssertionError(
+                f"{case.name}: fault injection mutated the trace at "
+                f"{machines} machines"
+            )
+    return {
+        "platform": case.platform,
+        "model": case.model,
+        "iterations": ITERATIONS,
+        "trace_immutable": True,
+        "cells": cells,
+    }
+
+
+def run_sweep(
+    cases: list[SweepCase] | None = None,
+    machine_counts: tuple[int, ...] = MACHINE_COUNTS,
+    crash_rates: tuple[float, ...] = CRASH_RATES,
+    seed: int = SWEEP_SEED,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every case and assemble the ``BENCH_<rev>_faults.json`` payload."""
+    results: dict[str, dict] = {}
+    for case in (cases if cases is not None else default_cases()):
+        results[case.name] = sweep_case(case, machine_counts, crash_rates, seed)
+        if progress is not None:
+            survived = sum(c["completed"] for c in results[case.name]["cells"])
+            progress(f"{case.name}: {survived}/{len(results[case.name]['cells'])} "
+                     f"cells survive")
+    return {
+        "rev": git_revision(),
+        "kind": "faultbench",
+        "seed": seed,
+        "crash_rates": list(crash_rates),
+        "machines": list(machine_counts),
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "cases": results,
+    }
+
+
+def write_report(payload: dict, out_dir: str | Path = ".") -> Path:
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{payload['rev']}_faults.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+#: Keys every sweep cell must carry (shared with the CI schema check).
+CELL_KEYS = (
+    "machines", "crash_rate", "completed", "aborted", "recovered_failures",
+    "total_retries", "lost_seconds", "checkpoint_seconds", "total_seconds",
+    "cell",
+)
+
+
+def validate_payload(payload: dict) -> None:
+    """Schema check for a faultbench payload; raises AssertionError."""
+    for key in ("rev", "kind", "seed", "crash_rates", "machines", "cases"):
+        assert key in payload, f"missing top-level key {key!r}"
+    assert payload["kind"] == "faultbench"
+    assert payload["cases"], "no sweep cases recorded"
+    for name, case in payload["cases"].items():
+        for key in ("platform", "model", "iterations", "trace_immutable", "cells"):
+            assert key in case, f"{name} missing {key!r}"
+        assert case["trace_immutable"], f"{name}: trace mutated during sweep"
+        assert case["cells"], f"{name} recorded no cells"
+        for cell in case["cells"]:
+            for key in CELL_KEYS:
+                assert key in cell, f"{name} cell missing {key!r}"
+            if not cell["completed"]:
+                assert cell["fail_reason"], f"{name}: failed cell lacks a reason"

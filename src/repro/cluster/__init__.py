@@ -5,12 +5,33 @@ from repro.cluster.costmodel import (
     PLATFORM_PROFILES,
     LanguageCost,
     PlatformProfile,
+    RecoveryModel,
+    RecoveryStrategy,
     ScaleMap,
     UnknownScaleGroup,
     combine_scales,
     event_seconds,
 )
-from repro.cluster.events import DATA, FIXED, CostEvent, Kind, MemoryEvent, Phase, Site
+from repro.cluster.events import (
+    DATA,
+    FIXED,
+    PARALLEL_KINDS,
+    CostEvent,
+    Kind,
+    MemoryEvent,
+    Phase,
+    Site,
+)
+from repro.cluster.faults import (
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultRates,
+    FaultSchedule,
+    PhaseFaults,
+    RetryPolicy,
+    one_crash_per_iteration,
+)
 from repro.cluster.machine import ClusterSpec, MachineSpec
 from repro.cluster.memory import CONNECTIONS_LABEL, MemoryVerdict, check_phase_memory
 from repro.cluster.simulator import PhaseReport, RunReport, Simulator, format_hms
@@ -19,6 +40,17 @@ from repro.cluster.variability import PAPER_CV, perturb_seconds, replicate_study
 
 __all__ = [
     "CONNECTIONS_LABEL",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRates",
+    "FaultSchedule",
+    "PARALLEL_KINDS",
+    "PhaseFaults",
+    "RecoveryModel",
+    "RecoveryStrategy",
+    "RetryPolicy",
+    "one_crash_per_iteration",
     "ClusterSpec",
     "CostEvent",
     "DATA",

@@ -22,13 +22,46 @@ honest version of this exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import enum
+from dataclasses import dataclass, field
 
 from repro.cluster.events import FIXED, CostEvent, Kind, Site
 from repro.cluster.machine import ClusterSpec
 
 MICRO = 1e-6
 NANO = 1e-9
+
+
+class RecoveryStrategy(enum.Enum):
+    """What a platform does when it loses work mid-run (Section 10)."""
+
+    #: Hadoop discipline: the lost tasks are re-executed on surviving
+    #: machines, bounded by the retry policy (SimSQL, Giraph).
+    RETRY = "retry"
+    #: Spark discipline: lost partitions are recomputed from lineage,
+    #: re-charging every un-checkpointed upstream phase's share.
+    LINEAGE = "lineage"
+    #: GraphLab 2.2 discipline: no fault tolerance — the run aborts.
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class RecoveryModel:
+    """Per-platform failure semantics used by :mod:`repro.cluster.faults`.
+
+    This encodes the paper's robustness findings as simulation rules:
+    *how* a platform pays for a lost machine or task
+    (:class:`RecoveryStrategy`) and whether stragglers are absorbed by
+    speculative re-execution (Hadoop/Spark backup tasks) or stall every
+    peer at the next BSP barrier (Giraph supersteps, GraphLab's
+    synchronous engine).
+    """
+
+    strategy: RecoveryStrategy
+    #: True when slow tasks get speculatively re-executed elsewhere, so
+    #: a straggler's slowdown is amortized across the cluster instead of
+    #: stretching the whole barrier-to-barrier phase.
+    speculative_execution: bool = False
 
 
 @dataclass(frozen=True)
@@ -102,6 +135,12 @@ class PlatformProfile:
     spill_allowed: bool
     #: Bytes of network buffering per open peer connection at a machine.
     connection_buffer_bytes: float
+    #: Failure semantics under injected faults (Section 10).  The
+    #: default is the paper's GraphLab story — no fault tolerance —
+    #: so an unconfigured profile never silently survives a crash.
+    recovery: RecoveryModel = field(
+        default=RecoveryModel(strategy=RecoveryStrategy.ABORT)
+    )
 
 
 PLATFORM_PROFILES: dict[str, PlatformProfile] = {
@@ -120,6 +159,11 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         per_message_overhead=2.0 * MICRO,
         spill_allowed=False,
         connection_buffer_bytes=48.0 * 1024,
+        # Section 10: lost RDD partitions are recomputed from lineage;
+        # slow tasks get speculative backups.
+        recovery=RecoveryModel(
+            strategy=RecoveryStrategy.LINEAGE, speculative_execution=True
+        ),
     ),
     # SimSQL: every query compiles to Hadoop MapReduce jobs (high fixed
     # overhead, materialization through HDFS) but the engine is a
@@ -136,6 +180,11 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         per_message_overhead=1.5 * MICRO,
         spill_allowed=True,
         connection_buffer_bytes=16.0 * 1024,
+        # Section 10: "SimSQL never failed" — Hadoop re-executes lost
+        # tasks (bounded attempts) and speculates around stragglers.
+        recovery=RecoveryModel(
+            strategy=RecoveryStrategy.RETRY, speculative_execution=True
+        ),
     ),
     # GraphLab: C++ speed, but the engine owns data movement; gather
     # results are materialized per edge and the user cannot intervene
@@ -153,6 +202,10 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         per_message_overhead=1.2 * MICRO,
         spill_allowed=False,
         connection_buffer_bytes=256.0 * 1024,
+        # Section 10: GraphLab 2.2 has no fault tolerance; a machine
+        # failure aborts the whole run, and the synchronous engine
+        # waits out every straggler at the barrier.
+        recovery=RecoveryModel(strategy=RecoveryStrategy.ABORT),
     ),
     # Giraph: BSP on Hadoop; one job per run but per-superstep barriers;
     # JVM message objects are heavy, and every peer connection at a
@@ -170,6 +223,10 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         per_message_overhead=1.5 * MICRO,
         spill_allowed=False,
         connection_buffer_bytes=2.0 * 1024 * 1024,
+        # Section 10: Hadoop task re-execution underneath, but BSP
+        # supersteps give stragglers nowhere to hide — every worker
+        # waits at the barrier.
+        recovery=RecoveryModel(strategy=RecoveryStrategy.RETRY),
     ),
 }
 

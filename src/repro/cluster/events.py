@@ -66,6 +66,21 @@ class Kind(enum.Enum):
     SERIALIZE = "serialize"
 
 
+#: Kinds whose cluster-site time is genuinely parallel work: every
+#: machine holds a share, so losing a machine loses 1/Nth of it and a
+#: straggler stretches it.  JOB, BARRIER and BROADCAST are coordination
+#: overhead — they are serial from the fault model's point of view (a
+#: re-executed task does not relaunch the job or re-cross old barriers).
+PARALLEL_KINDS = frozenset({
+    Kind.COMPUTE,
+    Kind.SHUFFLE,
+    Kind.MESSAGE,
+    Kind.SERIALIZE,
+    Kind.DISK_READ,
+    Kind.DISK_WRITE,
+})
+
+
 @dataclass(frozen=True)
 class CostEvent:
     """One unit of traced work.

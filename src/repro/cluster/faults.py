@@ -1,0 +1,300 @@
+"""Deterministic fault injection: the paper's Section 10 as a simulation.
+
+The robustness experiment in the paper is a story about *recovery
+semantics*: SimSQL "never failed" because Hadoop re-executes lost tasks,
+Giraph rides the same Hadoop machinery but stalls whole supersteps,
+Spark recomputes lost partitions from lineage, and GraphLab 2.2 simply
+aborts.  This module reproduces time-to-completion under failures by
+replaying a *finished* trace against a :class:`FaultSchedule`:
+
+* the engines never see a fault — the traced event stream is
+  byte-identical with and without injection (the same invariant the
+  host fast path honours: cost events are execution-strategy
+  independent, and faults are pure post-processing);
+* every draw comes from a seeded RNG keyed by ``(seed, phase index)``,
+  so a schedule is deterministic and independent of replay order;
+* what a fault *costs* is decided by the platform's
+  :class:`~repro.cluster.costmodel.RecoveryModel` and the
+  :class:`~repro.config.RetryPolicy`, not by the fault itself.
+
+Three fault kinds are modelled:
+
+* ``MACHINE_CRASH`` — one machine dies during a phase, losing its 1/Nth
+  share of the phase's parallel work (and, for lineage platforms, its
+  share of every un-checkpointed upstream phase).
+* ``TASK_FAILURE`` — a transient failure (bad disk, JVM OOM kill) costs
+  a ``fraction`` of the phase's parallel work one backoff-delayed retry.
+* ``STRAGGLER`` — the slowest machine runs ``slowdown`` times slower;
+  BSP platforms wait for it at the barrier, speculative platforms
+  re-execute its tasks elsewhere and amortize the stall.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.costmodel import PlatformProfile, RecoveryStrategy
+from repro.cluster.machine import ClusterSpec
+from repro.config import CHECKPOINT_REPLICATION, DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRates",
+    "FaultSchedule",
+    "PhaseFaults",
+    "RetryPolicy",
+    "one_crash_per_iteration",
+]
+
+#: Default share of a phase's parallel work lost to one transient task
+#: failure (roughly one task out of a fifty-task wave).
+DEFAULT_TASK_FRACTION = 0.02
+#: Default slowdown multiplier of an injected straggler.
+DEFAULT_STRAGGLER_SLOWDOWN = 3.0
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong."""
+
+    MACHINE_CRASH = "machine_crash"
+    TASK_FAILURE = "task_failure"
+    STRAGGLER = "straggler"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault, pinned to a phase by name."""
+
+    kind: FaultKind
+    #: Name of the traced phase the fault strikes (``"init"``,
+    #: ``"iteration:3"`` ...).  Unknown names strike nothing.
+    phase: str
+    #: TASK_FAILURE only: share of the phase's parallel work lost.
+    fraction: float = DEFAULT_TASK_FRACTION
+    #: STRAGGLER only: how many times slower the slowest machine runs.
+    slowdown: float = DEFAULT_STRAGGLER_SLOWDOWN
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be at least 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-phase fault probabilities for a sampled schedule."""
+
+    #: Probability a phase loses one machine.
+    machine_crash: float = 0.0
+    #: Probability a phase suffers one transient task failure.
+    task_failure: float = 0.0
+    #: Probability a phase has a straggling machine.
+    straggler: float = 0.0
+    #: Work share lost per sampled task failure.
+    task_fraction: float = DEFAULT_TASK_FRACTION
+    #: Slowdown of a sampled straggler.
+    straggler_slowdown: float = DEFAULT_STRAGGLER_SLOWDOWN
+
+    def __post_init__(self) -> None:
+        for name in ("machine_crash", "task_failure", "straggler"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+
+
+class FaultSchedule:
+    """Where and when faults strike, explicit or sampled (or both).
+
+    Explicit faults are matched to phases by name.  Sampled faults are
+    drawn per phase from ``rates`` with an RNG seeded by
+    ``(seed, phase_index)``, which makes the schedule a pure function of
+    its construction arguments: the same seed yields the same faults no
+    matter how many times (or in what order) phases are replayed.
+    """
+
+    def __init__(
+        self,
+        faults: tuple[Fault, ...] | list[Fault] = (),
+        rates: FaultRates | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.faults = tuple(faults)
+        self.rates = rates
+        self.seed = seed
+
+    @classmethod
+    def explicit(cls, faults: list[Fault] | tuple[Fault, ...]) -> FaultSchedule:
+        """A fully scripted schedule (the acceptance-test form)."""
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def sampled(cls, rates: FaultRates, seed: int = 0) -> FaultSchedule:
+        """A stochastic schedule drawn deterministically from ``seed``."""
+        return cls(rates=rates, seed=seed)
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults and self.rates is None
+
+    def faults_for(self, index: int, name: str) -> tuple[Fault, ...]:
+        """Every fault striking phase ``index`` (named ``name``)."""
+        struck = [fault for fault in self.faults if fault.phase == name]
+        if self.rates is not None:
+            rng = np.random.default_rng((self.seed, index))
+            rates = self.rates
+            if rng.random() < rates.machine_crash:
+                struck.append(Fault(FaultKind.MACHINE_CRASH, phase=name))
+            if rng.random() < rates.task_failure:
+                struck.append(
+                    Fault(FaultKind.TASK_FAILURE, phase=name, fraction=rates.task_fraction)
+                )
+            if rng.random() < rates.straggler:
+                struck.append(
+                    Fault(FaultKind.STRAGGLER, phase=name, slowdown=rates.straggler_slowdown)
+                )
+        return tuple(struck)
+
+
+def one_crash_per_iteration(iterations: int) -> FaultSchedule:
+    """The acceptance scenario: every iteration loses one machine."""
+    return FaultSchedule.explicit(
+        [Fault(FaultKind.MACHINE_CRASH, phase=f"iteration:{i}") for i in range(iterations)]
+    )
+
+
+@dataclass(frozen=True)
+class PhaseFaults:
+    """Fault accounting for one replayed phase."""
+
+    #: Wall seconds the phase gained from faults and recovery.
+    lost_seconds: float = 0.0
+    #: Proactive checkpoint overhead charged after the phase (lineage
+    #: platforms with a checkpoint interval only).
+    checkpoint_seconds: float = 0.0
+    #: Re-execution attempts the phase needed.
+    retries: int = 0
+    #: Failures the platform survived.
+    recovered: int = 0
+    #: True when a fault killed the run in this phase.
+    aborted: bool = False
+    reason: str = ""
+
+    @property
+    def extra_seconds(self) -> float:
+        return self.lost_seconds + self.checkpoint_seconds
+
+
+class FaultInjector:
+    """Replays traced phases against a schedule, one platform at a time.
+
+    Stateful across phases: lineage platforms accumulate the parallel
+    seconds of every phase since the last checkpoint (the *recovery
+    depth* a machine crash must recompute), and the checkpoint counter
+    tracks iteration phases.  Create one injector per simulated run.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        cluster: ClusterSpec,
+        profile: PlatformProfile,
+        policy: RetryPolicy | None = None,
+        checkpoint_interval: int = 0,
+    ) -> None:
+        if checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be non-negative, got {checkpoint_interval}"
+            )
+        self.schedule = schedule
+        self.cluster = cluster
+        self.profile = profile
+        self.policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        self.checkpoint_interval = checkpoint_interval
+        #: Parallel seconds since the last checkpoint (lineage depth).
+        self._lineage_window = 0.0
+        self._iterations_seen = 0
+
+    def replay(self, index: int, name: str, parallel_seconds: float,
+               peak_bytes: float) -> PhaseFaults:
+        """Charge phase ``index``'s faults; advance checkpoint state.
+
+        ``parallel_seconds`` is the phase's cluster-parallel wall time
+        (every machine busy for that long on its share);
+        ``peak_bytes`` the per-machine resident set a checkpoint of
+        this phase would have to write.
+        """
+        recovery = self.profile.recovery
+        faults = self.schedule.faults_for(index, name)
+        lost = 0.0
+        retries = 0
+        recovered = 0
+        aborted = False
+        reason = ""
+
+        for fault in faults:
+            if fault.kind is FaultKind.STRAGGLER:
+                stretch = parallel_seconds * (fault.slowdown - 1.0)
+                if recovery.speculative_execution:
+                    # A backup task elsewhere caps the damage at the
+                    # straggler's 1/Nth share, run at normal speed.
+                    stretch /= self.cluster.machines
+                lost += stretch
+                continue
+            if recovery.strategy is RecoveryStrategy.ABORT:
+                aborted = True
+                reason = (
+                    f"{fault.kind.value} in {name}: no fault tolerance, run aborted"
+                )
+                break
+            retries += 1
+            if retries > self.policy.max_attempts - 1:
+                aborted = True
+                reason = (
+                    f"{fault.kind.value} in {name}: task exceeded "
+                    f"{self.policy.max_attempts} attempts"
+                )
+                break
+            lost += self.policy.backoff_before(retries)
+            survivors = self.cluster.without_machines(1).machines
+            if fault.kind is FaultKind.MACHINE_CRASH:
+                if recovery.strategy is RecoveryStrategy.RETRY:
+                    # Heartbeat timeout, then the dead machine's share
+                    # of this phase re-runs on the survivors.
+                    lost += self.policy.timeout_seconds
+                    lost += parallel_seconds / survivors
+                else:  # LINEAGE: the driver notices the lost executor
+                    # immediately but must also rebuild the lost
+                    # partitions of every un-checkpointed upstream phase.
+                    lost += (self._lineage_window + parallel_seconds) / survivors
+                recovered += 1
+            else:  # TASK_FAILURE: transient, retried in place on the
+                # full cluster; cached inputs survive, so no lineage.
+                lost += fault.fraction * parallel_seconds
+                recovered += 1
+
+        checkpoint = 0.0
+        if recovery.strategy is RecoveryStrategy.LINEAGE and not aborted:
+            self._lineage_window += parallel_seconds
+            if self.checkpoint_interval > 0 and name.startswith("iteration:"):
+                self._iterations_seen += 1
+                if self._iterations_seen % self.checkpoint_interval == 0:
+                    checkpoint = (
+                        CHECKPOINT_REPLICATION * peak_bytes
+                        / self.cluster.machine.disk_bandwidth
+                    )
+                    self._lineage_window = 0.0
+
+        return PhaseFaults(
+            lost_seconds=lost,
+            checkpoint_seconds=checkpoint,
+            retries=retries,
+            recovered=recovered,
+            aborted=aborted,
+            reason=reason,
+        )

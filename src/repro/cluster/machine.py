@@ -58,3 +58,15 @@ class ClusterSpec:
     def aggregate_network_bandwidth(self) -> float:
         """Bisection-style aggregate bandwidth for all-to-all shuffles."""
         return self.machines * self.machine.network_bandwidth
+
+    def without_machines(self, lost: int) -> ClusterSpec:
+        """The surviving cluster after ``lost`` machines fail mid-run.
+
+        Used by the fault simulator to price recovery work: re-executed
+        tasks run on the survivors, never on the machine that died.  A
+        cluster always keeps at least one machine — Hadoop restarts the
+        last worker's tasks on a replacement rather than giving up.
+        """
+        if lost < 0:
+            raise ValueError(f"lost machine count must be non-negative, got {lost}")
+        return ClusterSpec(machines=max(1, self.machines - lost), machine=self.machine)

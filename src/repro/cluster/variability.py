@@ -16,39 +16,68 @@ import numpy as np
 PAPER_CV = 32.0 / (27.0 * 60.0)
 
 
+def _as_rng(rng: np.random.Generator | int) -> np.random.Generator:
+    """Accept either a ready Generator or a plain integer seed."""
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    return rng
+
+
+def _lognormal_params(cv: float) -> tuple[float, float]:
+    """(mu, sigma) of the unit-mean lognormal with coefficient ``cv``."""
+    sigma = np.sqrt(np.log1p(cv**2))
+    return -0.5 * sigma**2, float(sigma)
+
+
+def _validate(seconds: float, cv: float) -> None:
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+
+
 def perturb_seconds(
     seconds: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     cv: float = PAPER_CV,
 ) -> float:
     """One noisy observation of a nominal running time.
 
     Multiplicative lognormal noise whose coefficient of variation is
     ``cv``; day/cluster effects are i.i.d. at this granularity.
+    ``rng`` may be a Generator or an integer seed.
     """
-    if seconds < 0:
-        raise ValueError(f"seconds must be non-negative, got {seconds}")
-    if cv < 0:
-        raise ValueError(f"cv must be non-negative, got {cv}")
+    _validate(seconds, cv)
     if cv == 0 or seconds == 0:
         return seconds
-    sigma = np.sqrt(np.log1p(cv**2))
-    mu = -0.5 * sigma**2  # unit-mean lognormal
-    return float(seconds * rng.lognormal(mu, sigma))
+    mu, sigma = _lognormal_params(cv)
+    return float(seconds * _as_rng(rng).lognormal(mu, sigma))
 
 
 def replicate_study(
     seconds: float,
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     days: int = 5,
     cv: float = PAPER_CV,
 ) -> tuple[float, float]:
     """Re-run the paper's five-day variability study.
 
     Returns ``(mean, standard deviation)`` of the observed per-iteration
-    times across ``days`` independent clusters/days.
+    times across ``days`` independent clusters/days.  ``rng`` may be a
+    Generator or an integer seed.
+
+    The ``days`` draws come from a single vectorized
+    ``rng.lognormal(size=days)`` call; a given Generator state therefore
+    yields different draws than the pre-vectorization loop did (the
+    statistics are unchanged — the tests gate on distributional
+    properties, not the exact stream).
     """
     if days < 2:
         raise ValueError(f"need at least two days to estimate a deviation, got {days}")
-    observations = np.array([perturb_seconds(seconds, rng, cv) for _ in range(days)])
+    _validate(seconds, cv)
+    if cv == 0 or seconds == 0:
+        observations = np.full(days, float(seconds))
+    else:
+        mu, sigma = _lognormal_params(cv)
+        observations = seconds * _as_rng(rng).lognormal(mu, sigma, size=days)
     return float(observations.mean()), float(observations.std(ddof=1))

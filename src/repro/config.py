@@ -69,6 +69,49 @@ LASSO_SCALE = WorkloadScale(units_per_machine=100_000, unit="points")
 #: HMM and LDA: 2.5 million documents per machine.
 TEXT_SCALE = WorkloadScale(units_per_machine=2_500_000, unit="documents")
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded task re-execution, Hadoop style (paper Section 10).
+
+    SimSQL and Giraph inherit Hadoop's recovery discipline: a lost or
+    failed task is re-executed up to ``max_attempts`` times total (the
+    original run counts as the first attempt, mirroring
+    ``mapred.map.max.attempts``), each retry delayed by an exponential
+    backoff, and a dead machine is only *noticed* after the heartbeat
+    timeout.  The fault simulator (:mod:`repro.cluster.faults`) charges
+    these delays; a phase that accumulates failures past the attempt
+    budget fails the whole run.
+    """
+
+    #: Total attempts allowed per task, original execution included.
+    max_attempts: int = 4
+    #: Delay before the first re-execution, seconds.
+    backoff_seconds: float = 3.0
+    #: Multiplier applied to the delay for each further re-execution.
+    backoff_factor: float = 2.0
+    #: Heartbeat timeout before a lost machine's tasks are declared dead.
+    timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0 or self.timeout_seconds < 0:
+            raise ValueError("backoff_seconds and timeout_seconds must be non-negative")
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor must be at least 1, got {self.backoff_factor}")
+
+    def backoff_before(self, retry: int) -> float:
+        """Delay before the ``retry``-th re-execution (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** max(0, retry - 1)
+
+
+#: The retry discipline every fault simulation uses unless overridden.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: HDFS-style replication factor charged when a checkpoint is written
+#: (one local copy plus one remote copy is the simulated default).
+CHECKPOINT_REPLICATION = 2.0
+
 #: Corpus statistics shared by the HMM and LDA experiments (Section 7.5).
 TEXT_VOCABULARY = 10_000
 TEXT_MEAN_DOC_LENGTH = 210

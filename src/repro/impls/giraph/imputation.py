@@ -11,11 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.events import DATA
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.giraph.gmm import GiraphGMM
-from repro.models import gmm
 from repro.models.imputation import impute_point
 from repro.stats import Categorical, MultivariateNormal
 

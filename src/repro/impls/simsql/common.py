@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.relational import GroupBy, Join, Plan, Project, Scan, Union, col, lit
+from repro.relational import GroupBy, Join, Plan, Project, Union, col, lit
 
 
 def project(plan: Plan, *outputs: tuple) -> Project:

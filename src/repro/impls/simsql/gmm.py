@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.events import FIXED
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.base import Implementation

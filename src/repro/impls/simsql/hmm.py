@@ -35,7 +35,6 @@ from repro.relational import (
     GroupBy,
     Join,
     MarkovChain,
-    Project,
     RandomTable,
     Scan,
     Select,

@@ -6,7 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.cluster.events import DATA, FIXED, Kind
+from repro.cluster.events import FIXED, Kind
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import NullTracer, Tracer
 from repro.relational.executor import Executor

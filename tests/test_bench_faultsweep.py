@@ -1,0 +1,71 @@
+"""Faultbench harness: payload schema, determinism, trace immutability."""
+
+import json
+
+import pytest
+
+from repro.bench import faultsweep
+
+MACHINES = (5,)
+RATES = (0.0, 0.4)
+
+
+def tiny_cases():
+    """One platform per recovery strategy keeps the smoke run short."""
+    wanted = {"simsql/gmm", "spark/gmm", "graphlab/gmm"}
+    return [c for c in faultsweep.default_cases() if c.name in wanted]
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return faultsweep.run_sweep(tiny_cases(), MACHINES, RATES)
+
+
+class TestPayload:
+    def test_schema_validates(self, payload):
+        faultsweep.validate_payload(payload)
+
+    def test_every_case_has_one_cell_per_rate(self, payload):
+        assert set(payload["cases"]) == {c.name for c in tiny_cases()}
+        for case in payload["cases"].values():
+            assert [c["crash_rate"] for c in case["cells"]] == list(RATES)
+            assert case["trace_immutable"]
+
+    def test_zero_rate_cells_are_fault_free(self, payload):
+        for case in payload["cases"].values():
+            clean = case["cells"][0]
+            assert clean["crash_rate"] == 0.0
+            assert clean["completed"]
+            assert clean["recovered_failures"] == 0
+            assert clean["lost_seconds"] == 0.0
+
+    def test_crash_cells_tell_the_section_10_story(self, payload):
+        at_rate = {
+            name: case["cells"][-1] for name, case in payload["cases"].items()
+        }
+        assert at_rate["simsql/gmm"]["completed"]
+        assert at_rate["simsql/gmm"]["recovered_failures"] > 0
+        assert at_rate["spark/gmm"]["completed"]
+        assert at_rate["spark/gmm"]["lost_seconds"] > 0
+        # Spark's cell also records the checkpointing alternative.
+        assert "checkpointed_total_seconds" in at_rate["spark/gmm"]
+        assert not at_rate["graphlab/gmm"]["completed"]
+        assert at_rate["graphlab/gmm"]["aborted"]
+
+    def test_same_seed_is_deterministic(self, payload):
+        again = faultsweep.run_sweep(tiny_cases(), MACHINES, RATES)
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_validate_rejects_missing_cell_key(self, payload):
+        broken = json.loads(json.dumps(payload))
+        first = next(iter(broken["cases"].values()))
+        del first["cells"][0]["total_seconds"]
+        with pytest.raises(AssertionError, match="total_seconds"):
+            faultsweep.validate_payload(broken)
+
+    def test_write_report_names_file_by_revision(self, payload, tmp_path):
+        path = faultsweep.write_report(payload, tmp_path)
+        assert path.name == f"BENCH_{payload['rev']}_faults.json"
+        assert json.loads(path.read_text()) == payload

@@ -1,12 +1,11 @@
 """Tests for the benchmark harness: runner, scales, LoC, report, CLI."""
 
-import numpy as np
 import pytest
 
 from repro.bench.loc import count_source_lines
 from repro.bench.report import assert_failed, assert_ran, format_figure, seconds_of
 from repro.bench.runner import CellResult, paper_scales, run_benchmark, sv_factor
-from repro.cluster import ClusterSpec, RunReport, Tracer
+from repro.cluster import RunReport
 from repro.impls.spark import SparkGMM
 from repro.stats import make_rng
 from repro.workloads import generate_gmm_data

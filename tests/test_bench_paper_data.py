@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.paper_data import PAPER_LOC, PAPER_TABLES, PaperCell, compare, parse_cell
+from repro.bench.paper_data import PAPER_LOC, PAPER_TABLES, compare, parse_cell
 
 
 class TestParseCell:

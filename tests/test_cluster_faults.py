@@ -1,0 +1,317 @@
+"""Fault injection: schedules, recovery semantics, the Section 10 story.
+
+The acceptance scenario throughout: a seeded schedule crashing one
+machine per iteration.  SimSQL and Giraph must survive it through
+Hadoop-style bounded retries, Spark through lineage recomputation
+(cheaper with checkpoints), and GraphLab must abort — all while the
+traced event stream stays byte-identical to the no-fault run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DATA,
+    FIXED,
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    Fault,
+    FaultInjector,
+    FaultKind,
+    FaultRates,
+    FaultSchedule,
+    Kind,
+    RecoveryStrategy,
+    RetryPolicy,
+    Simulator,
+    Site,
+    Tracer,
+    one_crash_per_iteration,
+)
+from repro.config import DEFAULT_RETRY_POLICY
+
+SPARK = PLATFORM_PROFILES["spark"]
+SIMSQL = PLATFORM_PROFILES["simsql"]
+GIRAPH = PLATFORM_PROFILES["giraph"]
+GRAPHLAB = PLATFORM_PROFILES["graphlab"]
+
+five = ClusterSpec(machines=5)
+
+ITERATIONS = 4
+SCALES = {DATA: 200.0}
+
+
+def make_trace(iterations: int = ITERATIONS) -> Tracer:
+    tracer = Tracer()
+    with tracer.init_phase():
+        tracer.emit(Kind.JOB, records=1, scale=FIXED)
+        tracer.emit(Kind.COMPUTE, records=50_000, language="python")
+    for i in range(iterations):
+        with tracer.iteration_phase(i):
+            tracer.emit(Kind.COMPUTE, records=50_000, language="python")
+            tracer.emit(Kind.SHUFFLE, records=1000, bytes=1e6, language="python")
+            tracer.materialize(bytes=1e6, scale=DATA)
+    return tracer
+
+
+def frozen_events(tracer: Tracer):
+    return [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_seconds=3.0, backoff_factor=2.0)
+        assert policy.backoff_before(1) == 3.0
+        assert policy.backoff_before(2) == 6.0
+        assert policy.backoff_before(3) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestFaultSchedule:
+    def test_explicit_matches_by_phase_name(self):
+        fault = Fault(FaultKind.MACHINE_CRASH, phase="iteration:1")
+        schedule = FaultSchedule.explicit([fault])
+        assert schedule.faults_for(2, "iteration:1") == (fault,)
+        assert schedule.faults_for(1, "iteration:0") == ()
+
+    def test_sampled_is_deterministic_and_order_independent(self):
+        rates = FaultRates(machine_crash=0.5, task_failure=0.5, straggler=0.5)
+        a = FaultSchedule.sampled(rates, seed=7)
+        b = FaultSchedule.sampled(rates, seed=7)
+        forward = [a.faults_for(i, f"iteration:{i}") for i in range(10)]
+        backward = [b.faults_for(i, f"iteration:{i}") for i in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        rates = FaultRates(machine_crash=0.5)
+        a = [FaultSchedule.sampled(rates, seed=0).faults_for(i, "x") for i in range(40)]
+        b = [FaultSchedule.sampled(rates, seed=1).faults_for(i, "x") for i in range(40)]
+        assert a != b
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultRates(machine_crash=1.5)
+
+    def test_fault_validated(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.TASK_FAILURE, phase="x", fraction=0.0)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.STRAGGLER, phase="x", slowdown=0.5)
+
+    def test_one_crash_per_iteration(self):
+        schedule = one_crash_per_iteration(3)
+        assert len(schedule.faults) == 3
+        assert all(f.kind is FaultKind.MACHINE_CRASH for f in schedule.faults)
+        assert schedule.faults_for(1, "iteration:0")[0].phase == "iteration:0"
+
+    def test_empty(self):
+        assert FaultSchedule().empty
+        assert not one_crash_per_iteration(1).empty
+        assert not FaultSchedule.sampled(FaultRates()).empty
+
+
+class TestAcceptanceScenario:
+    """One machine crash per iteration, fixed seed, all four platforms."""
+
+    def simulate(self, profile, **kwargs):
+        tracer = make_trace()
+        report = Simulator(five, profile).simulate(
+            tracer, SCALES, faults=one_crash_per_iteration(ITERATIONS), **kwargs
+        )
+        return tracer, report
+
+    def test_simsql_and_giraph_recover_with_bounded_retries(self):
+        for profile in (SIMSQL, GIRAPH):
+            _, report = self.simulate(profile)
+            assert not report.failed and not report.aborted
+            assert report.recovered_failures == ITERATIONS
+            assert report.lost_seconds > 0
+            for phase in report.phases:
+                assert phase.retries <= DEFAULT_RETRY_POLICY.max_attempts - 1
+                if phase.name.startswith("iteration:"):
+                    assert phase.retries == 1
+                    assert phase.fault_seconds > 0
+
+    def test_spark_recovers_via_lineage(self):
+        _, report = self.simulate(SPARK)
+        assert not report.failed
+        assert report.recovered_failures == ITERATIONS
+        assert report.lost_seconds > 0
+        # Lineage depth grows with un-checkpointed history: each crash
+        # recomputes everything since the run started, so later
+        # iterations pay strictly more than earlier ones.
+        iters = [p for p in report.phases if p.name.startswith("iteration:")]
+        costs = [p.fault_seconds for p in iters]
+        assert costs == sorted(costs) and costs[0] < costs[-1]
+
+    def test_spark_checkpointing_bounds_recovery_depth(self):
+        _, lineage_only = self.simulate(SPARK)
+        _, checkpointed = self.simulate(SPARK, checkpoint_interval=1)
+        assert checkpointed.checkpoint_seconds > 0
+        assert checkpointed.lost_seconds < lineage_only.lost_seconds
+        assert checkpointed.total_seconds < lineage_only.total_seconds
+
+    def test_graphlab_aborts(self):
+        _, report = self.simulate(GRAPHLAB)
+        assert report.aborted
+        assert report.failed
+        assert report.fail_phase == "iteration:0"
+        assert "no fault tolerance" in report.fail_reason
+        # Nothing after the aborting phase was simulated.
+        assert [p.name for p in report.phases] == ["init", "iteration:0"]
+
+    def test_trace_is_byte_identical_under_injection(self):
+        tracer, _ = self.simulate(SIMSQL)
+        clean = make_trace()
+        Simulator(five, SIMSQL).simulate(clean, SCALES)
+        assert frozen_events(tracer) == frozen_events(clean)
+
+    def test_injection_is_deterministic(self):
+        _, a = self.simulate(SPARK)
+        _, b = self.simulate(SPARK)
+        assert a == b
+
+
+class TestRecoverySemantics:
+    def test_no_faults_is_identical_to_plain_simulation(self):
+        tracer = make_trace()
+        plain = Simulator(five, SPARK).simulate(tracer, SCALES)
+        empty = Simulator(five, SPARK).simulate(tracer, SCALES, faults=FaultSchedule())
+        assert plain == empty
+
+    def test_zero_rate_schedule_charges_nothing(self):
+        tracer = make_trace()
+        schedule = FaultSchedule.sampled(FaultRates(machine_crash=0.0), seed=3)
+        report = Simulator(five, SPARK).simulate(tracer, SCALES, faults=schedule)
+        assert report.lost_seconds == 0
+        assert report.recovered_failures == 0
+
+    def test_crash_recovery_charges_detection_backoff_and_redo(self):
+        tracer = make_trace(1)
+        schedule = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        base = Simulator(five, SIMSQL).simulate(tracer, SCALES)
+        faulted = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=schedule)
+        iteration = base.phases[1]
+        expected = (
+            DEFAULT_RETRY_POLICY.timeout_seconds
+            + DEFAULT_RETRY_POLICY.backoff_before(1)
+            + iteration.parallel_seconds / 4  # redo on the 4 survivors
+        )
+        assert faulted.lost_seconds == pytest.approx(expected)
+
+    def test_task_failure_cheaper_than_machine_crash(self):
+        tracer = make_trace(1)
+        crash = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        blip = FaultSchedule.explicit(
+            [Fault(FaultKind.TASK_FAILURE, "iteration:0", fraction=0.02)]
+        )
+        sim = Simulator(five, SIMSQL)
+        assert (
+            sim.simulate(tracer, SCALES, faults=blip).lost_seconds
+            < sim.simulate(tracer, SCALES, faults=crash).lost_seconds
+        )
+
+    def test_retry_budget_exhaustion_fails_the_run(self):
+        tracer = make_trace(1)
+        storm = FaultSchedule.explicit(
+            [Fault(FaultKind.TASK_FAILURE, "iteration:0")]
+            * DEFAULT_RETRY_POLICY.max_attempts
+        )
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=storm)
+        assert report.failed and report.aborted
+        assert "attempts" in report.fail_reason
+
+    def test_graphlab_aborts_on_transient_task_failure_too(self):
+        tracer = make_trace(1)
+        blip = FaultSchedule.explicit([Fault(FaultKind.TASK_FAILURE, "iteration:0")])
+        report = Simulator(five, GRAPHLAB).simulate(tracer, SCALES, faults=blip)
+        assert report.aborted
+
+    def test_straggler_stalls_bsp_but_is_absorbed_by_speculation(self):
+        tracer = make_trace(1)
+        straggler = FaultSchedule.explicit(
+            [Fault(FaultKind.STRAGGLER, "iteration:0", slowdown=3.0)]
+        )
+        stalled = Simulator(five, GIRAPH).simulate(tracer, SCALES, faults=straggler)
+        absorbed = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=straggler)
+        giraph_base = Simulator(five, GIRAPH).simulate(tracer, SCALES)
+        simsql_base = Simulator(five, SIMSQL).simulate(tracer, SCALES)
+        bsp_penalty = stalled.total_seconds - giraph_base.total_seconds
+        spec_penalty = absorbed.total_seconds - simsql_base.total_seconds
+        # The BSP superstep waits out the full 3x slowdown; speculative
+        # execution amortizes it over the cluster.
+        iteration = giraph_base.phases[1]
+        assert bsp_penalty == pytest.approx(2.0 * iteration.parallel_seconds)
+        assert spec_penalty < bsp_penalty / 4
+        # A straggler is not a failure: nothing to recover.
+        assert stalled.recovered_failures == 0
+        assert stalled.lost_seconds > 0
+
+    def test_single_machine_cluster_crash_does_not_divide_by_zero(self):
+        tracer = make_trace(1)
+        one = ClusterSpec(machines=1)
+        schedule = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        report = Simulator(one, SIMSQL).simulate(tracer, SCALES, faults=schedule)
+        assert not report.failed
+        assert np.isfinite(report.lost_seconds)
+
+    def test_custom_retry_policy_is_honoured(self):
+        tracer = make_trace(1)
+        schedule = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        patient = RetryPolicy(timeout_seconds=1000.0, backoff_seconds=0.0)
+        hasty = RetryPolicy(timeout_seconds=0.0, backoff_seconds=0.0)
+        sim = Simulator(five, SIMSQL)
+        slow = sim.simulate(tracer, SCALES, faults=schedule, retry_policy=patient)
+        fast = sim.simulate(tracer, SCALES, faults=schedule, retry_policy=hasty)
+        assert slow.lost_seconds == pytest.approx(fast.lost_seconds + 1000.0)
+
+    def test_checkpoint_interval_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(FaultSchedule(), five, SPARK, checkpoint_interval=-1)
+
+    def test_recovery_models_match_the_paper(self):
+        assert SIMSQL.recovery.strategy is RecoveryStrategy.RETRY
+        assert GIRAPH.recovery.strategy is RecoveryStrategy.RETRY
+        assert SPARK.recovery.strategy is RecoveryStrategy.LINEAGE
+        assert GRAPHLAB.recovery.strategy is RecoveryStrategy.ABORT
+        assert SIMSQL.recovery.speculative_execution
+        assert SPARK.recovery.speculative_execution
+        assert not GIRAPH.recovery.speculative_execution
+        assert not GRAPHLAB.recovery.speculative_execution
+
+
+class TestReportRendering:
+    def test_verbose_cell_keeps_the_diagnosis(self):
+        tracer = make_trace(1)
+        schedule = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        report = Simulator(five, GRAPHLAB).simulate(tracer, SCALES, faults=schedule)
+        assert report.cell() == "Fail"
+        verbose = report.cell(verbose=True)
+        assert verbose.startswith("Fail [iteration:0:")
+        assert "no fault tolerance" in verbose
+
+    def test_verbose_cell_shows_recovery_accounting(self):
+        tracer = make_trace(1)
+        schedule = FaultSchedule.explicit([Fault(FaultKind.MACHINE_CRASH, "iteration:0")])
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=schedule)
+        assert "recovered 1" in report.cell(verbose=True)
+        assert "[" not in report.cell()
+
+    def test_mean_iteration_error_explains_the_failure(self):
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+            tracer.materialize(bytes=1e9, scale=DATA, site=Site.MACHINE, label="blowup")
+        report = Simulator(five, SPARK).simulate(tracer, {DATA: 1e5})
+        assert report.failed
+        # The run died during init, so no iteration time exists; the
+        # error must say where and why instead of "no iterations".
+        with pytest.raises(ValueError, match="failed in 'init'"):
+            _ = report.mean_iteration_seconds

@@ -10,6 +10,7 @@ from repro.cluster import (
     DATA,
     FIXED,
     LANGUAGE_COSTS,
+    PAPER_CV,
     PLATFORM_PROFILES,
     ClusterSpec,
     CostEvent,
@@ -266,3 +267,24 @@ class TestVariability:
             perturb_seconds(-1.0, make_rng(0))
         with pytest.raises(ValueError):
             replicate_study(10.0, make_rng(0), days=1)
+
+    def test_int_seed_matches_generator(self):
+        assert perturb_seconds(100.0, 7) == perturb_seconds(
+            100.0, np.random.default_rng(7)
+        )
+        mean_a, std_a = replicate_study(1620.0, 7)
+        mean_b, std_b = replicate_study(1620.0, np.random.default_rng(7))
+        assert (mean_a, std_a) == (mean_b, std_b)
+
+    def test_replicate_study_draws_one_vectorized_sample(self):
+        # Version gate: replicate_study now draws all days in a single
+        # ``rng.lognormal(size=days)`` call, which consumes the stream
+        # in a different order than the per-day loop it replaced.
+        # Same-seed results from releases before this change are NOT
+        # comparable; this pins the vectorized stream as canonical.
+        rng = np.random.default_rng(7)
+        sigma = np.sqrt(np.log1p(PAPER_CV**2))
+        expected = 1620.0 * rng.lognormal(-0.5 * sigma**2, sigma, size=5)
+        mean, std = replicate_study(1620.0, 7, days=5)
+        assert mean == pytest.approx(float(np.mean(expected)))
+        assert std == pytest.approx(float(np.std(expected, ddof=1)))

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import ClusterSpec
 from repro.dataflow import SparkContext
-from repro.dataflow.advisor import CacheAdvisor, CachePlan
+from repro.dataflow.advisor import CacheAdvisor
 
 
 @pytest.fixture

@@ -48,6 +48,21 @@ def test_sparse_regression():
 
 
 @pytest.mark.slow
+def test_lossy_cluster():
+    out = run_example("lossy_cluster.py")
+    assert "crash p=0.4" in out
+    lines = {line.split()[0]: line for line in out.splitlines()
+             if line.startswith(("Spark (", "SimSQL ", "GraphLab ", "Giraph "))}
+    assert len(lines) == 4
+    # The Section 10 story: only GraphLab fails, the rest recover.
+    assert "Fail" in lines["GraphLab"] and "aborted" in lines["GraphLab"]
+    for survivor in ("Spark", "SimSQL", "Giraph"):
+        assert "Fail" not in lines[survivor]
+        assert "recovered" in lines[survivor]
+    assert "checkpoint every 2" in out
+
+
+@pytest.mark.slow
 def test_missing_data_imputation():
     out = run_example("missing_data_imputation.py")
     assert "imputation RMSE" in out

@@ -1,0 +1,161 @@
+"""Memory-model boundary conditions.
+
+Three edges the figure tests never pin down exactly: a resident set
+landing *precisely* on the usable-RAM budget, the per-connection buffer
+term that only bites as the cluster grows (the Giraph-at-100 mechanism),
+and the spill-to-disk time charge.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    CONNECTIONS_LABEL,
+    DATA,
+    FIXED,
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    Kind,
+    MemoryEvent,
+    ScaleMap,
+    Simulator,
+    Site,
+    Tracer,
+    check_phase_memory,
+)
+
+SPARK = PLATFORM_PROFILES["spark"]
+SIMSQL = PLATFORM_PROFILES["simsql"]
+GIRAPH = PLATFORM_PROFILES["giraph"]
+
+NO_SCALE = ScaleMap()
+
+
+def exact_profile(profile):
+    """Strip runtime overheads so resident bytes == event bytes."""
+    return dataclasses.replace(
+        profile, byte_overhead_factor=1.0, object_overhead_bytes=0.0
+    )
+
+
+class TestBudgetBoundary:
+    def budget(self, profile, cluster):
+        return profile.usable_memory_fraction * cluster.machine.ram_bytes
+
+    def test_resident_set_exactly_at_budget_passes(self):
+        cluster = ClusterSpec(machines=5)
+        profile = exact_profile(SPARK)
+        budget = self.budget(profile, cluster)
+        event = MemoryEvent(bytes=budget, scale=FIXED, site=Site.MACHINE)
+        verdict = check_phase_memory([event], NO_SCALE, cluster, profile)
+        # The budget is a <= boundary: exactly full is not out of memory.
+        assert not verdict.out_of_memory
+        assert verdict.peak_bytes_per_machine == budget
+        assert verdict.spilled_bytes == 0.0
+
+    def test_one_byte_over_budget_fails(self):
+        cluster = ClusterSpec(machines=5)
+        profile = exact_profile(SPARK)
+        budget = self.budget(profile, cluster)
+        event = MemoryEvent(
+            bytes=budget + 1.0, scale=FIXED, site=Site.MACHINE, label="heap"
+        )
+        verdict = check_phase_memory([event], NO_SCALE, cluster, profile)
+        assert verdict.out_of_memory
+        assert "heap" in verdict.reason
+        assert "budget" in verdict.reason
+
+    def test_cluster_site_divides_across_machines(self):
+        cluster = ClusterSpec(machines=5)
+        profile = exact_profile(SPARK)
+        budget = self.budget(profile, cluster)
+        # 5x the budget spread over 5 machines lands exactly on it.
+        event = MemoryEvent(bytes=5 * budget, scale=FIXED, site=Site.CLUSTER)
+        verdict = check_phase_memory([event], NO_SCALE, cluster, profile)
+        assert not verdict.out_of_memory
+        assert verdict.peak_bytes_per_machine == pytest.approx(budget)
+
+
+class TestConnectionBuffers:
+    def peak_for(self, machines: int) -> float:
+        cluster = ClusterSpec(machines=machines)
+        # Every machine keeps a buffered connection to every peer — the
+        # engines emit exactly this shape for Giraph's messaging layer.
+        event = MemoryEvent(
+            objects=float(machines - 1),
+            scale=FIXED,
+            site=Site.MACHINE,
+            label=CONNECTIONS_LABEL,
+        )
+        return check_phase_memory(
+            [event], NO_SCALE, cluster, GIRAPH
+        ).peak_bytes_per_machine
+
+    def test_each_connection_costs_one_buffer(self):
+        assert self.peak_for(5) == 4 * GIRAPH.connection_buffer_bytes
+
+    def test_connection_memory_grows_with_cluster_size(self):
+        five, twenty, hundred = self.peak_for(5), self.peak_for(20), self.peak_for(100)
+        assert five < twenty < hundred
+        # Growth is linear in peer count: 99 buffers vs 4 buffers.
+        assert hundred / five == pytest.approx(99 / 4)
+
+    def test_connection_label_ignores_byte_overheads(self):
+        # Connection buffers are native allocations: the per-object and
+        # byte overhead knobs must not inflate them.
+        cluster = ClusterSpec(machines=5)
+        event = MemoryEvent(
+            objects=4.0, scale=FIXED, site=Site.MACHINE, label=CONNECTIONS_LABEL
+        )
+        inflated = dataclasses.replace(
+            GIRAPH, byte_overhead_factor=10.0, object_overhead_bytes=1e9
+        )
+        verdict = check_phase_memory([event], NO_SCALE, cluster, inflated)
+        assert verdict.peak_bytes_per_machine == 4 * GIRAPH.connection_buffer_bytes
+
+
+class TestSpillAccounting:
+    def test_spill_seconds_are_a_disk_roundtrip(self):
+        cluster = ClusterSpec(machines=5)
+        profile = exact_profile(SIMSQL)
+        budget = profile.usable_memory_fraction * cluster.machine.ram_bytes
+        excess = 8 * 2**30  # 8 GiB over budget, per machine
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+        with tracer.iteration_phase(0):
+            tracer.materialize(
+                bytes=(budget + excess) * cluster.machines,
+                scale=FIXED,
+                spillable=True,
+            )
+        report = Simulator(cluster, profile).simulate(tracer, {DATA: 1.0})
+        assert not report.failed
+        phase = report.phases[1]
+        assert phase.memory.spilled_bytes == pytest.approx(excess)
+        # Spilled bytes go to disk and come back: exactly one write and
+        # one read at aggregate spindle bandwidth.
+        expected = 2.0 * excess / cluster.machine.disk_bandwidth
+        assert phase.seconds == pytest.approx(expected)
+
+    def test_spillable_within_budget_costs_nothing(self):
+        cluster = ClusterSpec(machines=5)
+        profile = exact_profile(SIMSQL)
+        tracer = Tracer()
+        with tracer.init_phase():
+            tracer.emit(Kind.JOB, records=1, scale=FIXED)
+        with tracer.iteration_phase(0):
+            tracer.materialize(bytes=1024.0, scale=FIXED, spillable=True)
+        report = Simulator(cluster, profile).simulate(tracer, {DATA: 1.0})
+        phase = report.phases[1]
+        assert phase.memory.spilled_bytes == 0.0
+        assert phase.seconds == 0.0
+
+    def test_non_spillable_platform_fails_where_simsql_spills(self):
+        cluster = ClusterSpec(machines=5)
+        over = 2.0 * cluster.machine.ram_bytes * cluster.machines
+        events = [MemoryEvent(bytes=over, scale=FIXED, spillable=True)]
+        assert not check_phase_memory(events, NO_SCALE, cluster, SIMSQL).out_of_memory
+        hard = [MemoryEvent(bytes=over, scale=FIXED)]
+        assert check_phase_memory(hard, NO_SCALE, cluster, SPARK).out_of_memory

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import ClusterSpec, Tracer
+from repro.cluster import ClusterSpec
 from repro.relational import (
     Alias,
     Database,

@@ -1,6 +1,5 @@
 """Property-based tests: the relational operators against brute force."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
