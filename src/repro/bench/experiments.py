@@ -11,6 +11,11 @@ dimensions are kept at the paper's values wherever feasible (GMM runs at
 the true 10 and 100 dimensions, HMM at the true 10k vocabulary, LDA at
 100 topics) and scaled through explicit scale groups where not (the
 Lasso's 1000 regressors, SimSQL's LDA vocabulary).
+
+Implementations are resolved through :mod:`repro.impls.registry`:
+figures name ``(platform, model, variant)`` cells and
+:func:`~repro.impls.registry.data_factory` binds the laptop data onto
+each one — no figure references a platform class directly.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from repro.config import (
     LASSO_SCALE,
     TEXT_SCALE,
 )
-from repro.impls import giraph, graphlab, simsql, spark
+from repro.impls.registry import data_factory
 from repro.stats import make_rng
 from repro.workloads import (
     censor_beta_coin,
@@ -50,24 +55,18 @@ LDA_TOPICS = 100
 IMPUTE_N = {"spark": 500, "simsql": 200, "graphlab": 500, "giraph": 500}
 
 
-def _cell(label: str, cls, factory: Callable, machines: int,
+def _cell(label: str, factory: Callable, machines: int,
           units_per_machine: int, laptop_units: int, paper: str,
           **extra_scales: float) -> CellResult:
     scales = paper_scales(units_per_machine, machines, laptop_units, **extra_scales)
     report = run_benchmark(factory, machines, ITERATIONS, scales)
     return CellResult(label=label, machines=machines, report=report, paper=paper,
-                      loc=count_source_lines(cls))
+                      loc=count_source_lines(factory.cls))
 
 
 # ----------------------------------------------------------------------
 # Figure 1: GMM
 # ----------------------------------------------------------------------
-
-def _gmm_factory(cls, points, clusters, seed, **kwargs):
-    def factory(cluster_spec, tracer):
-        return cls(points, clusters, make_rng(seed), cluster_spec, tracer, **kwargs)
-    return factory
-
 
 def figure_1a() -> dict[str, list[CellResult]]:
     """GMM initial implementations (10-dim @5/20/100; 100-dim @5)."""
@@ -77,27 +76,29 @@ def figure_1a() -> dict[str, list[CellResult]]:
     data100 = {name: generate_gmm_data(rng, n, dim=100, clusters=10)
                for name, n in GMM100_N.items()}
     systems = {
-        "SimSQL": (simsql.SimSQLGMM, "simsql",
+        "SimSQL": ("simsql",
                    ["27:55 (13:55)", "28:55 (14:38)", "35:54 (18:58)", "1:51:12 (36:08)"]),
-        "GraphLab": (graphlab.GraphLabGMM, "graphlab", ["Fail"] * 4),
-        "Spark (Python)": (spark.SparkGMM, "spark",
+        "GraphLab": ("graphlab", ["Fail"] * 4),
+        "Spark (Python)": ("spark",
                            ["26:04 (4:10)", "37:34 (2:27)", "38:09 (2:00)", "47:40 (0:52)"]),
-        "Giraph": (giraph.GiraphGMM, "giraph",
+        "Giraph": ("giraph",
                    ["25:21 (0:18)", "30:26 (0:15)", "Fail", "Fail"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, platform, paper) in systems.items():
+    for label, (platform, paper) in systems.items():
         cells = []
         for idx, machines in enumerate((5, 20, 100)):
             cells.append(_cell(
-                label, cls,
-                _gmm_factory(cls, data10[platform].points, 10, SEED + idx),
+                label,
+                data_factory(platform, "gmm", "initial",
+                             data10[platform].points, 10, seed=SEED + idx),
                 machines, GMM_SCALE.units_per_machine, GMM10_N[platform],
                 paper[idx],
             ))
         cells.append(_cell(
-            label, cls,
-            _gmm_factory(cls, data100[platform].points, 10, SEED + 3),
+            label,
+            data_factory(platform, "gmm", "initial",
+                         data100[platform].points, 10, seed=SEED + 3),
             5, GMM_100D_SCALE.units_per_machine, GMM100_N[platform], paper[3],
         ))
         out[label] = cells
@@ -110,22 +111,22 @@ def figure_1b() -> dict[str, list[CellResult]]:
     data10 = generate_gmm_data(rng, GMM10_N["spark"], dim=10, clusters=10)
     data100 = generate_gmm_data(rng, GMM100_N["spark"], dim=100, clusters=10)
     systems = {
-        "Spark (Java)": (spark.SparkGMMJava,
+        "Spark (Java)": (("spark", "gmm", "java"),
                          ["12:30 (2:01)", "12:25 (2:03)", "18:11 (2:26)", "6:25:04 (36:08)"]),
-        "GraphLab (Super Vertex)": (graphlab.GraphLabGMMSuperVertex,
+        "GraphLab (Super Vertex)": (("graphlab", "gmm", "super-vertex"),
                                     ["6:13 (1:13)", "4:36 (2:47)", "6:09 (1:21)", "33:32 (0:42)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, paper) in systems.items():
+    for label, (key, paper) in systems.items():
         cells = []
         for idx, machines in enumerate((5, 20, 100)):
             cells.append(_cell(
-                label, cls, _gmm_factory(cls, data10.points, 10, SEED + idx),
+                label, data_factory(*key, data10.points, 10, seed=SEED + idx),
                 machines, GMM_SCALE.units_per_machine, len(data10.points), paper[idx],
                 sv=sv_factor(machines, len(data10.points), 64),
             ))
         cells.append(_cell(
-            label, cls, _gmm_factory(cls, data100.points, 10, SEED + 3),
+            label, data_factory(*key, data100.points, 10, seed=SEED + 3),
             5, GMM_100D_SCALE.units_per_machine, len(data100.points), paper[3],
             sv=sv_factor(5, len(data100.points), 64),
         ))
@@ -141,26 +142,27 @@ def figure_1c() -> dict[str, list[CellResult]]:
     data100 = {name: generate_gmm_data(rng, n, dim=100, clusters=10)
                for name, n in GMM100_N.items()}
     systems = {
-        "SimSQL": (simsql.SimSQLGMM, simsql.SimSQLGMMSuperVertex, "simsql",
+        "SimSQL": ("simsql",
                    ["27:55 (13:55)", "6:20 (12:33)", "1:51:12 (36:08)", "7:22 (14:07)"]),
-        "GraphLab": (graphlab.GraphLabGMM, graphlab.GraphLabGMMSuperVertex,
-                     "graphlab", ["Fail", "6:13 (1:13)", "Fail", "33:32 (0:42)"]),
-        "Spark (Python)": (spark.SparkGMM, spark.SparkGMMSuperVertex, "spark",
+        "GraphLab": ("graphlab", ["Fail", "6:13 (1:13)", "Fail", "33:32 (0:42)"]),
+        "Spark (Python)": ("spark",
                            ["26:04 (4:10)", "29:12 (4:01)", "47:40 (0:52)", "47:03 (2:17)"]),
-        "Giraph": (giraph.GiraphGMM, giraph.GiraphGMMSuperVertex, "giraph",
+        "Giraph": ("giraph",
                    ["25:21 (0:18)", "13:48 (0:03)", "Fail", "6:17:32 (0:03)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (plain, sv, platform, paper) in systems.items():
+    for label, (platform, paper) in systems.items():
         cells = []
-        for column, (cls, data, units, n) in enumerate((
-            (plain, data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
-            (sv, data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
-            (plain, data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
-            (sv, data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
+        for column, (variant, data, units, n) in enumerate((
+            ("initial", data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
+            ("super-vertex", data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
+            ("initial", data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
+            ("super-vertex", data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
         )):
             cells.append(_cell(
-                label, cls, _gmm_factory(cls, data.points, 10, SEED + column),
+                label,
+                data_factory(platform, "gmm", variant, data.points, 10,
+                             seed=SEED + column),
                 5, units, n, paper[column], sv=sv_factor(5, n, 64),
             ))
         out[label] = cells
@@ -176,25 +178,23 @@ def figure_2() -> dict[str, list[CellResult]]:
     data = generate_lasso_data(rng, LASSO_N, p=LASSO_P)
     p_factor = 1000.0 / LASSO_P
     systems = {
-        "SimSQL": (simsql.SimSQLLasso, {},
+        "SimSQL": (("simsql", "lasso", "initial"),
                    ["7:09 (2:40:06)", "8:04 (2:45:28)", "12:24 (2:54:45)"]),
-        "GraphLab (Super Vertex)": (graphlab.GraphLabLassoSuperVertex, {},
+        "GraphLab (Super Vertex)": (("graphlab", "lasso", "super-vertex"),
                                     ["0:36 (0:37)", "0:26 (0:35)", "0:31 (0:50)"]),
-        "Spark (Python)": (spark.SparkLasso, {},
+        "Spark (Python)": (("spark", "lasso", "initial"),
                            ["0:55 (1:26:59)", "0:59 (1:33:13)", "1:12 (2:06:30)"]),
-        "Giraph": (giraph.GiraphLasso, {}, ["Fail", "Fail", "Fail"]),
-        "Giraph (Super Vertex)": (giraph.GiraphLassoSuperVertex, {},
+        "Giraph": (("giraph", "lasso", "initial"), ["Fail", "Fail", "Fail"]),
+        "Giraph (Super Vertex)": (("giraph", "lasso", "super-vertex"),
                                   ["0:58 (1:14)", "1:03 (1:14)", "2:08 (6:31)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, kwargs, paper) in systems.items():
+    for label, (key, paper) in systems.items():
         cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            def factory(cluster_spec, tracer, cls=cls, kwargs=kwargs, idx=idx):
-                return cls(data.x, data.y, make_rng(SEED + idx), cluster_spec,
-                           tracer, **kwargs)
             cells.append(_cell(
-                label, cls, factory, machines, LASSO_SCALE.units_per_machine,
+                label, data_factory(*key, data.x, data.y, seed=SEED + idx),
+                machines, LASSO_SCALE.units_per_machine,
                 LASSO_N, paper[idx], p=p_factor, p2=p_factor**2,
                 sv=sv_factor(machines, LASSO_N, 64),
             ))
@@ -206,28 +206,22 @@ def figure_2() -> dict[str, list[CellResult]]:
 # Figures 3-4: HMM and LDA
 # ----------------------------------------------------------------------
 
-def _text_factory(cls, corpus, vocab, size, seed, **kwargs):
-    def factory(cluster_spec, tracer):
-        return cls(corpus.documents, vocab, size, make_rng(seed), cluster_spec,
-                   tracer, **kwargs)
-    return factory
-
-
 def figure_3a() -> dict[str, list[CellResult]]:
     """HMM word-based and document-based, five machines."""
     corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=HMM_VOCAB)
     systems = {
-        "SimSQL (word)": (simsql.SimSQLHMMWord, "8:17:07 (10:51:32)"),
-        "Spark (word)": (spark.SparkHMMWord, "Fail"),
-        "Giraph (word)": (giraph.GiraphHMMWord, "Fail"),
-        "SimSQL (document)": (simsql.SimSQLHMMDocument, "3:42:40 (20:44)"),
-        "Spark (document)": (spark.SparkHMMDocument, "4:21:36 (27:36)"),
-        "Giraph (document)": (giraph.GiraphHMMDocument, "11:02 (7:03)"),
+        "SimSQL (word)": (("simsql", "hmm", "word"), "8:17:07 (10:51:32)"),
+        "Spark (word)": (("spark", "hmm", "word"), "Fail"),
+        "Giraph (word)": (("giraph", "hmm", "word"), "Fail"),
+        "SimSQL (document)": (("simsql", "hmm", "document"), "3:42:40 (20:44)"),
+        "Spark (document)": (("spark", "hmm", "document"), "4:21:36 (27:36)"),
+        "Giraph (document)": (("giraph", "hmm", "document"), "11:02 (7:03)"),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, paper) in systems.items():
-        factory = _text_factory(cls, corpus, HMM_VOCAB, HMM_STATES, SEED)
-        out[label] = [_cell(label, cls, factory, 5, TEXT_SCALE.units_per_machine,
+    for label, (key, paper) in systems.items():
+        factory = data_factory(*key, corpus.documents, HMM_VOCAB, HMM_STATES,
+                               seed=SEED)
+        out[label] = [_cell(label, factory, 5, TEXT_SCALE.units_per_machine,
                             TEXT_DOCS, paper)]
     return out
 
@@ -236,21 +230,21 @@ def figure_3b() -> dict[str, list[CellResult]]:
     """HMM super-vertex implementations at 5/20/100 machines."""
     corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=HMM_VOCAB)
     systems = {
-        "Giraph": (giraph.GiraphHMMSuperVertex,
-                   ["2:27 (1:12)", "2:44 (1:52)", "3:12 (2:56)"]),
-        "GraphLab": (graphlab.GraphLabHMMSuperVertex,
-                     ["20:39 (16:28)", "Fail", "Fail"]),
-        "Spark (Python)": (spark.SparkHMMSuperVertex,
+        "Giraph": ("giraph", ["2:27 (1:12)", "2:44 (1:52)", "3:12 (2:56)"]),
+        "GraphLab": ("graphlab", ["20:39 (16:28)", "Fail", "Fail"]),
+        "Spark (Python)": ("spark",
                            ["3:45:58 (11:02)", "4:01:02 (13:04)", "Fail"]),
-        "SimSQL": (simsql.SimSQLHMMSuperVertex,
+        "SimSQL": ("simsql",
                    ["2:05:12 (1:44:45)", "2:05:31 (1:44:36)", "2:19:10 (2:04:40)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, paper) in systems.items():
+    for label, (platform, paper) in systems.items():
         cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            factory = _text_factory(cls, corpus, HMM_VOCAB, HMM_STATES, SEED + idx)
-            cells.append(_cell(label, cls, factory, machines,
+            factory = data_factory(platform, "hmm", "super-vertex",
+                                   corpus.documents, HMM_VOCAB, HMM_STATES,
+                                   seed=SEED + idx)
+            cells.append(_cell(label, factory, machines,
                                TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                                sv=sv_factor(machines, TEXT_DOCS, 16)))
         out[label] = cells
@@ -262,15 +256,16 @@ def figure_4a() -> dict[str, list[CellResult]]:
     corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
-        "SimSQL (word)": (simsql.SimSQLLDAWord, "16:34:39 (11:23:22)"),
-        "SimSQL (document)": (simsql.SimSQLLDADocument, "4:52:06 (4:34:27)"),
-        "Spark (document)": (spark.SparkLDADocument, "≈15:45:00 (≈2:30:00)"),
-        "Giraph (document)": (giraph.GiraphLDADocument, "22:22 (5:46)"),
+        "SimSQL (word)": (("simsql", "lda", "word"), "16:34:39 (11:23:22)"),
+        "SimSQL (document)": (("simsql", "lda", "document"), "4:52:06 (4:34:27)"),
+        "Spark (document)": (("spark", "lda", "document"), "≈15:45:00 (≈2:30:00)"),
+        "Giraph (document)": (("giraph", "lda", "document"), "22:22 (5:46)"),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, paper) in systems.items():
-        factory = _text_factory(cls, corpus, LDA_VOCAB, LDA_TOPICS, SEED)
-        out[label] = [_cell(label, cls, factory, 5, TEXT_SCALE.units_per_machine,
+    for label, (key, paper) in systems.items():
+        factory = data_factory(*key, corpus.documents, LDA_VOCAB, LDA_TOPICS,
+                               seed=SEED)
+        out[label] = [_cell(label, factory, 5, TEXT_SCALE.units_per_machine,
                             TEXT_DOCS, paper, vocab=vocab_factor)]
     return out
 
@@ -280,21 +275,21 @@ def figure_4b() -> dict[str, list[CellResult]]:
     corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
-        "Giraph": (giraph.GiraphLDASuperVertex,
-                   ["18:49 (2:35)", "20:02 (2:46)", "Fail"]),
-        "GraphLab": (graphlab.GraphLabLDASuperVertex,
-                     ["39:27 (32:14)", "Fail", "Fail"]),
-        "Spark (Python)": (spark.SparkLDASuperVertex,
+        "Giraph": ("giraph", ["18:49 (2:35)", "20:02 (2:46)", "Fail"]),
+        "GraphLab": ("graphlab", ["39:27 (32:14)", "Fail", "Fail"]),
+        "Spark (Python)": ("spark",
                            ["≈3:56:00 (≈2:15:00)", "≈3:57:00 (≈2:15:00)", "Fail"]),
-        "SimSQL": (simsql.SimSQLLDASuperVertex,
+        "SimSQL": ("simsql",
                    ["1:00:17 (3:09)", "1:06:59 (3:34)", "1:13:58 (4:28)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, paper) in systems.items():
+    for label, (platform, paper) in systems.items():
         cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            factory = _text_factory(cls, corpus, LDA_VOCAB, LDA_TOPICS, SEED + idx)
-            cells.append(_cell(label, cls, factory, machines,
+            factory = data_factory(platform, "lda", "super-vertex",
+                                   corpus.documents, LDA_VOCAB, LDA_TOPICS,
+                                   seed=SEED + idx)
+            cells.append(_cell(label, factory, machines,
                                TEXT_SCALE.units_per_machine, TEXT_DOCS,
                                paper[idx], vocab=vocab_factor,
                                sv=sv_factor(machines, TEXT_DOCS, 16)))
@@ -313,25 +308,24 @@ def figure_5() -> dict[str, list[CellResult]]:
         for name, n in IMPUTE_N.items()
     }
     systems = {
-        "Giraph": (giraph.GiraphImputation, "giraph",
+        "Giraph": (("giraph", "imputation", "initial"),
                    ["28:43 (0:19)", "31:23 (0:18)", "Fail"]),
-        "GraphLab (Super vertex)": (graphlab.GraphLabImputationSuperVertex,
-                                    "graphlab",
+        "GraphLab (Super vertex)": (("graphlab", "imputation", "super-vertex"),
                                     ["6:59 (3:41)", "6:12 (8:40)", "6:08 (3:03)"]),
-        "Spark (Python)": (spark.SparkImputation, "spark",
+        "Spark (Python)": (("spark", "imputation", "initial"),
                            ["1:22:48 (3:52)", "1:27:39 (4:03)", "1:29:27 (4:27)"]),
-        "SimSQL": (simsql.SimSQLImputation, "simsql",
+        "SimSQL": (("simsql", "imputation", "initial"),
                    ["28:53 (14:29)", "30:41 (15:30)", "39:33 (22:15)"]),
     }
     out: dict[str, list[CellResult]] = {}
-    for label, (cls, platform, paper) in systems.items():
+    for label, (key, paper) in systems.items():
+        platform = key[0]
         cells = []
         data = censored[platform]
         for idx, machines in enumerate((5, 20, 100)):
-            def factory(cluster_spec, tracer, cls=cls, data=data, idx=idx):
-                return cls(data.points, data.mask, 10, make_rng(SEED + idx),
-                           cluster_spec, tracer)
-            cells.append(_cell(label, cls, factory, machines,
+            factory = data_factory(*key, data.points, data.mask, 10,
+                                   seed=SEED + idx)
+            cells.append(_cell(label, factory, machines,
                                GMM_SCALE.units_per_machine,
                                IMPUTE_N[platform], paper[idx],
                                sv=sv_factor(machines, IMPUTE_N[platform], 64)))
@@ -349,9 +343,9 @@ def figure_6() -> dict[str, list[CellResult]]:
     paper = ["9:47 (0:53)", "19:36 (1:15)", "Fail"]
     cells = []
     for idx, machines in enumerate((5, 20, 100)):
-        factory = _text_factory(spark.SparkLDAJava, corpus, LDA_VOCAB, LDA_TOPICS,
-                                SEED + idx)
-        cells.append(_cell("Spark (Java)", spark.SparkLDAJava, factory, machines,
+        factory = data_factory("spark", "lda", "java", corpus.documents,
+                               LDA_VOCAB, LDA_TOPICS, seed=SEED + idx)
+        cells.append(_cell("Spark (Java)", factory, machines,
                            TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                            vocab=vocab_factor))
     return {"Spark (Java)": cells}

@@ -33,7 +33,7 @@ from repro.cluster import (
     Tracer,
 )
 from repro.config import GMM_SCALE, TEXT_SCALE
-from repro.impls import giraph, graphlab, simsql, spark
+from repro.impls.registry import data_factory
 from repro.stats import make_rng
 from repro.workloads import generate_gmm_data, newsgroup_style_corpus
 
@@ -74,25 +74,21 @@ class SweepCase:
     sv_block: int = 0
 
 
-def _gmm_case(name: str, platform: str, cls, sv_block: int = 0) -> SweepCase:
+def _gmm_case(name: str, platform: str, variant: str = "initial",
+              sv_block: int = 0) -> SweepCase:
     n = GMM_N[platform]
     data = generate_gmm_data(make_rng(SEED), n, dim=10, clusters=10)
-
-    def factory(cluster_spec, tracer):
-        return cls(data.points, 10, make_rng(SEED), cluster_spec, tracer)
-
+    factory = data_factory(platform, "gmm", variant, data.points, 10, seed=SEED)
     return SweepCase(name=name, platform=platform, model="gmm", factory=factory,
                      units_per_machine=GMM_SCALE.units_per_machine,
                      laptop_units=n, sv_block=sv_block)
 
 
-def _lda_case(name: str, platform: str, cls, sv_block: int = 0) -> SweepCase:
+def _lda_case(name: str, platform: str, variant: str,
+              sv_block: int = 0) -> SweepCase:
     corpus = newsgroup_style_corpus(make_rng(SEED), LDA_DOCS, vocabulary=LDA_VOCAB)
-
-    def factory(cluster_spec, tracer):
-        return cls(corpus.documents, LDA_VOCAB, LDA_TOPICS, make_rng(SEED),
-                   cluster_spec, tracer)
-
+    factory = data_factory(platform, "lda", variant, corpus.documents,
+                           LDA_VOCAB, LDA_TOPICS, seed=SEED)
     return SweepCase(name=name, platform=platform, model="lda", factory=factory,
                      units_per_machine=TEXT_SCALE.units_per_machine,
                      laptop_units=LDA_DOCS,
@@ -107,16 +103,14 @@ def default_cases() -> list[SweepCase]:
     every scale — Figure 1(a) — which would mask the fault story).
     """
     return [
-        _gmm_case("spark/gmm", "spark", spark.SparkGMM),
-        _gmm_case("simsql/gmm", "simsql", simsql.SimSQLGMM),
-        _gmm_case("giraph/gmm", "giraph", giraph.GiraphGMM),
-        _gmm_case("graphlab/gmm", "graphlab", graphlab.GraphLabGMMSuperVertex,
-                  sv_block=64),
-        _lda_case("spark/lda", "spark", spark.SparkLDADocument),
-        _lda_case("simsql/lda", "simsql", simsql.SimSQLLDADocument),
-        _lda_case("giraph/lda", "giraph", giraph.GiraphLDADocument),
-        _lda_case("graphlab/lda", "graphlab", graphlab.GraphLabLDASuperVertex,
-                  sv_block=16),
+        _gmm_case("spark/gmm", "spark"),
+        _gmm_case("simsql/gmm", "simsql"),
+        _gmm_case("giraph/gmm", "giraph"),
+        _gmm_case("graphlab/gmm", "graphlab", "super-vertex", sv_block=64),
+        _lda_case("spark/lda", "spark", "document"),
+        _lda_case("simsql/lda", "simsql", "document"),
+        _lda_case("giraph/lda", "giraph", "document"),
+        _lda_case("graphlab/lda", "graphlab", "super-vertex", sv_block=16),
     ]
 
 

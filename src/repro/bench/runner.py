@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.cluster import ClusterSpec, PLATFORM_PROFILES, RunReport, Simulator, Tracer
+from repro.cluster.events import FIXED
 from repro.impls.base import Implementation
 
 
@@ -46,8 +47,47 @@ def run_benchmark(
     for i in range(iterations):
         with tracer.iteration_phase(i):
             impl.iterate(i)
+    validate_scale_groups(impl, tracer)
     simulator = Simulator(cluster, profile)
     return simulator.simulate(tracer, scales)
+
+
+def observed_scale_groups(tracer: Tracer) -> set[str]:
+    """Every non-FIXED scale-group component on the traced events.
+    Compound labels ("data*p2") count each component separately."""
+    observed: set[str] = set()
+    for phase in tracer.phases:
+        for event in (*phase.events, *phase.memory):
+            for part in event.scale.split("*"):
+                if part != FIXED:
+                    observed.add(part)
+    return observed
+
+
+def validate_scale_groups(impl: Implementation, tracer: Tracer) -> None:
+    """Check ``impl.scale_groups()`` against the trace it produced.
+
+    The declaration is the runner's contract for which scale factors a
+    cell needs; a drifted declaration silently simulates events at
+    factor 1.0 (undeclared group) or promises a factor nothing uses.
+    Raises ``ValueError`` naming the cell and both sides of the drift.
+    """
+    declared = set(impl.scale_groups())
+    observed = observed_scale_groups(tracer)
+    if observed == declared:
+        return
+    problems = []
+    undeclared = sorted(observed - declared)
+    if undeclared:
+        problems.append(f"events use undeclared scale groups {undeclared}")
+    unused = sorted(declared - observed)
+    if unused:
+        problems.append(f"declared scale groups {unused} appear on no event")
+    raise ValueError(
+        f"{impl.label}: scale_groups() out of sync with the trace: "
+        f"{'; '.join(problems)} (declared {sorted(declared)}, "
+        f"traced {sorted(observed)})"
+    )
 
 
 def paper_scales(units_per_machine: int, machines: int, laptop_units: int,

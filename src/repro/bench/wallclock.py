@@ -28,7 +28,7 @@ from repro import fastpath
 from repro.bench.report import format_summary
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
-from repro.impls import giraph, graphlab, simsql, spark
+from repro.impls.registry import data_factory
 from repro.workloads import (
     censor_beta_coin,
     generate_gmm_data,
@@ -54,97 +54,49 @@ class BenchCase:
     repeats: int = 5
 
 
-def _spark_gmm() -> Callable:
-    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
-
-    def factory(cluster_spec, tracer):
-        return spark.SparkGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
-                              cluster_spec, tracer)
-    return factory
-
-
-def _spark_lda() -> Callable:
-    corpus = generate_lda_corpus(np.random.default_rng(5), 400, vocabulary=600,
-                                 topics=5, mean_length=120)
-
-    def factory(cluster_spec, tracer):
-        return spark.SparkLDADocument(corpus.documents, 600, 5,
-                                      np.random.default_rng(IMPL_SEED),
-                                      cluster_spec, tracer)
-    return factory
-
-
-def _spark_lasso() -> Callable:
-    data = generate_lasso_data(np.random.default_rng(11), 800, p=25)
-
-    def factory(cluster_spec, tracer):
-        return spark.SparkLasso(data.x, data.y, np.random.default_rng(IMPL_SEED),
-                                cluster_spec, tracer)
-    return factory
-
-
-def _spark_hmm() -> Callable:
-    corpus = newsgroup_style_corpus(np.random.default_rng(13), 40, vocabulary=500)
-
-    def factory(cluster_spec, tracer):
-        return spark.SparkHMMDocument(corpus.documents, 500, 10,
-                                      np.random.default_rng(IMPL_SEED),
-                                      cluster_spec, tracer)
-    return factory
-
-
-def _spark_imputation() -> Callable:
-    rng = np.random.default_rng(17)
-    censored = censor_beta_coin(rng, generate_gmm_data(rng, 400, dim=5,
-                                                       clusters=3).points)
-
-    def factory(cluster_spec, tracer):
-        return spark.SparkImputation(censored.points, censored.mask, 3,
-                                     np.random.default_rng(IMPL_SEED),
-                                     cluster_spec, tracer)
-    return factory
-
-
-def _simsql_gmm() -> Callable:
-    data = generate_gmm_data(np.random.default_rng(7), 100, dim=5, clusters=3)
-
-    def factory(cluster_spec, tracer):
-        return simsql.SimSQLGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
-                                cluster_spec, tracer)
-    return factory
-
-
-def _giraph_gmm() -> Callable:
-    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
-
-    def factory(cluster_spec, tracer):
-        return giraph.GiraphGMM(data.points, 3, np.random.default_rng(IMPL_SEED),
-                                cluster_spec, tracer)
-    return factory
-
-
-def _graphlab_gmm() -> Callable:
-    data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
-
-    def factory(cluster_spec, tracer):
-        return graphlab.GraphLabGMM(data.points, 3,
-                                    np.random.default_rng(IMPL_SEED),
-                                    cluster_spec, tracer)
-    return factory
+def _factory(platform: str, model: str, variant: str, *data) -> Callable:
+    """Registry factory with a fresh impl RNG per instantiation —
+    every repeat must see the same stream."""
+    return data_factory(platform, model, variant, *data, seed=IMPL_SEED,
+                        rng_maker=np.random.default_rng)
 
 
 def default_cases() -> list[BenchCase]:
     """The five models on Spark plus GMM on every other backend."""
+    gmm_data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
+    small_gmm = generate_gmm_data(np.random.default_rng(7), 100, dim=5, clusters=3)
+    lda_corpus = generate_lda_corpus(np.random.default_rng(5), 400,
+                                     vocabulary=600, topics=5, mean_length=120)
+    lasso_data = generate_lasso_data(np.random.default_rng(11), 800, p=25)
+    hmm_corpus = newsgroup_style_corpus(np.random.default_rng(13), 40,
+                                        vocabulary=500)
+    impute_rng = np.random.default_rng(17)
+    censored = censor_beta_coin(
+        impute_rng, generate_gmm_data(impute_rng, 400, dim=5, clusters=3).points)
     return [
-        BenchCase("spark_gmm", "gmm", "spark", _spark_gmm()),
-        BenchCase("spark_lda", "lda", "spark", _spark_lda()),
-        BenchCase("spark_lasso", "lasso", "spark", _spark_lasso()),
-        BenchCase("spark_hmm", "hmm", "spark", _spark_hmm()),
-        BenchCase("spark_imputation", "imputation", "spark", _spark_imputation()),
-        BenchCase("simsql_gmm", "gmm", "simsql", _simsql_gmm(),
+        BenchCase("spark_gmm", "gmm", "spark",
+                  _factory("spark", "gmm", "initial", gmm_data.points, 3)),
+        BenchCase("spark_lda", "lda", "spark",
+                  _factory("spark", "lda", "document",
+                           lda_corpus.documents, 600, 5)),
+        BenchCase("spark_lasso", "lasso", "spark",
+                  _factory("spark", "lasso", "initial",
+                           lasso_data.x, lasso_data.y)),
+        BenchCase("spark_hmm", "hmm", "spark",
+                  _factory("spark", "hmm", "document",
+                           hmm_corpus.documents, 500, 10)),
+        BenchCase("spark_imputation", "imputation", "spark",
+                  _factory("spark", "imputation", "initial",
+                           censored.points, censored.mask, 3)),
+        BenchCase("simsql_gmm", "gmm", "simsql",
+                  _factory("simsql", "gmm", "initial", small_gmm.points, 3),
                   iterations=2, repeats=2),
-        BenchCase("giraph_gmm", "gmm", "giraph", _giraph_gmm(), repeats=3),
-        BenchCase("graphlab_gmm", "gmm", "graphlab", _graphlab_gmm(), repeats=3),
+        BenchCase("giraph_gmm", "gmm", "giraph",
+                  _factory("giraph", "gmm", "initial", gmm_data.points, 3),
+                  repeats=3),
+        BenchCase("graphlab_gmm", "gmm", "graphlab",
+                  _factory("graphlab", "gmm", "initial", gmm_data.points, 3),
+                  repeats=3),
     ]
 
 

@@ -11,6 +11,9 @@ iteration:
    and sends <1, x_j, (x_j - mu_k)(x_j - mu_k)^T> to the cluster vertex
    it chose; Giraph's combiner aggregates these per machine, and the
    cluster vertices resample their parameters and report counts.
+
+All sampler math comes from :mod:`repro.kernels.gmm`; this module only
+maps the kernels onto BSP vertex programs.
 """
 
 from __future__ import annotations
@@ -22,26 +25,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GiraphEngine
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import gmm
-from repro.stats import Categorical, MultivariateNormal
-
-
-def add_triples(a, b):
-    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
-
-
-def add_triples_batch(triples):
-    """Left fold of :func:`add_triples`, vectorized over the arrays.
-
-    ``np.cumsum`` accumulates sequentially, so the last row equals the
-    scalar fold bitwise (pairwise ``np.sum`` would not).
-    """
-    count = triples[0][0]
-    for t in triples[1:]:
-        count = count + t[0]
-    sums = np.cumsum(np.stack([t[1] for t in triples]), axis=0)[-1]
-    scatters = np.cumsum(np.stack([t[2] for t in triples]), axis=0)[-1]
-    return (count, sums, scatters)
+from repro.kernels import gmm
+from repro.stats import Categorical, MultivariateNormal, sample_categorical_rows
 
 
 class GiraphGMM(Implementation):
@@ -82,7 +67,7 @@ class GiraphGMM(Implementation):
         variances = sq / n
         self.prior = gmm.GMMPrior(
             mu0=hyper_mean, lambda0=np.diag(1.0 / variances), psi=np.diag(variances),
-            v=float(d + 2), alpha=np.ones(self.clusters),
+            v=gmm.df_prior(d), alpha=np.full(self.clusters, gmm.DEFAULT_ALPHA),
         )
         self.state = gmm.initial_state(rng, self.prior)
         engine.add_vertices("cluster", {
@@ -92,7 +77,7 @@ class GiraphGMM(Implementation):
         })
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
-        engine.set_combiner("cluster", add_triples, batch_fn=add_triples_batch)
+        engine.set_combiner("cluster", gmm.add_triples, batch_fn=gmm.add_triples_batch)
         engine.set_compute("data", self._data_compute)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)
@@ -139,7 +124,7 @@ class GiraphGMM(Implementation):
             stats = (0.0, np.zeros(d), np.zeros((d, d)))
             for message in messages:
                 if isinstance(message, tuple) and len(message) == 3:
-                    stats = add_triples(stats, message)
+                    stats = gmm.add_triples(stats, message)
             count, sum_x, scatter = stats
             value["count"] = count
             value["mu"], value["sigma"] = gmm.update_cluster(
@@ -154,16 +139,15 @@ class GiraphGMM(Implementation):
         triples = sorted(m for m in messages if isinstance(m, tuple) and len(m) == 4)
         if not triples:
             return
-        log_w = np.array([
-            np.log(max(pi, 1e-300)) + dist.logpdf(x) for _, pi, _, dist in triples
-        ])
-        weights = np.exp(log_w - log_w.max())
+        weights = gmm.scalar_membership_weights(
+            x, [np.log(max(pi, 1e-300)) for _, pi, _, _ in triples],
+            [dist for _, _, _, dist in triples],
+        )
         choice = int(Categorical(weights).sample(self.rng))
         k, _, mu, _ = triples[choice]
-        diff = x - mu
         d = x.size
         ctx.charge_flops(self.clusters * (3.0 * d * d + 4.0 * d) + d * d)
-        ctx.send("cluster", k, (1.0, x, np.outer(diff, diff)))
+        ctx.send("cluster", k, gmm.membership_triple(x, mu))
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -186,6 +170,9 @@ class GiraphGMMSuperVertex(GiraphGMM):
                  block_points: int = 64) -> None:
         super().__init__(points, clusters, rng, cluster_spec, tracer)
         self.block_points = block_points
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         from repro.graph.supervertex import group_rows
@@ -216,7 +203,7 @@ class GiraphGMMSuperVertex(GiraphGMM):
         variances = sq / n
         self.prior = gmm.GMMPrior(
             mu0=hyper_mean, lambda0=np.diag(1.0 / variances), psi=np.diag(variances),
-            v=float(d + 2), alpha=np.ones(self.clusters),
+            v=gmm.df_prior(d), alpha=np.full(self.clusters, gmm.DEFAULT_ALPHA),
         )
         self.state = gmm.initial_state(rng, self.prior)
         engine.add_vertices("cluster", {
@@ -226,7 +213,7 @@ class GiraphGMMSuperVertex(GiraphGMM):
         })
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
-        engine.set_combiner("cluster", add_triples, batch_fn=add_triples_batch)
+        engine.set_combiner("cluster", gmm.add_triples, batch_fn=gmm.add_triples_batch)
         engine.set_compute("data", self._data_compute)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)
@@ -242,8 +229,6 @@ class GiraphGMMSuperVertex(GiraphGMM):
             means=np.vstack([t[2] for t in triples]),
             covariances=np.stack([t[3].cov for t in triples]),
         )
-        from repro.stats import sample_categorical_rows
-
         labels = sample_categorical_rows(
             self.rng, gmm.membership_weights(block, state)
         )

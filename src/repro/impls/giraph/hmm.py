@@ -22,8 +22,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GiraphEngine, group_items
 from repro.impls.base import Implementation
-from repro.models import hmm
-from repro.stats import Dirichlet
+from repro.kernels import hmm
 
 
 def _sparse_counts(counts: hmm.HMMCounts, state: int) -> dict:
@@ -54,8 +53,8 @@ class GiraphHMMDocument(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0) -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -124,8 +123,9 @@ class GiraphHMMDocument(Implementation):
             for word, count in message["emit"].items():
                 emissions[word] += count
             transitions += message["trans"]
-        value["psi"] = Dirichlet(self.beta + emissions).sample(self.rng)
-        value["delta"] = Dirichlet(self.alpha + transitions).sample(self.rng)
+        value["psi"] = hmm.resample_emission_row(self.rng, self.beta, emissions)
+        value["delta"] = hmm.resample_transition_row(self.rng, self.alpha,
+                                                     transitions)
         ctx.charge_flops(float(self.vocabulary * 20))
         ctx.send_to_kind("data", ("model-row", vid, value["psi"], value["delta"]))
 
@@ -139,7 +139,7 @@ class GiraphHMMDocument(Implementation):
         assert self.model is not None
         starts = ctx.aggregated("delta0")
         if np.any(starts > 0) and getattr(self, "_delta0_superstep", -1) != ctx.superstep:
-            self.model.delta0 = Dirichlet(self.alpha + starts).sample(self.rng)
+            self.model.delta0 = hmm.resample_delta0(self.rng, self.alpha, starts)
             self._delta0_superstep = ctx.superstep
         return self.model
 
@@ -159,10 +159,14 @@ class GiraphHMMSuperVertex(GiraphHMMDocument):
     variant = "super-vertex"
 
     def __init__(self, documents, vocabulary, states, rng, cluster_spec,
-                 tracer=None, alpha=1.0, beta=1.0, docs_per_block: int = 16) -> None:
+                 tracer=None, alpha=hmm.DEFAULT_ALPHA, beta=hmm.DEFAULT_BETA,
+                 docs_per_block: int = 16) -> None:
         super().__init__(documents, vocabulary, states, rng, cluster_spec,
                          tracer, alpha, beta)
         self.docs_per_block = docs_per_block
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         super().initialize()
@@ -219,8 +223,8 @@ class GiraphHMMWord(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0) -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -281,15 +285,14 @@ class GiraphHMMWord(Implementation):
         if phase == 1:
             for kind, state in messages:
                 value[kind] = state
+            prev_state = (value["prev"]
+                          if value["prev"] is not None and pos > 0 else None)
+            next_state = (value["next"]
+                          if value["next"] is not None and pos < value["len"] - 1
+                          else None)
             if (pos + 1) % 2 == self._iteration % 2:
-                model = self.model
-                weights = model.psi[:, value["word"]].copy()
-                weights *= (model.delta[value["prev"]] if value["prev"] is not None
-                            and pos > 0 else model.delta0)
-                if value["next"] is not None and pos < value["len"] - 1:
-                    weights *= model.delta[:, value["next"]]
-                if weights.sum() <= 0:
-                    weights[:] = 1.0
+                weights = hmm.word_state_weights(self.model, value["word"],
+                                                 prev_state, next_state)
                 value["state"] = int(self.rng.choice(self.states,
                                                      p=weights / weights.sum()))
                 ctx.charge_ops(4.0)
@@ -298,8 +301,8 @@ class GiraphHMMWord(Implementation):
             if pos == 0:
                 ctx.aggregate("delta0", _one_hot(value["state"], self.states))
             pair_counts = {"emit": {value["word"]: 1.0}, "trans": {}}
-            if value["next"] is not None and pos < value["len"] - 1:
-                pair_counts["trans"][value["next"]] = 1.0
+            if next_state is not None:
+                pair_counts["trans"][next_state] = 1.0
             ctx.send("state", value["state"], pair_counts)
 
     def _state_compute(self, ctx, vid, value, messages):
@@ -312,12 +315,13 @@ class GiraphHMMWord(Implementation):
                 emissions[word] += count
             for nxt, count in message["trans"].items():
                 transitions[nxt] += count
-        value["psi"] = Dirichlet(self.beta + emissions).sample(self.rng)
-        value["delta"] = Dirichlet(self.alpha + transitions).sample(self.rng)
+        value["psi"] = hmm.resample_emission_row(self.rng, self.beta, emissions)
+        value["delta"] = hmm.resample_transition_row(self.rng, self.alpha,
+                                                     transitions)
         ctx.send_to_kind("word", ("model-row", vid, value["psi"], value["delta"]))
         starts = ctx.aggregated("delta0")
         if vid == 0 and np.any(starts > 0):
-            self.model.delta0 = Dirichlet(self.alpha + starts).sample(self.rng)
+            self.model.delta0 = hmm.resample_delta0(self.rng, self.alpha, starts)
 
 
 def _one_hot(index: int, size: int) -> np.ndarray:

@@ -14,8 +14,8 @@ import numpy as np
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.giraph.gmm import GiraphGMM
-from repro.models.imputation import impute_point
-from repro.stats import Categorical, MultivariateNormal
+from repro.kernels.imputation import impute_point, scalar_marginal_weights
+from repro.stats import Categorical
 
 
 class GiraphImputation(GiraphGMM):
@@ -49,17 +49,11 @@ class GiraphImputation(GiraphGMM):
         if not triples:
             return
         x, mask = value["x"], value["mask"]
-        observed = np.flatnonzero(~mask)
-        log_w = np.empty(len(triples))
-        for slot, (k, pi, mu, dist) in enumerate(triples):
-            if observed.size == 0:
-                log_w[slot] = np.log(max(pi, 1e-300))
-                continue
-            marginal = MultivariateNormal(
-                mu[observed], dist.cov[np.ix_(observed, observed)]
-            )
-            log_w[slot] = np.log(max(pi, 1e-300)) + marginal.logpdf(x[observed])
-        weights = np.exp(log_w - log_w.max())
+        weights = scalar_marginal_weights(
+            x, mask, [np.log(max(pi, 1e-300)) for _, pi, _, _ in triples],
+            [mu for _, _, mu, _ in triples],
+            [dist.cov for _, _, _, dist in triples],
+        )
         choice = int(Categorical(weights).sample(self.rng))
         k, _, mu, dist = triples[choice]
         completed = impute_point(self.rng, x, mask, mu, dist.cov)

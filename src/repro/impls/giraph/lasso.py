@@ -22,7 +22,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import OUTGOING_BUFFER_FRACTION, GiraphEngine, group_rows
 from repro.impls.base import Implementation
-from repro.models import lasso
+from repro.kernels import lasso
 
 
 class GiraphLassoSuperVertex(Implementation):
@@ -37,7 +37,7 @@ class GiraphLassoSuperVertex(Implementation):
 
     def __init__(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
                  cluster_spec: ClusterSpec, tracer: Tracer | None = None,
-                 lam: float = 1.0, block_points: int = 64) -> None:
+                 lam: float = lasso.DEFAULT_LAM, block_points: int = 64) -> None:
         self.x = np.asarray(x, dtype=float)
         self.y = np.asarray(y, dtype=float)
         self.rng = rng
@@ -48,7 +48,7 @@ class GiraphLassoSuperVertex(Implementation):
         self.state: lasso.LassoState | None = None
 
     def scale_groups(self) -> tuple[str, ...]:
-        return ("data",)
+        return ("data", "p2", "sv")
 
     def _blocks(self) -> list[tuple[np.ndarray, np.ndarray]]:
         n = self.x.shape[0]
@@ -184,8 +184,9 @@ class GiraphLasso(GiraphLassoSuperVertex):
     variant = "initial"
     GRAM_BUFFER_SCALE = "data*p2"
 
-    def __init__(self, x, y, rng, cluster_spec, tracer=None, lam=1.0) -> None:
+    def __init__(self, x, y, rng, cluster_spec, tracer=None,
+                 lam=lasso.DEFAULT_LAM) -> None:
         super().__init__(x, y, rng, cluster_spec, tracer, lam, block_points=1)
 
     def scale_groups(self) -> tuple[str, ...]:
-        return ("data", "p", "p2")
+        return ("data", "p2")

@@ -17,15 +17,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GiraphEngine, group_items
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import lda
-from repro.stats import Dirichlet
-
-
-def _merge_sparse(a: dict, b: dict) -> dict:
-    out = dict(a)
-    for word, count in b.items():
-        out[word] = out.get(word, 0.0) + count
-    return out
+from repro.kernels import lda
+from repro.kernels.folds import merge_sparse, sparse_topic_counts
 
 
 class GiraphLDADocument(Implementation):
@@ -37,8 +30,8 @@ class GiraphLDADocument(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, topics: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 0.5,
-                 beta: float = 0.1) -> None:
+                 tracer: Tracer | None = None, alpha: float = lda.DEFAULT_ALPHA,
+                 beta: float = lda.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.topics = topics
@@ -65,7 +58,7 @@ class GiraphLDADocument(Implementation):
         engine.add_vertices("topic", {
             t: {"phi": self.phi[t]} for t in range(self.topics)
         })
-        engine.set_combiner("topic", _merge_sparse)
+        engine.set_combiner("topic", merge_sparse)
         engine.set_compute("data", self._data_compute)
         engine.set_compute("topic", self._topic_compute)
 
@@ -85,11 +78,7 @@ class GiraphLDADocument(Implementation):
         # ~8 JVM operations per word over the 100-topic weights
         # (calibrated to the paper's 22:22 document-based entry).
         ctx.charge_ops(float(len(words) * 8))
-        sparse: dict[int, dict[int, float]] = {}
-        for topic, word in zip(z, words):
-            bucket = sparse.setdefault(int(topic), {})
-            bucket[int(word)] = bucket.get(int(word), 0.0) + 1.0
-        for topic, counts in sparse.items():
+        for topic, counts in sparse_topic_counts(z, words):
             ctx.send("topic", topic, counts)
 
     def _topic_compute(self, ctx, vid, value, messages):
@@ -99,7 +88,7 @@ class GiraphLDADocument(Implementation):
         for message in messages:
             for word, count in message.items():
                 counts[word] += count
-        value["phi"] = Dirichlet(self.beta + counts).sample(self.rng)
+        value["phi"] = lda.resample_phi_row(self.rng, self.beta, counts)
         ctx.charge_flops(float(self.vocabulary * 20))
         ctx.send_to_kind("data", ("phi-row", vid, value["phi"]))
 
@@ -114,10 +103,14 @@ class GiraphLDASuperVertex(GiraphLDADocument):
     variant = "super-vertex"
 
     def __init__(self, documents, vocabulary, topics, rng, cluster_spec,
-                 tracer=None, alpha=0.5, beta=0.1, docs_per_block: int = 16) -> None:
+                 tracer=None, alpha=lda.DEFAULT_ALPHA, beta=lda.DEFAULT_BETA,
+                 docs_per_block: int = 16) -> None:
         super().__init__(documents, vocabulary, topics, rng, cluster_spec,
                          tracer, alpha, beta)
         self.docs_per_block = docs_per_block
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         super().initialize()

@@ -26,7 +26,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_rows
 from repro.impls.base import Implementation
-from repro.models import gmm
+from repro.kernels import gmm
 from repro.stats import Categorical, MultivariateNormal, sample_categorical_rows
 
 
@@ -65,17 +65,10 @@ class _GatherTriples(GASProgram):
         return self.impl.data_view(center_id, nbr_value)
 
     def sum(self, a, b):
-        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+        return gmm.add_triples(a, b)
 
     def sum_batch(self, contributions):
-        # np.cumsum accumulates sequentially, so the last row equals the
-        # left fold of ``sum`` bitwise.
-        count = contributions[0][0]
-        for c in contributions[1:]:
-            count = count + c[0]
-        sums = np.cumsum(np.stack([c[1] for c in contributions]), axis=0)[-1]
-        scatters = np.cumsum(np.stack([c[2] for c in contributions]), axis=0)[-1]
-        return (count, sums, scatters)
+        return gmm.add_triples_batch(contributions)
 
     def apply(self, center_id, center_value, total):
         return self.impl.apply_cluster(center_id, center_value, total)
@@ -141,7 +134,7 @@ class GraphLabGMM(Implementation):
         variances = sq / n
         self.prior = gmm.GMMPrior(
             mu0=hyper_mean, lambda0=np.diag(1.0 / variances), psi=np.diag(variances),
-            v=float(d + 2), alpha=np.ones(self.clusters),
+            v=gmm.df_prior(d), alpha=np.full(self.clusters, gmm.DEFAULT_ALPHA),
         )
         self.state = gmm.initial_state(rng, self.prior)
         engine.add_vertices("cluster", {
@@ -178,16 +171,15 @@ class GraphLabGMM(Implementation):
         """Resample one data vertex's membership from the gathered model."""
         views = sorted(views or [])
         x = value["x"]
-        log_w = np.array([
-            np.log(max(pi, 1e-300)) + dist.logpdf(x) for _, pi, _, dist in views
-        ])
-        weights = np.exp(log_w - log_w.max())
+        weights = gmm.scalar_membership_weights(
+            x, [np.log(max(pi, 1e-300)) for _, pi, _, _ in views],
+            [dist for _, _, _, dist in views],
+        )
         k = int(Categorical(weights).sample(self.rng))
-        diff = x - views[k][2]
         d = x.size
         self.engine.charge(flops=self.clusters * (3.0 * d * d + 4.0 * d) + d * d,
                            scale=DATA, label="membership")
-        return {"x": x, "c": k, "triple": (1.0, x, np.outer(diff, diff))}
+        return {"x": x, "c": k, "triple": gmm.membership_triple(x, views[k][2])}
 
     def data_view(self, cluster_id, data_value):
         """The triple a cluster vertex gathers from one data vertex."""
@@ -228,6 +220,9 @@ class GraphLabGMMSuperVertex(GraphLabGMM):
                  block_points: int = 64) -> None:
         super().__init__(points, clusters, rng, cluster_spec, tracer)
         self.block_points = block_points
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def _load_data(self) -> None:
         n = self.points.shape[0]

@@ -23,8 +23,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_items
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import hmm
-from repro.stats import Dirichlet
+from repro.kernels import hmm
 
 
 class _ResampleStates(GASProgram):
@@ -84,10 +83,13 @@ class _UpdateModel(GASProgram):
         if total is None:
             return center_value
         emissions, transitions, starts = total
-        center_value["psi"] = Dirichlet(impl.beta + emissions).sample(impl.rng)
-        center_value["delta"] = Dirichlet(impl.alpha + transitions).sample(impl.rng)
+        center_value["psi"] = hmm.resample_emission_row(impl.rng, impl.beta,
+                                                        emissions)
+        center_value["delta"] = hmm.resample_transition_row(impl.rng, impl.alpha,
+                                                            transitions)
         if center_value.get("delta0") is not None:
-            center_value["delta0"] = Dirichlet(impl.alpha + starts).sample(impl.rng)
+            center_value["delta0"] = hmm.resample_delta0(impl.rng, impl.alpha,
+                                                         starts)
         impl.engine.charge(flops=float(impl.vocabulary * 20), label="model-update")
         return center_value
 
@@ -99,8 +101,8 @@ class GraphLabHMMSuperVertex(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0, docs_per_block: int = 16) -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA, docs_per_block: int = 16) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -111,6 +113,9 @@ class GraphLabHMMSuperVertex(Implementation):
         self.engine = GraphLabEngine(cluster_spec, tracer=tracer)
         self.model: hmm.HMMState | None = None
         self.iteration = 0
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         engine, rng = self.engine, self.rng

@@ -12,8 +12,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import group_rows
 from repro.impls.graphlab.gmm import GraphLabGMMSuperVertex
-from repro.models import gmm
-from repro.models.imputation import impute_points, sample_marginal_memberships
+from repro.kernels import gmm
+from repro.kernels.imputation import impute_points, sample_marginal_memberships
 
 
 class GraphLabImputationSuperVertex(GraphLabGMMSuperVertex):

@@ -18,7 +18,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_rows
 from repro.impls.base import Implementation
-from repro.models import lasso
+from repro.kernels import lasso
 
 
 class _CenterRound(GASProgram):
@@ -75,11 +75,8 @@ class _ModelRound(GASProgram):
         if total is None:
             return center_value
         beta_j, sigma2 = total
-        from repro.stats import InverseGaussian
-
-        lam2 = self.impl.lam**2
-        mu = float(np.sqrt(lam2 * sigma2 / max(beta_j**2, 1e-300)))
-        return {"tau2_inv": InverseGaussian(mu, lam2).sample(self.impl.rng)}
+        return {"tau2_inv": lasso.sample_tau2_inv_element(
+            self.impl.rng, beta_j, sigma2, self.impl.lam)}
 
 
 class GraphLabLassoSuperVertex(Implementation):
@@ -89,7 +86,7 @@ class GraphLabLassoSuperVertex(Implementation):
 
     def __init__(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
                  cluster_spec: ClusterSpec, tracer: Tracer | None = None,
-                 lam: float = 1.0, block_points: int = 64) -> None:
+                 lam: float = lasso.DEFAULT_LAM, block_points: int = 64) -> None:
         self.x = np.asarray(x, dtype=float)
         self.y = np.asarray(y, dtype=float)
         self.p = self.x.shape[1]

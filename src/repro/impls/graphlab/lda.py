@@ -16,8 +16,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_items
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import lda
-from repro.stats import Dirichlet
+from repro.kernels import lda
 
 
 class _ResampleTopics(GASProgram):
@@ -66,7 +65,7 @@ class _UpdatePhi(GASProgram):
         impl = self.impl
         if total is None:
             return center_value
-        center_value["phi"] = Dirichlet(impl.beta + total).sample(impl.rng)
+        center_value["phi"] = lda.resample_phi_row(impl.rng, impl.beta, total)
         impl.engine.charge(flops=float(impl.vocabulary * 20), label="phi-update")
         return center_value
 
@@ -78,8 +77,8 @@ class GraphLabLDASuperVertex(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, topics: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 0.5,
-                 beta: float = 0.1, docs_per_block: int = 16) -> None:
+                 tracer: Tracer | None = None, alpha: float = lda.DEFAULT_ALPHA,
+                 beta: float = lda.DEFAULT_BETA, docs_per_block: int = 16) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.topics = topics
@@ -89,6 +88,9 @@ class GraphLabLDASuperVertex(Implementation):
         self.docs_per_block = docs_per_block
         self.engine = GraphLabEngine(cluster_spec, tracer=tracer)
         self.phi: np.ndarray | None = None
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         engine, rng = self.engine, self.rng

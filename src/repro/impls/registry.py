@@ -1,0 +1,67 @@
+"""Benchmark-cell registry: (platform, model, variant) -> factory.
+
+:data:`repro.impls.REGISTRY` maps every exported
+:class:`~repro.impls.base.Implementation` subclass to its
+``(platform, model, variant)`` key.  This module is the bench harness's
+access path on top of that table: :func:`cell` resolves a key to its
+class with a descriptive error, and :func:`data_factory` builds the
+``factory(cluster_spec, tracer) -> Implementation`` callable that
+``experiments``, ``wallclock`` and ``faultsweep`` consume.
+
+Every implementation constructor follows the shared shape
+
+    cls(*data_args, rng, cluster_spec, tracer, **kwargs)
+
+so one generic factory serves all cells.  The RNG is constructed
+*inside* the factory body — the wall-clock bench calls each factory
+once per repeat, and every run must see the same fresh stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.tracer import Tracer
+from repro.impls import REGISTRY
+from repro.impls.base import Implementation
+from repro.stats import make_rng
+
+
+def cells() -> list[tuple[str, str, str]]:
+    """All registered (platform, model, variant) keys, sorted."""
+    return sorted(REGISTRY)
+
+
+def cell(platform: str, model: str, variant: str = "initial") -> type:
+    """The implementation class registered for one benchmark cell."""
+    try:
+        return REGISTRY[(platform, model, variant)]
+    except KeyError:
+        known = ", ".join("/".join(key) for key in cells())
+        raise KeyError(
+            f"no implementation registered for cell "
+            f"{platform}/{model}/{variant}; known cells: {known}"
+        ) from None
+
+
+def data_factory(platform: str, model: str, variant: str, *data,
+                 seed: int, rng_maker: Callable = make_rng,
+                 **kwargs) -> Callable[[ClusterSpec, Tracer], Implementation]:
+    """Bind one cell's data onto a ``(cluster_spec, tracer)`` factory.
+
+    ``data`` is passed through positionally (points/documents plus any
+    model sizes); ``kwargs`` reach the constructor unchanged.  The
+    returned callable carries the resolved class as ``factory.cls`` so
+    callers can report source-line counts without re-resolving.
+    """
+    cls = cell(platform, model, variant)
+
+    def factory(cluster_spec: ClusterSpec, tracer: Tracer) -> Implementation:
+        return cls(*data, rng_maker(seed), cluster_spec, tracer, **kwargs)
+
+    factory.cls = cls
+    return factory
+
+
+__all__ = ["cell", "cells", "data_factory"]

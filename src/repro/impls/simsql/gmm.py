@@ -29,7 +29,7 @@ from repro.cluster.tracer import Tracer
 from repro.impls.base import Implementation
 from repro.impls.simsql.common import counts_with_zeros, cross, padded_sum, project
 from repro.impls.simsql.vgs import GMMSuperVertexVG, MultinomialMembershipVG, PosteriorMeanVG
-from repro.models import gmm
+from repro.kernels import gmm
 from repro.relational import (
     Alias,
     Database,
@@ -56,7 +56,7 @@ class SimSQLGMM(Implementation):
 
     def __init__(self, points: np.ndarray, clusters: int, rng: np.random.Generator,
                  cluster_spec: ClusterSpec, tracer: Tracer | None = None,
-                 alpha: float = 1.0) -> None:
+                 alpha: float = gmm.DEFAULT_ALPHA) -> None:
         self.points = np.asarray(points, dtype=float)
         self.clusters = clusters
         self.rng = rng
@@ -80,7 +80,7 @@ class SimSQLGMM(Implementation):
         db.create_table("cluster", ["clus_id", "pi_prior"],
                         [(k, self.alpha) for k in range(self.clusters)])
         db.create_table("dims", ["dim_id"], [(i,) for i in range(d)])
-        db.create_table("df_prior", ["v"], [(float(d + 2),)])
+        db.create_table("df_prior", ["v"], [(gmm.df_prior(d),)])
 
         # create view mean_prior(dim_id, dim_val) as
         #   select dim_id, avg(data_val) from data group by dim_id;
@@ -323,9 +323,12 @@ class SimSQLGMMSuperVertex(SimSQLGMM):
     variant = "super-vertex"
 
     def __init__(self, points, clusters, rng, cluster_spec, tracer=None,
-                 alpha=1.0, block_points: int = 64) -> None:
+                 alpha=gmm.DEFAULT_ALPHA, block_points: int = 64) -> None:
         super().__init__(points, clusters, rng, cluster_spec, tracer, alpha)
         self.block_points = block_points
+
+    def scale_groups(self) -> tuple[str, ...]:
+        return ("data", "sv")
 
     def initialize(self) -> None:
         n, d = self.points.shape
@@ -348,7 +351,7 @@ class SimSQLGMMSuperVertex(SimSQLGMM):
         db.create_table("cluster", ["clus_id", "pi_prior"],
                         [(k, self.alpha) for k in range(self.clusters)])
         db.create_table("dims", ["dim_id"], [(i,) for i in range(d)])
-        db.create_table("df_prior", ["v"], [(float(d + 2),)])
+        db.create_table("df_prior", ["v"], [(gmm.df_prior(d),)])
         db.create_view("mean_prior", GroupBy(
             Scan("data"), keys=["dim_id"], aggs=[("dim_val", "avg", col("data_val"))],
         ), materialized=True)

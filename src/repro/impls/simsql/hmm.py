@@ -27,7 +27,7 @@ from repro.impls.base import Implementation
 from repro.impls.simsql.common import cross, padded_sum, project
 from repro.impls.simsql.vgs import HMMDocumentVG, HMMSuperVertexVG, HMMWordVG
 from repro.graph.supervertex import group_items
-from repro.models import hmm
+from repro.kernels import hmm
 from repro.relational import (
     Alias,
     Database,
@@ -55,8 +55,8 @@ class _SimSQLHMMBase(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0) -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -260,7 +260,8 @@ class SimSQLHMMSuperVertex(SimSQLHMMDocument):
     variant = "super-vertex"
 
     def __init__(self, documents, vocabulary, states, rng, cluster_spec,
-                 tracer=None, alpha=1.0, beta=1.0, docs_per_block: int = 16) -> None:
+                 tracer=None, alpha=hmm.DEFAULT_ALPHA, beta=hmm.DEFAULT_BETA,
+                 docs_per_block: int = 16) -> None:
         super().__init__(documents, vocabulary, states, rng, cluster_spec,
                          tracer, alpha, beta)
         self.docs_per_block = docs_per_block

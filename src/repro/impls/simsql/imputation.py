@@ -16,6 +16,7 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.simsql.common import project
 from repro.impls.simsql.gmm import SimSQLGMM
+from repro.kernels import gmm
 from repro.impls.simsql.vgs import ImputationVG
 from repro.relational import (
     Join,
@@ -37,7 +38,8 @@ class SimSQLImputation(SimSQLGMM):
 
     def __init__(self, censored_points: np.ndarray, mask: np.ndarray, clusters: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0) -> None:
+                 tracer: Tracer | None = None,
+                 alpha: float = gmm.DEFAULT_ALPHA) -> None:
         censored_points = np.asarray(censored_points, dtype=float)
         self.mask = np.asarray(mask, dtype=bool)
         column_means = np.nanmean(censored_points, axis=0)

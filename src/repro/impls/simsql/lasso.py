@@ -22,7 +22,7 @@ from repro.cluster.tracer import Tracer
 from repro.impls.base import Implementation
 from repro.impls.simsql.common import cross, project
 from repro.impls.simsql.vgs import LassoBetaVG
-from repro.models import lasso
+from repro.kernels import lasso
 from repro.relational import (
     Alias,
     Database,
@@ -48,7 +48,7 @@ class SimSQLLasso(Implementation):
 
     def __init__(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
                  cluster_spec: ClusterSpec, tracer: Tracer | None = None,
-                 lam: float = 1.0) -> None:
+                 lam: float = lasso.DEFAULT_LAM) -> None:
         self.x = np.asarray(x, dtype=float)
         self.y = np.asarray(y, dtype=float)
         self.rng = rng

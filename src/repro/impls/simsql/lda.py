@@ -19,7 +19,7 @@ from repro.impls.base import Implementation
 from repro.impls.simsql.common import cross, padded_sum, project
 from repro.impls.simsql.vgs import LDADocumentVG, LDAWordVG
 from repro.graph.supervertex import group_items
-from repro.models import lda
+from repro.kernels import lda
 from repro.relational import (
     Alias,
     Database,
@@ -43,8 +43,8 @@ class _SimSQLLDABase(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, topics: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 0.5,
-                 beta: float = 0.1) -> None:
+                 tracer: Tracer | None = None, alpha: float = lda.DEFAULT_ALPHA,
+                 beta: float = lda.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.topics = topics
@@ -235,7 +235,8 @@ class SimSQLLDASuperVertex(SimSQLLDADocument):
     variant = "super-vertex"
 
     def __init__(self, documents, vocabulary, topics, rng, cluster_spec,
-                 tracer=None, alpha=0.5, beta=0.1, docs_per_block: int = 16) -> None:
+                 tracer=None, alpha=lda.DEFAULT_ALPHA, beta=lda.DEFAULT_BETA,
+                 docs_per_block: int = 16) -> None:
         super().__init__(documents, vocabulary, topics, rng, cluster_spec,
                          tracer, alpha, beta)
         self.docs_per_block = docs_per_block

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models import gmm, hmm, lda
-from repro.models.imputation import impute_point, marginal_membership_weights
+from repro.kernels import gmm, hmm, lasso, lda
+from repro.kernels.imputation import impute_point, marginal_membership_weights
 from repro.relational.vg import VGFunction
-from repro.stats import Categorical, MultivariateNormal, sample_categorical_rows
+from repro.stats import Categorical, sample_categorical_rows
 
 
 def _rows_to_vector(rows: list[tuple]) -> np.ndarray:
@@ -127,12 +127,7 @@ class PosteriorMeanVG(VGFunction):
         sigma = _rows_to_matrix(self._require(params, "cov"), d)
         sums = _rows_to_vector(self._require(params, "sums"))
         (count,), = self._require(params, "count")
-        sigma_inv = np.linalg.inv(sigma)
-        precision = lambda0 + count * sigma_inv
-        cov = np.linalg.inv(precision)
-        cov = 0.5 * (cov + cov.T)
-        location = cov @ (lambda0 @ mu0 + sigma_inv @ sums)
-        draw = MultivariateNormal(location, cov).sample(self.rng)
+        draw = gmm.sample_cluster_mean(self.rng, lambda0, mu0, sigma, count, sums)
         return [(i, float(draw[i])) for i in range(d)]
 
     def flops_per_invocation(self, params):
@@ -166,11 +161,7 @@ class LassoBetaVG(VGFunction):
         )
         tau2_inv = _rows_to_vector(self._require(params, "tau"))
         (sigma2,), = self._require(params, "sigma")
-        a = gram + np.diag(tau2_inv)
-        a_inv = np.linalg.inv(a)
-        a_inv = 0.5 * (a_inv + a_inv.T)
-        mean = a_inv @ xty
-        draw = MultivariateNormal(mean, float(sigma2) * a_inv).sample(self.rng)
+        draw = lasso.sample_beta_from(self.rng, gram, xty, tau2_inv, float(sigma2))
         return [(j, float(draw[j])) for j in range(p)]
 
     def flops_per_invocation(self, params):
@@ -256,15 +247,11 @@ class HMMWordVG(VGFunction):
         (word, is_start, is_end), = self._require(params, "cell")
         prev_rows = params.get("prev", [])
         next_rows = params.get("next", [])
-        weights = model.psi[:, int(word)].copy()
-        if is_start or not prev_rows:
-            weights *= model.delta0
-        else:
-            weights *= model.delta[int(prev_rows[0][0])]
-        if not is_end and next_rows:
-            weights *= model.delta[:, int(next_rows[0][0])]
-        if weights.sum() <= 0:
-            weights[:] = 1.0
+        prev_state = (None if is_start or not prev_rows
+                      else int(prev_rows[0][0]))
+        next_state = (int(next_rows[0][0]) if not is_end and next_rows
+                      else None)
+        weights = hmm.word_state_weights(model, int(word), prev_state, next_state)
         return [(int(Categorical(weights).sample(self.rng)),)]
 
     def flops_per_invocation(self, params):
@@ -335,9 +322,7 @@ class LDAWordVG(VGFunction):
         phi = self._cache.get(params["phi"], lambda: self._parse_phi(params["phi"]))
         (word,), = self._require(params, "cell")
         theta = _rows_to_vector(self._require(params, "theta"))
-        weights = theta * phi[:, int(word)]
-        if weights.sum() <= 0:
-            weights = np.ones_like(weights)
+        weights = lda.word_topic_weights(theta, phi, int(word))
         return [(int(Categorical(weights).sample(self.rng)),)]
 
     def flops_per_invocation(self, params):
@@ -357,7 +342,7 @@ class LDADocumentVG(VGFunction):
     output_columns = ("kind", "a", "b", "value")
 
     def __init__(self, rng: np.random.Generator, topics: int, vocabulary: int,
-                 alpha: float = 0.5) -> None:
+                 alpha: float = lda.DEFAULT_ALPHA) -> None:
         self.rng = rng
         self.topics = topics
         self.vocabulary = vocabulary

@@ -14,6 +14,9 @@ Mallet linear algebra (Figure 1(b)); ``SparkGMMSuperVertex`` processes
 whole partitions with vectorized NumPy, emitting pre-aggregated triples
 (Figure 1(c) — which, as the paper finds, barely helps Spark because the
 per-record Python cost is replaced by comparable shuffle machinery).
+
+All sampler math comes from :mod:`repro.kernels.gmm`; this module only
+maps the kernels onto RDD operations.
 """
 
 from __future__ import annotations
@@ -25,27 +28,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation
-from repro.models import gmm
+from repro.kernels import gmm
 from repro.stats import Categorical, MultivariateNormal, sample_categorical_rows
-
-
-def _add_triples(a, b):
-    """Component-wise addition of (count, sum_x, scatter) triples."""
-    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
-
-
-def _add_triples_batch(triples):
-    """Left fold of :func:`_add_triples`, vectorized over the arrays.
-
-    ``np.cumsum`` accumulates sequentially, so the last row equals the
-    scalar fold bitwise (pairwise ``np.sum`` would not).
-    """
-    count = triples[0][0]
-    for t in triples[1:]:
-        count = count + t[0]
-    sums = np.cumsum(np.stack([t[1] for t in triples]), axis=0)[-1]
-    scatters = np.cumsum(np.stack([t[2] for t in triples]), axis=0)[-1]
-    return (count, sums, scatters)
 
 
 class SparkGMM(Implementation):
@@ -82,7 +66,7 @@ class SparkGMM(Implementation):
         variances = sq_total / num
         self.prior = gmm.GMMPrior(
             mu0=hyper_mean, lambda0=np.diag(1.0 / variances), psi=np.diag(variances),
-            v=float(d + 2), alpha=np.ones(self.clusters),
+            v=gmm.df_prior(d), alpha=np.full(self.clusters, gmm.DEFAULT_ALPHA),
         )
         # c_model: initial draw per cluster (mvnrnd + invWishart).
         self.state = gmm.initial_state(self.rng, self.prior)
@@ -98,24 +82,19 @@ class SparkGMM(Implementation):
         log_pi = np.log(state.pi)
 
         def sample_mem(x):
-            log_w = np.array([log_pi[k] + dists[k].logpdf(x) for k in range(len(dists))])
-            weights = np.exp(log_w - log_w.max())
+            weights = gmm.scalar_membership_weights(x, log_pi, dists)
             k = Categorical(weights).sample(rng)
-            diff = x - state.means[k]
-            return (k, (1.0, x, np.outer(diff, diff)))
+            return (k, gmm.membership_triple(x, state.means[k]))
 
         def sample_mem_batch(part):
-            # Vectorized sample_mem: logpdf is row-stable and the batched
-            # categorical draw consumes the identical uniform stream, so
-            # the records (and the posterior) match the scalar map bitwise.
+            # Vectorized sample_mem: the batch kernels are row-stable and
+            # the batched categorical draw consumes the identical uniform
+            # stream, so the records (and the posterior) match the scalar
+            # map bitwise.
             xs = np.vstack(part)
-            log_w = np.empty((len(part), len(dists)))
-            for k in range(len(dists)):
-                log_w[:, k] = log_pi[k] + dists[k].logpdf(xs)
-            weights = np.exp(log_w - log_w.max(axis=1, keepdims=True))
+            weights = gmm.batch_membership_weights(xs, log_pi, dists)
             ks = sample_categorical_rows(rng, weights)
-            diffs = xs - state.means[ks]
-            scatters = diffs[:, :, None] * diffs[:, None, :]
+            scatters = gmm.batch_membership_triples(xs, ks, state.means)
             return [(ks[i], (1.0, part[i], scatters[i])) for i in range(len(part))]
 
         # Job 1: membership + per-cluster aggregation (dominates runtime).
@@ -127,7 +106,7 @@ class SparkGMM(Implementation):
             sample_mem, batch_fn=sample_mem_batch, flops_per_record=flops_mem,
             ops_per_record=float(self.clusters * 0.5 + 2),
             closure_bytes=self.clusters * (d * d + d + 1) * 8.0, label="sample_mem",
-        ).reduce_by_key(_add_triples, batch_combiner=_add_triples_batch,
+        ).reduce_by_key(gmm.add_triples, batch_combiner=gmm.add_triples_batch,
                         flops_per_record=d * d + d, label="agg")
 
         # Job 2: map-only model update per cluster (the update needs the
@@ -198,7 +177,7 @@ class SparkGMMSuperVertex(SparkGMM):
             process_block, flops_per_partition=block_flops,
             ops_per_partition=float(n_per_part * (self.clusters * 0.5 + 2)),
             closure_bytes=self.clusters * (d * d + d + 1) * 8.0, label="block_mem",
-        ).reduce_by_key(_add_triples, batch_combiner=_add_triples_batch,
+        ).reduce_by_key(gmm.add_triples, batch_combiner=gmm.add_triples_batch,
                         flops_per_record=d * d + d,
                         work_scale=FIXED, label="agg")
 

@@ -15,6 +15,10 @@ entry is reproduced.
 
 ``SparkHMMSuperVertex`` groups many documents per partition and updates
 them with one vectorized callback (Figure 3(b)).
+
+All sampler math comes from :mod:`repro.kernels.hmm` and the sparse
+count folds from :mod:`repro.kernels.folds`; this module only maps the
+kernels onto RDD operations.
 """
 
 from __future__ import annotations
@@ -26,7 +30,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import hmm
+from repro.kernels import hmm
+from repro.kernels.folds import merge_sparse, sparse_topic_counts
 
 
 class SparkHMMDocument(Implementation):
@@ -36,8 +41,8 @@ class SparkHMMDocument(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0, language: str = "python") -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA, language: str = "python") -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -92,17 +97,7 @@ class SparkHMMDocument(Implementation):
         # then the psi rows resampled.
         def comp_f(doc_value):
             words, states = doc_value
-            sparse: dict[int, dict[int, float]] = {}
-            for word, state in zip(words, states):
-                bucket = sparse.setdefault(int(state), {})
-                bucket[int(word)] = bucket.get(int(word), 0.0) + 1.0
-            return list(sparse.items())
-
-        def merge_sparse(a, b):
-            out = dict(a)
-            for word, count in b.items():
-                out[word] = out.get(word, 0.0) + count
-            return out
+            return sparse_topic_counts(states, words)
 
         f = self.d_w_s_seq.flat_map(
             lambda record: comp_f(record[1]), flops_per_record=float(mean_len),
@@ -222,8 +217,8 @@ class SparkHMMWord(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, states: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 1.0,
-                 beta: float = 1.0) -> None:
+                 tracer: Tracer | None = None, alpha: float = hmm.DEFAULT_ALPHA,
+                 beta: float = hmm.DEFAULT_BETA) -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.states = states
@@ -235,7 +230,7 @@ class SparkHMMWord(Implementation):
         self.model: hmm.HMMState | None = None
 
     def scale_groups(self) -> tuple[str, ...]:
-        return ("data", "words")
+        return ("words",)
 
     def initialize(self) -> None:
         rng = self.rng
@@ -283,12 +278,9 @@ class SparkHMMWord(Implementation):
                 return None  # a (d, len) slot past the document end
             if (k + 1) % 2 != iteration % 2:
                 return ((d_id, k), (word, state, doc_len))
-            weights = model.psi[:, word].copy()
-            weights *= model.delta[prev_state] if prev_state is not None else model.delta0
-            if next_state is not None and k < doc_len - 1:
-                weights *= model.delta[:, next_state]
-            if weights.sum() <= 0:
-                weights[:] = 1.0
+            if k >= doc_len - 1:
+                next_state = None  # the "next" contribution wrapped a document
+            weights = hmm.word_state_weights(model, word, prev_state, next_state)
             new_state = int(rng.choice(states_k, p=weights / weights.sum()))
             return ((d_id, k), (word, new_state, doc_len))
 

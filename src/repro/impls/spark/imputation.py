@@ -6,6 +6,10 @@ the cached input of the GMM jobs is invalidated and rebuilt each time.
 This is the paper's Section 9.2 finding: "in the imputation model, the
 actual data set changes constantly as imputation is being performed",
 which is why Spark's time jumps from ~26 minutes (GMM) to ~1.5 hours.
+
+All sampler math comes from :mod:`repro.kernels.gmm` and
+:mod:`repro.kernels.imputation`; this module only maps the kernels onto
+RDD operations.
 """
 
 from __future__ import annotations
@@ -16,10 +20,9 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation
-from repro.impls.spark.gmm import _add_triples
-from repro.models import gmm
-from repro.models.imputation import impute_point
-from repro.stats import Categorical, MultivariateNormal
+from repro.kernels import gmm
+from repro.kernels.imputation import impute_point, scalar_marginal_weights
+from repro.stats import Categorical
 
 
 class SparkImputation(Implementation):
@@ -61,7 +64,7 @@ class SparkImputation(Implementation):
         variances = sq_total / num
         self.prior = gmm.GMMPrior(
             mu0=hyper_mean, lambda0=np.diag(1.0 / variances), psi=np.diag(variances),
-            v=float(d + 2), alpha=np.ones(self.clusters),
+            v=gmm.df_prior(d), alpha=np.full(self.clusters, gmm.DEFAULT_ALPHA),
         )
         self.state = gmm.initial_state(self.rng, self.prior)
         self.sc.driver_compute(flops=self.clusters * d**3, label="init-model")
@@ -79,18 +82,8 @@ class SparkImputation(Implementation):
         # REPLACES the data RDD (the cache-defeating step).
         def impute_and_aggregate(record):
             x, mask = record
-            observed = np.flatnonzero(~mask)
-            log_w = np.empty(clusters)
-            for k in range(clusters):
-                if observed.size == 0:
-                    log_w[k] = log_pi[k]
-                    continue
-                dist = MultivariateNormal(
-                    state.means[k][observed],
-                    state.covariances[k][np.ix_(observed, observed)],
-                )
-                log_w[k] = log_pi[k] + dist.logpdf(x[observed])
-            weights = np.exp(log_w - log_w.max())
+            weights = scalar_marginal_weights(x, mask, log_pi, state.means,
+                                              state.covariances)
             k = Categorical(weights).sample(rng)
             completed = impute_point(rng, x, mask, state.means[k], state.covariances[k])
             diff = completed - state.means[k]
@@ -108,7 +101,7 @@ class SparkImputation(Implementation):
 
         c_agg = imputed.map(
             lambda r: (r[0], (1.0, r[1], r[3])), label="triple",
-        ).reduce_by_key(_add_triples, flops_per_record=d * d + d, label="agg")
+        ).reduce_by_key(gmm.add_triples, flops_per_record=d * d + d, label="agg")
         c_stats = c_agg.collect_as_map()
 
         counts = np.zeros(clusters)

@@ -19,7 +19,8 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation
-from repro.models import lasso
+from repro.kernels import lasso
+from repro.kernels.folds import fold_scalar_sum
 
 
 class SparkLasso(Implementation):
@@ -29,7 +30,7 @@ class SparkLasso(Implementation):
 
     def __init__(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator,
                  cluster_spec: ClusterSpec, tracer: Tracer | None = None,
-                 lam: float = 1.0, language: str = "python") -> None:
+                 lam: float = lasso.DEFAULT_LAM, language: str = "python") -> None:
         self.x = np.asarray(x, dtype=float)
         self.y = np.asarray(y, dtype=float)
         self.rng = rng
@@ -83,10 +84,6 @@ class SparkLasso(Implementation):
             scaled = rows * ys[:, None]
             return [pair for row in scaled for pair in zip(range(p), row)]
 
-        def add_batch(values):
-            # Sequential cumsum == the left fold of + bitwise.
-            return np.cumsum(np.asarray(values))[-1]
-
         # The pair fan-out is bulk element work (an outer product sliced
         # into pairs), not one interpreted call per pair — charged at
         # vectorized rates, which is what makes the paper's 1.5-2 h Spark
@@ -97,14 +94,14 @@ class SparkLasso(Implementation):
             batch_fn=compute_pair_sum_batch,
         ).reduce_by_key(lambda a, b: a + b, work_scale="data*p2",
                         language="numpy", out_scale="p2", label="gram",
-                        batch_combiner=add_batch)
+                        batch_combiner=fold_scalar_sum)
         xy = self.data.flat_map(
             compute_xy_sum, flops_per_record=float(p), language="numpy",
             out_scale="data*p", label="computeXYSum",
             batch_fn=compute_xy_sum_batch,
         ).reduce_by_key(lambda a, b: a + b, work_scale="data*p",
                         language="numpy", out_scale="p", label="xty",
-                        batch_combiner=add_batch)
+                        batch_combiner=fold_scalar_sum)
 
         xtx = np.zeros((p, p))
         for (i, j), value in xx.collect():
@@ -150,5 +147,5 @@ class SparkLassoJava(SparkLasso):
 
     variant = "java"
 
-    def __init__(self, x, y, rng, cluster_spec, tracer=None, lam=1.0) -> None:
+    def __init__(self, x, y, rng, cluster_spec, tracer=None, lam=lasso.DEFAULT_LAM) -> None:
         super().__init__(x, y, rng, cluster_spec, tracer, lam, language="java")

@@ -6,6 +6,10 @@ per-topic word counts for aggregation; phi is resampled from the
 aggregated counts.  ``SparkLDASuperVertex`` does the same per partition
 block with combined counts.  ``SparkLDAJava`` is the Figure 6 variant:
 identical simulation, Java callback and Mallet linear-algebra costs.
+
+All sampler math comes from :mod:`repro.kernels.lda` and the sparse
+count folds from :mod:`repro.kernels.folds`; this module only maps the
+kernels onto RDD operations.
 """
 
 from __future__ import annotations
@@ -17,53 +21,13 @@ from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation, declare_scale_limit
-from repro.models import lda
-
-
-def _merge_sparse(a: dict, b: dict) -> dict:
-    out = dict(a)
-    for word, count in b.items():
-        out[word] = out.get(word, 0.0) + count
-    return out
-
-
-def _sparse_counts(z: np.ndarray, words: np.ndarray) -> list:
-    """A document's topic -> {word: count} contributions, sparsely."""
-    by_topic: dict[int, dict[int, float]] = {}
-    for topic, word in zip(z, words):
-        bucket = by_topic.setdefault(int(topic), {})
-        bucket[int(word)] = bucket.get(int(word), 0.0) + 1.0
-    return list(by_topic.items())
-
-
-def _merge_sparse_batch(dicts: list) -> dict:
-    """Left fold of :func:`_merge_sparse` with one accumulator copy.
-
-    The fold copies its accumulator at every step; accumulating into a
-    single dict gives the same key order (first occurrence) and the same
-    per-key addition order, hence identical values.
-    """
-    out = dict(dicts[0])
-    for d in dicts[1:]:
-        for word, count in d.items():
-            out[word] = out.get(word, 0.0) + count
-    return out
-
-
-def _sparse_counts_fast(z: np.ndarray, words: np.ndarray) -> list:
-    """:func:`_sparse_counts` without per-element numpy scalar boxing.
-
-    ``tolist`` converts both arrays to Python ints in one C call, so the
-    scan runs on plain ints.  Same first-occurrence ordering, same
-    integer-valued float counts — the output is identical.  (A
-    bincount/unique formulation was tried and loses: numpy per-call
-    overhead exceeds the pure-Python scan at document lengths ~100.)
-    """
-    by_topic: dict[int, dict[int, float]] = {}
-    for topic, word in zip(z.tolist(), words.tolist()):
-        bucket = by_topic.setdefault(topic, {})
-        bucket[word] = bucket.get(word, 0.0) + 1.0
-    return list(by_topic.items())
+from repro.kernels import lda
+from repro.kernels.folds import (
+    merge_sparse,
+    merge_sparse_batch,
+    sparse_topic_counts,
+    sparse_topic_counts_fast,
+)
 
 
 class SparkLDADocument(Implementation):
@@ -73,8 +37,8 @@ class SparkLDADocument(Implementation):
 
     def __init__(self, documents: list, vocabulary: int, topics: int,
                  rng: np.random.Generator, cluster_spec: ClusterSpec,
-                 tracer: Tracer | None = None, alpha: float = 0.5,
-                 beta: float = 0.1, language: str = "python") -> None:
+                 tracer: Tracer | None = None, alpha: float = lda.DEFAULT_ALPHA,
+                 beta: float = lda.DEFAULT_BETA, language: str = "python") -> None:
         self.documents = [np.asarray(d, dtype=int) for d in documents]
         self.vocabulary = vocabulary
         self.topics = topics
@@ -109,48 +73,16 @@ class SparkLDADocument(Implementation):
         def resample_doc(value):
             words, theta = value
             z, new_theta, _ = lda.resample_document(rng, words, theta, phi, alpha)
-            return ((words, new_theta), _sparse_counts(z, words))
+            return ((words, new_theta), sparse_topic_counts(z, words))
 
         def resample_doc_batch(values):
-            # Vectorized resample_doc over a partition's documents.  The
-            # per-document RNG calls (one uniform block for z, then one
-            # Dirichlet for theta) must stay interleaved in document
-            # order, but the topic weights depend only on last
-            # iteration's thetas, so the whole partition's weight matrix
-            # and CDF are computed upfront in single numpy passes; every
-            # draw matches the scalar path bitwise (row-wise ops only).
-            doc_words = [words for words, _ in values]
-            lengths = [len(words) for words in doc_words]
-            empty_alpha = np.full(topics, alpha)
-            total_len = sum(lengths)
-            if total_len:
-                all_words = np.concatenate([w for w in doc_words if len(w)])
-                gathered = phi[:, all_words].T
-                theta_rows = np.repeat(
-                    np.vstack([theta for (words, theta), n in zip(values, lengths) if n]),
-                    [n for n in lengths if n], axis=0)
-                weights = theta_rows * gathered
-                sums = weights.sum(axis=1)
-                zero = sums <= 0
-                if zero.any():
-                    weights[zero] = 1.0
-                    sums = np.where(zero, weights.sum(axis=1), sums)
-                totals_all = sums[:, None]
-                cdf_all = np.cumsum(weights, axis=1)
-            out = []
-            offset = 0
-            for (words, theta), length in zip(values, lengths):
-                if length == 0:
-                    out.append(((words, rng.dirichlet(empty_alpha)), []))
-                    continue
-                end = offset + length
-                u = rng.uniform(size=(length, 1)) * totals_all[offset:end]
-                z = (u > cdf_all[offset:end]).sum(axis=1)
-                offset = end
-                doc_topic_counts = np.bincount(z, minlength=topics).astype(float)
-                new_theta = rng.dirichlet(alpha + doc_topic_counts)
-                out.append(((words, new_theta), _sparse_counts_fast(z, words)))
-            return out
+            # Vectorized resample_doc over a partition's documents; the
+            # batch kernel keeps the per-document RNG calls interleaved
+            # in document order, so every draw matches the scalar path
+            # bitwise.  Only the sparse record packing happens here.
+            draws = lda.resample_documents_batch(rng, values, phi, alpha)
+            return [((words, new_theta), sparse_topic_counts_fast(z, words))
+                    for (words, _), (z, new_theta) in zip(values, draws)]
 
         # Per word: the topic draw over 100 topics is several interpreted
         # operations in Python (the paper's ~16-hour document-based
@@ -168,7 +100,7 @@ class SparkLDADocument(Implementation):
 
         counts_rdd = resampled.flat_map(
             lambda record: record[1][1], label="emit-counts", out_scale="data",
-        ).reduce_by_key(_merge_sparse, batch_combiner=_merge_sparse_batch,
+        ).reduce_by_key(merge_sparse, batch_combiner=merge_sparse_batch,
                         flops_per_record=float(mean_len),
                         label="g-agg")
         g = counts_rdd.collect_as_map()
@@ -201,7 +133,7 @@ class SparkLDAJava(SparkLDADocument):
     variant = "java"
 
     def __init__(self, documents, vocabulary, topics, rng, cluster_spec,
-                 tracer=None, alpha=0.5, beta=0.1) -> None:
+                 tracer=None, alpha=lda.DEFAULT_ALPHA, beta=lda.DEFAULT_BETA) -> None:
         super().__init__(documents, vocabulary, topics, rng, cluster_spec,
                          tracer, alpha, beta, language="java")
 

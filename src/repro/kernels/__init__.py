@@ -1,0 +1,20 @@
+"""Shared sampler kernels beneath the four platform engines.
+
+One module per model (:mod:`gmm`, :mod:`lasso`, :mod:`hmm`, :mod:`lda`,
+:mod:`imputation`) holds the pure-numpy conditional samplers and
+sufficient-statistic folds in both scalar and batch form, plus the
+shared hyperparameter constants; :mod:`folds` holds the model-agnostic
+sparse-count folds.  Every platform implementation is a thin adapter
+mapping these kernels onto engine primitives (RDD operations, VG
+functions, GAS/BSP compute functions), so all twenty codes run exactly
+the same MCMC simulation — the paper's core requirement.
+
+RNG discipline: each kernel takes its ``np.random.Generator`` explicitly
+and consumes the same stream in the same order as the scalar reference
+in :mod:`repro.models`, so draws are bitwise-reproducible across the
+scalar, batch, and per-platform call paths.
+"""
+
+from repro.kernels import folds, gmm, hmm, imputation, lasso, lda
+
+__all__ = ["folds", "gmm", "hmm", "imputation", "lasso", "lda"]

@@ -1,0 +1,65 @@
+"""Model-agnostic sufficient-statistic folds shared by the engines.
+
+The sparse ``{key: count}`` merge is the aggregation payload of every
+text model (LDA topic rows, HMM emission rows); the scalar-sum fold is
+the Gram-entry reduction of the Lasso initialization.  Each batch form
+is a left fold bitwise-identical to repeated application of its scalar
+form — the invariant the fast-path golden tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def merge_sparse(a: dict, b: dict) -> dict:
+    """Two-way merge-add of sparse count dicts (the scalar combiner)."""
+    out = dict(a)
+    for key, count in b.items():
+        out[key] = out.get(key, 0.0) + count
+    return out
+
+
+def merge_sparse_batch(dicts: list) -> dict:
+    """Left fold of :func:`merge_sparse` with one accumulator copy.
+
+    The fold copies its accumulator at every step; accumulating into a
+    single dict gives the same key order (first occurrence) and the same
+    per-key addition order, hence identical values.
+    """
+    out = dict(dicts[0])
+    for d in dicts[1:]:
+        for key, count in d.items():
+            out[key] = out.get(key, 0.0) + count
+    return out
+
+
+def sparse_topic_counts(z: np.ndarray, words: np.ndarray) -> list:
+    """A document's topic -> {word: count} contributions, sparsely."""
+    by_topic: dict[int, dict[int, float]] = {}
+    for topic, word in zip(z, words):
+        bucket = by_topic.setdefault(int(topic), {})
+        bucket[int(word)] = bucket.get(int(word), 0.0) + 1.0
+    return list(by_topic.items())
+
+
+def sparse_topic_counts_fast(z: np.ndarray, words: np.ndarray) -> list:
+    """:func:`sparse_topic_counts` without per-element numpy scalar boxing.
+
+    ``tolist`` converts both arrays to Python ints in one C call, so the
+    scan runs on plain ints.  Same first-occurrence ordering, same
+    integer-valued float counts — the output is identical.  (A
+    bincount/unique formulation was tried and loses: numpy per-call
+    overhead exceeds the pure-Python scan at document lengths ~100.)
+    """
+    by_topic: dict[int, dict[int, float]] = {}
+    for topic, word in zip(z.tolist(), words.tolist()):
+        bucket = by_topic.setdefault(topic, {})
+        bucket[word] = bucket.get(word, 0.0) + 1.0
+    return list(by_topic.items())
+
+
+def fold_scalar_sum(values) -> float:
+    """Left fold of ``+`` over scalars; sequential cumsum == the scalar
+    fold bitwise (pairwise ``np.sum`` would not be)."""
+    return np.cumsum(np.asarray(values))[-1]

@@ -1,0 +1,313 @@
+"""Gaussian mixture model kernels: priors, sufficient statistics, Gibbs updates.
+
+This is the paper's Section 5 model.  Priors: ``Dirichlet(alpha)`` on
+the mixing proportions pi, ``Normal(mu0, Lambda0^-1)`` on each cluster
+mean, ``InvWishart(v, Psi)`` on each cluster covariance.  The Markov
+chain (paper's equations, standard semi-conjugate updates):
+
+    mu_k    ~ Normal( (Lambda0 + n_k Sigma_k^-1)^-1
+                        (Lambda0 mu0 + Sigma_k^-1 sum_j c_jk x_j),
+                      (Lambda0 + n_k Sigma_k^-1)^-1 )
+    Sigma_k ~ InvWish( n_k + v,
+                       Psi + sum_j c_jk (x_j - mu_k)(x_j - mu_k)^T )
+    pi      ~ Dirichlet( alpha + n )
+    c_j     ~ Multinomial( p_j, 1 ),
+              p_jk ∝ pi_k Normal(x_j | mu_k, Sigma_k)
+
+Every platform implementation calls these functions, so all five GMM
+codes run the *same* simulation (as the paper requires: "each platform
+is running exactly the same MCMC simulation").  The sufficient
+statistics per cluster are ``(n_k, sum_x_k, sum_outer_k)`` — exactly the
+triple the paper's Spark code aggregates with ``reduceByKey``.
+
+Scalar/batch forms: ``scalar_membership_weights`` and
+``membership_triple`` serve the per-record engine callbacks (one point
+per call), ``batch_membership_weights`` / ``batch_membership_triples``
+the partition-block fast paths; both consume log-pi terms computed by
+the caller, so each platform keeps its own (bitwise-pinned) guard
+against zero mixing weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats import Dirichlet, InverseWishart, MultivariateNormal, sample_categorical_rows
+
+#: The paper's Dirichlet concentration on pi (all implementations).
+DEFAULT_ALPHA = 1.0
+
+
+def df_prior(dim: int) -> float:
+    """Inverse-Wishart degrees of freedom: ``dim + 2`` (the
+    ``len(hyper_mean)+2`` of the paper's Spark listing)."""
+    return float(dim + 2)
+
+
+@dataclass(frozen=True)
+class GMMPrior:
+    """Hyperparameters, computed empirically from the data as in the
+    paper's implementations (Sections 5.1, 5.2)."""
+
+    mu0: np.ndarray  # prior mean: the observed data mean
+    lambda0: np.ndarray  # prior precision on cluster means
+    psi: np.ndarray  # inverse-Wishart scale: observed dimensional variance
+    v: float  # inverse-Wishart degrees of freedom: dim + 2
+    alpha: np.ndarray  # Dirichlet concentration on pi
+
+    @property
+    def dim(self) -> int:
+        return self.mu0.size
+
+    @property
+    def clusters(self) -> int:
+        return self.alpha.size
+
+
+@dataclass
+class GMMState:
+    """Current model parameters of the chain."""
+
+    pi: np.ndarray  # (K,)
+    means: np.ndarray  # (K, d)
+    covariances: np.ndarray  # (K, d, d)
+
+    @property
+    def clusters(self) -> int:
+        return self.pi.size
+
+
+@dataclass
+class GMMStatistics:
+    """Per-cluster sufficient statistics ``(count, sum x, sum x x^T)``.
+
+    This is the paper's aggregation payload: the Spark map emits
+    ``(k, (1, x, sq_x))`` tuples and reduces them with component-wise
+    addition; Giraph/GraphLab ship the same triple as messages/views.
+    """
+
+    counts: np.ndarray  # (K,)
+    sums: np.ndarray  # (K, d)
+    scatters: np.ndarray  # (K, d, d) sum of (x - mu_k)(x - mu_k)^T
+
+    @classmethod
+    def zeros(cls, clusters: int, dim: int) -> "GMMStatistics":
+        return cls(np.zeros(clusters), np.zeros((clusters, dim)), np.zeros((clusters, dim, dim)))
+
+    def merge(self, other: "GMMStatistics") -> "GMMStatistics":
+        return GMMStatistics(
+            self.counts + other.counts,
+            self.sums + other.sums,
+            self.scatters + other.scatters,
+        )
+
+
+def empirical_prior(points: np.ndarray, clusters: int,
+                    alpha: float = DEFAULT_ALPHA) -> GMMPrior:
+    """The paper's empirical hyperparameters: ``mu0`` is the data mean,
+    the prior covariance / Wishart scale use the per-dimension variance,
+    and ``v = dim + 2`` (the ``len(hyper_mean)+2`` in the Spark code)."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] < 2:
+        raise ValueError(f"points must be an (n>=2, d) matrix, got shape {points.shape}")
+    dim = points.shape[1]
+    mu0 = points.mean(axis=0)
+    variances = points.var(axis=0)
+    if np.any(variances <= 0):
+        raise ValueError("degenerate data: a dimension has zero variance")
+    lambda0 = np.diag(1.0 / variances)
+    psi = np.diag(variances)
+    return GMMPrior(mu0, lambda0, psi, df_prior(dim), np.full(clusters, alpha))
+
+
+def initial_state(rng: np.random.Generator, prior: GMMPrior) -> GMMState:
+    """Draw the chain's starting parameters from the prior, as the
+    paper's codes do (``mvnrnd(hyper_mean, hyper_cov)`` etc.)."""
+    hyper_cov = np.linalg.inv(prior.lambda0)
+    means = np.empty((prior.clusters, prior.dim))
+    covariances = np.empty((prior.clusters, prior.dim, prior.dim))
+    mean_dist = MultivariateNormal(prior.mu0, hyper_cov)
+    cov_dist = InverseWishart(prior.v, prior.psi)
+    for k in range(prior.clusters):
+        means[k] = mean_dist.sample(rng)
+        covariances[k] = cov_dist.sample(rng)
+    pi = np.full(prior.clusters, 1.0 / prior.clusters)
+    return GMMState(pi, means, covariances)
+
+
+def membership_weights(points: np.ndarray, state: GMMState) -> np.ndarray:
+    """Unnormalized posterior membership weights ``p_jk`` for each point.
+
+    Row k weight = pi_k N(x_j | mu_k, Sigma_k); computed in log space
+    and exponentiated stably.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    log_w = np.empty((n, state.clusters))
+    for k in range(state.clusters):
+        dist = MultivariateNormal(state.means[k], state.covariances[k])
+        with np.errstate(divide="ignore"):
+            log_w[:, k] = np.log(state.pi[k]) + dist.logpdf(points)
+    log_w -= log_w.max(axis=1, keepdims=True)
+    return np.exp(log_w)
+
+
+def scalar_membership_weights(x: np.ndarray, log_pis, dists) -> np.ndarray:
+    """One point's unnormalized membership weights from precomputed
+    per-cluster log-pi terms and frozen density objects.
+
+    The caller owns the log-pi form (``np.log(pi)`` on Spark,
+    ``np.log(max(pi, 1e-300))`` on the graph engines) so the float
+    additions stay bitwise-identical to each platform's original code.
+    """
+    log_w = np.array([lp + dist.logpdf(x) for lp, dist in zip(log_pis, dists)])
+    return np.exp(log_w - log_w.max())
+
+
+def batch_membership_weights(xs: np.ndarray, log_pis, dists) -> np.ndarray:
+    """Vectorized :func:`scalar_membership_weights` over a block of points.
+
+    logpdf is row-stable, so each row matches the scalar call bitwise.
+    """
+    log_w = np.empty((len(xs), len(log_pis)))
+    for k, (lp, dist) in enumerate(zip(log_pis, dists)):
+        log_w[:, k] = lp + dist.logpdf(xs)
+    return np.exp(log_w - log_w.max(axis=1, keepdims=True))
+
+
+def membership_triple(x: np.ndarray, mean: np.ndarray) -> tuple:
+    """One point's ``(1, x, (x - mu_k)(x - mu_k)^T)`` statistics triple."""
+    diff = x - mean
+    return (1.0, x, np.outer(diff, diff))
+
+
+def batch_membership_triples(xs: np.ndarray, labels: np.ndarray,
+                             means: np.ndarray) -> np.ndarray:
+    """The scatter components of :func:`membership_triple` for a block:
+    ``scatters[i] = (x_i - mu_{k_i})(x_i - mu_{k_i})^T``."""
+    diffs = xs - means[labels]
+    return diffs[:, :, None] * diffs[:, None, :]
+
+
+def add_triples(a, b):
+    """Component-wise addition of (count, sum_x, scatter) triples — the
+    paper's ``reduceByKey`` / message-combiner fold."""
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def add_triples_batch(triples):
+    """Left fold of :func:`add_triples`, vectorized over the arrays.
+
+    ``np.cumsum`` accumulates sequentially, so the last row equals the
+    scalar fold bitwise (pairwise ``np.sum`` would not).
+    """
+    count = triples[0][0]
+    for t in triples[1:]:
+        count = count + t[0]
+    sums = np.cumsum(np.stack([t[1] for t in triples]), axis=0)[-1]
+    scatters = np.cumsum(np.stack([t[2] for t in triples]), axis=0)[-1]
+    return (count, sums, scatters)
+
+
+def sample_memberships(rng: np.random.Generator, points: np.ndarray,
+                       state: GMMState) -> np.ndarray:
+    """Draw ``c_j`` for every point (returns integer labels)."""
+    return sample_categorical_rows(rng, membership_weights(points, state))
+
+
+def sufficient_statistics(points: np.ndarray, labels: np.ndarray,
+                          state: GMMState) -> GMMStatistics:
+    """Per-cluster ``(n_k, sum x, scatter about mu_k)`` for the update.
+
+    The scatter uses the *current* cluster means, matching the paper's
+    ``sq_x = (x - mu_k)(x - mu_k)^T`` map output.
+    """
+    points = np.asarray(points, dtype=float)
+    clusters, dim = state.clusters, points.shape[1]
+    stats = GMMStatistics.zeros(clusters, dim)
+    for k in range(clusters):
+        members = points[labels == k]
+        stats.counts[k] = len(members)
+        if len(members):
+            stats.sums[k] = members.sum(axis=0)
+            centered = members - state.means[k]
+            stats.scatters[k] = centered.T @ centered
+    return stats
+
+
+def sample_cluster_mean(rng: np.random.Generator, lambda0: np.ndarray,
+                        mu0: np.ndarray, sigma_k: np.ndarray, count: float,
+                        sum_x: np.ndarray) -> np.ndarray:
+    """One cluster mean from its conditional given the current covariance."""
+    sigma_inv = np.linalg.inv(sigma_k)
+    precision = lambda0 + count * sigma_inv
+    cov = np.linalg.inv(precision)
+    cov = 0.5 * (cov + cov.T)
+    location = cov @ (lambda0 @ mu0 + sigma_inv @ sum_x)
+    return MultivariateNormal(location, cov).sample(rng)
+
+
+def sample_cluster_covariance(rng: np.random.Generator, psi: np.ndarray,
+                              v: float, count: float,
+                              scatter: np.ndarray) -> np.ndarray:
+    """One cluster covariance: InvWish(n_k + v, Psi + scatter)."""
+    scale = psi + scatter
+    scale = 0.5 * (scale + scale.T)
+    return InverseWishart(count + v, scale).sample(rng)
+
+
+def sample_means(rng: np.random.Generator, prior: GMMPrior, state: GMMState,
+                 stats: GMMStatistics) -> np.ndarray:
+    """Resample every cluster mean from its conditional."""
+    means = np.empty_like(state.means)
+    for k in range(state.clusters):
+        means[k] = sample_cluster_mean(rng, prior.lambda0, prior.mu0,
+                                       state.covariances[k], stats.counts[k],
+                                       stats.sums[k])
+    return means
+
+
+def sample_covariances(rng: np.random.Generator, prior: GMMPrior,
+                       stats: GMMStatistics) -> np.ndarray:
+    """Resample every cluster covariance: InvWish(n_k + v, Psi + scatter)."""
+    clusters, dim = stats.sums.shape
+    covariances = np.empty((clusters, dim, dim))
+    for k in range(clusters):
+        covariances[k] = sample_cluster_covariance(rng, prior.psi, prior.v,
+                                                   stats.counts[k],
+                                                   stats.scatters[k])
+    return covariances
+
+
+def sample_pi(rng: np.random.Generator, prior: GMMPrior, counts: np.ndarray) -> np.ndarray:
+    """Resample the mixing proportions: Dirichlet(alpha + counts)."""
+    return Dirichlet(prior.alpha + counts).sample(rng)
+
+
+def update_cluster(rng: np.random.Generator, prior: GMMPrior, sigma_k: np.ndarray,
+                   count: float, sum_x: np.ndarray, scatter: np.ndarray,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """One cluster's (mu, Sigma) update from its aggregated statistics.
+
+    This is the per-cluster ``updateModel`` of the paper's Spark code and
+    the apply phase of the cluster vertices in the graph codes: first the
+    mean from the current covariance, then the covariance from the
+    scatter (which the map side computed about the previous mean).
+    """
+    mu = sample_cluster_mean(rng, prior.lambda0, prior.mu0, sigma_k, count, sum_x)
+    sigma = sample_cluster_covariance(rng, prior.psi, prior.v, count, scatter)
+    return mu, sigma
+
+
+def log_likelihood(points: np.ndarray, state: GMMState) -> float:
+    """Mixture log-likelihood (a convergence diagnostic)."""
+    points = np.asarray(points, dtype=float)
+    log_components = np.empty((points.shape[0], state.clusters))
+    for k in range(state.clusters):
+        dist = MultivariateNormal(state.means[k], state.covariances[k])
+        with np.errstate(divide="ignore"):
+            log_components[:, k] = np.log(state.pi[k]) + dist.logpdf(points)
+    peak = log_components.max(axis=1, keepdims=True)
+    return float((peak.squeeze(1) + np.log(np.exp(log_components - peak).sum(axis=1))).sum())

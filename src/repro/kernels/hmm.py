@@ -1,0 +1,209 @@
+"""Hidden Markov model kernels for text (paper Section 7).
+
+Each word ``x_{j,k}`` of document j is produced by a hidden state with
+emission vector ``Psi_s``; states follow transition vectors ``delta_s``
+(with ``delta_0`` governing start states).  Dirichlet priors sit on
+every ``delta`` and ``Psi`` row.
+
+The paper's simulation uses an *alternating-parity* update: in even
+iterations the even positions resample (odd positions in odd
+iterations), so each updated state's neighbors are fixed — a valid
+blocked Gibbs scheme that parallelizes trivially.  Update weights:
+
+    Pr[y_k = s] ∝ delta0_s         Psi_{s,x_k} delta_{s, y_{k+1}}   (k first)
+               ∝ delta_{y_{k-1},s} Psi_{s,x_k}                      (k last)
+               ∝ delta_{y_{k-1},s} Psi_{s,x_k} delta_{s, y_{k+1}}   (otherwise)
+
+followed by conjugate Dirichlet updates from the count statistics
+
+    f(w, s) = #{(j,k): x_{j,k} = w and y_{j,k} = s}
+    g(s)    = #{j: y_{j,1} = s}
+    h(s,s') = #{(j,k): y_{j,k} = s and y_{j,k+1} = s'}
+
+Scalar/batch forms: :func:`word_state_weights` is the one-word update
+weight vector for the word-granular codes (the caller resolves neighbor
+eligibility and owns the categorical draw primitive);
+:func:`resample_document_states` is the vectorized per-document sweep;
+the ``resample_*_row`` kernels are the per-row Dirichlet updates the
+graph engines run one center vertex at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats import Dirichlet, sample_categorical_rows
+
+#: The paper's Dirichlet concentration on the transition rows / delta0.
+DEFAULT_ALPHA = 1.0
+#: The paper's Dirichlet concentration on the emission rows.
+DEFAULT_BETA = 1.0
+
+
+@dataclass
+class HMMState:
+    """Model parameters of the chain."""
+
+    delta0: np.ndarray  # (K,) start-state distribution
+    delta: np.ndarray  # (K, K) transition rows
+    psi: np.ndarray  # (K, W) emission rows
+
+    @property
+    def states(self) -> int:
+        return self.delta0.size
+
+    @property
+    def vocabulary(self) -> int:
+        return self.psi.shape[1]
+
+
+@dataclass
+class HMMCounts:
+    """The sufficient statistics ``f``, ``g``, ``h``."""
+
+    emissions: np.ndarray  # (K, W): f(w, s) transposed to [s, w]
+    starts: np.ndarray  # (K,): g(s)
+    transitions: np.ndarray  # (K, K): h(s, s')
+
+    @classmethod
+    def zeros(cls, states: int, vocabulary: int) -> "HMMCounts":
+        return cls(np.zeros((states, vocabulary)), np.zeros(states), np.zeros((states, states)))
+
+    def merge(self, other: "HMMCounts") -> "HMMCounts":
+        return HMMCounts(
+            self.emissions + other.emissions,
+            self.starts + other.starts,
+            self.transitions + other.transitions,
+        )
+
+
+def initial_model(rng: np.random.Generator, states: int, vocabulary: int,
+                  alpha: float = DEFAULT_ALPHA, beta: float = DEFAULT_BETA) -> HMMState:
+    """Draw the starting parameters from their priors."""
+    if states < 2 or vocabulary < 2:
+        raise ValueError(f"states and vocabulary must be >= 2, got {states}, {vocabulary}")
+    return HMMState(
+        delta0=rng.dirichlet(np.full(states, alpha)),
+        delta=rng.dirichlet(np.full(states, alpha), size=states),
+        psi=rng.dirichlet(np.full(vocabulary, beta), size=states),
+    )
+
+
+def initial_assignments(rng: np.random.Generator, documents: list, states: int) -> list:
+    """Uniform random starting state for every word of every document."""
+    return [rng.integers(states, size=len(doc)) for doc in documents]
+
+
+def word_state_weights(model: HMMState, word: int, prev_state: int | None,
+                       next_state: int | None) -> np.ndarray:
+    """One word's unnormalized update weights (the scalar form).
+
+    The caller resolves neighbor eligibility — ``prev_state`` is ``None``
+    for a start position, ``next_state`` is ``None`` for an end position
+    — and owns the categorical draw on the returned vector.
+    """
+    weights = model.psi[:, word].copy()
+    weights *= model.delta[prev_state] if prev_state is not None else model.delta0
+    if next_state is not None:
+        weights *= model.delta[:, next_state]
+    if weights.sum() <= 0:
+        weights[:] = 1.0  # degenerate numerics: fall back to uniform
+    return weights
+
+
+def resample_document_states(rng: np.random.Generator, words: np.ndarray,
+                             states: np.ndarray, model: HMMState,
+                             iteration: int) -> np.ndarray:
+    """One alternating-parity sweep over a document's hidden states.
+
+    Positions with ``k % 2 == iteration % 2`` (1-based ``k`` as in the
+    paper) are resampled; the rest keep their values.  Vectorized over
+    the updated positions.
+    """
+    length = len(words)
+    if length == 0:
+        return states
+    states = states.copy()
+    # Paper indexing is 1-based: update even k in even iterations.
+    positions = np.arange(length)
+    update = positions[(positions + 1) % 2 == iteration % 2]
+    if update.size == 0:
+        return states
+
+    weights = model.psi[:, words[update]].T  # (m, K): emission term
+    has_prev = update > 0
+    prev_states = states[update[has_prev] - 1]
+    weights[has_prev] *= model.delta[prev_states]
+    weights[~has_prev] *= model.delta0
+    has_next = update < length - 1
+    next_states = states[update[has_next] + 1]
+    weights[has_next] *= model.delta[:, next_states].T
+
+    zero_rows = weights.sum(axis=1) <= 0
+    if np.any(zero_rows):
+        weights[zero_rows] = 1.0  # degenerate numerics: fall back to uniform
+    states[update] = sample_categorical_rows(rng, weights)
+    return states
+
+
+def document_counts(words: np.ndarray, states: np.ndarray, model_states: int,
+                    vocabulary: int) -> HMMCounts:
+    """One document's contribution to f, g, h."""
+    counts = HMMCounts.zeros(model_states, vocabulary)
+    if len(words) == 0:
+        return counts
+    np.add.at(counts.emissions, (states, words), 1.0)
+    counts.starts[states[0]] += 1.0
+    if len(states) > 1:
+        np.add.at(counts.transitions, (states[:-1], states[1:]), 1.0)
+    return counts
+
+
+def resample_emission_row(rng: np.random.Generator, beta: float,
+                          emissions: np.ndarray) -> np.ndarray:
+    """Psi_s ~ Dirichlet(beta + f(., s)) for one state."""
+    return Dirichlet(beta + emissions).sample(rng)
+
+
+def resample_transition_row(rng: np.random.Generator, alpha: float,
+                            transitions: np.ndarray) -> np.ndarray:
+    """delta_s ~ Dirichlet(alpha + h(s, .)) for one state."""
+    return Dirichlet(alpha + transitions).sample(rng)
+
+
+def resample_delta0(rng: np.random.Generator, alpha: float,
+                    starts: np.ndarray) -> np.ndarray:
+    """delta0 ~ Dirichlet(alpha + g(.))."""
+    return Dirichlet(alpha + starts).sample(rng)
+
+
+def resample_model(rng: np.random.Generator, counts: HMMCounts,
+                   alpha: float = DEFAULT_ALPHA, beta: float = DEFAULT_BETA) -> HMMState:
+    """Conjugate Dirichlet updates for delta0, delta, Psi."""
+    states, vocabulary = counts.emissions.shape
+    psi = np.empty((states, vocabulary))
+    delta = np.empty((states, states))
+    for s in range(states):
+        psi[s] = resample_emission_row(rng, beta, counts.emissions[s])
+        delta[s] = resample_transition_row(rng, alpha, counts.transitions[s])
+    delta0 = resample_delta0(rng, alpha, counts.starts)
+    return HMMState(delta0=delta0, delta=delta, psi=psi)
+
+
+def log_likelihood(documents: list, assignments: list, model: HMMState) -> float:
+    """Complete-data log likelihood given the current assignments."""
+    total = 0.0
+    with np.errstate(divide="ignore"):
+        log_psi = np.log(model.psi)
+        log_delta = np.log(model.delta)
+        log_delta0 = np.log(model.delta0)
+    for words, states in zip(documents, assignments):
+        if len(words) == 0:
+            continue
+        total += log_delta0[states[0]]
+        total += log_psi[states, words].sum()
+        if len(states) > 1:
+            total += log_delta[states[:-1], states[1:]].sum()
+    return float(total)

@@ -1,0 +1,130 @@
+"""Bayesian Lasso kernels (Park & Casella 2008; paper Section 6).
+
+Model: ``y ~ Normal(beta . x, sigma^2)`` with a double-exponential prior
+on beta implemented through per-coefficient auxiliary variances
+``tau_j^2``.  The paper's block Gibbs updates:
+
+    1/tau_j^2 ~ InvGaussian( sqrt(lambda^2 sigma^2 / beta_j^2), lambda^2 )
+    beta      ~ Normal( A^-1 X^T y, sigma^2 A^-1 ),
+                A = X^T X + D_tau^-1,  D_tau = diag(tau_1^2, tau_2^2, ...)
+    sigma^2   ~ InvGamma( (1 + n + p) / 2,
+                          (2 + sum (y - beta.x)^2 + sum beta_j^2/tau_j^2) / 2 )
+
+The expensive distributed pieces are the one-time Gram matrix
+``X^T X`` / ``X^T y`` (the paper's long Spark and SimSQL initializations)
+and the per-iteration residual sum of squares; everything else is a
+small driver-side computation.  Those pieces are separated out here so
+each platform implementation distributes exactly them.
+
+Scalar/batch forms: ``sample_tau2_inv_element`` is the per-coefficient
+draw the graph engines make one vertex at a time (bitwise equal to the
+corresponding element of the vectorized :func:`sample_tau2_inv`);
+``sample_beta_from`` takes the raw ``(X^T X, X^T y)`` statistics the
+relational plan or gather phase assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats import InverseGamma, InverseGaussian, MultivariateNormal
+
+#: The paper's shrinkage hyperparameter lambda (all implementations).
+DEFAULT_LAM = 1.0
+
+
+@dataclass
+class LassoState:
+    """Current chain state."""
+
+    beta: np.ndarray  # (p,)
+    sigma2: float
+    tau2_inv: np.ndarray  # (p,) the 1/tau_j^2 values
+
+    @property
+    def p(self) -> int:
+        return self.beta.size
+
+
+@dataclass(frozen=True)
+class LassoPrecomputed:
+    """The one-time distributed statistics (the initialization phase)."""
+
+    xtx: np.ndarray  # (p, p) Gram matrix of the regressors
+    xty: np.ndarray  # (p,) X^T y with y centered
+    y_mean: float
+    n: int
+
+
+def precompute(x: np.ndarray, y: np.ndarray) -> LassoPrecomputed:
+    """Centered-response Gram statistics (reference, single machine)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+    y_mean = float(y.mean())
+    centered = y - y_mean
+    return LassoPrecomputed(xtx=x.T @ x, xty=x.T @ centered, y_mean=y_mean, n=x.shape[0])
+
+
+def initial_state(rng: np.random.Generator, p: int) -> LassoState:
+    """Diffuse start: beta at zero-ish noise, unit variances."""
+    return LassoState(
+        beta=0.01 * rng.standard_normal(p),
+        sigma2=1.0,
+        tau2_inv=np.ones(p),
+    )
+
+
+def sample_tau2_inv_element(rng: np.random.Generator, beta_j: float,
+                            sigma2: float, lam: float) -> float:
+    """One coefficient's 1/tau_j^2 draw (the per-vertex scalar form)."""
+    lam2 = lam * lam
+    mu = float(np.sqrt(lam2 * sigma2 / max(beta_j**2, 1e-300)))
+    return InverseGaussian(mu, lam2).sample(rng)
+
+
+def sample_tau2_inv(rng: np.random.Generator, state: LassoState,
+                    lam: float) -> np.ndarray:
+    """Resample every 1/tau_j^2 from its inverse-Gaussian conditional."""
+    lam2 = lam * lam
+    mus = np.sqrt(lam2 * state.sigma2 / np.maximum(state.beta**2, 1e-300))
+    out = np.empty_like(mus)
+    for j, mu in enumerate(mus):
+        out[j] = InverseGaussian(float(mu), lam2).sample(rng)
+    return out
+
+
+def sample_beta_from(rng: np.random.Generator, xtx: np.ndarray,
+                     xty: np.ndarray, tau2_inv: np.ndarray,
+                     sigma2: float) -> np.ndarray:
+    """beta ~ Normal(A^-1 X^T y, sigma^2 A^-1) from raw Gram statistics."""
+    a = xtx + np.diag(tau2_inv)
+    a_inv = np.linalg.inv(a)
+    a_inv = 0.5 * (a_inv + a_inv.T)
+    mean = a_inv @ xty
+    return MultivariateNormal(mean, sigma2 * a_inv).sample(rng)
+
+
+def sample_beta(rng: np.random.Generator, pre: LassoPrecomputed,
+                tau2_inv: np.ndarray, sigma2: float) -> np.ndarray:
+    """Resample beta ~ Normal(A^-1 X^T y, sigma^2 A^-1)."""
+    return sample_beta_from(rng, pre.xtx, pre.xty, tau2_inv, sigma2)
+
+
+def residual_sum_of_squares(x: np.ndarray, y_centered: np.ndarray,
+                            beta: np.ndarray) -> float:
+    """The per-iteration distributed quantity sum (y - beta.x)^2."""
+    residuals = y_centered - np.asarray(x, dtype=float) @ beta
+    return float(residuals @ residuals)
+
+
+def sample_sigma2(rng: np.random.Generator, n: int, state: LassoState,
+                  rss: float) -> float:
+    """Resample sigma^2 from its inverse-gamma conditional."""
+    p = state.p
+    shape = 0.5 * (1 + n + p)
+    scale = 0.5 * (2.0 + rss + float(np.sum(state.beta**2 * state.tau2_inv)))
+    return float(InverseGamma(shape, scale).sample(rng))

@@ -1,162 +1,40 @@
 """Hidden Markov model for text (paper Section 7).
 
-Each word ``x_{j,k}`` of document j is produced by a hidden state with
-emission vector ``Psi_s``; states follow transition vectors ``delta_s``
-(with ``delta_0`` governing start states).  Dirichlet priors sit on
-every ``delta`` and ``Psi`` row.
-
-The paper's simulation uses an *alternating-parity* update: in even
-iterations the even positions resample (odd positions in odd
-iterations), so each updated state's neighbors are fixed — a valid
-blocked Gibbs scheme that parallelizes trivially.  Update weights:
-
-    Pr[y_k = s] ∝ delta0_s         Psi_{s,x_k} delta_{s, y_{k+1}}   (k first)
-               ∝ delta_{y_{k-1},s} Psi_{s,x_k}                      (k last)
-               ∝ delta_{y_{k-1},s} Psi_{s,x_k} delta_{s, y_{k+1}}   (otherwise)
-
-followed by conjugate Dirichlet updates from the count statistics
-
-    f(w, s) = #{(j,k): x_{j,k} = w and y_{j,k} = s}
-    g(s)    = #{j: y_{j,1} = s}
-    h(s,s') = #{(j,k): y_{j,k} = s and y_{j,k+1} = s'}
+Compatibility shim: the sampler math lives in :mod:`repro.kernels.hmm`
+(the shared kernel layer beneath the four platform engines); this module
+re-exports it so reference code and older imports keep working.
 """
 
-from __future__ import annotations
+from repro.kernels.hmm import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    HMMCounts,
+    HMMState,
+    document_counts,
+    initial_assignments,
+    initial_model,
+    log_likelihood,
+    resample_delta0,
+    resample_document_states,
+    resample_emission_row,
+    resample_model,
+    resample_transition_row,
+    word_state_weights,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.stats import Dirichlet, sample_categorical_rows
-
-
-@dataclass
-class HMMState:
-    """Model parameters of the chain."""
-
-    delta0: np.ndarray  # (K,) start-state distribution
-    delta: np.ndarray  # (K, K) transition rows
-    psi: np.ndarray  # (K, W) emission rows
-
-    @property
-    def states(self) -> int:
-        return self.delta0.size
-
-    @property
-    def vocabulary(self) -> int:
-        return self.psi.shape[1]
-
-
-@dataclass
-class HMMCounts:
-    """The sufficient statistics ``f``, ``g``, ``h``."""
-
-    emissions: np.ndarray  # (K, W): f(w, s) transposed to [s, w]
-    starts: np.ndarray  # (K,): g(s)
-    transitions: np.ndarray  # (K, K): h(s, s')
-
-    @classmethod
-    def zeros(cls, states: int, vocabulary: int) -> "HMMCounts":
-        return cls(np.zeros((states, vocabulary)), np.zeros(states), np.zeros((states, states)))
-
-    def merge(self, other: "HMMCounts") -> "HMMCounts":
-        return HMMCounts(
-            self.emissions + other.emissions,
-            self.starts + other.starts,
-            self.transitions + other.transitions,
-        )
-
-
-def initial_model(rng: np.random.Generator, states: int, vocabulary: int,
-                  alpha: float = 1.0, beta: float = 1.0) -> HMMState:
-    """Draw the starting parameters from their priors."""
-    if states < 2 or vocabulary < 2:
-        raise ValueError(f"states and vocabulary must be >= 2, got {states}, {vocabulary}")
-    return HMMState(
-        delta0=rng.dirichlet(np.full(states, alpha)),
-        delta=rng.dirichlet(np.full(states, alpha), size=states),
-        psi=rng.dirichlet(np.full(vocabulary, beta), size=states),
-    )
-
-
-def initial_assignments(rng: np.random.Generator, documents: list, states: int) -> list:
-    """Uniform random starting state for every word of every document."""
-    return [rng.integers(states, size=len(doc)) for doc in documents]
-
-
-def resample_document_states(rng: np.random.Generator, words: np.ndarray,
-                             states: np.ndarray, model: HMMState,
-                             iteration: int) -> np.ndarray:
-    """One alternating-parity sweep over a document's hidden states.
-
-    Positions with ``k % 2 == iteration % 2`` (1-based ``k`` as in the
-    paper) are resampled; the rest keep their values.  Vectorized over
-    the updated positions.
-    """
-    length = len(words)
-    if length == 0:
-        return states
-    states = states.copy()
-    # Paper indexing is 1-based: update even k in even iterations.
-    positions = np.arange(length)
-    update = positions[(positions + 1) % 2 == iteration % 2]
-    if update.size == 0:
-        return states
-
-    weights = model.psi[:, words[update]].T  # (m, K): emission term
-    has_prev = update > 0
-    prev_states = states[update[has_prev] - 1]
-    weights[has_prev] *= model.delta[prev_states]
-    weights[~has_prev] *= model.delta0
-    has_next = update < length - 1
-    next_states = states[update[has_next] + 1]
-    weights[has_next] *= model.delta[:, next_states].T
-
-    zero_rows = weights.sum(axis=1) <= 0
-    if np.any(zero_rows):
-        weights[zero_rows] = 1.0  # degenerate numerics: fall back to uniform
-    states[update] = sample_categorical_rows(rng, weights)
-    return states
-
-
-def document_counts(words: np.ndarray, states: np.ndarray, model_states: int,
-                    vocabulary: int) -> HMMCounts:
-    """One document's contribution to f, g, h."""
-    counts = HMMCounts.zeros(model_states, vocabulary)
-    if len(words) == 0:
-        return counts
-    np.add.at(counts.emissions, (states, words), 1.0)
-    counts.starts[states[0]] += 1.0
-    if len(states) > 1:
-        np.add.at(counts.transitions, (states[:-1], states[1:]), 1.0)
-    return counts
-
-
-def resample_model(rng: np.random.Generator, counts: HMMCounts,
-                   alpha: float = 1.0, beta: float = 1.0) -> HMMState:
-    """Conjugate Dirichlet updates for delta0, delta, Psi."""
-    states, vocabulary = counts.emissions.shape
-    psi = np.empty((states, vocabulary))
-    delta = np.empty((states, states))
-    for s in range(states):
-        psi[s] = Dirichlet(beta + counts.emissions[s]).sample(rng)
-        delta[s] = Dirichlet(alpha + counts.transitions[s]).sample(rng)
-    delta0 = Dirichlet(alpha + counts.starts).sample(rng)
-    return HMMState(delta0=delta0, delta=delta, psi=psi)
-
-
-def log_likelihood(documents: list, assignments: list, model: HMMState) -> float:
-    """Complete-data log likelihood given the current assignments."""
-    total = 0.0
-    with np.errstate(divide="ignore"):
-        log_psi = np.log(model.psi)
-        log_delta = np.log(model.delta)
-        log_delta0 = np.log(model.delta0)
-    for words, states in zip(documents, assignments):
-        if len(words) == 0:
-            continue
-        total += log_delta0[states[0]]
-        total += log_psi[states, words].sum()
-        if len(states) > 1:
-            total += log_delta[states[:-1], states[1:]].sum()
-    return float(total)
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "HMMCounts",
+    "HMMState",
+    "document_counts",
+    "initial_assignments",
+    "initial_model",
+    "log_likelihood",
+    "resample_delta0",
+    "resample_document_states",
+    "resample_emission_row",
+    "resample_model",
+    "resample_transition_row",
+    "word_state_weights",
+]

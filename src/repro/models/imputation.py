@@ -1,115 +1,25 @@
 """Gaussian missing-data imputation (paper Section 9).
 
-A GMM augmented with one extra Gibbs step: given each point's cluster
-(mu_j, Sigma_j), the censored coordinates are redrawn from the
-conditional normal
-
-    x1 | x2 ~ Normal( mu1 + S12 S22^-1 (x2 - mu2),
-                      S11 - S12 S22^-1 S21 )
-
-after which the ordinary GMM updates run on the completed data.  The
-heavy lifting is :meth:`repro.stats.MultivariateNormal.condition`.
+Compatibility shim: the sampler math lives in
+:mod:`repro.kernels.imputation` (the shared kernel layer beneath the
+four platform engines); this module re-exports it so reference code and
+older imports keep working.
 """
 
-from __future__ import annotations
+from repro.kernels.imputation import (
+    imputation_error,
+    impute_point,
+    impute_points,
+    marginal_membership_weights,
+    sample_marginal_memberships,
+    scalar_marginal_weights,
+)
 
-import numpy as np
-
-from repro.models.gmm import GMMState
-from repro.stats import MultivariateNormal, sample_categorical_rows
-
-
-def impute_point(rng: np.random.Generator, point: np.ndarray, mask: np.ndarray,
-                 mean: np.ndarray, cov: np.ndarray) -> np.ndarray:
-    """Fill one point's censored coordinates from the conditional normal.
-
-    ``mask`` is True where censored.  A fully observed point returns
-    unchanged; a fully censored point draws from the unconditional
-    cluster Gaussian.
-    """
-    point = np.asarray(point, dtype=float)
-    mask = np.asarray(mask, dtype=bool)
-    if not mask.any():
-        return point.copy()
-    dist = MultivariateNormal(mean, cov)
-    out = point.copy()
-    if mask.all():
-        out[:] = dist.sample(rng)
-        return out
-    observed_idx = np.flatnonzero(~mask)
-    conditional = dist.condition(observed_idx, point[observed_idx])
-    out[mask] = conditional.sample(rng)
-    return out
-
-
-def impute_points(rng: np.random.Generator, points: np.ndarray, mask: np.ndarray,
-                  labels: np.ndarray, state: GMMState) -> np.ndarray:
-    """The extra Gibbs step over the whole data set."""
-    points = np.asarray(points, dtype=float)
-    mask = np.asarray(mask, dtype=bool)
-    if points.shape != mask.shape:
-        raise ValueError(f"points {points.shape} and mask {mask.shape} differ")
-    out = points.copy()
-    for j in range(points.shape[0]):
-        if mask[j].any():
-            k = labels[j]
-            out[j] = impute_point(rng, points[j], mask[j], state.means[k],
-                                  state.covariances[k])
-    return out
-
-
-def marginal_membership_weights(points: np.ndarray, mask: np.ndarray,
-                                state: GMMState) -> np.ndarray:
-    """Membership weights from the *observed* coordinates only.
-
-    ``w_jk ∝ pi_k N(x_j[obs] | mu_k[obs], Sigma_k[obs, obs])`` — the
-    censored coordinates are marginalized out rather than conditioned
-    on.  Sampling memberships this way (instead of from the completed
-    data) prevents heavily censored points from being absorbed into
-    whichever cluster first imputed them: a previously imputed value
-    can no longer veto a label change.  Points are processed grouped by
-    censoring pattern so each (pattern, cluster) pair factors its
-    observed submatrix once.
-    """
-    points = np.asarray(points, dtype=float)
-    mask = np.asarray(mask, dtype=bool)
-    n = points.shape[0]
-    log_w = np.empty((n, state.clusters))
-    patterns: dict[bytes, list[int]] = {}
-    for j in range(n):
-        patterns.setdefault(mask[j].tobytes(), []).append(j)
-    with np.errstate(divide="ignore"):
-        log_pi = np.log(state.pi)
-    for pattern_key, rows in patterns.items():
-        pattern = np.frombuffer(pattern_key, dtype=bool)
-        observed = np.flatnonzero(~pattern)
-        rows = np.asarray(rows)
-        if observed.size == 0:
-            # Nothing observed: the prior pi decides alone.
-            log_w[rows] = log_pi
-            continue
-        sub_points = points[np.ix_(rows, observed)]
-        for k in range(state.clusters):
-            dist = MultivariateNormal(
-                state.means[k][observed],
-                state.covariances[k][np.ix_(observed, observed)],
-            )
-            log_w[rows, k] = log_pi[k] + dist.logpdf(sub_points)
-    log_w -= log_w.max(axis=1, keepdims=True)
-    return np.exp(log_w)
-
-
-def sample_marginal_memberships(rng: np.random.Generator, points: np.ndarray,
-                                mask: np.ndarray, state: GMMState) -> np.ndarray:
-    """Draw ``c_j`` for every point from the observed-data marginals."""
-    return sample_categorical_rows(rng, marginal_membership_weights(points, mask, state))
-
-
-def imputation_error(imputed: np.ndarray, original: np.ndarray,
-                     mask: np.ndarray) -> float:
-    """RMSE over the censored entries (a quality diagnostic)."""
-    mask = np.asarray(mask, dtype=bool)
-    if not mask.any():
-        raise ValueError("nothing was censored")
-    diff = (np.asarray(imputed) - np.asarray(original))[mask]
-    return float(np.sqrt(np.mean(diff**2)))
+__all__ = [
+    "imputation_error",
+    "impute_point",
+    "impute_points",
+    "marginal_membership_weights",
+    "sample_marginal_memberships",
+    "scalar_marginal_weights",
+]

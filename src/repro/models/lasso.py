@@ -1,106 +1,34 @@
 """The Bayesian Lasso (Park & Casella 2008; paper Section 6).
 
-Model: ``y ~ Normal(beta . x, sigma^2)`` with a double-exponential prior
-on beta implemented through per-coefficient auxiliary variances
-``tau_j^2``.  The paper's block Gibbs updates:
-
-    1/tau_j^2 ~ InvGaussian( sqrt(lambda^2 sigma^2 / beta_j^2), lambda^2 )
-    beta      ~ Normal( A^-1 X^T y, sigma^2 A^-1 ),
-                A = X^T X + D_tau^-1,  D_tau = diag(tau_1^2, tau_2^2, ...)
-    sigma^2   ~ InvGamma( (1 + n + p) / 2,
-                          (2 + sum (y - beta.x)^2 + sum beta_j^2/tau_j^2) / 2 )
-
-The expensive distributed pieces are the one-time Gram matrix
-``X^T X`` / ``X^T y`` (the paper's long Spark and SimSQL initializations)
-and the per-iteration residual sum of squares; everything else is a
-small driver-side computation.  Those pieces are separated out here so
-each platform implementation distributes exactly them.
+Compatibility shim: the sampler math lives in :mod:`repro.kernels.lasso`
+(the shared kernel layer beneath the four platform engines); this module
+re-exports it so reference code and older imports keep working.
 """
 
-from __future__ import annotations
+from repro.kernels.lasso import (
+    DEFAULT_LAM,
+    LassoPrecomputed,
+    LassoState,
+    initial_state,
+    precompute,
+    residual_sum_of_squares,
+    sample_beta,
+    sample_beta_from,
+    sample_sigma2,
+    sample_tau2_inv,
+    sample_tau2_inv_element,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.stats import InverseGamma, InverseGaussian, MultivariateNormal
-
-
-@dataclass
-class LassoState:
-    """Current chain state."""
-
-    beta: np.ndarray  # (p,)
-    sigma2: float
-    tau2_inv: np.ndarray  # (p,) the 1/tau_j^2 values
-
-    @property
-    def p(self) -> int:
-        return self.beta.size
-
-
-@dataclass(frozen=True)
-class LassoPrecomputed:
-    """The one-time distributed statistics (the initialization phase)."""
-
-    xtx: np.ndarray  # (p, p) Gram matrix of the regressors
-    xty: np.ndarray  # (p,) X^T y with y centered
-    y_mean: float
-    n: int
-
-
-def precompute(x: np.ndarray, y: np.ndarray) -> LassoPrecomputed:
-    """Centered-response Gram statistics (reference, single machine)."""
-    x = np.asarray(x, dtype=float)
-    y = np.asarray(y, dtype=float)
-    if x.shape[0] != y.shape[0]:
-        raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
-    y_mean = float(y.mean())
-    centered = y - y_mean
-    return LassoPrecomputed(xtx=x.T @ x, xty=x.T @ centered, y_mean=y_mean, n=x.shape[0])
-
-
-def initial_state(rng: np.random.Generator, p: int) -> LassoState:
-    """Diffuse start: beta at zero-ish noise, unit variances."""
-    return LassoState(
-        beta=0.01 * rng.standard_normal(p),
-        sigma2=1.0,
-        tau2_inv=np.ones(p),
-    )
-
-
-def sample_tau2_inv(rng: np.random.Generator, state: LassoState,
-                    lam: float) -> np.ndarray:
-    """Resample every 1/tau_j^2 from its inverse-Gaussian conditional."""
-    lam2 = lam * lam
-    mus = np.sqrt(lam2 * state.sigma2 / np.maximum(state.beta**2, 1e-300))
-    out = np.empty_like(mus)
-    for j, mu in enumerate(mus):
-        out[j] = InverseGaussian(float(mu), lam2).sample(rng)
-    return out
-
-
-def sample_beta(rng: np.random.Generator, pre: LassoPrecomputed,
-                tau2_inv: np.ndarray, sigma2: float) -> np.ndarray:
-    """Resample beta ~ Normal(A^-1 X^T y, sigma^2 A^-1)."""
-    a = pre.xtx + np.diag(tau2_inv)
-    a_inv = np.linalg.inv(a)
-    a_inv = 0.5 * (a_inv + a_inv.T)
-    mean = a_inv @ pre.xty
-    return MultivariateNormal(mean, sigma2 * a_inv).sample(rng)
-
-
-def residual_sum_of_squares(x: np.ndarray, y_centered: np.ndarray,
-                            beta: np.ndarray) -> float:
-    """The per-iteration distributed quantity sum (y - beta.x)^2."""
-    residuals = y_centered - np.asarray(x, dtype=float) @ beta
-    return float(residuals @ residuals)
-
-
-def sample_sigma2(rng: np.random.Generator, n: int, state: LassoState,
-                  rss: float) -> float:
-    """Resample sigma^2 from its inverse-gamma conditional."""
-    p = state.p
-    shape = 0.5 * (1 + n + p)
-    scale = 0.5 * (2.0 + rss + float(np.sum(state.beta**2 * state.tau2_inv)))
-    return float(InverseGamma(shape, scale).sample(rng))
+__all__ = [
+    "DEFAULT_LAM",
+    "LassoPrecomputed",
+    "LassoState",
+    "initial_state",
+    "precompute",
+    "residual_sum_of_squares",
+    "sample_beta",
+    "sample_beta_from",
+    "sample_sigma2",
+    "sample_tau2_inv",
+    "sample_tau2_inv_element",
+]

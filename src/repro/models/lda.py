@@ -1,95 +1,34 @@
 """Non-collapsed latent Dirichlet allocation (paper Section 8).
 
-The paper deliberately benchmarks the *non-collapsed* Gibbs sampler: it
-is more demanding (theta and phi are explicit parameters) and — unlike
-the usual parallel collapsed sampler — is *correct* under parallel
-updates, because conditioning on theta and phi makes the z vectors
-independent across documents.  The updates:
-
-    Pr[z_{j,k} = t] ∝ theta_{j,t} phi_{t, w_{j,k}}
-    theta_j ~ Dirichlet( alpha + f(j, .) ),  f(j,t) = #{k: z_{j,k} = t}
-    phi_t   ~ Dirichlet( beta + g(t, .) ),   g(t,w) = #{(j,k): w_{j,k}=w, z_{j,k}=t}
+Compatibility shim: the sampler math lives in :mod:`repro.kernels.lda`
+(the shared kernel layer beneath the four platform engines); this module
+re-exports it so reference code and older imports keep working.
 """
 
-from __future__ import annotations
+from repro.kernels.lda import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    LDAState,
+    initial_phi,
+    initial_thetas,
+    log_likelihood,
+    resample_document,
+    resample_documents_batch,
+    resample_phi,
+    resample_phi_row,
+    word_topic_weights,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.stats import Dirichlet, sample_categorical_rows
-
-
-@dataclass
-class LDAState:
-    """Global model parameters (phi) — theta lives with the documents."""
-
-    phi: np.ndarray  # (T, W) topic-word rows
-
-    @property
-    def topics(self) -> int:
-        return self.phi.shape[0]
-
-    @property
-    def vocabulary(self) -> int:
-        return self.phi.shape[1]
-
-
-def initial_phi(rng: np.random.Generator, topics: int, vocabulary: int,
-                beta: float = 0.1) -> np.ndarray:
-    if topics < 2 or vocabulary < 2:
-        raise ValueError(f"topics and vocabulary must be >= 2, got {topics}, {vocabulary}")
-    return rng.dirichlet(np.full(vocabulary, beta), size=topics)
-
-
-def initial_thetas(rng: np.random.Generator, n_documents: int, topics: int,
-                   alpha: float = 0.5) -> np.ndarray:
-    return rng.dirichlet(np.full(topics, alpha), size=n_documents)
-
-
-def resample_document(rng: np.random.Generator, words: np.ndarray,
-                      theta: np.ndarray, phi: np.ndarray,
-                      alpha: float = 0.5) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """One document's full update.
-
-    Resamples every topic assignment ``z`` given (theta, phi), then
-    theta given the new ``z``.  Returns ``(z, new_theta, topic_word
-    counts)`` — the last is this document's contribution to ``g`` that
-    the platform aggregates.
-    """
-    topics = phi.shape[0]
-    if len(words) == 0:
-        new_theta = Dirichlet(np.full(topics, alpha)).sample(rng)
-        return np.empty(0, dtype=int), new_theta, np.zeros((topics, phi.shape[1]))
-    weights = theta[None, :] * phi[:, words].T  # (len, T)
-    zero_rows = weights.sum(axis=1) <= 0
-    if np.any(zero_rows):
-        weights[zero_rows] = 1.0
-    z = sample_categorical_rows(rng, weights)
-    doc_topic_counts = np.bincount(z, minlength=topics).astype(float)
-    new_theta = Dirichlet(alpha + doc_topic_counts).sample(rng)
-    counts = np.zeros((topics, phi.shape[1]))
-    np.add.at(counts, (z, words), 1.0)
-    return z, new_theta, counts
-
-
-def resample_phi(rng: np.random.Generator, topic_word_counts: np.ndarray,
-                 beta: float = 0.1) -> np.ndarray:
-    """phi_t ~ Dirichlet(beta + g(t, .)) for every topic."""
-    topics = topic_word_counts.shape[0]
-    phi = np.empty_like(topic_word_counts)
-    for t in range(topics):
-        phi[t] = Dirichlet(beta + topic_word_counts[t]).sample(rng)
-    return phi
-
-
-def log_likelihood(documents: list, thetas: np.ndarray, phi: np.ndarray) -> float:
-    """Marginal (over z) log likelihood given theta and phi."""
-    total = 0.0
-    for j, words in enumerate(documents):
-        if len(words) == 0:
-            continue
-        word_probs = thetas[j] @ phi[:, words]
-        with np.errstate(divide="ignore"):
-            total += float(np.log(np.maximum(word_probs, 1e-300)).sum())
-    return total
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "LDAState",
+    "initial_phi",
+    "initial_thetas",
+    "log_likelihood",
+    "resample_document",
+    "resample_documents_batch",
+    "resample_phi",
+    "resample_phi_row",
+    "word_topic_weights",
+]
