@@ -12,6 +12,7 @@ twice and comparing the JSON).
     python benchmarks/faultbench.py              # full sweep
     python benchmarks/faultbench.py --quick      # CI smoke (GMM only, 5 machines)
     python benchmarks/faultbench.py --selfcheck  # + determinism assertion
+    python benchmarks/faultbench.py --jobs 4     # fan cases over 4 processes
     python benchmarks/faultbench.py --out /tmp   # write the JSON elsewhere
 """
 
@@ -33,9 +34,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="smoke subset: GMM cases at 5 machines, two rates")
     parser.add_argument("--selfcheck", action="store_true",
                         help="run the sweep twice and assert identical JSON")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the harness "
+                             "(default: REPRO_BENCH_JOBS, else CPU count)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run every case in-process (same as --jobs 1)")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_<rev>_faults.json (default: cwd)")
     args = parser.parse_args(argv)
+    jobs = 1 if args.serial else args.jobs
 
     if args.quick:
         cases = faultsweep.quick_cases()
@@ -47,11 +54,13 @@ def main(argv: list[str] | None = None) -> int:
         crash_rates = faultsweep.CRASH_RATES
 
     payload = faultsweep.run_sweep(cases, machine_counts, crash_rates,
-                                   progress=print)
+                                   progress=print, jobs=jobs)
     faultsweep.validate_payload(payload)
 
     if args.selfcheck:
-        again = faultsweep.run_sweep(cases, machine_counts, crash_rates)
+        # The second ride runs serially, so the check also proves the
+        # pooled payload is byte-identical to a serial one.
+        again = faultsweep.run_sweep(cases, machine_counts, crash_rates, jobs=1)
         if json.dumps(payload, sort_keys=True) != json.dumps(again, sort_keys=True):
             print("FAIL: same seed produced two different sweep payloads",
                   file=sys.stderr)

@@ -8,6 +8,8 @@ way — this measures only real wall-clock on the host.
 
     python benchmarks/microbench.py             # full suite
     python benchmarks/microbench.py --quick     # CI smoke (2 cases, 1 repeat)
+    python benchmarks/microbench.py --jobs 4    # fan cases over 4 processes
+    python benchmarks/microbench.py --compare-harness  # record serial-vs-pool
     python benchmarks/microbench.py --out /tmp  # write the JSON elsewhere
 """
 
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 
@@ -27,16 +30,42 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke subset with a single repeat per case")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the harness "
+                             "(default: REPRO_BENCH_JOBS, else CPU count)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run every case in-process (same as --jobs 1)")
+    parser.add_argument("--compare-harness", action="store_true",
+                        help="also run the suite serially and record the "
+                             "harness speedup in the JSON")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_<rev>.json (default: cwd)")
     args = parser.parse_args(argv)
+    jobs = 1 if args.serial else args.jobs
 
     if args.quick:
         cases = [replace(case, repeats=1) for case in wallclock.quick_cases()]
     else:
         cases = wallclock.default_cases()
 
-    payload = wallclock.run_suite(cases, progress=print)
+    payload = wallclock.run_suite(cases, progress=print, jobs=jobs)
+    if args.compare_harness:
+        started = time.perf_counter()
+        serial = wallclock.run_suite(cases, jobs=1)
+        serial_seconds = time.perf_counter() - started
+        payload["harness_comparison"] = {
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": payload["harness_seconds"],
+            "parallel_jobs": payload["jobs"],
+            "speedup": (serial_seconds / payload["harness_seconds"]
+                        if payload["harness_seconds"] > 0 else float("inf")),
+            # Case timings are per-case best-of-N and independent of the
+            # harness; this only checks the measurements themselves agree.
+            "case_keys_identical": sorted(payload["cases"]) == sorted(serial["cases"]),
+        }
+        print(f"harness: serial {serial_seconds:.1f}s vs "
+              f"{payload['jobs']} jobs {payload['harness_seconds']:.1f}s "
+              f"({payload['harness_comparison']['speedup']:.2f}x)")
     path = wallclock.write_report(payload, args.out)
     print(f"wrote {path}")
 

@@ -1,10 +1,22 @@
-"""Benchmark harness: experiment grid, runner, reporting, LoC counting."""
+"""Benchmark harness: experiment grid, runner, pool, reporting, LoC counting."""
 
 from repro.bench import experiments
 from repro.bench.loc import count_source_lines
+from repro.bench.pool import (
+    CellExecutionError,
+    CellTask,
+    WorkloadCache,
+    WorkloadRef,
+    WorkloadSpec,
+    default_cache,
+    pool_map,
+    resolve_jobs,
+    run_cells,
+)
 from repro.bench.report import (
     assert_failed,
     assert_ran,
+    figure_payload,
     format_figure,
     format_summary,
     seconds_of,
@@ -12,14 +24,24 @@ from repro.bench.report import (
 from repro.bench.runner import CellResult, paper_scales, run_benchmark
 
 __all__ = [
+    "CellExecutionError",
     "CellResult",
+    "CellTask",
+    "WorkloadCache",
+    "WorkloadRef",
+    "WorkloadSpec",
     "assert_failed",
     "assert_ran",
     "count_source_lines",
+    "default_cache",
     "experiments",
+    "figure_payload",
     "format_figure",
     "format_summary",
     "paper_scales",
+    "pool_map",
+    "resolve_jobs",
     "run_benchmark",
+    "run_cells",
     "seconds_of",
 ]

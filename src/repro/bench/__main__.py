@@ -6,14 +6,26 @@ Usage::
     python -m repro.bench figure_1a
     python -m repro.bench all
     python -m repro.bench calibration
+
+Options::
+
+    --jobs N    fan benchmark cells out over N worker processes
+                (default: REPRO_BENCH_JOBS, else the CPU count);
+                tables are byte-identical to a serial run
+    --serial    shorthand for --jobs 1
+    --out DIR   also write the results as BENCH_<rev>_figures.json
+                (sorted keys, stable bytes) into DIR
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
+from pathlib import Path
 
-from repro.bench import experiments, format_figure
+from repro.bench import experiments, figure_payload, format_figure
+from repro.bench.wallclock import git_revision
 
 FIGURES: dict[str, tuple[str, list[str]]] = {
     "figure_1a": ("Figure 1(a): GMM initial implementations",
@@ -34,23 +46,24 @@ FIGURES: dict[str, tuple[str, list[str]]] = {
 }
 
 
-def run_one(name: str) -> None:
+def run_one(name: str, jobs: int | None = None) -> dict:
     title, columns = FIGURES[name]
     started = time.time()
-    figure = getattr(experiments, name)()
+    figure = getattr(experiments, name)(jobs=jobs)
     print(format_figure(f"{title}  —  simulated [paper]", figure, columns))
     print(f"(regenerated in {time.time() - started:.0f}s; "
           f"LoC: " + ", ".join(f"{label}={cells[0].loc}"
                                for label, cells in figure.items()) + ")\n")
+    return figure_payload(figure)
 
 
-def run_calibration() -> None:
+def run_calibration(jobs: int | None = None) -> None:
     """Run every figure and summarize simulated/paper agreement."""
     from repro.bench.paper_data import compare
 
     records = []
     for name in FIGURES:
-        records.extend(compare(name, getattr(experiments, name)()))
+        records.extend(compare(name, getattr(experiments, name)(jobs=jobs)))
     ratios = sorted(r["ratio"] for r in records if "ratio" in r)
     agree = sum(r["fail_agreement"] for r in records)
     print(f"cells compared: {len(records)}; Fail placement agreement: "
@@ -69,26 +82,73 @@ def run_calibration() -> None:
               f"column {record['column']}")
 
 
+def write_figures_report(payloads: dict[str, dict], out_dir: str) -> Path:
+    """Dump figure payloads as ``BENCH_<rev>_figures.json``; sorted keys
+    and a trailing newline keep the bytes stable for diffing."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{git_revision()}_figures.json"
+    payload = {"kind": "figures", "figures": payloads}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _parse_args(argv: list[str]) -> tuple[str | None, int | None, str | None]:
+    """(target, jobs, out_dir); target None means usage error/help."""
+    jobs: int | None = None
+    out_dir: str | None = None
+    positional: list[str] = []
+    rest = list(argv)
+    while rest:
+        arg = rest.pop(0)
+        if arg in ("-h", "--help"):
+            return None, None, None
+        if arg == "--serial":
+            jobs = 1
+        elif arg == "--jobs":
+            if not rest:
+                print("--jobs needs a worker count", file=sys.stderr)
+                return None, None, None
+            try:
+                jobs = int(rest.pop(0))
+            except ValueError:
+                print("--jobs needs an integer", file=sys.stderr)
+                return None, None, None
+        elif arg == "--out":
+            if not rest:
+                print("--out needs a directory", file=sys.stderr)
+                return None, None, None
+            out_dir = rest.pop(0)
+        else:
+            positional.append(arg)
+    if len(positional) != 1:
+        return None, jobs, out_dir
+    return positional[0], jobs, out_dir
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+    target, jobs, out_dir = _parse_args(argv)
+    if target is None:
         print(__doc__)
         return 2
-    target = argv[0]
     if target == "list":
         for name, (title, _) in FIGURES.items():
             print(f"{name:<12} {title}")
         return 0
     if target == "all":
-        for name in FIGURES:
-            run_one(name)
+        payloads = {name: run_one(name, jobs) for name in FIGURES}
+        if out_dir is not None:
+            print(f"wrote {write_figures_report(payloads, out_dir)}")
         return 0
     if target == "calibration":
-        run_calibration()
+        run_calibration(jobs)
         return 0
     if target not in FIGURES:
         print(f"unknown figure {target!r}; try 'list'", file=sys.stderr)
         return 2
-    run_one(target)
+    payload = run_one(target, jobs)
+    if out_dir is not None:
+        print(f"wrote {write_figures_report({target: payload}, out_dir)}")
     return 0
 
 

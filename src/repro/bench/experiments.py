@@ -12,31 +12,27 @@ the true 10 and 100 dimensions, HMM at the true 10k vocabulary, LDA at
 100 topics) and scaled through explicit scale groups where not (the
 Lasso's 1000 regressors, SimSQL's LDA vocabulary).
 
-Implementations are resolved through :mod:`repro.impls.registry`:
-figures name ``(platform, model, variant)`` cells and
-:func:`~repro.impls.registry.data_factory` binds the laptop data onto
-each one — no figure references a platform class directly.
+Figures are *declared*, not executed inline: each function enumerates
+:class:`~repro.bench.pool.CellTask` records — registry key, workload
+references, per-cell seed, cluster size, scale map — and hands the list
+to :func:`~repro.bench.pool.run_cells`, which fans them out over a
+process pool (``jobs``/``REPRO_BENCH_JOBS``) and merges results back in
+declared order.  Input data is named by content-addressed
+:class:`~repro.bench.pool.WorkloadSpec` keys, so a corpus shared by two
+figures is generated once per sweep and every cell draws from its own
+seeded stream — which is what makes parallel output byte-identical to
+serial.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.bench.loc import count_source_lines
-from repro.bench.runner import CellResult, paper_scales, run_benchmark, sv_factor
+from repro.bench.pool import CellTask, WorkloadRef, WorkloadSpec, run_cells
+from repro.bench.runner import CellResult, paper_scales, sv_factor
 from repro.config import (
     GMM_100D_SCALE,
     GMM_SCALE,
     LASSO_SCALE,
     TEXT_SCALE,
-)
-from repro.impls.registry import data_factory
-from repro.stats import make_rng
-from repro.workloads import (
-    censor_beta_coin,
-    generate_gmm_data,
-    generate_lasso_data,
-    newsgroup_style_corpus,
 )
 
 ITERATIONS = 2
@@ -55,26 +51,57 @@ LDA_TOPICS = 100
 IMPUTE_N = {"spark": 500, "simsql": 200, "graphlab": 500, "giraph": 500}
 
 
-def _cell(label: str, factory: Callable, machines: int,
-          units_per_machine: int, laptop_units: int, paper: str,
-          **extra_scales: float) -> CellResult:
+# ----------------------------------------------------------------------
+# Workload specs (content-addressed; shared across figures via the cache)
+# ----------------------------------------------------------------------
+
+def _gmm_points(n: int, dim: int) -> WorkloadRef:
+    spec = WorkloadSpec.make("gmm", SEED, n=n, dim=dim, clusters=10)
+    return WorkloadRef(spec, "points")
+
+
+def _corpus_documents(vocabulary: int) -> WorkloadRef:
+    spec = WorkloadSpec.make("newsgroup", SEED, n_documents=TEXT_DOCS,
+                             vocabulary=vocabulary)
+    return WorkloadRef(spec, "documents")
+
+
+def _lasso_ref(attr: str) -> WorkloadRef:
+    spec = WorkloadSpec.make("lasso", SEED, n=LASSO_N, p=LASSO_P)
+    return WorkloadRef(spec, attr)
+
+
+def _censored_ref(n: int, attr: str) -> WorkloadRef:
+    spec = WorkloadSpec.make("censored-gmm", SEED, n=n, dim=10, clusters=10)
+    return WorkloadRef(spec, attr)
+
+
+def _task(label: str, key: tuple[str, str, str], args: tuple, seed: int,
+          machines: int, units_per_machine: int, laptop_units: int,
+          paper: str, **extra_scales: float) -> CellTask:
+    platform, model, variant = key
     scales = paper_scales(units_per_machine, machines, laptop_units, **extra_scales)
-    report = run_benchmark(factory, machines, ITERATIONS, scales)
-    return CellResult(label=label, machines=machines, report=report, paper=paper,
-                      loc=count_source_lines(factory.cls))
+    return CellTask(label=label, platform=platform, model=model, variant=variant,
+                    args=args, seed=seed, machines=machines,
+                    iterations=ITERATIONS, scales=tuple(sorted(scales.items())),
+                    paper=paper)
+
+
+def _run(tasks: list[CellTask], jobs: int | None) -> dict[str, list[CellResult]]:
+    """Execute tasks through the pool; group results by system label,
+    preserving both label order and per-label cell order."""
+    out: dict[str, list[CellResult]] = {}
+    for task, result in zip(tasks, run_cells(tasks, jobs=jobs)):
+        out.setdefault(task.label, []).append(result)
+    return out
 
 
 # ----------------------------------------------------------------------
 # Figure 1: GMM
 # ----------------------------------------------------------------------
 
-def figure_1a() -> dict[str, list[CellResult]]:
+def figure_1a(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """GMM initial implementations (10-dim @5/20/100; 100-dim @5)."""
-    rng = make_rng(SEED)
-    data10 = {name: generate_gmm_data(rng, n, dim=10, clusters=10)
-              for name, n in GMM10_N.items()}
-    data100 = {name: generate_gmm_data(rng, n, dim=100, clusters=10)
-               for name, n in GMM100_N.items()}
     systems = {
         "SimSQL": ("simsql",
                    ["27:55 (13:55)", "28:55 (14:38)", "35:54 (18:58)", "1:51:12 (36:08)"]),
@@ -84,63 +111,49 @@ def figure_1a() -> dict[str, list[CellResult]]:
         "Giraph": ("giraph",
                    ["25:21 (0:18)", "30:26 (0:15)", "Fail", "Fail"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (platform, paper) in systems.items():
-        cells = []
+        key = (platform, "gmm", "initial")
+        points10 = _gmm_points(GMM10_N[platform], 10)
         for idx, machines in enumerate((5, 20, 100)):
-            cells.append(_cell(
-                label,
-                data_factory(platform, "gmm", "initial",
-                             data10[platform].points, 10, seed=SEED + idx),
-                machines, GMM_SCALE.units_per_machine, GMM10_N[platform],
-                paper[idx],
+            tasks.append(_task(
+                label, key, (points10, 10), SEED + idx, machines,
+                GMM_SCALE.units_per_machine, GMM10_N[platform], paper[idx],
             ))
-        cells.append(_cell(
-            label,
-            data_factory(platform, "gmm", "initial",
-                         data100[platform].points, 10, seed=SEED + 3),
+        tasks.append(_task(
+            label, key, (_gmm_points(GMM100_N[platform], 100), 10), SEED + 3,
             5, GMM_100D_SCALE.units_per_machine, GMM100_N[platform], paper[3],
         ))
-        out[label] = cells
-    return out
+    return _run(tasks, jobs)
 
 
-def figure_1b() -> dict[str, list[CellResult]]:
+def figure_1b(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """GMM alternative implementations: Spark Java, GraphLab super-vertex."""
-    rng = make_rng(SEED)
-    data10 = generate_gmm_data(rng, GMM10_N["spark"], dim=10, clusters=10)
-    data100 = generate_gmm_data(rng, GMM100_N["spark"], dim=100, clusters=10)
+    n10, n100 = GMM10_N["spark"], GMM100_N["spark"]
     systems = {
         "Spark (Java)": (("spark", "gmm", "java"),
                          ["12:30 (2:01)", "12:25 (2:03)", "18:11 (2:26)", "6:25:04 (36:08)"]),
         "GraphLab (Super Vertex)": (("graphlab", "gmm", "super-vertex"),
                                     ["6:13 (1:13)", "4:36 (2:47)", "6:09 (1:21)", "33:32 (0:42)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (key, paper) in systems.items():
-        cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            cells.append(_cell(
-                label, data_factory(*key, data10.points, 10, seed=SEED + idx),
-                machines, GMM_SCALE.units_per_machine, len(data10.points), paper[idx],
-                sv=sv_factor(machines, len(data10.points), 64),
+            tasks.append(_task(
+                label, key, (_gmm_points(n10, 10), 10), SEED + idx, machines,
+                GMM_SCALE.units_per_machine, n10, paper[idx],
+                sv=sv_factor(machines, n10, 64),
             ))
-        cells.append(_cell(
-            label, data_factory(*key, data100.points, 10, seed=SEED + 3),
-            5, GMM_100D_SCALE.units_per_machine, len(data100.points), paper[3],
-            sv=sv_factor(5, len(data100.points), 64),
+        tasks.append(_task(
+            label, key, (_gmm_points(n100, 100), 10), SEED + 3, 5,
+            GMM_100D_SCALE.units_per_machine, n100, paper[3],
+            sv=sv_factor(5, n100, 64),
         ))
-        out[label] = cells
-    return out
+    return _run(tasks, jobs)
 
 
-def figure_1c() -> dict[str, list[CellResult]]:
+def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """GMM with vs without the super-vertex construction, 5 machines."""
-    rng = make_rng(SEED)
-    data10 = {name: generate_gmm_data(rng, n, dim=10, clusters=10)
-              for name, n in GMM10_N.items()}
-    data100 = {name: generate_gmm_data(rng, n, dim=100, clusters=10)
-               for name, n in GMM100_N.items()}
     systems = {
         "SimSQL": ("simsql",
                    ["27:55 (13:55)", "6:20 (12:33)", "1:51:12 (36:08)", "7:22 (14:07)"]),
@@ -150,32 +163,28 @@ def figure_1c() -> dict[str, list[CellResult]]:
         "Giraph": ("giraph",
                    ["25:21 (0:18)", "13:48 (0:03)", "Fail", "6:17:32 (0:03)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (platform, paper) in systems.items():
-        cells = []
-        for column, (variant, data, units, n) in enumerate((
-            ("initial", data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
-            ("super-vertex", data10[platform], GMM_SCALE.units_per_machine, GMM10_N[platform]),
-            ("initial", data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
-            ("super-vertex", data100[platform], GMM_100D_SCALE.units_per_machine, GMM100_N[platform]),
+        n10, n100 = GMM10_N[platform], GMM100_N[platform]
+        for column, (variant, dim, units, n) in enumerate((
+            ("initial", 10, GMM_SCALE.units_per_machine, n10),
+            ("super-vertex", 10, GMM_SCALE.units_per_machine, n10),
+            ("initial", 100, GMM_100D_SCALE.units_per_machine, n100),
+            ("super-vertex", 100, GMM_100D_SCALE.units_per_machine, n100),
         )):
-            cells.append(_cell(
-                label,
-                data_factory(platform, "gmm", variant, data.points, 10,
-                             seed=SEED + column),
-                5, units, n, paper[column], sv=sv_factor(5, n, 64),
+            tasks.append(_task(
+                label, (platform, "gmm", variant), (_gmm_points(n, dim), 10),
+                SEED + column, 5, units, n, paper[column],
+                sv=sv_factor(5, n, 64),
             ))
-        out[label] = cells
-    return out
+    return _run(tasks, jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 2: Bayesian Lasso
 # ----------------------------------------------------------------------
 
-def figure_2() -> dict[str, list[CellResult]]:
-    rng = make_rng(SEED)
-    data = generate_lasso_data(rng, LASSO_N, p=LASSO_P)
+def figure_2(jobs: int | None = None) -> dict[str, list[CellResult]]:
     p_factor = 1000.0 / LASSO_P
     systems = {
         "SimSQL": (("simsql", "lasso", "initial"),
@@ -188,27 +197,25 @@ def figure_2() -> dict[str, list[CellResult]]:
         "Giraph (Super Vertex)": (("giraph", "lasso", "super-vertex"),
                                   ["0:58 (1:14)", "1:03 (1:14)", "2:08 (6:31)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (key, paper) in systems.items():
-        cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            cells.append(_cell(
-                label, data_factory(*key, data.x, data.y, seed=SEED + idx),
-                machines, LASSO_SCALE.units_per_machine,
-                LASSO_N, paper[idx], p=p_factor, p2=p_factor**2,
+            tasks.append(_task(
+                label, key, (_lasso_ref("x"), _lasso_ref("y")), SEED + idx,
+                machines, LASSO_SCALE.units_per_machine, LASSO_N, paper[idx],
+                p=p_factor, p2=p_factor**2,
                 sv=sv_factor(machines, LASSO_N, 64),
             ))
-        out[label] = cells
-    return out
+    return _run(tasks, jobs)
 
 
 # ----------------------------------------------------------------------
 # Figures 3-4: HMM and LDA
 # ----------------------------------------------------------------------
 
-def figure_3a() -> dict[str, list[CellResult]]:
+def figure_3a(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """HMM word-based and document-based, five machines."""
-    corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=HMM_VOCAB)
+    documents = _corpus_documents(HMM_VOCAB)
     systems = {
         "SimSQL (word)": (("simsql", "hmm", "word"), "8:17:07 (10:51:32)"),
         "Spark (word)": (("spark", "hmm", "word"), "Fail"),
@@ -217,18 +224,17 @@ def figure_3a() -> dict[str, list[CellResult]]:
         "Spark (document)": (("spark", "hmm", "document"), "4:21:36 (27:36)"),
         "Giraph (document)": (("giraph", "hmm", "document"), "11:02 (7:03)"),
     }
-    out: dict[str, list[CellResult]] = {}
-    for label, (key, paper) in systems.items():
-        factory = data_factory(*key, corpus.documents, HMM_VOCAB, HMM_STATES,
-                               seed=SEED)
-        out[label] = [_cell(label, factory, 5, TEXT_SCALE.units_per_machine,
-                            TEXT_DOCS, paper)]
-    return out
+    tasks = [
+        _task(label, key, (documents, HMM_VOCAB, HMM_STATES), SEED, 5,
+              TEXT_SCALE.units_per_machine, TEXT_DOCS, paper)
+        for label, (key, paper) in systems.items()
+    ]
+    return _run(tasks, jobs)
 
 
-def figure_3b() -> dict[str, list[CellResult]]:
+def figure_3b(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """HMM super-vertex implementations at 5/20/100 machines."""
-    corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=HMM_VOCAB)
+    documents = _corpus_documents(HMM_VOCAB)
     systems = {
         "Giraph": ("giraph", ["2:27 (1:12)", "2:44 (1:52)", "3:12 (2:56)"]),
         "GraphLab": ("graphlab", ["20:39 (16:28)", "Fail", "Fail"]),
@@ -237,23 +243,21 @@ def figure_3b() -> dict[str, list[CellResult]]:
         "SimSQL": ("simsql",
                    ["2:05:12 (1:44:45)", "2:05:31 (1:44:36)", "2:19:10 (2:04:40)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (platform, paper) in systems.items():
-        cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            factory = data_factory(platform, "hmm", "super-vertex",
-                                   corpus.documents, HMM_VOCAB, HMM_STATES,
-                                   seed=SEED + idx)
-            cells.append(_cell(label, factory, machines,
-                               TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
-                               sv=sv_factor(machines, TEXT_DOCS, 16)))
-        out[label] = cells
-    return out
+            tasks.append(_task(
+                label, (platform, "hmm", "super-vertex"),
+                (documents, HMM_VOCAB, HMM_STATES), SEED + idx, machines,
+                TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
+                sv=sv_factor(machines, TEXT_DOCS, 16),
+            ))
+    return _run(tasks, jobs)
 
 
-def figure_4a() -> dict[str, list[CellResult]]:
+def figure_4a(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """LDA word-based and document-based, five machines."""
-    corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=LDA_VOCAB)
+    documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
         "SimSQL (word)": (("simsql", "lda", "word"), "16:34:39 (11:23:22)"),
@@ -261,18 +265,17 @@ def figure_4a() -> dict[str, list[CellResult]]:
         "Spark (document)": (("spark", "lda", "document"), "≈15:45:00 (≈2:30:00)"),
         "Giraph (document)": (("giraph", "lda", "document"), "22:22 (5:46)"),
     }
-    out: dict[str, list[CellResult]] = {}
-    for label, (key, paper) in systems.items():
-        factory = data_factory(*key, corpus.documents, LDA_VOCAB, LDA_TOPICS,
-                               seed=SEED)
-        out[label] = [_cell(label, factory, 5, TEXT_SCALE.units_per_machine,
-                            TEXT_DOCS, paper, vocab=vocab_factor)]
-    return out
+    tasks = [
+        _task(label, key, (documents, LDA_VOCAB, LDA_TOPICS), SEED, 5,
+              TEXT_SCALE.units_per_machine, TEXT_DOCS, paper, vocab=vocab_factor)
+        for label, (key, paper) in systems.items()
+    ]
+    return _run(tasks, jobs)
 
 
-def figure_4b() -> dict[str, list[CellResult]]:
+def figure_4b(jobs: int | None = None) -> dict[str, list[CellResult]]:
     """LDA super-vertex implementations at 5/20/100 machines."""
-    corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=LDA_VOCAB)
+    documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
         "Giraph": ("giraph", ["18:49 (2:35)", "20:02 (2:46)", "Fail"]),
@@ -282,31 +285,23 @@ def figure_4b() -> dict[str, list[CellResult]]:
         "SimSQL": ("simsql",
                    ["1:00:17 (3:09)", "1:06:59 (3:34)", "1:13:58 (4:28)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (platform, paper) in systems.items():
-        cells = []
         for idx, machines in enumerate((5, 20, 100)):
-            factory = data_factory(platform, "lda", "super-vertex",
-                                   corpus.documents, LDA_VOCAB, LDA_TOPICS,
-                                   seed=SEED + idx)
-            cells.append(_cell(label, factory, machines,
-                               TEXT_SCALE.units_per_machine, TEXT_DOCS,
-                               paper[idx], vocab=vocab_factor,
-                               sv=sv_factor(machines, TEXT_DOCS, 16)))
-        out[label] = cells
-    return out
+            tasks.append(_task(
+                label, (platform, "lda", "super-vertex"),
+                (documents, LDA_VOCAB, LDA_TOPICS), SEED + idx, machines,
+                TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
+                vocab=vocab_factor, sv=sv_factor(machines, TEXT_DOCS, 16),
+            ))
+    return _run(tasks, jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 5: Gaussian imputation
 # ----------------------------------------------------------------------
 
-def figure_5() -> dict[str, list[CellResult]]:
-    rng = make_rng(SEED)
-    censored = {
-        name: censor_beta_coin(rng, generate_gmm_data(rng, n, dim=10, clusters=10).points)
-        for name, n in IMPUTE_N.items()
-    }
+def figure_5(jobs: int | None = None) -> dict[str, list[CellResult]]:
     systems = {
         "Giraph": (("giraph", "imputation", "initial"),
                    ["28:43 (0:19)", "31:23 (0:18)", "Fail"]),
@@ -317,35 +312,32 @@ def figure_5() -> dict[str, list[CellResult]]:
         "SimSQL": (("simsql", "imputation", "initial"),
                    ["28:53 (14:29)", "30:41 (15:30)", "39:33 (22:15)"]),
     }
-    out: dict[str, list[CellResult]] = {}
+    tasks = []
     for label, (key, paper) in systems.items():
-        platform = key[0]
-        cells = []
-        data = censored[platform]
+        n = IMPUTE_N[key[0]]
+        args = (_censored_ref(n, "points"), _censored_ref(n, "mask"), 10)
         for idx, machines in enumerate((5, 20, 100)):
-            factory = data_factory(*key, data.points, data.mask, 10,
-                                   seed=SEED + idx)
-            cells.append(_cell(label, factory, machines,
-                               GMM_SCALE.units_per_machine,
-                               IMPUTE_N[platform], paper[idx],
-                               sv=sv_factor(machines, IMPUTE_N[platform], 64)))
-        out[label] = cells
-    return out
+            tasks.append(_task(
+                label, key, args, SEED + idx, machines,
+                GMM_SCALE.units_per_machine, n, paper[idx],
+                sv=sv_factor(machines, n, 64),
+            ))
+    return _run(tasks, jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 6: Spark Java LDA
 # ----------------------------------------------------------------------
 
-def figure_6() -> dict[str, list[CellResult]]:
-    corpus = newsgroup_style_corpus(make_rng(SEED), TEXT_DOCS, vocabulary=LDA_VOCAB)
+def figure_6(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     paper = ["9:47 (0:53)", "19:36 (1:15)", "Fail"]
-    cells = []
-    for idx, machines in enumerate((5, 20, 100)):
-        factory = data_factory("spark", "lda", "java", corpus.documents,
-                               LDA_VOCAB, LDA_TOPICS, seed=SEED + idx)
-        cells.append(_cell("Spark (Java)", factory, machines,
-                           TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
-                           vocab=vocab_factor))
-    return {"Spark (Java)": cells}
+    tasks = [
+        _task("Spark (Java)", ("spark", "lda", "java"),
+              (documents, LDA_VOCAB, LDA_TOPICS), SEED + idx, machines,
+              TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
+              vocab=vocab_factor)
+        for idx, machines in enumerate((5, 20, 100))
+    ]
+    return _run(tasks, jobs)

@@ -29,6 +29,37 @@ def format_figure(title: str, rows: dict[str, list[CellResult]],
     return "\n".join(out)
 
 
+def figure_payload(rows: dict[str, list[CellResult]]) -> dict:
+    """A JSON-ready dict of one figure's results.
+
+    Phase seconds are recorded with full ``repr`` precision, so dumping
+    the payload with sorted keys gives a byte-stable artifact: the CI
+    parallel-harness leg diffs a ``--jobs 2`` dump against a serial one.
+    """
+    payload: dict[str, list[dict]] = {}
+    for label, cells in rows.items():
+        payload[label] = [
+            {
+                "machines": cell.machines,
+                "cell": cell.cell,
+                "paper": cell.paper,
+                "loc": cell.loc,
+                "failed": cell.report.failed,
+                "phases": [
+                    {
+                        "name": phase.name,
+                        "seconds": phase.seconds,
+                        "parallel_seconds": phase.parallel_seconds,
+                        "serial_seconds": phase.serial_seconds,
+                    }
+                    for phase in cell.report.phases
+                ],
+            }
+            for cell in cells
+        ]
+    return payload
+
+
 def format_summary(summary: dict) -> str:
     """One-line cost totals from :meth:`Tracer.summary`.
 

@@ -5,7 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.cluster import ClusterSpec, PLATFORM_PROFILES, RunReport, Simulator, Tracer
+from repro.cluster import (
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    CompactTracer,
+    RunReport,
+    Simulator,
+    Tracer,
+)
 from repro.cluster.events import FIXED
 from repro.impls.base import Implementation
 
@@ -30,6 +37,7 @@ def run_benchmark(
     machines: int,
     iterations: int,
     scales: dict[str, float],
+    tracer: Tracer | None = None,
 ) -> RunReport:
     """Execute one benchmark cell.
 
@@ -37,9 +45,14 @@ def run_benchmark(
     and tracer.  The runner owns the tracer phases: one ``init`` phase
     around ``initialize()`` and one phase per iteration, after which the
     trace is scaled to paper size and simulated.
+
+    ``tracer`` lets a caller substitute a :class:`CompactTracer` for
+    long traces; its columnar buffer is materialized before validation
+    and simulation, so the report is identical either way.
     """
     cluster = ClusterSpec(machines=machines)
-    tracer = Tracer()
+    if tracer is None:
+        tracer = Tracer()
     impl = factory(cluster, tracer)
     profile = PLATFORM_PROFILES[impl.platform]
     with tracer.init_phase():
@@ -47,6 +60,8 @@ def run_benchmark(
     for i in range(iterations):
         with tracer.iteration_phase(i):
             impl.iterate(i)
+    if isinstance(tracer, CompactTracer):
+        tracer = tracer.to_tracer()
     validate_scale_groups(impl, tracer)
     simulator = Simulator(cluster, profile)
     return simulator.simulate(tracer, scales)

@@ -16,6 +16,7 @@ the speedup.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import time
 from dataclasses import dataclass
@@ -25,17 +26,16 @@ from typing import Callable
 import numpy as np
 
 from repro import fastpath
+from repro.bench.pool import (
+    WorkloadSpec,
+    default_cache,
+    pool_map,
+    resolve_jobs,
+)
 from repro.bench.report import format_summary
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.registry import data_factory
-from repro.workloads import (
-    censor_beta_coin,
-    generate_gmm_data,
-    generate_lasso_data,
-    generate_lda_corpus,
-    newsgroup_style_corpus,
-)
 
 SEED = 20140622
 MACHINES = 3
@@ -62,17 +62,22 @@ def _factory(platform: str, model: str, variant: str, *data) -> Callable:
 
 
 def default_cases() -> list[BenchCase]:
-    """The five models on Spark plus GMM on every other backend."""
-    gmm_data = generate_gmm_data(np.random.default_rng(7), 600, dim=5, clusters=3)
-    small_gmm = generate_gmm_data(np.random.default_rng(7), 100, dim=5, clusters=3)
-    lda_corpus = generate_lda_corpus(np.random.default_rng(5), 400,
-                                     vocabulary=600, topics=5, mean_length=120)
-    lasso_data = generate_lasso_data(np.random.default_rng(11), 800, p=25)
-    hmm_corpus = newsgroup_style_corpus(np.random.default_rng(13), 40,
-                                        vocabulary=500)
-    impute_rng = np.random.default_rng(17)
-    censored = censor_beta_coin(
-        impute_rng, generate_gmm_data(impute_rng, 400, dim=5, clusters=3).points)
+    """The five models on Spark plus GMM on every other backend.
+
+    Workloads come from the shared :func:`default_cache`, so a suite
+    run after (or alongside) a figure sweep in the same process reuses
+    any already-generated dataset instead of regenerating it.
+    """
+    cache = default_cache()
+    gmm_data = cache.get(WorkloadSpec.make("gmm", 7, n=600, dim=5, clusters=3))
+    small_gmm = cache.get(WorkloadSpec.make("gmm", 7, n=100, dim=5, clusters=3))
+    lda_corpus = cache.get(WorkloadSpec.make(
+        "lda", 5, n_documents=400, vocabulary=600, topics=5, mean_length=120))
+    lasso_data = cache.get(WorkloadSpec.make("lasso", 11, n=800, p=25))
+    hmm_corpus = cache.get(WorkloadSpec.make(
+        "newsgroup", 13, n_documents=40, vocabulary=500))
+    censored = cache.get(WorkloadSpec.make(
+        "censored-gmm", 17, n=400, dim=5, clusters=3))
     return [
         BenchCase("spark_gmm", "gmm", "spark",
                   _factory("spark", "gmm", "initial", gmm_data.points, 3)),
@@ -154,13 +159,25 @@ def git_revision() -> str:
 
 
 def run_suite(cases: list[BenchCase] | None = None,
-              progress: Callable[[str], None] | None = None) -> dict:
-    """Run every case and assemble the ``BENCH_<rev>.json`` payload."""
+              progress: Callable[[str], None] | None = None,
+              jobs: int | None = None) -> dict:
+    """Run every case and assemble the ``BENCH_<rev>.json`` payload.
+
+    ``jobs`` fans the cases out over a process pool (see
+    ``repro.bench.pool``); results and the JSON payload are identical
+    to a serial run, merged back in declared case order.
+    """
+    case_list = list(cases if cases is not None else default_cases())
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+    reports = pool_map(run_case, case_list, jobs=jobs,
+                       describe=lambda case: case.name)
+    harness_seconds = time.perf_counter() - started
     results: dict[str, dict] = {}
-    for case in (cases if cases is not None else default_cases()):
-        results[case.name] = run_case(case)
+    for case, report in zip(case_list, reports):
+        results[case.name] = report
         if progress is not None:
-            r = results[case.name]
+            r = report
             progress(f"{case.name}: {r['speedup']:.2f}x "
                      f"({r['slow_seconds_per_iteration']:.4f}s -> "
                      f"{r['fast_seconds_per_iteration']:.4f}s/iter, "
@@ -170,6 +187,9 @@ def run_suite(cases: list[BenchCase] | None = None,
         "rev": git_revision(),
         "machines": MACHINES,
         "fast_path_default": fastpath.enabled(),
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "harness_seconds": harness_seconds,
         "cases": results,
     }
 

@@ -35,7 +35,7 @@ from repro.cluster.faults import (
 from repro.cluster.machine import ClusterSpec, MachineSpec
 from repro.cluster.memory import CONNECTIONS_LABEL, MemoryVerdict, check_phase_memory
 from repro.cluster.simulator import PhaseReport, RunReport, Simulator, format_hms
-from repro.cluster.tracer import NullTracer, Tracer
+from repro.cluster.tracer import CompactTracer, NullTracer, Tracer
 from repro.cluster.variability import PAPER_CV, perturb_seconds, replicate_study
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "RetryPolicy",
     "one_crash_per_iteration",
     "ClusterSpec",
+    "CompactTracer",
     "CostEvent",
     "DATA",
     "FIXED",

@@ -81,13 +81,15 @@ PARALLEL_KINDS = frozenset({
 })
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostEvent:
     """One unit of traced work.
 
     ``records``, ``flops`` and ``bytes`` are the quantities *observed at
     laptop scale*; the simulator multiplies each by the factor of the
-    event's ``scale`` group before applying the cost model.
+    event's ``scale`` group before applying the cost model.  Slotted:
+    long traces allocate one of these per emitted record batch, so the
+    per-instance ``__dict__`` would dominate trace memory.
     """
 
     kind: Kind
@@ -104,7 +106,7 @@ class CostEvent:
             raise ValueError(f"event quantities must be non-negative: {self}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryEvent:
     """Bytes/objects resident at ``site`` for the enclosing phase.
 

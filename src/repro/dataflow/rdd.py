@@ -35,6 +35,7 @@ from typing import Callable, Iterable
 
 from repro.cluster.events import DATA, FIXED, Kind, Site
 from repro.cluster.sizes import estimate_records_bytes
+from repro.hashing import stable_hash
 
 
 class RDD:
@@ -538,10 +539,13 @@ class _ShuffleRDD(RDD):
 
         merge_touches = 0
         if self._combiner is not None and batch is not None:
+            # stable_hash, not hash(): str keys hash differently in every
+            # process, and bucketing must not depend on which interpreter
+            # (parent or pool worker) runs the cell.
             grouped: list[dict] = [dict() for _ in range(self.num_partitions)]
             for part in to_shuffle:
                 for key, value in part:
-                    bucket = grouped[hash(key) % self.num_partitions]
+                    bucket = grouped[stable_hash(key) % self.num_partitions]
                     merge_touches += 1
                     bucket.setdefault(key, []).append(value)
             out = [[(key, vals[0] if len(vals) == 1 else batch(vals))
@@ -550,7 +554,7 @@ class _ShuffleRDD(RDD):
             buckets: list[dict] = [dict() for _ in range(self.num_partitions)]
             for part in to_shuffle:
                 for key, value in part:
-                    bucket = buckets[hash(key) % self.num_partitions]
+                    bucket = buckets[stable_hash(key) % self.num_partitions]
                     merge_touches += 1
                     if self._combiner is None:
                         bucket.setdefault(key, []).append(value)

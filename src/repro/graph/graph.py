@@ -18,6 +18,7 @@ from repro.cluster.events import FIXED, Site
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.sizes import estimate_bytes, estimate_records_bytes
 from repro.cluster.tracer import NullTracer, Tracer
+from repro.hashing import stable_hash
 
 #: A vertex is addressed by (kind, local id).
 VertexId = tuple[str, Hashable]
@@ -74,8 +75,13 @@ class GraphEngine:
         return self._kind(kind).values[vertex]
 
     def machine_of(self, kind: str, vertex: Hashable) -> int:
-        """Hash placement of a vertex onto a machine."""
-        return hash((kind, vertex)) % self.cluster.machines
+        """Hash placement of a vertex onto a machine.
+
+        Uses :func:`repro.hashing.stable_hash`, not builtin ``hash()``:
+        string hashes are randomized per process, and placement must be
+        identical whether a cell runs in the parent or a pool worker.
+        """
+        return stable_hash((kind, vertex)) % self.cluster.machines
 
     def transform_vertices(self, kind: str, fn: Callable, language: str,
                            flops_per_vertex: float = 0.0, label: str = "") -> None:

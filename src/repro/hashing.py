@@ -1,0 +1,52 @@
+"""Process-independent hashing for placement decisions.
+
+CPython randomizes ``str``/``bytes`` hashes per process
+(``PYTHONHASHSEED``), so the builtin ``hash()`` must never decide which
+machine a vertex lands on or which partition a shuffle key falls into:
+the same program would place records differently in every interpreter,
+and ``repro.bench.pool`` promises that a process-pool run is
+byte-identical to a serial one.  :func:`stable_hash` derives the hash
+from a canonical byte encoding of the key instead, so placement is a
+pure function of the key in every process.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def _canonical(value) -> bytes:
+    """A type-tagged byte encoding; equal keys encode equally.
+
+    Numeric equality crosses types — ``2``, ``2.0`` and ``np.int64(2)``
+    are one dict key in Python — so every integral number canonicalizes
+    to the same ``i:`` encoding and numpy scalars are unwrapped before
+    formatting (their ``repr`` is not their value's).
+    """
+    if isinstance(value, bytes):
+        return b"b:" + value
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8", "surrogatepass")
+    if isinstance(value, bool):
+        return b"B:1" if value else b"B:0"
+    if isinstance(value, (int, np.integer)):
+        return b"i:%d" % int(value)
+    if isinstance(value, (float, np.floating)):
+        out = float(value)
+        if out.is_integer():
+            return b"i:%d" % int(out)
+        return b"f:" + repr(out).encode()
+    if isinstance(value, tuple):
+        return b"t:" + b"|".join(_canonical(item) for item in value)
+    if value is None:
+        return b"n:"
+    return b"o:" + repr(value).encode()
+
+
+def stable_hash(value) -> int:
+    """A non-negative hash of ``value`` that is identical in every
+    process.  Supports the key types the engines place by: ints, strs,
+    bytes, floats, None and tuples of those."""
+    return zlib.crc32(_canonical(value))

@@ -45,23 +45,45 @@ def cell(platform: str, model: str, variant: str = "initial") -> type:
         ) from None
 
 
+class BoundFactory:
+    """A cell's data bound onto a ``(cluster_spec, tracer)`` factory.
+
+    Deliberately a class, not a closure: instances pickle (the class by
+    qualified name, the data arrays by value), so a bound cell can cross
+    a process boundary into a ``repro.bench.pool`` worker.  The resolved
+    implementation class is exposed as ``.cls`` so callers can report
+    source-line counts without re-resolving.
+    """
+
+    __slots__ = ("cls", "data", "seed", "rng_maker", "kwargs")
+
+    def __init__(self, cls: type, data: tuple, seed: int,
+                 rng_maker: Callable, kwargs: dict) -> None:
+        self.cls = cls
+        self.data = data
+        self.seed = seed
+        self.rng_maker = rng_maker
+        self.kwargs = kwargs
+
+    def __call__(self, cluster_spec: ClusterSpec, tracer: Tracer) -> Implementation:
+        return self.cls(*self.data, self.rng_maker(self.seed),
+                        cluster_spec, tracer, **self.kwargs)
+
+    def __repr__(self) -> str:
+        return (f"BoundFactory({self.cls.__name__}, seed={self.seed}, "
+                f"{len(self.data)} data args)")
+
+
 def data_factory(platform: str, model: str, variant: str, *data,
                  seed: int, rng_maker: Callable = make_rng,
-                 **kwargs) -> Callable[[ClusterSpec, Tracer], Implementation]:
+                 **kwargs) -> BoundFactory:
     """Bind one cell's data onto a ``(cluster_spec, tracer)`` factory.
 
     ``data`` is passed through positionally (points/documents plus any
-    model sizes); ``kwargs`` reach the constructor unchanged.  The
-    returned callable carries the resolved class as ``factory.cls`` so
-    callers can report source-line counts without re-resolving.
+    model sizes); ``kwargs`` reach the constructor unchanged.
     """
-    cls = cell(platform, model, variant)
-
-    def factory(cluster_spec: ClusterSpec, tracer: Tracer) -> Implementation:
-        return cls(*data, rng_maker(seed), cluster_spec, tracer, **kwargs)
-
-    factory.cls = cls
-    return factory
+    return BoundFactory(cell(platform, model, variant), data, seed,
+                        rng_maker, kwargs)
 
 
-__all__ = ["cell", "cells", "data_factory"]
+__all__ = ["BoundFactory", "cell", "cells", "data_factory"]

@@ -1,0 +1,193 @@
+"""Process-pool benchmark harness: determinism, cache, and failure paths.
+
+The load-bearing guarantee is byte-identity: a figure table or fault
+sweep produced by ``jobs=2`` workers must match a serial run exactly,
+phase by phase, at full float precision.  Everything else (cache
+behaviour, crash reporting, jobs resolution) supports that guarantee.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.faultsweep import quick_cases, run_sweep
+from repro.bench.pool import (
+    CellExecutionError,
+    CellTask,
+    WorkloadCache,
+    WorkloadRef,
+    WorkloadSpec,
+    resolve_jobs,
+    run_cell,
+    run_cells,
+)
+from repro.bench.report import figure_payload
+from repro.bench.runner import paper_scales
+
+
+def _table(rows) -> list:
+    """A figure's results flattened to fully comparable primitives."""
+    out = []
+    for label, cells in sorted(rows.items()):
+        for cell in cells:
+            out.append((label, cell.machines, cell.cell, cell.paper, cell.loc,
+                        tuple((p.name, p.seconds, p.parallel_seconds,
+                               p.serial_seconds)
+                              for p in cell.report.phases)))
+    return out
+
+
+class TestPoolSerialIdentity:
+    def test_figure_6_parallel_matches_serial(self):
+        serial = _table(experiments.figure_6(jobs=1))
+        pooled = _table(experiments.figure_6(jobs=2))
+        assert pooled == serial
+
+    def test_figure_1a_parallel_matches_serial(self):
+        serial = _table(experiments.figure_1a(jobs=1))
+        pooled = _table(experiments.figure_1a(jobs=2))
+        assert pooled == serial
+
+    def test_figure_payload_is_byte_stable(self):
+        import json
+
+        serial = json.dumps(figure_payload(experiments.figure_6(jobs=1)),
+                            sort_keys=True)
+        pooled = json.dumps(figure_payload(experiments.figure_6(jobs=2)),
+                            sort_keys=True)
+        assert pooled == serial
+
+    def test_fault_sweep_parallel_matches_serial(self):
+        import json
+
+        cases = [c for c in quick_cases() if c.platform in ("spark", "giraph")]
+        kwargs = dict(machine_counts=(5,), crash_rates=(0.0, 0.4))
+        serial = run_sweep(cases, jobs=1, **kwargs)
+        pooled = run_sweep(cases, jobs=2, **kwargs)
+        assert (json.dumps(pooled, sort_keys=True)
+                == json.dumps(serial, sort_keys=True))
+
+
+class TestWorkloadCache:
+    SPEC = WorkloadSpec.make("gmm", 7, n=50, dim=3, clusters=2)
+
+    def test_key_is_order_insensitive(self):
+        a = WorkloadSpec.make("gmm", 7, n=50, dim=3, clusters=2)
+        b = WorkloadSpec.make("gmm", 7, clusters=2, dim=3, n=50)
+        assert a.key == b.key
+
+    def test_build_is_deterministic(self):
+        first = self.SPEC.build()
+        second = self.SPEC.build()
+        assert (first.points == second.points).all()
+
+    def test_memoizes_in_process(self):
+        cache = WorkloadCache()
+        assert cache.get(self.SPEC) is cache.get(self.SPEC)
+
+    def test_disk_round_trip(self, tmp_path):
+        writer = WorkloadCache(tmp_path)
+        data = writer.get(self.SPEC)
+        assert (tmp_path / f"{self.SPEC.key}.pkl").exists()
+        reader = WorkloadCache(tmp_path)
+        assert (reader.get(self.SPEC).points == data.points).all()
+
+    def test_warm_persists_memo_hits(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        cache.get(self.SPEC)
+        (tmp_path / f"{self.SPEC.key}.pkl").unlink()
+        cache.warm([self.SPEC])  # memo hit must still restore the pickle
+        assert (tmp_path / f"{self.SPEC.key}.pkl").exists()
+
+    def test_unknown_generator_is_descriptive(self):
+        with pytest.raises(KeyError, match="unknown workload generator"):
+            WorkloadSpec.make("nonesuch", 1).build()
+
+    def test_resolve_attr(self):
+        cache = WorkloadCache()
+        ref = WorkloadRef(self.SPEC, "points")
+        assert cache.resolve(ref).shape == (50, 3)
+        assert cache.resolve("passthrough") == "passthrough"
+
+
+def _gmm_task(variant: str = "initial", machines: int = 5,
+              model: str = "gmm") -> CellTask:
+    spec = WorkloadSpec.make("gmm", 11, n=60, dim=3, clusters=2)
+    scales = paper_scales(1000, machines, 60)
+    return CellTask(label=f"spark-{variant}", platform="spark", model=model,
+                    variant=variant, args=(WorkloadRef(spec, "points"), 2),
+                    seed=3, machines=machines, iterations=1,
+                    scales=tuple(sorted(scales.items())))
+
+
+class TestRunCells:
+    def test_tasks_pickle(self):
+        pickle.dumps(_gmm_task())
+
+    def test_order_is_declared_not_completion(self):
+        tasks = [_gmm_task(machines=m) for m in (5, 20, 100)]
+        results = run_cells(tasks, jobs=2)
+        assert [r.machines for r in results] == [5, 20, 100]
+
+    def test_worker_failure_names_the_cell(self):
+        # An unregistered variant only explodes inside the worker; the
+        # error surfaced in the parent must say which cell died and why.
+        tasks = [_gmm_task(), _gmm_task(variant="no-such-variant")]
+        with pytest.raises(CellExecutionError,
+                           match=r"spark/gmm/no-such-variant"):
+            run_cells(tasks, jobs=2)
+
+    def test_serial_failure_names_the_cell_too(self):
+        with pytest.raises(KeyError, match="no implementation registered"):
+            run_cell(_gmm_task(variant="no-such-variant"))
+
+
+class TestStableHash:
+    """Placement hashing must be process-independent and agree with
+    Python's cross-type numeric key equality."""
+
+    def test_known_values_are_pinned(self):
+        from repro.hashing import stable_hash
+
+        # Frozen constants: a change here silently reshuffles every
+        # vertex placement and shuffle bucket in the simulated figures.
+        assert stable_hash(("data", 0)) == 405005007
+        assert stable_hash("word") == 894489830
+
+    def test_equal_numeric_keys_hash_equally(self):
+        import numpy as np
+
+        from repro.hashing import stable_hash
+
+        assert stable_hash(2) == stable_hash(2.0) == stable_hash(np.int64(2))
+        assert stable_hash(2.0) == stable_hash(np.float64(2.0))
+        assert stable_hash(("k", 3)) == stable_hash(("k", np.int64(3)))
+
+    def test_distinct_keys_usually_differ(self):
+        from repro.hashing import stable_hash
+
+        values = [stable_hash(("data", i)) for i in range(100)]
+        assert len(set(values)) == 100
+        assert stable_hash(True) != stable_hash(1.5)
+        assert stable_hash("1") != stable_hash(1)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_BENCH_JOBS"):
+            resolve_jobs()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            resolve_jobs(0)

@@ -1,0 +1,109 @@
+"""Compacted columnar trace buffer: exact round trip to object phases.
+
+``CompactTracer`` must be a drop-in behind the ``emit`` API: the same
+engine run produces the same events, the same summary, and — after the
+runner materializes the buffer — the same simulated seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.pool import CellTask, WorkloadRef, WorkloadSpec, run_cell
+from repro.bench.runner import paper_scales, run_benchmark
+from repro.cluster import (
+    ClusterSpec,
+    CompactTracer,
+    CostEvent,
+    Kind,
+    MemoryEvent,
+    Tracer,
+)
+from repro.impls.registry import data_factory
+from repro.stats import make_rng
+from repro.workloads import generate_gmm_data
+
+SEED = 11
+
+
+def _factory():
+    data = generate_gmm_data(make_rng(5), 80, dim=3, clusters=2)
+    return data_factory("spark", "gmm", "initial", data.points, 2, seed=SEED)
+
+
+def _drive(tracer):
+    impl = _factory()(ClusterSpec(machines=4), tracer)
+    with tracer.init_phase():
+        impl.initialize()
+    for i in range(2):
+        with tracer.iteration_phase(i):
+            impl.iterate(i)
+    return tracer
+
+
+class TestRoundTrip:
+    def test_materialized_phases_match_plain_tracer(self):
+        plain = _drive(Tracer())
+        compact = _drive(CompactTracer())
+        materialized = compact.materialized()
+        assert [p.name for p in materialized] == [p.name for p in plain.phases]
+        for mat, ref in zip(materialized, plain.phases):
+            assert mat.events == ref.events
+            assert mat.memory == ref.memory
+
+    def test_summary_matches_plain_tracer(self):
+        assert _drive(CompactTracer()).summary() == _drive(Tracer()).summary()
+
+    def test_event_count_without_materializing(self):
+        compact = _drive(CompactTracer())
+        assert compact.event_count() == sum(
+            len(p.events) for p in compact.materialized())
+
+    def test_simulated_seconds_identical(self):
+        scales = paper_scales(1000, 4, 80)
+        plain = run_benchmark(_factory(), 4, 2, scales)
+        compact = run_benchmark(_factory(), 4, 2, scales, tracer=CompactTracer())
+        assert ([(p.name, p.seconds, p.parallel_seconds) for p in compact.phases]
+                == [(p.name, p.seconds, p.parallel_seconds) for p in plain.phases])
+
+    def test_run_cell_env_toggle_is_invisible(self, monkeypatch):
+        spec = WorkloadSpec.make("gmm", 5, n=80, dim=3, clusters=2)
+        task = CellTask(label="spark", platform="spark", model="gmm",
+                        variant="initial", args=(WorkloadRef(spec, "points"), 2),
+                        seed=SEED, machines=4, iterations=2,
+                        scales=tuple(sorted(paper_scales(1000, 4, 80).items())))
+        plain = run_cell(task)
+        monkeypatch.setenv("REPRO_BENCH_COMPACT", "1")
+        compact = run_cell(task)
+        assert compact.cell == plain.cell
+        assert ([(p.name, p.seconds) for p in compact.report.phases]
+                == [(p.name, p.seconds) for p in plain.report.phases])
+
+
+class TestGuards:
+    def test_emit_outside_phase_raises(self):
+        with pytest.raises(RuntimeError, match="outside any phase"):
+            CompactTracer().emit(Kind.COMPUTE, records=1)
+
+    def test_negative_quantities_raise(self):
+        tracer = CompactTracer()
+        with pytest.raises(ValueError, match="non-negative"):
+            with tracer.phase("p"):
+                tracer.emit(Kind.COMPUTE, records=-1)
+
+    def test_nested_phase_still_rejected(self):
+        tracer = CompactTracer()
+        with pytest.raises(RuntimeError, match="opened inside"):
+            with tracer.phase("outer"):
+                with tracer.phase("inner"):
+                    pass
+
+
+class TestSlots:
+    def test_events_have_no_instance_dict(self):
+        event = CostEvent(kind=Kind.COMPUTE, records=1.0)
+        memory = MemoryEvent(bytes=1.0)
+        assert not hasattr(event, "__dict__")
+        assert not hasattr(memory, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            event.extra = 1
