@@ -1,0 +1,47 @@
+"""AST-based determinism & contract linter for the reproduction.
+
+The paper's cross-platform comparisons are only meaningful because every
+engine run is bit-reproducible, and the harness promises that a
+process-pool run is byte-identical to a serial one.  Those guarantees
+rest on a handful of coding conventions — no builtin ``hash()`` in
+placement decisions, explicit :class:`numpy.random.Generator` threading,
+no wall-clock reads inside the simulated cost paths, sorted iteration
+wherever a set feeds a trace — that nothing enforced statically until
+this package.  ``repro.analysis`` turns each convention into a machine
+checkable rule over the stdlib :mod:`ast`, with no third-party
+dependencies of its own — it lints numpy *usage* without depending on
+numpy behaviour.
+
+Run it as a module::
+
+    python -m repro.analysis [--format text|json] [--baseline FILE]
+                             [--stats] [paths...]
+
+Rules (see :mod:`repro.analysis.rules` for the full per-rule docs):
+
+========  ===========================================================
+D001      builtin ``hash()`` — use ``repro.hashing.stable_hash``
+D002      global/unseeded RNG outside ``repro/stats/rng.py``
+D003      wall-clock reads inside simulation/trace/cost paths
+D004      iteration over a set / ``dict.keys()`` without ``sorted()``
+K001      kernel sampler signature discipline (explicit ``rng``)
+R001      registry/factory callables must be picklable (no lambdas)
+M001      mutable default arguments
+========  ===========================================================
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import Finding, lint_paths, lint_source
+from repro.analysis.profiles import Profile, profile_for
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "Profile",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "profile_for",
+]

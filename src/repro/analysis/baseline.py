@@ -1,0 +1,76 @@
+"""Baseline files: deliberately grandfathered findings.
+
+A baseline is a committed JSON file mapping finding keys
+(``path:line:rule``) to a **written justification**.  The linter
+suppresses exactly the baselined findings and nothing else; an entry
+whose finding no longer exists is reported as *stale* so the baseline
+shrinks monotonically instead of rotting.  Policy (see README): a
+violation goes into the baseline only when fixing it would change
+simulated output that published figures already depend on, and the
+justification must say so.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, keyed ``path:line:rule``."""
+
+    entries: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text())
+        version = raw.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})")
+        entries = raw.get("entries", {})
+        for key, justification in entries.items():
+            if not isinstance(justification, str) or not justification.strip():
+                raise ValueError(
+                    f"baseline entry {key!r} in {path} has no written "
+                    "justification; every grandfathered finding needs one")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_findings(cls, findings,
+                      justification: str = "TODO: justify or fix") -> "Baseline":
+        return cls(entries={f.key: justification for f in findings})
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(self, findings):
+        """Partition findings into (new, suppressed) and report stale keys.
+
+        Returns ``(new_findings, suppressed_findings, stale_keys)`` where
+        ``stale_keys`` are baseline entries matching nothing — stale
+        entries mean the violation was fixed (delete the entry) or the
+        file drifted (re-baseline deliberately).
+        """
+        new, suppressed = [], []
+        seen = set()
+        for finding in findings:
+            if finding.key in self.entries:
+                suppressed.append(finding)
+                seen.add(finding.key)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, suppressed, stale
+
+
+__all__ = ["BASELINE_VERSION", "Baseline"]

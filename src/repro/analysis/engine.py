@@ -1,0 +1,186 @@
+"""Rule engine: parse, resolve names, run every applicable rule.
+
+The engine owns everything rules share — the parsed tree, the import
+alias table (so ``np.random.default_rng`` is recognised however numpy
+was imported), and the set of names bound anywhere in the module (so a
+locally shadowed ``hash`` is not reported as the builtin).  Each rule
+walks the tree independently; at this repository's size a handful of
+extra walks per file is far cheaper than the bookkeeping of a fused
+visitor, and it keeps every rule readable in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.profiles import Profile, profile_for
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pointing at a file:line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    @property
+    def key(self) -> str:
+        """The baseline identity of this finding (line-scoped)."""
+        return f"{self.path}:{self.line}:{self.rule}"
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"{self.message}\n    hint: {self.hint}")
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class ModuleContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 profile: Profile) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.profile = profile
+        self.aliases = _import_aliases(tree)
+        self.bound_names = _bound_names(tree)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The fully-qualified dotted name of an expression, if statically
+        resolvable through this module's imports.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        whether numpy was imported as ``np``, as ``numpy``, or the
+        function was imported directly (``from numpy.random import
+        default_rng``).  Returns ``None`` for anything dynamic.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head, rest = parts[0], parts[1:]
+        expansion = self.aliases.get(head)
+        if expansion is not None:
+            return ".".join([expansion, *rest])
+        # An unimported bare name resolves to itself only when it is not
+        # rebound somewhere in the module (e.g. the ``hash`` builtin).
+        if not rest and head not in self.bound_names:
+            return head
+        return None
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified module/object it refers to."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".", 1)[0]
+                target = item.name if item.asname else item.name.split(".", 1)[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    """Every name bound anywhere in the module (assignments including
+    walrus, defs, function parameters, imports, loop/comprehension/with
+    targets, except-handler names)."""
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                            *(a for a in (args.vararg, args.kwarg) if a)):
+                    bound.add(arg.arg)
+        elif isinstance(node, ast.Lambda):
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                        *(a for a in (args.vararg, args.kwarg) if a)):
+                bound.add(arg.arg)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for item in node.names:
+                bound.add((item.asname or item.name).split(".", 1)[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            bound.update(node.names)
+    return bound
+
+
+def lint_source(path: str, source: str,
+                profile: Profile | None = None) -> list[Finding]:
+    """Lint one file's source text; ``path`` picks the profile."""
+    from repro.analysis.rules import ALL_RULES
+
+    profile = profile if profile is not None else profile_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule="E000", path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                        hint="fix the syntax error; nothing else was checked")]
+    ctx = ModuleContext(path, source, tree, profile)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        if rule.id in profile.rules:
+            findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            out.extend(p for p in sorted(root.rglob("*.py"))
+                       if "__pycache__" not in p.parts)
+        elif root.suffix == ".py":
+            out.append(root)
+        elif not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+    return out
+
+
+def lint_paths(paths) -> tuple[list[Finding], int]:
+    """Lint files/directories.  Returns (findings, files_scanned)."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_source(file.as_posix(), file.read_text()))
+    return findings, len(files)
+
+
+__all__ = ["Finding", "ModuleContext", "iter_python_files", "lint_paths",
+           "lint_source"]

@@ -1,0 +1,100 @@
+"""Path profiles: which rules apply where, and how strictly.
+
+The repository's determinism contract is not uniform.  Engine, kernel
+and simulation code must never touch a global RNG or the wall clock;
+the bench harness is *allowed* to measure time (that is its job) but
+must still seed through the chokepoint; scripts under ``benchmarks/``
+and ``examples/`` get the lenient treatment (only genuinely unseeded
+randomness is an error); tests are free to do almost anything except
+ship a mutable default.  A profile bundles those decisions so rules
+never hard-code path checks themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+
+@dataclass(frozen=True)
+class Profile:
+    """The rule configuration one file is linted under."""
+
+    name: str
+    #: Rule ids enabled for this file.
+    rules: frozenset
+    #: D002: also flag *seeded* ``default_rng(...)`` calls and bare
+    #: references to ``np.random.default_rng`` — engine code must go
+    #: through ``repro.stats.rng`` even when it seeds correctly.
+    strict_rng: bool = False
+    description: str = ""
+
+
+def _profile(name: str, rules: set, strict_rng: bool = False,
+             description: str = "") -> Profile:
+    return Profile(name=name, rules=frozenset(rules), strict_rng=strict_rng,
+                   description=description)
+
+
+#: Simulation/trace/cost modules where only the harness may read clocks
+#: (rule D003's scope): path fragments relative to the package root.
+WALLCLOCK_BANNED = ("repro/cluster/", "repro/impls/", "repro/kernels/",
+                    "repro/fastpath.py")
+
+ENGINE = _profile(
+    "engine", {"D001", "D002", "D003", "D004", "M001"}, strict_rng=True,
+    description="src/repro engine, model and simulation code")
+KERNEL = _profile(
+    "kernel", {"D001", "D002", "D003", "D004", "K001", "M001"}, strict_rng=True,
+    description="repro/kernels sampler layer (adds K001 signature checks)")
+IMPLS = _profile(
+    "impls", {"D001", "D002", "D003", "D004", "M001", "R001"}, strict_rng=True,
+    description="repro/impls platform codes (adds R001 registration checks)")
+HARNESS = _profile(
+    "harness", {"D001", "D002", "D004", "M001", "R001"}, strict_rng=True,
+    description="repro/bench harness: may measure time, must seed via stats.rng")
+RNG_CHOKEPOINT = _profile(
+    "rng-chokepoint", {"D001", "D004", "M001"},
+    description="repro/stats/rng.py: the one module allowed to call default_rng")
+SCRIPTS = _profile(
+    "scripts", {"D001", "D002", "D004", "M001"},
+    description="benchmarks/ and examples/ drivers (lenient RNG rules)")
+TESTS = _profile(
+    "tests", {"M001"},
+    description="test files: only mutable-default hygiene")
+
+
+def _posix(path) -> str:
+    return PurePosixPath(str(path).replace("\\", "/")).as_posix()
+
+
+def profile_for(path) -> Profile:
+    """Resolve the profile a file is linted under from its path alone."""
+    text = _posix(path)
+    name = text.rsplit("/", 1)[-1]
+    if name.startswith("test_") or name == "conftest.py" or "/tests/" in f"/{text}":
+        return TESTS
+    if text.endswith("repro/stats/rng.py"):
+        return RNG_CHOKEPOINT
+    if "repro/kernels/" in text:
+        return KERNEL
+    if "repro/impls/" in text:
+        return IMPLS
+    if "repro/bench/" in text:
+        return HARNESS
+    if "repro/" in text or "/src/" in f"/{text}":
+        return ENGINE
+    return SCRIPTS
+
+
+def wallclock_banned(path) -> bool:
+    """True when D003 applies: the file is on a simulated cost path."""
+    text = _posix(path)
+    return any(fragment in text for fragment in WALLCLOCK_BANNED)
+
+
+# Profiles indexed for the CLI's --explain output.
+PROFILES = (ENGINE, KERNEL, IMPLS, HARNESS, RNG_CHOKEPOINT, SCRIPTS, TESTS)
+
+__all__ = ["PROFILES", "Profile", "WALLCLOCK_BANNED", "profile_for",
+           "wallclock_banned"]

@@ -1,0 +1,545 @@
+"""The rule families: one class per machine-checked invariant.
+
+Every rule documents *why* the invariant exists (``doc``), what the
+violation looks like, and how to fix it (``hint``).  Rules receive a
+:class:`~repro.analysis.engine.ModuleContext` and walk the tree
+independently; path scoping lives in :mod:`repro.analysis.profiles`, so
+a rule only ever sees files it applies to (except D003, which also
+consults :func:`~repro.analysis.profiles.wallclock_banned` because its
+scope is narrower than any one profile).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.profiles import wallclock_banned
+
+
+class Rule:
+    """Base rule: subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    title: str = ""
+    hint: str = ""
+    doc: str = ""
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str,
+                hint: str | None = None) -> Finding:
+        return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message,
+                       hint=hint if hint is not None else self.hint)
+
+
+# ----------------------------------------------------------------------
+# D001: builtin hash()
+# ----------------------------------------------------------------------
+
+class BuiltinHashRule(Rule):
+    id = "D001"
+    title = "builtin hash() in deterministic code"
+    hint = "use repro.hashing.stable_hash(key) instead of hash(key)"
+    doc = (
+        "CPython randomizes str/bytes hashes per process (PYTHONHASHSEED), "
+        "so builtin hash() must never decide which machine a vertex lands "
+        "on or which partition a shuffle key falls into: the same program "
+        "would place records differently in every interpreter, breaking "
+        "the harness's promise that a process-pool run is byte-identical "
+        "to a serial one (this exact bug shipped in the seed repo's "
+        "graph.machine_of). repro.hashing.stable_hash derives the hash "
+        "from a canonical byte encoding instead."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        if "hash" in ctx.bound_names:
+            return []  # locally shadowed: not the builtin.
+        out = []
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                out.append(self.finding(
+                    ctx, node, "builtin hash() is PYTHONHASHSEED-randomized "
+                    "across processes"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# D002: global / unseeded RNG
+# ----------------------------------------------------------------------
+
+#: numpy.random attributes that are seed-material types, not samplers.
+_BITGEN_TYPES = frozenset({
+    "Generator", "BitGenerator", "SeedSequence", "PCG64", "PCG64DXSM",
+    "MT19937", "Philox", "SFC64",
+})
+
+#: stdlib random functions that draw from the hidden global state.
+_STDLIB_RANDOM = frozenset({
+    "seed", "random", "randint", "randrange", "getrandbits", "randbytes",
+    "choice", "choices", "sample", "shuffle", "uniform", "triangular",
+    "betavariate", "binomialvariate", "expovariate", "gammavariate",
+    "gauss", "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "Random",
+})
+
+
+class GlobalRngRule(Rule):
+    id = "D002"
+    title = "global or unseeded RNG outside the chokepoint"
+    hint = ("thread an explicit numpy Generator; construct it with "
+            "repro.stats.rng.make_rng / spawn / spawn_child")
+    doc = (
+        "Every sampler takes an explicit numpy.random.Generator so platform "
+        "implementations replay bitwise against the reference samplers. "
+        "Module-level numpy.random.* and stdlib random.* draw from hidden "
+        "global state shared across call sites (and freshly entropy-seeded "
+        "per process), so one stray call desynchronizes every stream after "
+        "it. default_rng() with no seed is entropy-seeded and never "
+        "reproducible. In strict profiles (engine/kernel/harness code) even "
+        "seeded default_rng(...) calls are flagged: repro/stats/rng.py is "
+        "the single seeding chokepoint, so seed-derivation policy changes "
+        "in exactly one place."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out = []
+        call_funcs = {id(node.func) for node in ast.walk(ctx.tree)
+                      if isinstance(node, ast.Call)}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                out.extend(self._check_call(ctx, node))
+            elif isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+                resolved = ctx.resolve(node)
+                if (resolved == "numpy.random.default_rng"
+                        and ctx.profile.strict_rng):
+                    out.append(self.finding(
+                        ctx, node, "reference to numpy.random.default_rng as "
+                        "a factory bypasses the seeding chokepoint",
+                        "pass repro.stats.rng.make_rng instead"))
+        return out
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> list[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return []
+        if resolved in ("numpy.random.default_rng", "numpy.random.RandomState"):
+            leaf = resolved.rsplit(".", 1)[1]
+            if not node.args and not node.keywords:
+                return [self.finding(
+                    ctx, node, f"{leaf}() with no seed is entropy-seeded "
+                    "and not reproducible")]
+            if ctx.profile.strict_rng:
+                return [self.finding(
+                    ctx, node, f"seeded {leaf}(...) outside repro/stats/rng.py "
+                    "bypasses the seeding chokepoint",
+                    "use repro.stats.rng.make_rng(seed) (accepts int or "
+                    "tuple seeds) or spawn_child(rng, tag)")]
+            return []
+        if resolved.startswith("numpy.random."):
+            leaf = resolved.split(".", 2)[2]
+            if leaf in _BITGEN_TYPES:
+                if ctx.profile.strict_rng:
+                    return [self.finding(
+                        ctx, node, f"constructing numpy.random.{leaf} outside "
+                        "repro/stats/rng.py bypasses the seeding chokepoint")]
+                return []
+            return [self.finding(
+                ctx, node, f"numpy.random.{leaf} draws from the module-level "
+                "global RNG")]
+        if resolved.startswith("random.") and resolved.split(".", 1)[1] in _STDLIB_RANDOM:
+            return [self.finding(
+                ctx, node, f"stdlib {resolved} draws from hidden global "
+                "state seeded per process")]
+        return []
+
+
+# ----------------------------------------------------------------------
+# D003: wall-clock reads on simulated cost paths
+# ----------------------------------------------------------------------
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class WallClockRule(Rule):
+    id = "D003"
+    title = "wall-clock read inside a simulation/trace/cost path"
+    hint = ("simulated time comes from the cost model; only the bench "
+            "harness (repro/bench, benchmarks/) may measure host time")
+    doc = (
+        "The simulator decouples simulated cost from host execution: traced "
+        "events carry record/flop/byte counts and the cost model converts "
+        "them to seconds. A wall-clock read inside cluster/, impls/, "
+        "kernels/ or fastpath.py would leak host performance into simulated "
+        "results, making them machine-dependent and non-replayable. Timing "
+        "belongs to the harness layer, which measures *host* cost "
+        "explicitly and reports it next to (never inside) simulated output."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        if not wallclock_banned(ctx.path):
+            return []
+        out = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if resolved in _WALLCLOCK_CALLS:
+                    out.append(self.finding(
+                        ctx, node, f"{resolved}() reads the host clock on a "
+                        "simulated cost path"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# D004: unsorted set / dict-keys iteration
+# ----------------------------------------------------------------------
+
+class UnsortedSetIterationRule(Rule):
+    id = "D004"
+    title = "iteration over a set without explicit ordering"
+    hint = "wrap the iterable in sorted(...) to pin the order"
+    doc = (
+        "Set iteration order depends on element hashes; for str elements "
+        "that is PYTHONHASHSEED-randomized, so a loop over a set emits "
+        "trace events (or fills shuffle buckets) in a different order in "
+        "every process. Any set feeding trace emission, placement, or "
+        "float accumulation must be iterated through sorted(...). "
+        "dict.keys() iteration is insertion-ordered and allowed; explicit "
+        ".keys() in an iteration slot is still flagged because it usually "
+        "marks a spot where a set used to be — iterate the dict itself or "
+        "sort it."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out = []
+        for scope, body_nodes in _scopes(ctx.tree):
+            set_names = _set_assigned_names(body_nodes)
+            for node in body_nodes:
+                for iterable in _iteration_sites(node):
+                    if self._set_like(iterable, set_names):
+                        out.append(self.finding(
+                            ctx, iterable, "iteration order over a set is "
+                            "hash-dependent and differs across processes"))
+                    elif _is_keys_call(iterable):
+                        out.append(self.finding(
+                            ctx, iterable, "explicit .keys() in an iteration "
+                            "slot; iterate the dict (insertion-ordered) or "
+                            "sorted(...) when order feeds a trace"))
+        return out
+
+    def _set_like(self, node: ast.AST, set_names: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._set_like(node.left, set_names)
+                    or self._set_like(node.right, set_names)
+                    or _is_keys_call(node.left) or _is_keys_call(node.right))
+        return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys" and not node.args)
+
+
+def _scopes(tree: ast.Module):
+    """(scope node, nodes belonging to that scope) pairs.
+
+    Nested function bodies are excluded from the enclosing scope's node
+    list (they get their own entry); comprehensions stay in the scope
+    that wrote them.
+    """
+    functions = [node for node in ast.walk(tree)
+                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def own_nodes(root_body):
+        owned = []
+        stack = list(root_body)
+        while stack:
+            node = stack.pop()
+            owned.append(node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # its body belongs to its own scope entry
+            stack.extend(ast.iter_child_nodes(node))
+        return owned
+
+    yield tree, own_nodes(tree.body)
+    for fn in functions:
+        yield fn, own_nodes(fn.body)
+
+
+def _set_assigned_names(body_nodes) -> set[str]:
+    """Names assigned a set literal/constructor within the scope."""
+    names: set[str] = set()
+    for node in body_nodes:
+        value = None
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset")):
+            names.add(target.id)
+    return names
+
+
+def _iteration_sites(node: ast.AST):
+    """Expressions whose iteration order becomes observable."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, ast.comprehension):
+        yield node.iter
+    elif isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+                "list", "tuple", "iter", "enumerate") and node.args:
+            yield node.args[0]
+        elif (isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+              and node.args):
+            yield node.args[0]
+
+
+# ----------------------------------------------------------------------
+# K001: kernel sampler signature discipline
+# ----------------------------------------------------------------------
+
+#: Module-level function-name prefixes that mark a sampling kernel.
+_SAMPLER_PREFIXES = ("sample_", "resample_", "initial_", "impute_", "draw_")
+
+#: Generator constructors a kernel must never call — kernels consume the
+#: stream they are handed, in the order the reference sampler draws it.
+_KERNEL_RNG_FACTORIES = frozenset({
+    "repro.stats.make_rng", "repro.stats.rng.make_rng", "make_rng",
+    "repro.stats.spawn", "repro.stats.rng.spawn", "spawn",
+    "repro.stats.spawn_child", "repro.stats.rng.spawn_child", "spawn_child",
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.RandomState",
+})
+
+
+class KernelSignatureRule(Rule):
+    id = "K001"
+    title = "kernel sampler without an explicit rng parameter"
+    hint = ("public samplers in repro/kernels/ take rng as a parameter and "
+            "never construct their own generator")
+    doc = (
+        "The kernel layer's contract (PR 3) is that every conditional "
+        "sampler consumes an explicitly threaded numpy Generator in the "
+        "same order as the scalar reference, which is what makes scalar, "
+        "batch, and per-platform call paths bitwise-comparable. A sampler "
+        "that omits the rng parameter, or builds a generator internally, "
+        "silently forks the stream and breaks draw-by-draw replay between "
+        "platforms — the exact property the paper's comparisons rest on."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out = []
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if node.name.startswith(_SAMPLER_PREFIXES):
+                args = node.args
+                names = {a.arg for a in
+                         (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+                if "rng" not in names:
+                    out.append(self.finding(
+                        ctx, node, f"public sampler {node.name}() does not "
+                        "accept an rng parameter"))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if resolved in _KERNEL_RNG_FACTORIES:
+                    out.append(self.finding(
+                        ctx, node, f"kernel constructs its own generator via "
+                        f"{resolved}; kernels must consume the stream they "
+                        "are handed"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# R001: registry-cell picklability
+# ----------------------------------------------------------------------
+
+#: Call names whose functional argument crosses a process boundary.
+_PICKLED_CALLEES = ("pool_map", "run_cells", "submit", "data_factory",
+                    "BoundFactory")
+
+#: Keyword arguments that must hold picklable module-level callables.
+_PICKLED_KWARGS = ("rng_maker", "factory", "generator")
+
+
+class RegistryPicklabilityRule(Rule):
+    id = "R001"
+    title = "unpicklable callable in a registry/factory position"
+    hint = ("register module-level functions/classes only; lambdas and "
+            "nested functions cannot cross the spawn-pool boundary")
+    doc = (
+        "The bench harness fans cells out over a spawn-based process pool "
+        "(PR 4): registered factories, workload generators and rng makers "
+        "are pickled into workers by qualified name. A lambda or closure "
+        "in any of those positions either fails to pickle (crashing the "
+        "pooled path that CI diffs against serial) or silently forces the "
+        "serial fallback. BoundFactory is deliberately a class, not a "
+        "closure, for exactly this reason."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out = []
+        nested_defs = _nested_function_names(ctx.tree)
+        lambda_names = _lambda_bound_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                out.extend(self._check_registration(ctx, node, nested_defs,
+                                                    lambda_names))
+            elif isinstance(node, ast.Call):
+                out.extend(self._check_call(ctx, node))
+        return out
+
+    def _check_registration(self, ctx, node: ast.Assign, nested_defs,
+                            lambda_names) -> list[Finding]:
+        out = []
+        for target in node.targets:
+            registry = None
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                registry = target.value.id
+            elif isinstance(target, ast.Name):
+                registry = target.id
+            if registry is None or not any(
+                    marker in registry.upper()
+                    for marker in ("REGISTRY", "GENERATORS", "FACTORIES")):
+                continue
+            values = (node.value.values if isinstance(node.value, ast.Dict)
+                      else [node.value])
+            for value in values:
+                if isinstance(value, ast.Lambda):
+                    out.append(self.finding(
+                        ctx, value, f"lambda registered in {registry} cannot "
+                        "be pickled into a pool worker"))
+                elif isinstance(value, ast.Name) and (
+                        value.id in nested_defs or value.id in lambda_names):
+                    kind = ("lambda" if value.id in lambda_names
+                            else "nested function")
+                    out.append(self.finding(
+                        ctx, value, f"{kind} {value.id!r} registered in "
+                        f"{registry} cannot be pickled into a pool worker"))
+        return out
+
+    def _check_call(self, ctx, node: ast.Call) -> list[Finding]:
+        out = []
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        for keyword in node.keywords:
+            if keyword.arg in _PICKLED_KWARGS and isinstance(keyword.value, ast.Lambda):
+                out.append(self.finding(
+                    ctx, keyword.value, f"lambda passed as {keyword.arg}= "
+                    "cannot be pickled into a pool worker"))
+        if callee in _PICKLED_CALLEES and node.args and isinstance(
+                node.args[0], ast.Lambda):
+            out.append(self.finding(
+                ctx, node.args[0], f"lambda passed to {callee}() crosses "
+                "the process-pool boundary and cannot be pickled"))
+        return out
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for outer in ast.walk(tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(inner.name)
+    return names
+
+
+def _lambda_bound_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            names.add(node.targets[0].id)
+    return names
+
+
+# ----------------------------------------------------------------------
+# M001: mutable default arguments
+# ----------------------------------------------------------------------
+
+class MutableDefaultRule(Rule):
+    id = "M001"
+    title = "mutable default argument"
+    hint = "default to None and construct the container inside the function"
+    doc = (
+        "A mutable default is evaluated once at definition time and shared "
+        "across every call; state accumulated in one benchmark cell leaks "
+        "into the next, which is both a correctness bug and a determinism "
+        "hazard (results depend on call history). Use None and build the "
+        "container in the body, or a dataclasses.field(default_factory=...)."
+    )
+
+    _MUTABLE_CALLS = ("list", "dict", "set")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        out = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults,
+                        *[d for d in node.args.kw_defaults if d is not None]]
+            for default in defaults:
+                if self._mutable(default):
+                    label = (getattr(node, "name", None) or "<lambda>")
+                    out.append(self.finding(
+                        ctx, default, f"mutable default argument in {label}() "
+                        "is shared across calls"))
+        return out
+
+    def _mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in self._MUTABLE_CALLS)
+
+
+#: Every shipped rule, in reporting order.
+ALL_RULES = (
+    BuiltinHashRule(),
+    GlobalRngRule(),
+    WallClockRule(),
+    UnsortedSetIterationRule(),
+    KernelSignatureRule(),
+    RegistryPicklabilityRule(),
+    MutableDefaultRule(),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule"]

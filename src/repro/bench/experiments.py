@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from repro.bench.pool import CellTask, WorkloadRef, WorkloadSpec, run_cells
 from repro.bench.runner import CellResult, paper_scales, sv_factor
+from repro.stats import derive_seed
 from repro.config import (
     GMM_100D_SCALE,
     GMM_SCALE,
@@ -37,6 +38,21 @@ from repro.config import (
 
 ITERATIONS = 2
 SEED = 20140622
+
+
+def _cell_seed(column: int) -> int:
+    """The implementation seed of one figure column.
+
+    Derived through :func:`repro.stats.derive_seed` (stable_hash of
+    ``(SEED, tag)``) rather than ``SEED + column`` arithmetic: offset
+    schemes collide as soon as two call sites pick overlapping offsets
+    (a workload seeded ``SEED + 1`` would share a stream with column 1),
+    while tagged derivation keeps every named stream disjoint.  As
+    before, the same column index in different figures deliberately maps
+    to the same seed — a platform's cell at "20 machines" replays the
+    same draws no matter which figure asks for it.
+    """
+    return derive_seed(SEED, ("figure-column", column))
 
 # Laptop sample sizes (data units actually executed per cell).
 GMM10_N = {"spark": 600, "simsql": 240, "graphlab": 600, "giraph": 600}
@@ -117,11 +133,11 @@ def figure_1a(jobs: int | None = None) -> dict[str, list[CellResult]]:
         points10 = _gmm_points(GMM10_N[platform], 10)
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
-                label, key, (points10, 10), SEED + idx, machines,
+                label, key, (points10, 10), _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, GMM10_N[platform], paper[idx],
             ))
         tasks.append(_task(
-            label, key, (_gmm_points(GMM100_N[platform], 100), 10), SEED + 3,
+            label, key, (_gmm_points(GMM100_N[platform], 100), 10), _cell_seed(3),
             5, GMM_100D_SCALE.units_per_machine, GMM100_N[platform], paper[3],
         ))
     return _run(tasks, jobs)
@@ -140,12 +156,12 @@ def figure_1b(jobs: int | None = None) -> dict[str, list[CellResult]]:
     for label, (key, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
-                label, key, (_gmm_points(n10, 10), 10), SEED + idx, machines,
+                label, key, (_gmm_points(n10, 10), 10), _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, n10, paper[idx],
                 sv=sv_factor(machines, n10, 64),
             ))
         tasks.append(_task(
-            label, key, (_gmm_points(n100, 100), 10), SEED + 3, 5,
+            label, key, (_gmm_points(n100, 100), 10), _cell_seed(3), 5,
             GMM_100D_SCALE.units_per_machine, n100, paper[3],
             sv=sv_factor(5, n100, 64),
         ))
@@ -174,7 +190,7 @@ def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
         )):
             tasks.append(_task(
                 label, (platform, "gmm", variant), (_gmm_points(n, dim), 10),
-                SEED + column, 5, units, n, paper[column],
+                _cell_seed(column), 5, units, n, paper[column],
                 sv=sv_factor(5, n, 64),
             ))
     return _run(tasks, jobs)
@@ -201,7 +217,7 @@ def figure_2(jobs: int | None = None) -> dict[str, list[CellResult]]:
     for label, (key, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
-                label, key, (_lasso_ref("x"), _lasso_ref("y")), SEED + idx,
+                label, key, (_lasso_ref("x"), _lasso_ref("y")), _cell_seed(idx),
                 machines, LASSO_SCALE.units_per_machine, LASSO_N, paper[idx],
                 p=p_factor, p2=p_factor**2,
                 sv=sv_factor(machines, LASSO_N, 64),
@@ -248,7 +264,7 @@ def figure_3b(jobs: int | None = None) -> dict[str, list[CellResult]]:
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
                 label, (platform, "hmm", "super-vertex"),
-                (documents, HMM_VOCAB, HMM_STATES), SEED + idx, machines,
+                (documents, HMM_VOCAB, HMM_STATES), _cell_seed(idx), machines,
                 TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                 sv=sv_factor(machines, TEXT_DOCS, 16),
             ))
@@ -290,7 +306,7 @@ def figure_4b(jobs: int | None = None) -> dict[str, list[CellResult]]:
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
                 label, (platform, "lda", "super-vertex"),
-                (documents, LDA_VOCAB, LDA_TOPICS), SEED + idx, machines,
+                (documents, LDA_VOCAB, LDA_TOPICS), _cell_seed(idx), machines,
                 TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                 vocab=vocab_factor, sv=sv_factor(machines, TEXT_DOCS, 16),
             ))
@@ -318,7 +334,7 @@ def figure_5(jobs: int | None = None) -> dict[str, list[CellResult]]:
         args = (_censored_ref(n, "points"), _censored_ref(n, "mask"), 10)
         for idx, machines in enumerate((5, 20, 100)):
             tasks.append(_task(
-                label, key, args, SEED + idx, machines,
+                label, key, args, _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, n, paper[idx],
                 sv=sv_factor(machines, n, 64),
             ))
@@ -335,7 +351,7 @@ def figure_6(jobs: int | None = None) -> dict[str, list[CellResult]]:
     paper = ["9:47 (0:53)", "19:36 (1:15)", "Fail"]
     tasks = [
         _task("Spark (Java)", ("spark", "lda", "java"),
-              (documents, LDA_VOCAB, LDA_TOPICS), SEED + idx, machines,
+              (documents, LDA_VOCAB, LDA_TOPICS), _cell_seed(idx), machines,
               TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
               vocab=vocab_factor)
         for idx, machines in enumerate((5, 20, 100))

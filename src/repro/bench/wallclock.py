@@ -23,8 +23,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-import numpy as np
-
 from repro import fastpath
 from repro.bench.pool import (
     WorkloadSpec,
@@ -56,9 +54,9 @@ class BenchCase:
 
 def _factory(platform: str, model: str, variant: str, *data) -> Callable:
     """Registry factory with a fresh impl RNG per instantiation —
-    every repeat must see the same stream."""
-    return data_factory(platform, model, variant, *data, seed=IMPL_SEED,
-                        rng_maker=np.random.default_rng)
+    every repeat must see the same stream (make_rng(IMPL_SEED) is a pure
+    function of the seed, so repeats replay identically)."""
+    return data_factory(platform, model, variant, *data, seed=IMPL_SEED)
 
 
 def default_cases() -> list[BenchCase]:

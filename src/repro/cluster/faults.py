@@ -34,11 +34,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.cluster.costmodel import PlatformProfile, RecoveryStrategy
 from repro.cluster.machine import ClusterSpec
 from repro.config import CHECKPOINT_REPLICATION, DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.stats import make_rng
 
 __all__ = [
     "Fault",
@@ -146,7 +145,7 @@ class FaultSchedule:
         """Every fault striking phase ``index`` (named ``name``)."""
         struck = [fault for fault in self.faults if fault.phase == name]
         if self.rates is not None:
-            rng = np.random.default_rng((self.seed, index))
+            rng = make_rng((self.seed, index))
             rates = self.rates
             if rng.random() < rates.machine_crash:
                 struck.append(Fault(FaultKind.MACHINE_CRASH, phase=name))

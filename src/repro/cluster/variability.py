@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.stats import make_rng
+
 #: The paper's measured coefficient of variation: 32 s / (27 min).
 PAPER_CV = 32.0 / (27.0 * 60.0)
 
@@ -19,7 +21,7 @@ PAPER_CV = 32.0 / (27.0 * 60.0)
 def _as_rng(rng: np.random.Generator | int) -> np.random.Generator:
     """Accept either a ready Generator or a plain integer seed."""
     if isinstance(rng, (int, np.integer)):
-        return np.random.default_rng(rng)
+        return make_rng(int(rng))
     return rng
 
 

@@ -158,10 +158,10 @@ class RDD:
         """Bernoulli sample of the records (used for diagnostics)."""
         if not 0 <= fraction <= 1:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        import numpy as np
+        from repro.stats import make_rng
 
         def sample_part(part):
-            rng = np.random.default_rng(seed)
+            rng = make_rng(seed)
             return [r for r in part if rng.uniform() < fraction]
 
         return _MappedRDD(self, sample_part, per_partition=True, label="sample")

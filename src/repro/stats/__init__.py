@@ -9,7 +9,7 @@ from repro.stats.dirichlet import Categorical, Dirichlet, Multinomial, sample_ca
 from repro.stats.distributions import Beta, Gamma, InverseGamma
 from repro.stats.invgaussian import InverseGaussian
 from repro.stats.mvn import MultivariateNormal
-from repro.stats.rng import DEFAULT_SEED, make_rng, spawn
+from repro.stats.rng import DEFAULT_SEED, derive_seed, make_rng, spawn, spawn_child
 from repro.stats.wishart import InverseWishart, Wishart
 
 __all__ = [
@@ -24,7 +24,9 @@ __all__ = [
     "Multinomial",
     "MultivariateNormal",
     "Wishart",
+    "derive_seed",
     "make_rng",
     "sample_categorical_rows",
     "spawn",
+    "spawn_child",
 ]

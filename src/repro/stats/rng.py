@@ -1,22 +1,54 @@
-"""Seeded random-generator management.
+"""Seeded random-generator management: the package's one seeding chokepoint.
 
 Every sampler in the package takes an explicit :class:`numpy.random.Generator`
 so that platform implementations can be replayed against the reference
-samplers with an identical random stream.  :func:`spawn` derives
-statistically independent child streams, which is how the simulated
-"machines" of a cluster each get their own generator.
+samplers with an identical random stream.  All generator *construction*
+happens here: :func:`make_rng` turns seed material into a generator,
+:func:`spawn` derives positional child streams (how the simulated
+"machines" of a cluster each get their own generator), and
+:func:`spawn_child` / :func:`derive_seed` derive *named* streams keyed by
+:func:`repro.hashing.stable_hash`, so a child stream is a pure function
+of ``(parent, tag)`` rather than of how many children were spawned
+before it.
+
+The static-analysis rule D002 (``repro.analysis``) enforces that no
+other module calls ``numpy.random.default_rng`` or the module-level
+``numpy.random``/``random`` samplers directly.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
+
+from repro.hashing import stable_hash
 
 DEFAULT_SEED = 20140622  # SIGMOD'14 started June 22, 2014.
 
 
-def make_rng(seed: int | None = None) -> np.random.Generator:
-    """Create a generator from ``seed`` (package default when ``None``)."""
+def make_rng(seed: int | Sequence[int] | None = None) -> np.random.Generator:
+    """Create a generator from ``seed`` (package default when ``None``).
+
+    ``seed`` may also be a sequence of ints — ``numpy`` folds the whole
+    tuple into the seed sequence, which is how hierarchical seeds like
+    ``(schedule_seed, phase_index)`` stay deterministic without ad-hoc
+    integer arithmetic.
+    """
     return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def derive_seed(seed: int, tag) -> int:
+    """A child seed derived deterministically from ``(seed, tag)``.
+
+    Uses :func:`repro.hashing.stable_hash`, so the derivation is the
+    same in every process regardless of ``PYTHONHASHSEED``.  ``tag`` can
+    be any stable-hashable value (ints, strs, tuples); use it to name
+    the child stream (a figure column, a machine id) instead of ad-hoc
+    ``seed + k`` arithmetic, which collides as soon as two call sites
+    pick overlapping offsets.
+    """
+    return stable_hash((int(seed), tag))
 
 
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
@@ -24,3 +56,26 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     return [np.random.Generator(np.random.PCG64(s)) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def spawn_child(rng: np.random.Generator, tag) -> np.random.Generator:
+    """Derive the child generator named ``tag`` from ``rng``.
+
+    Unlike :func:`spawn`, the child is a pure function of the parent's
+    seed material and ``tag`` — it does not advance or depend on the
+    parent's state, and spawning children in a different order (or
+    skipping some) yields the same streams.  ``tag`` is folded in via
+    :func:`repro.hashing.stable_hash`, so any stable-hashable value
+    works as a name.
+    """
+    parent = rng.bit_generator.seed_seq
+    if not isinstance(parent, np.random.SeedSequence):
+        raise TypeError(
+            f"cannot derive a named child from a generator without a "
+            f"SeedSequence (got {type(parent).__name__}); build the parent "
+            f"with make_rng()")
+    child = np.random.SeedSequence(
+        entropy=parent.entropy,
+        spawn_key=(*parent.spawn_key, stable_hash(tag)),
+    )
+    return np.random.Generator(np.random.PCG64(child))
