@@ -38,6 +38,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compare-harness", action="store_true",
                         help="also run the suite serially and record the "
                              "harness speedup in the JSON")
+    parser.add_argument("--grid", action="store_true",
+                        help="also time the vectorized scenario grid vs the "
+                             "per-cell simulator and record it in the JSON")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_<rev>.json (default: cwd)")
     args = parser.parse_args(argv)
@@ -66,6 +69,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"harness: serial {serial_seconds:.1f}s vs "
               f"{payload['jobs']} jobs {payload['harness_seconds']:.1f}s "
               f"({payload['harness_comparison']['speedup']:.2f}x)")
+    if args.grid:
+        from repro.bench import gridbench  # noqa: E402
+        grid = (gridbench.quick_gridbench() if args.quick
+                else gridbench.run_gridbench())
+        payload["grid"] = grid
+        print(gridbench.summarize(grid))
     path = wallclock.write_report(payload, args.out)
     print(f"wrote {path}")
 
@@ -73,6 +82,10 @@ def main(argv: list[str] | None = None) -> int:
            if not r["events_identical"]]
     if bad:
         print(f"FAIL: cost events changed under the fast path: {bad}",
+              file=sys.stderr)
+        return 1
+    if args.grid and not payload["grid"].get("identical", True):
+        print("FAIL: vectorized grid diverged from the per-cell simulator",
               file=sys.stderr)
         return 1
     return 0

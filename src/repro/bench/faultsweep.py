@@ -28,11 +28,12 @@ from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
     FaultRates,
-    FaultSchedule,
     RecoveryStrategy,
     RunReport,
-    Simulator,
+    Scenario,
+    ScenarioGrid,
     Tracer,
+    simulate_grid,
 )
 from repro.config import GMM_SCALE, TEXT_SCALE
 from repro.impls.registry import data_factory
@@ -167,31 +168,40 @@ def sweep_case(
     crash_rates: tuple[float, ...] = CRASH_RATES,
     seed: int = SWEEP_SEED,
 ) -> dict:
-    """One engine run per cluster size, one simulation per crash rate.
+    """One engine run per cluster size, one *grid* simulation per size.
 
-    Lineage platforms (Spark) get a second simulation per cell with
-    checkpointing enabled, so the JSON records the recovery-depth
-    trade-off next to the raw lineage cost.
+    The whole rate axis — plus the lineage platforms' checkpointed
+    second ride — goes through :func:`repro.cluster.simulate_grid` in a
+    single vectorized pass over the trace; the per-cell
+    ``Simulator.simulate`` path is the oracle the golden suite checks
+    the grid against, so the payload is byte-identical to the old
+    one-simulation-per-cell loop.
     """
     profile = PLATFORM_PROFILES[case.platform]
+    lineage = profile.recovery.strategy is RecoveryStrategy.LINEAGE
     cells = []
     for machines in machine_counts:
         tracer = _trace_case(case, machines)
         frozen = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
         scales = _scales_for(case, machines)
-        simulator = Simulator(ClusterSpec(machines=machines), profile)
-        for rate in crash_rates:
-            schedule = FaultSchedule.sampled(
-                FaultRates(machine_crash=rate), seed=seed
-            )
-            report = simulator.simulate(tracer, scales, faults=schedule)
+        scenarios = [
+            Scenario.make(machines, scales,
+                          rates=FaultRates(machine_crash=rate), seed=seed)
+            for rate in crash_rates
+        ]
+        if lineage:
+            scenarios += [
+                Scenario.make(machines, scales,
+                              rates=FaultRates(machine_crash=rate), seed=seed,
+                              checkpoint_interval=CHECKPOINT_INTERVAL)
+                for rate in crash_rates
+            ]
+        grid = simulate_grid(tracer, profile, ScenarioGrid.of(scenarios))
+        for i, rate in enumerate(crash_rates):
             cell = {"machines": machines, "crash_rate": rate}
-            cell.update(_cell_payload(report))
-            if profile.recovery.strategy is RecoveryStrategy.LINEAGE:
-                checkpointed = simulator.simulate(
-                    tracer, scales, faults=schedule,
-                    checkpoint_interval=CHECKPOINT_INTERVAL,
-                )
+            cell.update(_cell_payload(grid.report(i)))
+            if lineage:
+                checkpointed = grid.report(len(crash_rates) + i)
                 cell["checkpointed_total_seconds"] = checkpointed.total_seconds
             cells.append(cell)
         after = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]

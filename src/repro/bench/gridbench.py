@@ -1,0 +1,143 @@
+"""Thousand-cell scenario grids: the vectorized trace-algebra benchmark.
+
+One engine run per cluster size produces a trace; the whole scenario
+grid — crash rates x checkpoint intervals x schedule seeds — then
+replays that trace through :func:`repro.cluster.simulate_grid` in a
+single vectorized pass.  The per-cell ``Simulator.simulate`` loop is
+the oracle: the same grid is (optionally) re-run cell by cell, every
+rebuilt ``RunReport`` is checked byte-identical (``repr`` equality),
+and both paths' cells/second go into the payload.
+
+``python benchmarks/microbench.py --grid`` attaches the result to
+``BENCH_<rev>.json`` under the ``"grid"`` key.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.faultsweep import _gmm_case, _scales_for, _trace_case
+from repro.cluster import (
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    FaultRates,
+    FaultSchedule,
+    Scenario,
+    ScenarioGrid,
+    Simulator,
+    simulate_grid,
+)
+
+#: Default sweep axes: 2 x 7 x 2 x 36 = 1,008 cells over two traces.
+MACHINE_COUNTS = (5, 20)
+CRASH_RATES = (0.0, 0.075, 0.15, 0.225, 0.3, 0.375, 0.45)
+CHECKPOINT_INTERVALS = (0, 2)
+SEEDS = 36
+
+#: CI smoke axes: 1 x 2 x 2 x 3 = 12 cells.
+QUICK_MACHINE_COUNTS = (5,)
+QUICK_CRASH_RATES = (0.0, 0.3)
+QUICK_SEEDS = 3
+
+
+def _oracle(tracer, profile, scenario: Scenario):
+    """One per-cell reference simulation (the pre-grid code path)."""
+    simulator = Simulator(ClusterSpec(machines=scenario.machines), profile)
+    faults = None
+    if scenario.rates is not None:
+        faults = FaultSchedule.sampled(scenario.rates, seed=scenario.seed)
+    return simulator.simulate(
+        tracer, scenario.scale_dict, faults=faults,
+        retry_policy=scenario.retry_policy,
+        checkpoint_interval=scenario.checkpoint_interval,
+    )
+
+
+def run_gridbench(
+    machine_counts: tuple[int, ...] = MACHINE_COUNTS,
+    crash_rates: tuple[float, ...] = CRASH_RATES,
+    checkpoint_intervals: tuple[int, ...] = CHECKPOINT_INTERVALS,
+    seeds: int = SEEDS,
+    verify: bool = True,
+) -> dict:
+    """Time the vectorized grid against the per-cell oracle.
+
+    Returns the ``"grid"`` payload: cell count, wall-clock seconds and
+    cells/second for both paths, the speedup, and ``identical`` — every
+    grid cell's rebuilt report matched the oracle's byte for byte.
+    """
+    case = _gmm_case("spark/gmm", "spark")
+    profile = PLATFORM_PROFILES[case.platform]
+    bases = []
+    for machines in machine_counts:
+        tracer = _trace_case(case, machines)
+        scales = _scales_for(case, machines)
+        scenarios = ScenarioGrid.of(
+            Scenario.make(machines, scales,
+                          rates=FaultRates(machine_crash=rate),
+                          seed=seed, checkpoint_interval=interval)
+            for rate in crash_rates
+            for interval in checkpoint_intervals
+            for seed in range(seeds)
+        )
+        bases.append((tracer, scenarios))
+    cells = sum(len(grid) for _, grid in bases)
+
+    started = time.perf_counter()
+    results = [simulate_grid(tracer, profile, grid) for tracer, grid in bases]
+    grid_seconds = time.perf_counter() - started
+
+    payload = {
+        "case": case.name,
+        "cells": cells,
+        "machine_counts": list(machine_counts),
+        "crash_rates": list(crash_rates),
+        "checkpoint_intervals": list(checkpoint_intervals),
+        "seeds_per_axis_point": seeds,
+        "grid_seconds": grid_seconds,
+        "grid_cells_per_sec": (cells / grid_seconds if grid_seconds > 0
+                               else float("inf")),
+    }
+    if not verify:
+        return payload
+
+    started = time.perf_counter()
+    oracle_runs = [
+        [_oracle(tracer, profile, scenario) for scenario in grid]
+        for tracer, grid in bases
+    ]
+    percell_seconds = time.perf_counter() - started
+
+    identical = all(
+        repr(result.report(i)) == repr(report)
+        for result, reports in zip(results, oracle_runs)
+        for i, report in enumerate(reports)
+    )
+    payload.update({
+        "percell_seconds": percell_seconds,
+        "percell_cells_per_sec": (cells / percell_seconds
+                                  if percell_seconds > 0 else float("inf")),
+        "speedup": (percell_seconds / grid_seconds if grid_seconds > 0
+                    else float("inf")),
+        "identical": identical,
+    })
+    return payload
+
+
+def quick_gridbench() -> dict:
+    """The CI smoke grid: tiny axes, oracle verification on."""
+    return run_gridbench(machine_counts=QUICK_MACHINE_COUNTS,
+                         crash_rates=QUICK_CRASH_RATES,
+                         seeds=QUICK_SEEDS)
+
+
+def summarize(payload: dict) -> str:
+    line = (f"grid: {payload['cells']} cells in "
+            f"{payload['grid_seconds']:.2f}s "
+            f"({payload['grid_cells_per_sec']:.0f} cells/s)")
+    if "speedup" in payload:
+        line += (f" vs per-cell {payload['percell_seconds']:.2f}s "
+                 f"({payload['percell_cells_per_sec']:.0f} cells/s), "
+                 f"{payload['speedup']:.1f}x, "
+                 f"identical={payload['identical']}")
+    return line

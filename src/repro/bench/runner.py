@@ -8,7 +8,6 @@ from typing import Callable
 from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
-    CompactTracer,
     RunReport,
     Simulator,
     Tracer,
@@ -47,8 +46,9 @@ def run_benchmark(
     trace is scaled to paper size and simulated.
 
     ``tracer`` lets a caller substitute a :class:`CompactTracer` for
-    long traces; its columnar buffer is materialized before validation
-    and simulation, so the report is identical either way.
+    long traces; the simulator consumes its columnar buffer natively
+    (no per-event materialization), and the report is bitwise identical
+    either way.
     """
     cluster = ClusterSpec(machines=machines)
     if tracer is None:
@@ -60,8 +60,6 @@ def run_benchmark(
     for i in range(iterations):
         with tracer.iteration_phase(i):
             impl.iterate(i)
-    if isinstance(tracer, CompactTracer):
-        tracer = tracer.to_tracer()
     validate_scale_groups(impl, tracer)
     simulator = Simulator(cluster, profile)
     return simulator.simulate(tracer, scales)
@@ -69,13 +67,18 @@ def run_benchmark(
 
 def observed_scale_groups(tracer: Tracer) -> set[str]:
     """Every non-FIXED scale-group component on the traced events.
-    Compound labels ("data*p2") count each component separately."""
-    observed: set[str] = set()
+    Compound labels ("data*p2") count each component separately.
+    Cost scales come from :meth:`Tracer.observed_cost_scales`, which a
+    :class:`CompactTracer` answers straight off its intern table."""
+    raw = tracer.observed_cost_scales()
     for phase in tracer.phases:
-        for event in (*phase.events, *phase.memory):
-            for part in event.scale.split("*"):
-                if part != FIXED:
-                    observed.add(part)
+        for event in phase.memory:
+            raw.add(event.scale)
+    observed: set[str] = set()
+    for scale in raw:
+        for part in scale.split("*"):
+            if part != FIXED:
+                observed.add(part)
     return observed
 
 

@@ -134,6 +134,15 @@ class Tracer:
     def iteration_phases(self) -> list[Phase]:
         return [p for p in self.phases if p.is_iteration]
 
+    def observed_cost_scales(self) -> set[str]:
+        """Raw scale labels on cost events (compound labels unsplit).
+
+        Lets scale-group validation stay storage-agnostic: a
+        :class:`CompactTracer` answers from its intern table without
+        materializing events.
+        """
+        return {event.scale for phase in self.phases for event in phase.events}
+
     def named(self, name: str) -> list[Phase]:
         return [p for p in self.phases if p.name == name]
 
@@ -327,6 +336,14 @@ class CompactTracer(Tracer):
         for row in rows:
             columns.append(*row)
         phase.memory.extend(memory)
+
+    def observed_cost_scales(self) -> set[str]:
+        """Raw scale labels straight off the intern table.
+
+        Metadata is interned only at emit time, so every entry is backed
+        by at least one event — the set equals the object-list answer.
+        """
+        return {meta[1] for meta in self._metas}
 
     # -- materialization -----------------------------------------------
 

@@ -83,3 +83,72 @@ def replicate_study(
         mu, sigma = _lognormal_params(cv)
         observations = seconds * _as_rng(rng).lognormal(mu, sigma, size=days)
     return float(observations.mean()), float(observations.std(ddof=1))
+
+
+def replicate_studies(
+    seconds,
+    rng,
+    days: int = 5,
+    cv: float = PAPER_CV,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`replicate_study` over a whole result column.
+
+    ``seconds`` is an array of nominal times (one per grid cell) and the
+    return value is the matching ``(means, stds)`` arrays.  ``rng`` is
+    either
+
+    * a sequence of integer seeds, one per cell — each row draws from
+      its own ``make_rng(seed)`` stream in one vectorized
+      ``lognormal(size=days)`` call, bitwise identical to calling
+      ``replicate_study(seconds[i], seeds[i])`` per cell (and
+      trivially parallelizable, since rows are independent); or
+    * a single Generator — all noisy rows draw from one
+      ``lognormal(size=(rows, days))`` call, bitwise identical to
+      calling ``replicate_study`` sequentially per cell with that
+      generator (drawing ``k`` values in one call or many advances the
+      stream identically).
+
+    Either way no Generator is constructed per draw: at most one per
+    *cell* (seed mode) or one for the whole column (generator mode).
+    Cells with ``cv == 0`` or zero seconds consume no draws, exactly as
+    the scalar function.
+    """
+    seconds = np.asarray(seconds, dtype=float)
+    if seconds.ndim != 1:
+        raise ValueError(f"seconds must be one-dimensional, got shape {seconds.shape}")
+    if days < 2:
+        raise ValueError(f"need at least two days to estimate a deviation, got {days}")
+    if np.any(seconds < 0):
+        raise ValueError("seconds must be non-negative")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    n = seconds.shape[0]
+    means = np.empty(n)
+    stds = np.empty(n)
+    noisy = np.flatnonzero(seconds) if cv > 0 else np.array([], dtype=int)
+    quiet = np.setdiff1d(np.arange(n), noisy, assume_unique=True)
+    if quiet.size:
+        # The scalar path reduces np.full(days, seconds) — reduce the
+        # same constant rows so rounding matches it bit for bit.
+        flat = np.repeat(seconds[quiet, None], days, axis=1)
+        means[quiet] = flat.mean(axis=1)
+        stds[quiet] = flat.std(axis=1, ddof=1)
+    if noisy.size == 0:
+        return means, stds
+    mu, sigma = _lognormal_params(cv)
+    if isinstance(rng, np.random.Generator):
+        draws = rng.lognormal(mu, sigma, size=(noisy.size, days))
+        observations = seconds[noisy, None] * draws
+    else:
+        seeds = np.asarray(rng)
+        if seeds.shape != seconds.shape:
+            raise ValueError(
+                f"need one seed per cell: got {seeds.shape} seeds for "
+                f"{seconds.shape} cells")
+        observations = np.empty((noisy.size, days))
+        for row, i in enumerate(noisy):
+            observations[row] = seconds[i] * make_rng(int(seeds[i])).lognormal(
+                mu, sigma, size=days)
+    means[noisy] = observations.mean(axis=1)
+    stds[noisy] = observations.std(axis=1, ddof=1)
+    return means, stds

@@ -87,7 +87,7 @@ class GiraphEngine(GraphEngine):
     def __init__(self, cluster: ClusterSpec, tracer: Tracer | None = None) -> None:
         super().__init__(cluster, tracer)
         self.superstep_index = 0
-        self._computes: dict[str, Callable] = {}
+        self._computes: dict[str, tuple[Callable, Callable | None]] = {}
         self._combiners: dict[str, Callable] = {}
         self._aggregators: dict[str, tuple[Callable, object]] = {}
         self._aggregator_state: dict[str, object] = {}
@@ -104,10 +104,21 @@ class GiraphEngine(GraphEngine):
     # setup
     # ------------------------------------------------------------------
 
-    def set_compute(self, kind: str, fn: Callable) -> None:
-        """Register ``fn(ctx, vertex_id, value, messages)`` for a kind."""
+    def set_compute(self, kind: str, fn: Callable,
+                    batch_fn: Callable | None = None) -> None:
+        """Register ``fn(ctx, vertex_id, value, messages)`` for a kind.
+
+        ``batch_fn``, if given, receives ``(ctx, items)`` where ``items``
+        is the whole population's ``(vertex_id, value, messages)`` list
+        in vertex order, and must replay the scalar loop's per-vertex
+        side effects — value updates, op/flop charges, and sends (with
+        ``ctx._current_vertex`` set to the sending vertex first) — in
+        the same order, consuming any draw stream bitwise.  It runs on
+        the host fast path only; cost events and simulated results are
+        identical either way (``tests/test_kernel_equivalence.py``).
+        """
         self._kind(kind)  # validate
-        self._computes[kind] = fn
+        self._computes[kind] = (fn, batch_fn)
 
     def set_combiner(self, dst_kind: str, fn: Callable,
                      batch_fn: Callable | None = None) -> None:
@@ -147,20 +158,31 @@ class GiraphEngine(GraphEngine):
 
         kinds = list(self.kinds) if active_kinds is None else active_kinds
         for kind_name in kinds:
-            fn = self._computes.get(kind_name)
-            if fn is None:
+            entry = self._computes.get(kind_name)
+            if entry is None:
                 continue
+            fn, batch_fn = entry
             population = self._kind(kind_name)
             broadcasts = self._broadcasts_in.get(kind_name, [])
             ctx = GiraphContext(self, kind_name)
-            invocations = 0
-            for vertex, value in population.values.items():
-                messages = self._inbox.pop((kind_name, vertex), [])
-                if broadcasts:
-                    messages = broadcasts + messages
-                ctx._current_vertex = vertex
-                fn(ctx, vertex, value, messages)
-                invocations += 1
+            if batch_fn is not None and fastpath.enabled():
+                items = []
+                for vertex, value in population.values.items():
+                    messages = self._inbox.pop((kind_name, vertex), [])
+                    if broadcasts:
+                        messages = broadcasts + messages
+                    items.append((vertex, value, messages))
+                batch_fn(ctx, items)
+                invocations = len(items)
+            else:
+                invocations = 0
+                for vertex, value in population.values.items():
+                    messages = self._inbox.pop((kind_name, vertex), [])
+                    if broadcasts:
+                        messages = broadcasts + messages
+                    ctx._current_vertex = vertex
+                    fn(ctx, vertex, value, messages)
+                    invocations += 1
             self.tracer.emit(
                 EventKind.COMPUTE,
                 records=invocations + self._ops.pop(kind_name, 0.0),

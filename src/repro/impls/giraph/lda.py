@@ -59,7 +59,8 @@ class GiraphLDADocument(Implementation):
             t: {"phi": self.phi[t]} for t in range(self.topics)
         })
         engine.set_combiner("topic", merge_sparse)
-        engine.set_compute("data", self._data_compute)
+        engine.set_compute("data", self._data_compute,
+                           batch_fn=self._data_compute_batch)
         engine.set_compute("topic", self._topic_compute)
 
     def iterate(self, iteration: int) -> None:
@@ -80,6 +81,24 @@ class GiraphLDADocument(Implementation):
         ctx.charge_ops(float(len(words) * 8))
         for topic, counts in sparse_topic_counts(z, words):
             ctx.send("topic", topic, counts)
+
+    def _data_compute_batch(self, ctx, items):
+        # Host fast path: one vectorized resample over the whole data
+        # population; the per-document draws and sends replay in vertex
+        # order, so traces and model state match the scalar compute
+        # bitwise.
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        pairs = [(value["words"], value["theta"]) for _, value, _ in items]
+        resampled = lda.resample_documents_batch(self.rng, pairs, self.phi,
+                                                 self.alpha)
+        for (vertex, value, _), (z, new_theta) in zip(items, resampled):
+            value["theta"] = new_theta
+            ctx._current_vertex = vertex
+            words = value["words"]
+            ctx.charge_ops(float(len(words) * 8))
+            for topic, counts in sparse_topic_counts(z, words):
+                ctx.send("topic", topic, counts)
 
     def _topic_compute(self, ctx, vid, value, messages):
         if ctx.superstep % self.SUPERSTEPS != 1:
@@ -154,6 +173,39 @@ class GiraphLDASuperVertex(GiraphLDADocument):
             if nonzero.size:
                 ctx.send("topic", topic,
                          {int(w): float(totals[topic, w]) for w in nonzero})
+
+    def _data_compute_batch(self, ctx, items):
+        # Fast path over every (block, slot) document at once.  The
+        # counts each document contributes are rebuilt exactly as
+        # :func:`repro.kernels.lda.resample_document` builds them, and
+        # the per-block fold into ``totals`` keeps the scalar addition
+        # order, so the sent messages are bitwise identical.
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        pairs = [(words, value["thetas"][slot])
+                 for _, value, _ in items
+                 for slot, words in enumerate(value["words"])]
+        resampled = lda.resample_documents_batch(self.rng, pairs, self.phi,
+                                                 self.alpha)
+        pos = 0
+        for vertex, value, _ in items:
+            totals = np.zeros((self.topics, self.vocabulary))
+            total_words = 0
+            for slot, words in enumerate(value["words"]):
+                z, new_theta = resampled[pos]
+                pos += 1
+                value["thetas"][slot] = new_theta
+                counts = np.zeros((self.topics, self.vocabulary))
+                np.add.at(counts, (z, words), 1.0)
+                totals += counts
+                total_words += len(words)
+            ctx._current_vertex = vertex
+            ctx.charge_ops(float(total_words * 7))
+            for topic in range(self.topics):
+                nonzero = np.flatnonzero(totals[topic])
+                if nonzero.size:
+                    ctx.send("topic", topic,
+                             {int(w): float(totals[topic, w]) for w in nonzero})
 
     def thetas(self) -> np.ndarray:
         out: dict[int, np.ndarray] = {}

@@ -21,6 +21,7 @@ from repro.kernels import gmm, hmm, lasso, lda
 from repro.kernels.imputation import impute_point, marginal_membership_weights
 from repro.relational.vg import VGFunction
 from repro.stats import Categorical, sample_categorical_rows
+from repro.stats.mvn import ROW_STABLE_MAX_DIM
 
 
 def _rows_to_vector(rows: list[tuple]) -> np.ndarray:
@@ -97,6 +98,36 @@ class MultinomialMembershipVG(VGFunction):
         )
         weights = gmm.membership_weights(point[None, :], state)[0]
         return [(int(Categorical(weights).sample(self.rng)),)]
+
+    def invoke_batch(self, rng, grouped):
+        """All points of one membership update in a single kernel call.
+
+        The model tables broadcast, so every group shares one parsed
+        state; the stacked points go through one
+        ``gmm.membership_weights`` call and one vectorized categorical
+        draw, which consumes ``self.rng`` exactly like the per-point
+        ``Categorical(...).sample`` sequence.  Above
+        ``ROW_STABLE_MAX_DIM`` the triangular solve is no longer bitwise
+        row-decomposable, so the batch declines and the per-point loop
+        runs instead.
+        """
+        if not grouped:
+            return []
+        first = grouped[0][1]
+        if len(self._require(first, "point")) > ROW_STABLE_MAX_DIM:
+            return None
+        state = self._cache.get(
+            first["means"],
+            lambda: parse_gmm_model(first["means"], first["covas"], first["probs"]),
+        )
+        points = np.vstack([
+            _rows_to_vector(self._require(params, "point"))
+            for _, params in grouped
+        ])
+        weights = gmm.membership_weights(points, state)
+        labels = sample_categorical_rows(self.rng, weights)
+        return [key + (int(label),)
+                for (key, _), label in zip(grouped, labels)]
 
     def flops_per_invocation(self, params):
         d = len(params.get("point", (1,)))

@@ -402,9 +402,13 @@ class Executor:
                 Kind.COMPUTE, records=len(grouped), flops=total_flops,
                 language="cpp", scale=invocation_scale, label=f"vg:{vg.name}",
             )
-        for key, rows_by_param in grouped:
-            for out in vg.invoke(self.db.rng, rows_by_param):
-                out_rows.append(key + tuple(out))
+        batched = vg.invoke_batch(self.db.rng, grouped) if fastpath.enabled() else None
+        if batched is not None:
+            out_rows = list(batched)
+        else:
+            for key, rows_by_param in grouped:
+                for out in vg.invoke(self.db.rng, rows_by_param):
+                    out_rows.append(key + tuple(out))
         out_scale = plan.out_scale or invocation_scale
         # Every generated value leaves the VG function as a tuple and
         # re-enters the relational engine (the paper's Section 7.6 cost).

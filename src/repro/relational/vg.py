@@ -35,6 +35,24 @@ class VGFunction:
     def invoke(self, rng: np.random.Generator, params: dict[str, list[tuple]]) -> list[tuple]:
         raise NotImplementedError
 
+    def invoke_batch(
+        self,
+        rng: np.random.Generator,
+        grouped: list[tuple[tuple, dict[str, list[tuple]]]],
+    ) -> list[tuple] | None:
+        """Optional batched invocation over every group of one VG call.
+
+        ``grouped`` is the executor's ``(key, rows_by_param)`` list.  An
+        implementation returns the flat output-row list with group keys
+        prepended — exactly what the per-group ``invoke`` loop builds —
+        or ``None`` to decline, in which case the executor falls back to
+        that loop.  Batches must consume the draw stream bitwise like
+        the sequential invokes (``tests/test_kernel_equivalence.py``
+        gates each implementation), so simulated results are identical
+        with the host fast path on or off.
+        """
+        return None
+
     def flops_per_invocation(self, params: dict[str, list[tuple]]) -> float:
         """Rough internal FLOP count of one invocation, for the cost model."""
         return 50.0
@@ -158,3 +176,19 @@ class InvGaussianVG(VGFunction):
         (mu,), = self._require(params, "mu")
         (lam,), = self._require(params, "lam")
         return [(float(InverseGaussian(float(mu), float(lam)).sample(rng)),)]
+
+    def invoke_batch(self, rng, grouped):
+        """One pass over all regressor groups.
+
+        The MSH sampler interleaves its normal and uniform draws per
+        invocation, so the draws themselves cannot be merged into one
+        block without changing the stream; the batch instead strips the
+        per-group executor dispatch and emits the rows directly, calling
+        the identical scalar sampler in group order.
+        """
+        out = []
+        for key, params in grouped:
+            (mu,), = self._require(params, "mu")
+            (lam,), = self._require(params, "lam")
+            out.append(key + (float(InverseGaussian(float(mu), float(lam)).sample(rng)),))
+        return out

@@ -57,6 +57,15 @@ class TestProfiles:
         assert profile_for("tests/test_anything.py").name == "tests"
         assert profile_for("benchmarks/conftest.py").name == "tests"
 
+    def test_trace_algebra_is_engine_code(self):
+        """The vectorized simulator core carries the full engine
+        contract: strict RNG discipline and no wall-clock reads."""
+        from repro.analysis.profiles import wallclock_banned
+
+        path = "src/repro/cluster/tracealgebra.py"
+        assert profile_for(path).name == "engine"
+        assert wallclock_banned(path)
+
     def test_rule_metadata_complete(self):
         ids = [rule.id for rule in ALL_RULES]
         assert len(ids) == len(set(ids))

@@ -132,3 +132,36 @@ def test_graph_gmm_golden(cls):
     assert np.array_equal(fast_impl.state.means, slow_impl.state.means)
     assert np.array_equal(fast_impl.state.covariances, slow_impl.state.covariances)
     assert np.array_equal(fast_impl.state.pi, slow_impl.state.pi)
+
+
+def test_simsql_lasso_golden():
+    data = generate_lasso_data(np.random.default_rng(3), 120, p=8)
+
+    def build(spec, tracer):
+        return simsql.SimSQLLasso(data.x, data.y, np.random.default_rng(42),
+                                  spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    fast_state, slow_state = fast_impl.state(), slow_impl.state()
+    assert np.array_equal(fast_state.beta, slow_state.beta)
+    assert np.array_equal(fast_state.tau2_inv, slow_state.tau2_inv)
+    assert fast_state.sigma2 == slow_state.sigma2
+
+
+@pytest.mark.parametrize("cls", [giraph.GiraphLDADocument,
+                                 giraph.GiraphLDASuperVertex])
+def test_giraph_lda_golden(cls):
+    corpus = generate_lda_corpus(np.random.default_rng(5), 24, vocabulary=60,
+                                 topics=4, mean_length=18)
+
+    def build(spec, tracer):
+        return cls(corpus.documents, 60, 4, np.random.default_rng(42),
+                   spec, tracer)
+
+    fast_impl, fast_stream = run_traced(build, True)
+    slow_impl, slow_stream = run_traced(build, False)
+    assert_identical_streams(fast_stream, slow_stream)
+    assert np.array_equal(fast_impl.phi, slow_impl.phi)
+    assert np.array_equal(fast_impl.thetas(), slow_impl.thetas())

@@ -12,13 +12,16 @@ functions the engines run.
 import numpy as np
 import pytest
 
+from repro.impls.simsql.vgs import MultinomialMembershipVG
 from repro.kernels import folds, gmm, hmm, imputation, lasso, lda
 from repro.models import gmm as models_gmm
 from repro.models import hmm as models_hmm
 from repro.models import imputation as models_imputation
 from repro.models import lasso as models_lasso
 from repro.models import lda as models_lda
+from repro.relational.vg import InvGaussianVG
 from repro.stats import MultivariateNormal, make_rng, sample_categorical_rows
+from repro.stats.mvn import ROW_STABLE_MAX_DIM
 from repro.workloads import generate_gmm_data, generate_lasso_data, generate_lda_corpus
 
 SEED = 20140622
@@ -291,3 +294,57 @@ def test_sparse_topic_counts_fast_matches_scalar():
     fast = folds.sparse_topic_counts_fast(z, words)
     slow = folds.sparse_topic_counts(z, words)
     assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# VG-function batches (the executor's fast path)
+# ----------------------------------------------------------------------
+
+def test_invgaussian_vg_batch_matches_invoke_loop():
+    grouped = [
+        ((j,), {"mu": [(0.5 + 0.1 * j,)], "lam": [(1.0 + j,)]})
+        for j in range(6)
+    ]
+    rng_batch, rng_loop = make_rng(SEED + 7), make_rng(SEED + 7)
+    vg = InvGaussianVG()
+    batch = vg.invoke_batch(rng_batch, grouped)
+    loop = [key + tuple(out)
+            for key, params in grouped
+            for out in vg.invoke(rng_loop, params)]
+    assert batch == loop
+    assert rng_batch.bit_generator.state == rng_loop.bit_generator.state
+
+
+def test_multinomial_membership_vg_batch_matches_invoke_loop(gmm_setup):
+    points, _, state = gmm_setup
+    dim, clusters = points.shape[1], state.clusters
+    # Broadcast model tables are the *same list objects* for every
+    # group, exactly as the executor hands them out.
+    means_rows = [(k, d, float(state.means[k, d]))
+                  for k in range(clusters) for d in range(dim)]
+    covas_rows = [(k, i, j, float(state.covariances[k, i, j]))
+                  for k in range(clusters)
+                  for i in range(dim) for j in range(dim)]
+    probs_rows = [(k, float(state.pi[k])) for k in range(clusters)]
+    grouped = [
+        ((j,), {"point": [(d, float(points[j, d])) for d in range(dim)],
+                "means": means_rows, "covas": covas_rows,
+                "probs": probs_rows})
+        for j in range(len(points))
+    ]
+    vg_batch = MultinomialMembershipVG(make_rng(SEED + 8))
+    vg_loop = MultinomialMembershipVG(make_rng(SEED + 8))
+    batch = vg_batch.invoke_batch(None, grouped)
+    loop = [key + tuple(out)
+            for key, params in grouped
+            for out in vg_loop.invoke(None, params)]
+    assert batch == loop
+    assert vg_batch.rng.bit_generator.state == vg_loop.rng.bit_generator.state
+
+
+def test_multinomial_membership_vg_declines_above_row_stable_dim():
+    """Past the bitwise row-decomposable solve width, the batch must
+    hand back to the per-point loop rather than risk divergent draws."""
+    wide = [(d, 0.0) for d in range(ROW_STABLE_MAX_DIM + 1)]
+    vg = MultinomialMembershipVG(make_rng(SEED + 9))
+    assert vg.invoke_batch(None, [((0,), {"point": wide})]) is None
