@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """Failure sweeps: ``python benchmarks/faultbench.py``.
 
-Runs GMM and LDA on all four platforms, injects seeded machine-crash
-schedules of increasing rate into the simulated runs
-(``repro.bench.faultsweep``), and writes ``BENCH_<rev>_faults.json``.
-The engine traces are byte-identical across the whole sweep — fault
-injection is pure post-processing — and the payload is deterministic
-for a fixed seed (``--selfcheck`` verifies both by running the sweep
-twice and comparing the JSON).
+Runs GMM and LDA on all four platforms, injects seeded fault schedules
+into the simulated runs (``repro.bench.faultsweep``) — machine crashes
+of increasing rate, spot preemptions with and without a drainable
+warning window, elastic resizes (shrink and grow), and a heterogeneous
+mixed-generations fleet — and writes ``BENCH_<rev>_faults.json``
+(schema v2).  The engine traces are byte-identical across the whole
+sweep — fault injection is pure post-processing — and the payload is
+deterministic for a fixed seed (``--selfcheck`` verifies both by
+running the sweep twice and comparing the JSON).
 
     python benchmarks/faultbench.py              # full sweep
     python benchmarks/faultbench.py --quick      # CI smoke (GMM only, 5 machines)

@@ -2,7 +2,10 @@
 
 Each case runs one (platform, model) engine once per cluster size at
 laptop scale — exactly like the figure benchmarks — and then replays the
-*same trace* against fault schedules of increasing machine-crash rate.
+*same trace* against fault schedules of increasing machine-crash rate,
+plus the hostile-cluster regimes: spot preemption (with and without a
+drainable warning window), elastic resize (shrink and grow), and a
+heterogeneous mixed-generations fleet with a contended machine.
 Because fault injection is pure post-processing of the trace (see
 :mod:`repro.cluster.faults`), a whole failure sweep costs one engine
 execution per cluster size, and the traced event stream is asserted
@@ -27,7 +30,9 @@ from repro.bench.wallclock import git_revision
 from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
+    ContentionWindow,
     FaultRates,
+    Fleet,
     RecoveryStrategy,
     RunReport,
     Scenario,
@@ -35,14 +40,18 @@ from repro.cluster import (
     Tracer,
     simulate_grid,
 )
-from repro.config import GMM_SCALE, TEXT_SCALE
+from repro.cluster.machine import DEFAULT_CONTENTION_SLOWDOWN
+from repro.config import GMM_SCALE, SPOT_WARNING_SECONDS, TEXT_SCALE
 from repro.impls.registry import data_factory
 
 SEED = 20140622
 #: Seed of the sampled fault schedules.  Chosen so the default rate
 #: grid actually exercises the fault path over the four traced phases:
-#: with this seed the per-phase uniforms are (0.51, 0.33, 0.45, 0.01),
-#: i.e. 0 / 1 / 2 machine crashes at rates 0.0 / 0.15 / 0.4.
+#: with this seed the first per-phase uniforms are (0.51, 0.33, 0.45,
+#: 0.01), i.e. 0 / 1 / 2 machine crashes at rates 0.0 / 0.15 / 0.4; the
+#: preemption draws (0.95, 0.16, 0.28, 0.91) land two reclaims and the
+#: resize draws (0.31, 0.80, 0.82, 0.84) one resize at the 0.5 hostile
+#: rates.
 SWEEP_SEED = 1
 ITERATIONS = 3
 #: Machine-crash probability per phase, the swept axis.
@@ -50,6 +59,31 @@ CRASH_RATES = (0.0, 0.15, 0.4)
 MACHINE_COUNTS = (5, 20)
 #: Checkpoint interval used for the lineage platforms' second ride.
 CHECKPOINT_INTERVAL = 2
+#: Per-phase probability of the hostile-cluster regimes (spot reclaim /
+#: elastic resize).
+PREEMPTION_RATE = 0.5
+RESIZE_RATE = 0.5
+#: Resize deltas swept: the common autoscaler scale-down and a grow.
+RESIZE_DELTAS = (-1, 3)
+#: Preemption warning windows swept: the EC2-style two-minute notice
+#: and an abrupt reclaim nobody can drain inside.
+ABRUPT_WARNING = 0.0
+PREEMPTION_WARNINGS = (SPOT_WARNING_SECONDS, ABRUPT_WARNING)
+#: Schema version of the BENCH_<rev>_faults.json payload (2 added the
+#: preemption / resize / hetero regimes and the drain/resize counters).
+SCHEMA_VERSION = 2
+
+
+def hetero_fleet(machines: int) -> Fleet:
+    """The benchmark's mixed fleet: half the machines one generation
+    older (0.8x), plus a noisy neighbor on machine 0 for every
+    iteration phase."""
+    older = machines // 2
+    return Fleet.generations(
+        (machines - older, 1.0), (older, 0.8),
+        contention=(ContentionWindow(0, 1, 1 + ITERATIONS,
+                                     DEFAULT_CONTENTION_SLOWDOWN),))
+
 
 GMM_N = {"spark": 400, "simsql": 160, "graphlab": 400, "giraph": 400}
 LDA_DOCS = 64
@@ -151,6 +185,8 @@ def _cell_payload(report: RunReport) -> dict:
         "aborted": report.aborted,
         "recovered_failures": report.recovered_failures,
         "total_retries": report.total_retries,
+        "preemptions_drained": report.preemptions_drained,
+        "resize_events": report.resize_events,
         "lost_seconds": report.lost_seconds,
         "checkpoint_seconds": report.checkpoint_seconds,
         "total_seconds": report.total_seconds,
@@ -170,12 +206,14 @@ def sweep_case(
 ) -> dict:
     """One engine run per cluster size, one *grid* simulation per size.
 
-    The whole rate axis — plus the lineage platforms' checkpointed
-    second ride — goes through :func:`repro.cluster.simulate_grid` in a
-    single vectorized pass over the trace; the per-cell
-    ``Simulator.simulate`` path is the oracle the golden suite checks
-    the grid against, so the payload is byte-identical to the old
-    one-simulation-per-cell loop.
+    The whole crash-rate axis — plus the lineage platforms'
+    checkpointed second ride and the hostile-cluster regimes
+    (preemption at both warning windows, resize at both deltas, a
+    mixed-generations fleet) — goes through
+    :func:`repro.cluster.simulate_grid` in a single vectorized pass
+    over the trace; the per-cell ``Simulator.simulate`` path is the
+    oracle the golden suite checks the grid against, so the payload is
+    byte-identical to a one-simulation-per-cell loop.
     """
     profile = PLATFORM_PROFILES[case.platform]
     lineage = profile.recovery.strategy is RecoveryStrategy.LINEAGE
@@ -184,24 +222,49 @@ def sweep_case(
         tracer = _trace_case(case, machines)
         frozen = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
         scales = _scales_for(case, machines)
-        scenarios = [
-            Scenario.make(machines, scales,
-                          rates=FaultRates(machine_crash=rate), seed=seed)
-            for rate in crash_rates
-        ]
+        scenarios = []
+        tags: list[dict | None] = []
+        for rate in crash_rates:
+            scenarios.append(Scenario.make(
+                machines, scales, rates=FaultRates(machine_crash=rate),
+                seed=seed))
+            tags.append({"regime": "crash", "rate": rate, "crash_rate": rate})
+        checkpoint_base = len(scenarios)
         if lineage:
-            scenarios += [
-                Scenario.make(machines, scales,
-                              rates=FaultRates(machine_crash=rate), seed=seed,
-                              checkpoint_interval=CHECKPOINT_INTERVAL)
-                for rate in crash_rates
-            ]
+            # Second ride for the crash axis only; folded into the
+            # matching crash cell rather than tagged as its own cell.
+            for rate in crash_rates:
+                scenarios.append(Scenario.make(
+                    machines, scales, rates=FaultRates(machine_crash=rate),
+                    seed=seed, checkpoint_interval=CHECKPOINT_INTERVAL))
+                tags.append(None)
+        for warning in PREEMPTION_WARNINGS:
+            scenarios.append(Scenario.make(
+                machines, scales,
+                rates=FaultRates(preemption=PREEMPTION_RATE,
+                                 preemption_warning=warning),
+                seed=seed))
+            tags.append({"regime": "preemption", "rate": PREEMPTION_RATE,
+                         "warning_seconds": warning})
+        for delta in RESIZE_DELTAS:
+            scenarios.append(Scenario.make(
+                machines, scales,
+                rates=FaultRates(resize=RESIZE_RATE, resize_delta=delta),
+                seed=seed))
+            tags.append({"regime": "resize", "rate": RESIZE_RATE,
+                         "resize_delta": delta})
+        scenarios.append(Scenario.make(machines, scales, seed=seed,
+                                       fleet=hetero_fleet(machines)))
+        tags.append({"regime": "hetero", "rate": 0.0,
+                     "fleet": "mixed-generations"})
         grid = simulate_grid(tracer, profile, ScenarioGrid.of(scenarios))
-        for i, rate in enumerate(crash_rates):
-            cell = {"machines": machines, "crash_rate": rate}
+        for i, tag in enumerate(tags):
+            if tag is None:
+                continue
+            cell = {"machines": machines, **tag}
             cell.update(_cell_payload(grid.report(i)))
-            if lineage:
-                checkpointed = grid.report(len(crash_rates) + i)
+            if tag["regime"] == "crash" and lineage:
+                checkpointed = grid.report(checkpoint_base + i)
                 cell["checkpointed_total_seconds"] = checkpointed.total_seconds
             cells.append(cell)
         after = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
@@ -248,8 +311,13 @@ def run_sweep(
     return {
         "rev": git_revision(),
         "kind": "faultbench",
+        "schema": SCHEMA_VERSION,
         "seed": seed,
         "crash_rates": list(crash_rates),
+        "preemption_rate": PREEMPTION_RATE,
+        "preemption_warnings": list(PREEMPTION_WARNINGS),
+        "resize_rate": RESIZE_RATE,
+        "resize_deltas": list(RESIZE_DELTAS),
         "machines": list(machine_counts),
         "checkpoint_interval": CHECKPOINT_INTERVAL,
         "cases": results,
@@ -266,25 +334,45 @@ def write_report(payload: dict, out_dir: str | Path = ".") -> Path:
 
 #: Keys every sweep cell must carry (shared with the CI schema check).
 CELL_KEYS = (
-    "machines", "crash_rate", "completed", "aborted", "recovered_failures",
-    "total_retries", "lost_seconds", "checkpoint_seconds", "total_seconds",
+    "machines", "regime", "rate", "completed", "aborted",
+    "recovered_failures", "total_retries", "preemptions_drained",
+    "resize_events", "lost_seconds", "checkpoint_seconds", "total_seconds",
     "cell",
 )
+
+#: Per-regime key each cell must also carry.
+REGIME_KEYS = {
+    "crash": "crash_rate",
+    "preemption": "warning_seconds",
+    "resize": "resize_delta",
+    "hetero": "fleet",
+}
 
 
 def validate_payload(payload: dict) -> None:
     """Schema check for a faultbench payload; raises AssertionError."""
-    for key in ("rev", "kind", "seed", "crash_rates", "machines", "cases"):
+    for key in ("rev", "kind", "schema", "seed", "crash_rates",
+                "preemption_rate", "resize_rate", "machines", "cases"):
         assert key in payload, f"missing top-level key {key!r}"
     assert payload["kind"] == "faultbench"
+    assert payload["schema"] == SCHEMA_VERSION, (
+        f"schema {payload['schema']!r} != {SCHEMA_VERSION}")
     assert payload["cases"], "no sweep cases recorded"
     for name, case in payload["cases"].items():
         for key in ("platform", "model", "iterations", "trace_immutable", "cells"):
             assert key in case, f"{name} missing {key!r}"
         assert case["trace_immutable"], f"{name}: trace mutated during sweep"
         assert case["cells"], f"{name} recorded no cells"
+        regimes = set()
         for cell in case["cells"]:
             for key in CELL_KEYS:
                 assert key in cell, f"{name} cell missing {key!r}"
+            regime = cell["regime"]
+            assert regime in REGIME_KEYS, f"{name}: unknown regime {regime!r}"
+            assert REGIME_KEYS[regime] in cell, (
+                f"{name} {regime} cell missing {REGIME_KEYS[regime]!r}")
+            regimes.add(regime)
             if not cell["completed"]:
                 assert cell["fail_reason"], f"{name}: failed cell lacks a reason"
+        missing = set(REGIME_KEYS) - regimes
+        assert not missing, f"{name}: regimes never swept: {sorted(missing)}"

@@ -1,12 +1,16 @@
 """Thousand-cell scenario grids: the vectorized trace-algebra benchmark.
 
 One engine run per cluster size produces a trace; the whole scenario
-grid — crash rates x checkpoint intervals x schedule seeds — then
-replays that trace through :func:`repro.cluster.simulate_grid` in a
-single vectorized pass.  The per-cell ``Simulator.simulate`` loop is
-the oracle: the same grid is (optionally) re-run cell by cell, every
-rebuilt ``RunReport`` is checked byte-identical (``repr`` equality),
-and both paths' cells/second go into the payload.
+grid — fault rates x checkpoint intervals x schedule seeds x fleets —
+then replays that trace through :func:`repro.cluster.simulate_grid` in
+a single vectorized pass.  Every non-zero rate point mixes all five
+fault kinds (crashes plus task failures, stragglers, preemptions, and
+resizes at half the crash rate), and every axis point runs both on a
+homogeneous on-demand fleet and on a heterogeneous mixed-generations
+fleet with a contended machine.  The per-cell ``Simulator.simulate``
+loop is the oracle: the same grid is (optionally) re-run cell by cell,
+every rebuilt ``RunReport`` is checked byte-identical (``repr``
+equality), and both paths' cells/second go into the payload.
 
 ``python benchmarks/microbench.py --grid`` attaches the result to
 ``BENCH_<rev>.json`` under the ``"grid"`` key.
@@ -16,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench.faultsweep import _gmm_case, _scales_for, _trace_case
+from repro.bench.faultsweep import _gmm_case, _scales_for, _trace_case, hetero_fleet
 from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
@@ -28,21 +32,32 @@ from repro.cluster import (
     simulate_grid,
 )
 
-#: Default sweep axes: 2 x 7 x 2 x 36 = 1,008 cells over two traces.
+#: Default sweep axes: 2 x 7 x 2 x 36 x 2 fleets = 2,016 cells over two
+#: traces.
 MACHINE_COUNTS = (5, 20)
 CRASH_RATES = (0.0, 0.075, 0.15, 0.225, 0.3, 0.375, 0.45)
 CHECKPOINT_INTERVALS = (0, 2)
 SEEDS = 36
+#: Preemption and resize fire at this fraction of the cell's crash rate.
+HOSTILE_SCALE = 0.5
 
-#: CI smoke axes: 1 x 2 x 2 x 3 = 12 cells.
+#: CI smoke axes: 1 x 2 x 2 x 3 x 2 fleets = 24 cells.
 QUICK_MACHINE_COUNTS = (5,)
 QUICK_CRASH_RATES = (0.0, 0.3)
 QUICK_SEEDS = 3
 
 
+def _rates(rate: float) -> FaultRates:
+    """All five fault kinds at once, anchored to the crash rate."""
+    return FaultRates(machine_crash=rate,
+                      preemption=HOSTILE_SCALE * rate,
+                      resize=HOSTILE_SCALE * rate)
+
+
 def _oracle(tracer, profile, scenario: Scenario):
     """One per-cell reference simulation (the pre-grid code path)."""
-    simulator = Simulator(ClusterSpec(machines=scenario.machines), profile)
+    simulator = Simulator(
+        ClusterSpec(machines=scenario.machines, fleet=scenario.fleet), profile)
     faults = None
     if scenario.rates is not None:
         faults = FaultSchedule.sampled(scenario.rates, seed=scenario.seed)
@@ -73,12 +88,13 @@ def run_gridbench(
         tracer = _trace_case(case, machines)
         scales = _scales_for(case, machines)
         scenarios = ScenarioGrid.of(
-            Scenario.make(machines, scales,
-                          rates=FaultRates(machine_crash=rate),
-                          seed=seed, checkpoint_interval=interval)
+            Scenario.make(machines, scales, rates=_rates(rate),
+                          seed=seed, checkpoint_interval=interval,
+                          fleet=fleet)
             for rate in crash_rates
             for interval in checkpoint_intervals
             for seed in range(seeds)
+            for fleet in (None, hetero_fleet(machines))
         )
         bases.append((tracer, scenarios))
     cells = sum(len(grid) for _, grid in bases)
@@ -94,6 +110,8 @@ def run_gridbench(
         "crash_rates": list(crash_rates),
         "checkpoint_intervals": list(checkpoint_intervals),
         "seeds_per_axis_point": seeds,
+        "hostile_scale": HOSTILE_SCALE,
+        "fleets": ["on-demand", "mixed-generations"],
         "grid_seconds": grid_seconds,
         "grid_cells_per_sec": (cells / grid_seconds if grid_seconds > 0
                                else float("inf")),

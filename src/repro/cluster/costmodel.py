@@ -45,16 +45,37 @@ class RecoveryStrategy(enum.Enum):
     ABORT = "abort"
 
 
+class ResizeCost(enum.Enum):
+    """What an elastic fleet resize (planned grow/shrink) costs a platform.
+
+    A resize is *not* a failure — the autoscaler announces it — but the
+    moved data partitions must land somewhere, and each platform
+    re-establishes them with the same machinery it uses for recovery.
+    """
+
+    #: Spark: the moved partitions are recomputed from lineage on the
+    #: new fleet (everything since the last checkpoint re-runs for the
+    #: moved share).
+    LINEAGE_RECOMPUTE = "lineage_recompute"
+    #: Giraph/GraphLab: stop at a superstep boundary, write a replicated
+    #: checkpoint of the resident state, restart on the new fleet.
+    CHECKPOINT_RESTORE = "checkpoint_restore"
+    #: Hadoop-backed SimSQL: launch a fresh job whose input splits are
+    #: recomputed; the moved share of the input re-reads from HDFS.
+    INPUT_RESPLIT = "input_resplit"
+
+
 @dataclass(frozen=True)
 class RecoveryModel:
     """Per-platform failure semantics used by :mod:`repro.cluster.faults`.
 
     This encodes the paper's robustness findings as simulation rules:
     *how* a platform pays for a lost machine or task
-    (:class:`RecoveryStrategy`) and whether stragglers are absorbed by
+    (:class:`RecoveryStrategy`), whether stragglers are absorbed by
     speculative re-execution (Hadoop/Spark backup tasks) or stall every
     peer at the next BSP barrier (Giraph supersteps, GraphLab's
-    synchronous engine).
+    synchronous engine), whether a spot reclaim *with notice* can be
+    drained gracefully, and what an elastic resize costs.
     """
 
     strategy: RecoveryStrategy
@@ -62,6 +83,13 @@ class RecoveryModel:
     #: a straggler's slowdown is amortized across the cluster instead of
     #: stretching the whole barrier-to-barrier phase.
     speculative_execution: bool = False
+    #: True when the platform can use a preemption warning: migrate the
+    #: doomed machine's resident state off-box inside the notice window
+    #: and re-run only its in-flight share — no heartbeat timeout, no
+    #: retry bookkeeping.  False means every reclaim lands as a crash.
+    preemption_drain: bool = False
+    #: How a planned fleet resize re-establishes the moved partitions.
+    resize_cost: ResizeCost = ResizeCost.CHECKPOINT_RESTORE
 
 
 @dataclass(frozen=True)
@@ -160,9 +188,14 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         spill_allowed=False,
         connection_buffer_bytes=48.0 * 1024,
         # Section 10: lost RDD partitions are recomputed from lineage;
-        # slow tasks get speculative backups.
+        # slow tasks get speculative backups.  With a spot notice the
+        # driver decommissions the executor and migrates its cached
+        # partitions before the reclaim; a resize recomputes the moved
+        # partitions from lineage.
         recovery=RecoveryModel(
-            strategy=RecoveryStrategy.LINEAGE, speculative_execution=True
+            strategy=RecoveryStrategy.LINEAGE, speculative_execution=True,
+            preemption_drain=True,
+            resize_cost=ResizeCost.LINEAGE_RECOMPUTE,
         ),
     ),
     # SimSQL: every query compiles to Hadoop MapReduce jobs (high fixed
@@ -182,8 +215,12 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         connection_buffer_bytes=16.0 * 1024,
         # Section 10: "SimSQL never failed" — Hadoop re-executes lost
         # tasks (bounded attempts) and speculates around stragglers.
+        # Hadoop decommissioning drains a warned preemption; a resize
+        # re-splits the HDFS input under a fresh job.
         recovery=RecoveryModel(
-            strategy=RecoveryStrategy.RETRY, speculative_execution=True
+            strategy=RecoveryStrategy.RETRY, speculative_execution=True,
+            preemption_drain=True,
+            resize_cost=ResizeCost.INPUT_RESPLIT,
         ),
     ),
     # GraphLab: C++ speed, but the engine owns data movement; gather
@@ -203,9 +240,13 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         spill_allowed=False,
         connection_buffer_bytes=256.0 * 1024,
         # Section 10: GraphLab 2.2 has no fault tolerance; a machine
-        # failure aborts the whole run, and the synchronous engine
-        # waits out every straggler at the barrier.
-        recovery=RecoveryModel(strategy=RecoveryStrategy.ABORT),
+        # failure aborts the whole run — and so does a spot reclaim,
+        # notice or not.  A *planned* resize survives via a snapshot
+        # and engine restart (checkpoint-restore).
+        recovery=RecoveryModel(
+            strategy=RecoveryStrategy.ABORT,
+            resize_cost=ResizeCost.CHECKPOINT_RESTORE,
+        ),
     ),
     # Giraph: BSP on Hadoop; one job per run but per-superstep barriers;
     # JVM message objects are heavy, and every peer connection at a
@@ -225,8 +266,13 @@ PLATFORM_PROFILES: dict[str, PlatformProfile] = {
         connection_buffer_bytes=2.0 * 1024 * 1024,
         # Section 10: Hadoop task re-execution underneath, but BSP
         # supersteps give stragglers nowhere to hide — every worker
-        # waits at the barrier.
-        recovery=RecoveryModel(strategy=RecoveryStrategy.RETRY),
+        # waits at the barrier.  A BSP worker cannot drain mid-superstep
+        # either: a warned reclaim still lands as a crash, and a resize
+        # takes the checkpoint-restore path.
+        recovery=RecoveryModel(
+            strategy=RecoveryStrategy.RETRY,
+            resize_cost=ResizeCost.CHECKPOINT_RESTORE,
+        ),
     ),
 }
 

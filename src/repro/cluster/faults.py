@@ -17,7 +17,7 @@ replaying a *finished* trace against a :class:`FaultSchedule`:
   :class:`~repro.cluster.costmodel.RecoveryModel` and the
   :class:`~repro.config.RetryPolicy`, not by the fault itself.
 
-Three fault kinds are modelled:
+Five fault kinds are modelled:
 
 * ``MACHINE_CRASH`` — one machine dies during a phase, losing its 1/Nth
   share of the phase's parallel work (and, for lineage platforms, its
@@ -27,16 +27,38 @@ Three fault kinds are modelled:
 * ``STRAGGLER`` — the slowest machine runs ``slowdown`` times slower;
   BSP platforms wait for it at the barrier, speculative platforms
   re-execute its tasks elsewhere and amortize the stall.
+* ``PREEMPTION`` — a spot reclaim *with notice*: the machine vanishes
+  after ``warning_seconds``.  Platforms whose
+  :class:`~repro.cluster.costmodel.RecoveryModel` can drain
+  (``preemption_drain``) and whose resident state migrates off-box
+  within the window pay only the re-run of the in-flight share — no
+  heartbeat timeout, no retry bookkeeping.  Everyone else takes the
+  reclaim as a plain machine crash (which aborts GraphLab).
+* ``RESIZE`` — an elastic grow/shrink by ``delta_machines``.  Planned,
+  so nobody aborts, but the moved partitions must be re-established and
+  each platform pays its :class:`~repro.cluster.costmodel.ResizeCost`
+  discipline: lineage recompute (Spark), BSP checkpoint-restore
+  (Giraph/GraphLab), or a Hadoop input re-split (SimSQL).  The fleet's
+  nominal size is the time-averaged one: the event charges the
+  re-partitioning cost without re-pricing later phases.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.cluster.costmodel import PlatformProfile, RecoveryStrategy
+from repro.cluster.costmodel import PlatformProfile, RecoveryStrategy, ResizeCost
 from repro.cluster.machine import ClusterSpec
-from repro.config import CHECKPOINT_REPLICATION, DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.config import (
+    CHECKPOINT_REPLICATION,
+    DEFAULT_RESIZE_DELTA,
+    DEFAULT_RETRY_POLICY,
+    SPOT_WARNING_SECONDS,
+    RetryPolicy,
+)
 from repro.stats import make_rng
 
 __all__ = [
@@ -47,6 +69,7 @@ __all__ = [
     "FaultSchedule",
     "PhaseFaults",
     "RetryPolicy",
+    "UnknownFaultPhase",
     "one_crash_per_iteration",
 ]
 
@@ -63,6 +86,12 @@ class FaultKind(enum.Enum):
     MACHINE_CRASH = "machine_crash"
     TASK_FAILURE = "task_failure"
     STRAGGLER = "straggler"
+    PREEMPTION = "preemption"
+    RESIZE = "resize"
+
+
+class UnknownFaultPhase(ValueError):
+    """An explicit fault names a phase the trace never ran (strict mode)."""
 
 
 @dataclass(frozen=True)
@@ -71,18 +100,28 @@ class Fault:
 
     kind: FaultKind
     #: Name of the traced phase the fault strikes (``"init"``,
-    #: ``"iteration:3"`` ...).  Unknown names strike nothing.
+    #: ``"iteration:3"`` ...).  Unknown names strike nothing (or raise
+    #: :class:`UnknownFaultPhase` when the schedule is strict).
     phase: str
     #: TASK_FAILURE only: share of the phase's parallel work lost.
     fraction: float = DEFAULT_TASK_FRACTION
     #: STRAGGLER only: how many times slower the slowest machine runs.
     slowdown: float = DEFAULT_STRAGGLER_SLOWDOWN
+    #: PREEMPTION only: seconds of notice before the machine vanishes.
+    warning_seconds: float = SPOT_WARNING_SECONDS
+    #: RESIZE only: machine-count change (negative shrinks the fleet).
+    delta_machines: int = DEFAULT_RESIZE_DELTA
 
     def __post_init__(self) -> None:
         if not 0.0 < self.fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
         if self.slowdown < 1.0:
             raise ValueError(f"slowdown must be at least 1, got {self.slowdown}")
+        if self.warning_seconds < 0.0:
+            raise ValueError(
+                f"warning_seconds must be non-negative, got {self.warning_seconds}")
+        if self.delta_machines == 0:
+            raise ValueError("a resize must change the machine count; delta is 0")
 
 
 @dataclass(frozen=True)
@@ -95,16 +134,39 @@ class FaultRates:
     task_failure: float = 0.0
     #: Probability a phase has a straggling machine.
     straggler: float = 0.0
+    #: Probability a phase sees a spot reclaim (preemption with notice).
+    preemption: float = 0.0
+    #: Probability a phase coincides with an elastic resize event.
+    resize: float = 0.0
     #: Work share lost per sampled task failure.
     task_fraction: float = DEFAULT_TASK_FRACTION
     #: Slowdown of a sampled straggler.
     straggler_slowdown: float = DEFAULT_STRAGGLER_SLOWDOWN
+    #: Notice window of a sampled preemption, seconds.
+    preemption_warning: float = SPOT_WARNING_SECONDS
+    #: Machine-count change of a sampled resize event.
+    resize_delta: int = DEFAULT_RESIZE_DELTA
 
     def __post_init__(self) -> None:
-        for name in ("machine_crash", "task_failure", "straggler"):
+        for name in ("machine_crash", "task_failure", "straggler",
+                     "preemption", "resize"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+
+
+def _strict_default() -> bool:
+    """Strict phase validation defaults on under pytest.
+
+    ``REPRO_STRICT_FAULTS`` overrides in either direction (any value but
+    ``""``/``"0"`` enables it); otherwise strict mode tracks whether a
+    test is running, so typo'd schedules fail loudly in CI while ad-hoc
+    exploratory scripts keep the forgiving behaviour.
+    """
+    flag = os.environ.get("REPRO_STRICT_FAULTS")
+    if flag is not None:
+        return flag not in ("", "0")
+    return "PYTEST_CURRENT_TEST" in os.environ
 
 
 class FaultSchedule:
@@ -122,15 +184,18 @@ class FaultSchedule:
         faults: tuple[Fault, ...] | list[Fault] = (),
         rates: FaultRates | None = None,
         seed: int = 0,
+        strict: bool | None = None,
     ) -> None:
         self.faults = tuple(faults)
         self.rates = rates
         self.seed = seed
+        self.strict = _strict_default() if strict is None else strict
 
     @classmethod
-    def explicit(cls, faults: list[Fault] | tuple[Fault, ...]) -> FaultSchedule:
+    def explicit(cls, faults: list[Fault] | tuple[Fault, ...],
+                 strict: bool | None = None) -> FaultSchedule:
         """A fully scripted schedule (the acceptance-test form)."""
-        return cls(faults=tuple(faults))
+        return cls(faults=tuple(faults), strict=strict)
 
     @classmethod
     def sampled(cls, rates: FaultRates, seed: int = 0) -> FaultSchedule:
@@ -141,8 +206,32 @@ class FaultSchedule:
     def empty(self) -> bool:
         return not self.faults and self.rates is None
 
+    def validate_phases(self, known: Iterable[str]) -> None:
+        """Raise :class:`UnknownFaultPhase` for typo'd explicit phases.
+
+        Called by the simulator (strict mode only) with every traced
+        phase name; a fault pinned to a name outside that set would
+        otherwise strike nothing and silently measure a fault-free run.
+        """
+        if not self.strict:
+            return
+        known_names = set(known)
+        unknown = sorted({f.phase for f in self.faults} - known_names)
+        if unknown:
+            raise UnknownFaultPhase(
+                f"fault schedule names unknown phase(s) {unknown}; "
+                f"traced phases are {sorted(known_names)}"
+            )
+
     def faults_for(self, index: int, name: str) -> tuple[Fault, ...]:
-        """Every fault striking phase ``index`` (named ``name``)."""
+        """Every fault striking phase ``index`` (named ``name``).
+
+        The sampled draws are fixed-count and unconditional (five
+        uniforms per phase, in enum order) so the uniform stream — and
+        therefore the schedule — never depends on the rates, only on
+        ``(seed, index)``.  New kinds draw *after* the original three,
+        keeping historical crash/task/straggler schedules stable.
+        """
         struck = [fault for fault in self.faults if fault.phase == name]
         if self.rates is not None:
             rng = make_rng((self.seed, index))
@@ -156,6 +245,16 @@ class FaultSchedule:
             if rng.random() < rates.straggler:
                 struck.append(
                     Fault(FaultKind.STRAGGLER, phase=name, slowdown=rates.straggler_slowdown)
+                )
+            if rng.random() < rates.preemption:
+                struck.append(
+                    Fault(FaultKind.PREEMPTION, phase=name,
+                          warning_seconds=rates.preemption_warning)
+                )
+            if rng.random() < rates.resize:
+                struck.append(
+                    Fault(FaultKind.RESIZE, phase=name,
+                          delta_machines=rates.resize_delta)
                 )
         return tuple(struck)
 
@@ -180,6 +279,10 @@ class PhaseFaults:
     retries: int = 0
     #: Failures the platform survived.
     recovered: int = 0
+    #: Preemptions absorbed by a graceful drain (no retry bookkeeping).
+    drained: int = 0
+    #: Elastic resize events the phase absorbed.
+    resizes: int = 0
     #: True when a fault killed the run in this phase.
     aborted: bool = False
     reason: str = ""
@@ -233,8 +336,11 @@ class FaultInjector:
         lost = 0.0
         retries = 0
         recovered = 0
+        drained = 0
+        resizes = 0
         aborted = False
         reason = ""
+        survivors = self.cluster.without_machines(1).machines
 
         for fault in faults:
             if fault.kind is FaultKind.STRAGGLER:
@@ -245,6 +351,24 @@ class FaultInjector:
                     stretch /= self.cluster.machines
                 lost += stretch
                 continue
+            if fault.kind is FaultKind.RESIZE:
+                # Planned: nobody aborts, no retry bookkeeping — the
+                # platform pays its re-partitioning discipline and moves on.
+                lost += self._resize_cost(fault, parallel_seconds, peak_bytes)
+                resizes += 1
+                continue
+            if fault.kind is FaultKind.PREEMPTION and recovery.preemption_drain:
+                # Drain iff the machine's resident state fits through
+                # the NIC inside the warning window; the in-flight share
+                # still re-runs on the survivors, but there is no
+                # heartbeat timeout and no retry bookkeeping.
+                drain_seconds = peak_bytes / self.cluster.machine.network_bandwidth
+                if fault.warning_seconds >= drain_seconds:
+                    lost += parallel_seconds / survivors
+                    recovered += 1
+                    drained += 1
+                    continue
+                # Too little notice: the reclaim lands as a crash below.
             if recovery.strategy is RecoveryStrategy.ABORT:
                 aborted = True
                 reason = (
@@ -260,8 +384,12 @@ class FaultInjector:
                 )
                 break
             lost += self.policy.backoff_before(retries)
-            survivors = self.cluster.without_machines(1).machines
-            if fault.kind is FaultKind.MACHINE_CRASH:
+            if fault.kind is FaultKind.TASK_FAILURE:
+                # Transient, retried in place on the full cluster;
+                # cached inputs survive, so no lineage.
+                lost += fault.fraction * parallel_seconds
+                recovered += 1
+            else:  # MACHINE_CRASH, or a PREEMPTION nobody could drain.
                 if recovery.strategy is RecoveryStrategy.RETRY:
                     # Heartbeat timeout, then the dead machine's share
                     # of this phase re-runs on the survivors.
@@ -271,10 +399,6 @@ class FaultInjector:
                     # immediately but must also rebuild the lost
                     # partitions of every un-checkpointed upstream phase.
                     lost += (self._lineage_window + parallel_seconds) / survivors
-                recovered += 1
-            else:  # TASK_FAILURE: transient, retried in place on the
-                # full cluster; cached inputs survive, so no lineage.
-                lost += fault.fraction * parallel_seconds
                 recovered += 1
 
         checkpoint = 0.0
@@ -294,6 +418,44 @@ class FaultInjector:
             checkpoint_seconds=checkpoint,
             retries=retries,
             recovered=recovered,
+            drained=drained,
+            resizes=resizes,
             aborted=aborted,
             reason=reason,
+        )
+
+    def _resize_cost(self, fault: Fault, parallel_seconds: float,
+                     peak_bytes: float) -> float:
+        """Seconds to re-establish the partitions a resize moves.
+
+        ``moved`` is the share of partitions that changes machines under
+        consistent re-assignment (``|delta| / max(old, new)``); the work
+        to rebuild them lands on the ``new_m`` post-resize fleet.  The
+        association order of every formula is mirrored exactly by the
+        vectorized replay in :mod:`repro.cluster.tracealgebra` — change
+        one and you must change both.
+        """
+        machines = self.cluster.machines
+        new_m = max(1, machines + fault.delta_machines)
+        moved = abs(fault.delta_machines) / max(machines, new_m)
+        discipline = self.profile.recovery.resize_cost
+        if discipline is ResizeCost.LINEAGE_RECOMPUTE:
+            # Spark: moved partitions recompute from lineage — the
+            # un-checkpointed window plus this phase, scaled to the
+            # whole-cluster work the moved share represents.
+            return (self._lineage_window + parallel_seconds) * machines * moved / new_m
+        if discipline is ResizeCost.CHECKPOINT_RESTORE:
+            # BSP: write a synchronous checkpoint, restart the job from
+            # it on the new fleet, and redo the moved share of the phase.
+            write_read = (
+                2.0 * CHECKPOINT_REPLICATION * peak_bytes
+                / self.cluster.machine.disk_bandwidth
+            )
+            return write_read + parallel_seconds * machines * moved / new_m
+        # INPUT_RESPLIT (Hadoop-backed SimSQL): a fresh job start against
+        # re-split inputs — fixed scheduling overhead plus re-reading the
+        # moved share of the resident data from disk.
+        return (
+            self.profile.job_overhead
+            + peak_bytes * machines * moved / (new_m * self.cluster.machine.disk_bandwidth)
         )

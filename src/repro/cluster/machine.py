@@ -31,20 +31,137 @@ class MachineSpec:
         return self.profile.network_bandwidth
 
 
+#: Default speed divisor of a machine while a noisy neighbor shares it.
+DEFAULT_CONTENTION_SLOWDOWN = 1.5
+
+
+@dataclass(frozen=True)
+class ContentionWindow:
+    """A noisy-neighbor episode: one machine, a span of phases, a slowdown.
+
+    While phase ``start <= index < stop`` replays, machine ``machine``
+    runs ``slowdown`` times slower than its nominal fleet speed.
+    Windows on the same machine stack multiplicatively in declaration
+    order.
+    """
+
+    machine: int
+    start: int
+    stop: int
+    slowdown: float = DEFAULT_CONTENTION_SLOWDOWN
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ValueError(f"machine index must be non-negative, got {self.machine}")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be at least 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """A heterogeneous fleet: per-machine speed multipliers + contention.
+
+    ``speeds[m]`` scales machine ``m``'s compute throughput (1.0 is the
+    nominal :class:`MachineSpec`; 0.8 models an older instance
+    generation).  Contention windows slow individual machines during
+    phase spans.  How an uneven fleet stretches a phase's
+    cluster-parallel time depends on the platform's scheduling
+    discipline — see :meth:`phase_stretch`.
+    """
+
+    speeds: tuple[float, ...]
+    contention: tuple[ContentionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.speeds:
+            raise ValueError("a fleet needs at least one machine speed")
+        for speed in self.speeds:
+            if speed <= 0:
+                raise ValueError(f"machine speeds must be positive, got {speed}")
+        for window in self.contention:
+            if window.machine >= len(self.speeds):
+                raise ValueError(
+                    f"contention window targets machine {window.machine} "
+                    f"but the fleet has only {len(self.speeds)} machines")
+
+    @classmethod
+    def uniform(cls, machines: int, speed: float = 1.0,
+                contention: tuple[ContentionWindow, ...] = ()) -> Fleet:
+        """``machines`` identical machines (contention still applies)."""
+        return cls(speeds=(speed,) * machines, contention=tuple(contention))
+
+    @classmethod
+    def generations(cls, *groups: tuple[int, float],
+                    contention: tuple[ContentionWindow, ...] = ()) -> Fleet:
+        """Mixed machine generations: ``(count, speed)`` per group,
+        concatenated in declaration order."""
+        speeds: list[float] = []
+        for count, speed in groups:
+            speeds.extend([speed] * count)
+        return cls(speeds=tuple(speeds), contention=tuple(contention))
+
+    @property
+    def machines(self) -> int:
+        return len(self.speeds)
+
+    def effective_speed(self, machine: int, phase_index: int) -> float:
+        """Machine ``machine``'s speed while phase ``phase_index`` runs."""
+        speed = self.speeds[machine]
+        for window in self.contention:
+            if window.machine == machine and window.start <= phase_index < window.stop:
+                speed = speed / window.slowdown
+        return speed
+
+    def phase_stretch(self, phase_index: int, speculative: bool) -> float:
+        """Multiplier on the phase's cluster-parallel seconds.
+
+        Work-redistributing schedulers (Hadoop/Spark speculative
+        execution) see the fleet's aggregate throughput: the stretch is
+        ``machines / sum(speeds)``.  BSP barriers wait for the slowest
+        machine's fixed 1/Nth share: the stretch is ``1 / min(speed)``.
+        Scalar Python arithmetic on purpose — the vectorized grid calls
+        this same method per phase, so both paths multiply by the
+        bit-identical factor.
+        """
+        slowest = self.effective_speed(0, phase_index)
+        total = slowest
+        for machine in range(1, len(self.speeds)):
+            speed = self.effective_speed(machine, phase_index)
+            total += speed
+            if speed < slowest:
+                slowest = speed
+        if speculative:
+            return len(self.speeds) / total
+        return 1.0 / slowest
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous cluster of ``machines`` identical machines.
+    """A cluster of ``machines`` machines of one hardware profile.
 
     The paper's experiments use 5, 20 and 100 EC2 m2.4xlarge machines;
-    :data:`repro.config.PAPER_CLUSTER_SIZES` lists them.
+    :data:`repro.config.PAPER_CLUSTER_SIZES` lists them.  An optional
+    :class:`Fleet` makes the cluster heterogeneous: same hardware
+    profile for memory/bandwidth purposes, but per-machine speed
+    multipliers and contention windows stretch parallel compute time
+    (the capacity model stays nominal — a slow machine still holds its
+    full RAM share).
     """
 
     machines: int
     machine: MachineSpec = MachineSpec()
+    fleet: Fleet | None = None
 
     def __post_init__(self) -> None:
         if self.machines < 1:
             raise ValueError(f"cluster needs at least one machine, got {self.machines}")
+        if self.fleet is not None and self.fleet.machines != self.machines:
+            raise ValueError(
+                f"fleet describes {self.fleet.machines} machines "
+                f"but the cluster has {self.machines}")
 
     @property
     def total_cores(self) -> int:
@@ -66,6 +183,8 @@ class ClusterSpec:
         tasks run on the survivors, never on the machine that died.  A
         cluster always keeps at least one machine — Hadoop restarts the
         last worker's tasks on a replacement rather than giving up.
+        Recovery math only reads the survivor *count*, so the result
+        drops any heterogeneous fleet (survivors price at nominal speed).
         """
         if lost < 0:
             raise ValueError(f"lost machine count must be non-negative, got {lost}")

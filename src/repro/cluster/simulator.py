@@ -68,6 +68,11 @@ class RunReport:
     lost_seconds: float = 0.0
     #: Wall seconds spent writing checkpoints (lineage platforms).
     checkpoint_seconds: float = 0.0
+    #: Spot reclaims absorbed by a graceful drain inside the warning
+    #: window (subset of ``recovered_failures``).
+    preemptions_drained: int = 0
+    #: Elastic resize events the run absorbed (planned, never fatal).
+    resize_events: int = 0
     #: True when an injected fault (not memory) terminated the run.
     aborted: bool = False
 
@@ -174,6 +179,10 @@ class Simulator:
         report = RunReport(platform=self.profile.name, machines=self.cluster.machines)
         injector: FaultInjector | None = None
         if faults is not None and not faults.empty:
+            # The trace is already complete (replay, not execution), so
+            # strict schedules can be checked against every phase name
+            # up front — even if the simulated run aborts early.
+            faults.validate_phases(p.name for p in tracer.phases)
             injector = FaultInjector(
                 faults, self.cluster, self.profile,
                 policy=retry_policy, checkpoint_interval=checkpoint_interval,
@@ -208,9 +217,11 @@ class Simulator:
             return tracealgebra.phase_reports(
                 tracealgebra.TraceTable.of(tracer), scale_map,
                 self.cluster, self.profile)
-        return (self._simulate_phase(phase, scale_map) for phase in tracer.phases)
+        return (self._simulate_phase(phase, scale_map, index)
+                for index, phase in enumerate(tracer.phases))
 
-    def _simulate_phase(self, phase: Phase, scale_map: ScaleMap) -> PhaseReport:
+    def _simulate_phase(self, phase: Phase, scale_map: ScaleMap,
+                        index: int = 0) -> PhaseReport:
         parallel = 0.0
         serial = 0.0
         for event in phase.events:
@@ -219,6 +230,12 @@ class Simulator:
                 parallel += seconds
             else:
                 serial += seconds
+        if self.cluster.fleet is not None:
+            # Heterogeneous fleet: the phase's parallel span stretches by
+            # the scheduling-discipline factor (see Fleet.phase_stretch);
+            # serial/coordination work is unaffected.
+            parallel = parallel * self.cluster.fleet.phase_stretch(
+                index, self.profile.recovery.speculative_execution)
         verdict = check_phase_memory(phase.memory, scale_map, self.cluster, self.profile)
         if verdict.spilled_bytes > 0:
             # Spilled working set makes one extra round trip to local
@@ -249,6 +266,8 @@ class Simulator:
         report.recovered_failures += outcome.recovered
         report.lost_seconds += outcome.lost_seconds
         report.checkpoint_seconds += outcome.checkpoint_seconds
+        report.preemptions_drained += outcome.drained
+        report.resize_events += outcome.resizes
         if outcome.aborted:
             report.aborted = True
             report.fail_reason = outcome.reason

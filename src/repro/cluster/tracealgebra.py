@@ -44,11 +44,12 @@ from repro.cluster.costmodel import (
     LANGUAGE_COSTS,
     PlatformProfile,
     RecoveryStrategy,
+    ResizeCost,
     ScaleMap,
 )
 from repro.cluster.events import PARALLEL_KINDS, Kind, MemoryEvent, Site
 from repro.cluster.faults import FaultRates
-from repro.cluster.machine import ClusterSpec
+from repro.cluster.machine import ClusterSpec, Fleet
 from repro.cluster.memory import MemoryVerdict, check_phase_memory
 from repro.cluster.simulator import PhaseReport, RunReport
 from repro.cluster.tracer import _KIND_CODE, _KINDS, CompactTracer, Tracer
@@ -347,6 +348,11 @@ def phase_reports(
         span = seconds[a:b]
         mask = table.parallel_mask[a:b]
         parallel = _fold(span[mask])
+        if cluster.fleet is not None:
+            # Same scalar-Python stretch factor Simulator._simulate_phase
+            # multiplies by, so the product is bit-identical.
+            parallel = parallel * cluster.fleet.phase_stretch(
+                p, profile.recovery.speculative_execution)
         serial = _fold(span[~mask])
         verdict = check_phase_memory(
             list(table.phase_memory[p]), scale_map, cluster, profile)
@@ -384,6 +390,9 @@ class Scenario:
     seed: int = 0
     retry_policy: RetryPolicy | None = None
     checkpoint_interval: int = 0
+    #: Heterogeneous fleet (speeds/contention); must describe exactly
+    #: ``machines`` machines.  ``None`` keeps the cluster homogeneous.
+    fleet: Fleet | None = None
 
     @classmethod
     def make(
@@ -394,6 +403,7 @@ class Scenario:
         seed: int = 0,
         retry_policy: RetryPolicy | None = None,
         checkpoint_interval: int = 0,
+        fleet: Fleet | None = None,
     ) -> "Scenario":
         return cls(
             machines=machines,
@@ -402,6 +412,7 @@ class Scenario:
             seed=seed,
             retry_policy=retry_policy,
             checkpoint_interval=checkpoint_interval,
+            fleet=fleet,
         )
 
     @property
@@ -415,7 +426,7 @@ class Scenario:
     @property
     def base_key(self) -> tuple:
         """Scenarios sharing a key share cost and memory evaluation."""
-        return (self.machines, self.scales)
+        return (self.machines, self.scales, self.fleet)
 
 
 @dataclass(frozen=True)
@@ -446,30 +457,36 @@ class ScenarioGrid:
         seeds: Sequence[int] = (0,),
         retry_policies: Sequence[RetryPolicy | None] = (None,),
         checkpoint_intervals: Sequence[int] = (0,),
+        fleets: Sequence[Fleet | None] = (None,),
     ) -> "ScenarioGrid":
         """Cross product of the sweep axes, in nested declaration order.
 
         A float in ``rates`` is shorthand for
         ``FaultRates(machine_crash=rate)`` (the faultbench axis);
-        ``None`` keeps that slice fault-free.
+        ``None`` keeps that slice fault-free.  A non-``None`` entry in
+        ``fleets`` must describe exactly as many machines as every entry
+        of ``machine_counts`` (heterogeneous sweeps usually fix one
+        cluster size per grid).
         """
         cells = []
         for machines in machine_counts:
             for scales in scale_sets:
-                for rate in rates:
-                    if isinstance(rate, float):
-                        rate = FaultRates(machine_crash=rate)
-                    for policy in retry_policies:
-                        for interval in checkpoint_intervals:
-                            for seed in seeds:
-                                cells.append(Scenario.make(
-                                    machines=machines,
-                                    scales=scales,
-                                    rates=rate,
-                                    seed=seed,
-                                    retry_policy=policy,
-                                    checkpoint_interval=interval,
-                                ))
+                for fleet in fleets:
+                    for rate in rates:
+                        if isinstance(rate, float):
+                            rate = FaultRates(machine_crash=rate)
+                        for policy in retry_policies:
+                            for interval in checkpoint_intervals:
+                                for seed in seeds:
+                                    cells.append(Scenario.make(
+                                        machines=machines,
+                                        scales=scales,
+                                        rates=rate,
+                                        seed=seed,
+                                        retry_policy=policy,
+                                        checkpoint_interval=interval,
+                                        fleet=fleet,
+                                    ))
         return cls(tuple(cells))
 
 
@@ -480,7 +497,8 @@ _ABORT_NO_TOLERANCE = 1
 _ABORT_EXCEEDED = 2
 _KIND_CRASH = 0
 _KIND_TASK = 1
-_ABORT_KIND_VALUE = ("machine_crash", "task_failure")
+_KIND_PREEMPT = 2
+_ABORT_KIND_VALUE = ("machine_crash", "task_failure", "preemption")
 
 
 @dataclass(frozen=True)
@@ -495,6 +513,8 @@ class _Cell:
     recovered: int
     lost: float
     checkpoint: float
+    drained: int
+    resizes: int
     failed: bool
     aborted: bool
     fail_phase: str
@@ -547,6 +567,8 @@ class GridResult:
             recovered_failures=cell.recovered,
             lost_seconds=cell.lost,
             checkpoint_seconds=cell.checkpoint,
+            preemptions_drained=cell.drained,
+            resize_events=cell.resizes,
             aborted=cell.aborted,
         )
 
@@ -562,11 +584,19 @@ class GridResult:
             "crash_rate": np.array([
                 s.rates.machine_crash if s.rates is not None else 0.0
                 for s in self.scenarios]),
+            "preemption_rate": np.array([
+                s.rates.preemption if s.rates is not None else 0.0
+                for s in self.scenarios]),
+            "resize_rate": np.array([
+                s.rates.resize if s.rates is not None else 0.0
+                for s in self.scenarios]),
             "checkpoint_interval": np.array(
                 [s.checkpoint_interval for s in self.scenarios]),
             "completed": np.array([not c.failed for c in cells]),
             "aborted": np.array([c.aborted for c in cells]),
             "recovered_failures": np.array([c.recovered for c in cells]),
+            "preemptions_drained": np.array([c.drained for c in cells]),
+            "resize_events": np.array([c.resizes for c in cells]),
             "total_retries": np.array([sum(c.retries) for c in cells]),
             "lost_seconds": np.array([c.lost for c in cells]),
             "checkpoint_seconds": np.array([c.checkpoint for c in cells]),
@@ -575,14 +605,20 @@ class GridResult:
 
 
 def _phase_uniforms(seed: int, index: int,
-                    cache: dict[tuple[int, int], tuple[float, float, float]],
-                    ) -> tuple[float, float, float]:
-    """The three sampled-fault uniforms of ``FaultSchedule.faults_for``."""
+                    cache: dict[tuple[int, int], tuple[float, ...]],
+                    ) -> tuple[float, ...]:
+    """The five sampled-fault uniforms of ``FaultSchedule.faults_for``.
+
+    Draw order is crash, task, straggler, preemption, resize — the two
+    new kinds draw after the original three so historical schedules
+    keep their streams.
+    """
     key = (seed, index)
     got = cache.get(key)
     if got is None:
         rng = make_rng(key)
-        got = (rng.random(), rng.random(), rng.random())
+        got = (rng.random(), rng.random(), rng.random(),
+               rng.random(), rng.random())
         cache[key] = got
     return got
 
@@ -605,14 +641,14 @@ def simulate_grid(
     grid = (scenarios if isinstance(scenarios, ScenarioGrid)
             else ScenarioGrid.of(scenarios))
     cells: list[_Cell | None] = [None] * len(grid)
-    uniform_cache: dict[tuple[int, int], tuple[float, float, float]] = {}
+    uniform_cache: dict[tuple[int, int], tuple[float, ...]] = {}
 
     by_base: dict[tuple, list[int]] = {}
     for i, scenario in enumerate(grid):
         by_base.setdefault(scenario.base_key, []).append(i)
 
-    for (machines, scales), indices in by_base.items():
-        cluster = ClusterSpec(machines=machines)
+    for (machines, scales, fleet), indices in by_base.items():
+        cluster = ClusterSpec(machines=machines, fleet=fleet)
         scale_map = ScaleMap(dict(scales))
         base = tuple(phase_reports(table, scale_map, cluster, profile))
         first_oom = next(
@@ -630,6 +666,7 @@ def simulate_grid(
                 seconds=tuple(r.seconds for r in base[:n]),
                 retries=(0,) * n, fault_seconds=(0.0,) * n,
                 recovered=0, lost=0.0, checkpoint=0.0,
+                drained=0, resizes=0,
                 failed=failed, aborted=False,
                 fail_phase=base[first_oom].name if failed else "",
                 fail_reason=base[first_oom].memory.reason if failed else "",
@@ -672,15 +709,26 @@ def _replay_base(
     mc = np.array([sc.rates.machine_crash for sc in scen])
     tf = np.array([sc.rates.task_failure for sc in scen])
     st = np.array([sc.rates.straggler for sc in scen])
+    pr = np.array([sc.rates.preemption for sc in scen])
+    rz = np.array([sc.rates.resize for sc in scen])
     frac = np.array([sc.rates.task_fraction for sc in scen])
     slow = np.array([sc.rates.straggler_slowdown for sc in scen])
+    warn = np.array([sc.rates.preemption_warning for sc in scen])
+    delta = np.array([sc.rates.resize_delta for sc in scen], dtype=np.int64)
     seeds = [sc.seed for sc in scen]
     max_attempts = np.array([sc.policy.max_attempts for sc in scen])
     timeout = np.array([sc.policy.timeout_seconds for sc in scen])
     backoff1 = np.array([sc.policy.backoff_before(1) for sc in scen])
     backoff2 = np.array([sc.policy.backoff_before(2) for sc in scen])
+    backoff3 = np.array([sc.policy.backoff_before(3) for sc in scen])
     interval = np.array([sc.checkpoint_interval for sc in scen])
     safe_interval = np.where(interval > 0, interval, 1)
+    net_bw = cluster.machine.network_bandwidth
+    # Resize geometry (FaultInjector._resize_cost): post-resize size and
+    # moved partition share under consistent re-assignment.
+    new_m = np.maximum(1, machines + delta)
+    moved = np.abs(delta) / np.maximum(machines, new_m)
+    resize_discipline = recovery.resize_cost
 
     active = np.ones(s, dtype=bool)
     lineage = np.zeros(s)
@@ -688,6 +736,8 @@ def _replay_base(
     run_recovered = np.zeros(s, dtype=np.int64)
     run_lost = np.zeros(s)
     run_checkpoint = np.zeros(s)
+    run_drained = np.zeros(s, dtype=np.int64)
+    run_resizes = np.zeros(s, dtype=np.int64)
     run_aborted = np.zeros(s, dtype=bool)
     abort_phase = np.full(s, -1, dtype=np.int64)
     abort_kind = np.zeros(s, dtype=np.int64)
@@ -711,18 +761,26 @@ def _replay_base(
         crash = active & (us[:, 0] < mc)
         task = active & (us[:, 1] < tf)
         strag = active & (us[:, 2] < st)
+        preempt = active & (us[:, 3] < pr)
+        resize_m = active & (us[:, 4] < rz)
+        # Drain feasibility is per phase (resident bytes through the NIC)
+        # and per scenario (warning window) — scalar float comparison.
+        drain_need = core.memory.peak_bytes_per_machine / net_bw
 
         lost = np.zeros(s)
         retries = np.zeros(s, dtype=np.int64)
         recovered = np.zeros(s, dtype=np.int64)
+        drained_p = np.zeros(s, dtype=np.int64)
+        resizes_p = np.zeros(s, dtype=np.int64)
         aborted = np.zeros(s, dtype=bool)
         p_kind = np.zeros(s, dtype=np.int64)
         p_mode = np.full(s, _ABORT_NONE, dtype=np.int64)
 
         if strategy is RecoveryStrategy.ABORT:
-            # The fault list is ordered [crash, task, straggler]; the
-            # first non-straggler fault aborts and breaks, so a
-            # straggler is only priced when neither struck.
+            # The fault list is ordered [crash, task, straggler,
+            # preemption, resize]; the first non-survivable fault aborts
+            # and breaks, so later faults are only priced when nothing
+            # earlier struck fatally.
             aborted = crash | task
             p_kind = np.where(crash, _KIND_CRASH, _KIND_TASK)
             p_mode = np.where(aborted, _ABORT_NO_TOLERANCE, _ABORT_NONE)
@@ -731,6 +789,18 @@ def _replay_base(
             if recovery.speculative_execution:
                 stretch = stretch / machines
             lost = np.where(s_only, lost + stretch, lost)
+            # -- preemption: drain saves it, otherwise it's a crash -----
+            if recovery.preemption_drain:
+                dr = preempt & ~aborted & (warn >= drain_need)
+            else:
+                dr = np.zeros(s, dtype=bool)
+            lost = np.where(dr, lost + par / survivors, lost)
+            recovered = np.where(dr, recovered + 1, recovered)
+            drained_p = np.where(dr, drained_p + 1, drained_p)
+            p_abort = preempt & ~aborted & ~dr
+            p_kind = np.where(p_abort, _KIND_PREEMPT, p_kind)
+            p_mode = np.where(p_abort, _ABORT_NO_TOLERANCE, p_mode)
+            aborted = aborted | p_abort
         else:
             # -- machine crash ----------------------------------------
             exceeded = crash & (1 > max_attempts - 1)
@@ -764,6 +834,56 @@ def _replay_base(
             if recovery.speculative_execution:
                 stretch = stretch / machines
             lost = np.where(s_ok, lost + stretch, lost)
+            # -- spot preemption --------------------------------------
+            # A drainable reclaim re-runs the in-flight share on the
+            # survivors, skipping retry bookkeeping; everything else
+            # falls through to the machine-crash path with the shared
+            # retries counter (possibly the third failure this phase).
+            if recovery.preemption_drain:
+                dr = preempt & ~aborted & (warn >= drain_need)
+            else:
+                dr = np.zeros(s, dtype=bool)
+            lost = np.where(dr, lost + par / survivors, lost)
+            recovered = np.where(dr, recovered + 1, recovered)
+            drained_p = np.where(dr, drained_p + 1, drained_p)
+            pc = preempt & ~aborted & ~dr
+            retries = np.where(pc, retries + 1, retries)
+            pc_exceeded = pc & (retries > max_attempts - 1)
+            aborted = aborted | pc_exceeded
+            p_kind = np.where(pc_exceeded, _KIND_PREEMPT, p_kind)
+            p_mode = np.where(pc_exceeded, _ABORT_EXCEEDED, p_mode)
+            pc_ok = pc & ~pc_exceeded
+            backoff_p = np.where(retries == 1, backoff1,
+                                 np.where(retries == 2, backoff2, backoff3))
+            lost = np.where(pc_ok, lost + backoff_p, lost)
+            if strategy is RecoveryStrategy.RETRY:
+                lost = np.where(pc_ok, lost + timeout, lost)
+                lost = np.where(pc_ok, lost + par / survivors, lost)
+            else:  # LINEAGE
+                lost = np.where(pc_ok, lost + (lineage + par) / survivors, lost)
+            recovered = np.where(pc_ok, recovered + 1, recovered)
+
+        # -- elastic resize (any strategy; planned, never aborts) ------
+        # Must price before the lineage window advances: the scalar
+        # fault loop runs before FaultInjector's lineage accumulation.
+        rz_ok = resize_m & ~aborted
+        if rz_ok.any():
+            if resize_discipline is ResizeCost.LINEAGE_RECOMPUTE:
+                rz_cost = (lineage + par) * machines * moved / new_m
+            elif resize_discipline is ResizeCost.CHECKPOINT_RESTORE:
+                write_read = (
+                    2.0 * CHECKPOINT_REPLICATION
+                    * core.memory.peak_bytes_per_machine / disk_bw
+                )
+                rz_cost = write_read + par * machines * moved / new_m
+            else:  # INPUT_RESPLIT
+                rz_cost = (
+                    profile.job_overhead
+                    + core.memory.peak_bytes_per_machine * machines * moved
+                    / (new_m * disk_bw)
+                )
+            lost = np.where(rz_ok, lost + rz_cost, lost)
+            resizes_p = np.where(rz_ok, resizes_p + 1, resizes_p)
 
         checkpoint = np.zeros(s)
         if strategy is RecoveryStrategy.LINEAGE:
@@ -783,6 +903,8 @@ def _replay_base(
         run_lost = np.where(active, run_lost + lost, run_lost)
         run_checkpoint = np.where(active, run_checkpoint + checkpoint,
                                   run_checkpoint)
+        run_drained = np.where(active, run_drained + drained_p, run_drained)
+        run_resizes = np.where(active, run_resizes + resizes_p, run_resizes)
         newly_aborted = aborted & active
         run_aborted = run_aborted | newly_aborted
         abort_phase = np.where(newly_aborted, p, abort_phase)
@@ -832,6 +954,8 @@ def _replay_base(
             recovered=int(run_recovered[j]),
             lost=float(run_lost[j]),
             checkpoint=float(run_checkpoint[j]),
+            drained=int(run_drained[j]),
+            resizes=int(run_resizes[j]),
             failed=failed,
             aborted=bool(run_aborted[j]),
             fail_phase=base[n - 1].name if failed else "",

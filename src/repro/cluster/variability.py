@@ -152,3 +152,28 @@ def replicate_studies(
     means[noisy] = observations.mean(axis=1)
     stds[noisy] = observations.std(axis=1, ddof=1)
     return means, stds
+
+
+def sample_fleet_speeds(
+    machines: int,
+    rng: np.random.Generator | int,
+    cv: float = PAPER_CV,
+) -> tuple[float, ...]:
+    """Per-machine speed multipliers for a heterogeneous fleet.
+
+    Machine-to-machine throughput spread drawn from the same unit-mean
+    lognormal family the day-to-day study uses (the paper's ~2% CV by
+    default; pass a larger ``cv`` for mixed instance generations).  One
+    vectorized ``lognormal(size=machines)`` call, so the draw is
+    deterministic per ``(seed, machines, cv)``.  Feed the result to
+    :class:`repro.cluster.machine.Fleet`.
+    """
+    if machines < 1:
+        raise ValueError(f"a fleet needs at least one machine, got {machines}")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    if cv == 0:
+        return (1.0,) * machines
+    mu, sigma = _lognormal_params(cv)
+    draws = _as_rng(rng).lognormal(mu, sigma, size=machines)
+    return tuple(float(d) for d in draws)

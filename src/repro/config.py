@@ -108,6 +108,22 @@ class RetryPolicy:
 #: The retry discipline every fault simulation uses unless overridden.
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
+#: Seconds of notice a spot reclaim gives before the machine vanishes
+#: (EC2's two-minute interruption warning).  A platform that can migrate
+#: the machine's resident state off-box within this window drains
+#: gracefully; otherwise the reclaim lands as a plain machine crash.
+SPOT_WARNING_SECONDS = 120.0
+
+#: Default machine-count change of an elastic resize event (the common
+#: autoscaler scale-down: one machine leaves the fleet).
+DEFAULT_RESIZE_DELTA = -1
+
+#: On-demand hourly price of the paper's m2.4xlarge instance (2013 USD)
+#: and the spot-market price the fleet advisor assumes for the same
+#: hardware.  Spot capacity is cheap but preemptible-with-notice.
+ONDEMAND_HOURLY_USD = 1.64
+SPOT_HOURLY_USD = 0.41
+
 #: HDFS-style replication factor charged when a checkpoint is written
 #: (one local copy plus one remote copy is the simulated default).
 CHECKPOINT_REPLICATION = 2.0

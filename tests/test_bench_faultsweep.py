@@ -25,15 +25,25 @@ class TestPayload:
     def test_schema_validates(self, payload):
         faultsweep.validate_payload(payload)
 
-    def test_every_case_has_one_cell_per_rate(self, payload):
+    def test_every_case_sweeps_every_regime(self, payload):
         assert set(payload["cases"]) == {c.name for c in tiny_cases()}
         for case in payload["cases"].values():
-            assert [c["crash_rate"] for c in case["cells"]] == list(RATES)
+            cells = case["cells"]
+            crash = [c for c in cells if c["regime"] == "crash"]
+            assert [c["crash_rate"] for c in crash] == list(RATES)
+            preempt = [c for c in cells if c["regime"] == "preemption"]
+            assert [c["warning_seconds"] for c in preempt] == list(
+                faultsweep.PREEMPTION_WARNINGS)
+            resize = [c for c in cells if c["regime"] == "resize"]
+            assert [c["resize_delta"] for c in resize] == list(
+                faultsweep.RESIZE_DELTAS)
+            assert sum(c["regime"] == "hetero" for c in cells) == len(MACHINES)
             assert case["trace_immutable"]
 
     def test_zero_rate_cells_are_fault_free(self, payload):
         for case in payload["cases"].values():
             clean = case["cells"][0]
+            assert clean["regime"] == "crash"
             assert clean["crash_rate"] == 0.0
             assert clean["completed"]
             assert clean["recovered_failures"] == 0
@@ -41,7 +51,8 @@ class TestPayload:
 
     def test_crash_cells_tell_the_section_10_story(self, payload):
         at_rate = {
-            name: case["cells"][-1] for name, case in payload["cases"].items()
+            name: [c for c in case["cells"] if c["regime"] == "crash"][-1]
+            for name, case in payload["cases"].items()
         }
         assert at_rate["simsql/gmm"]["completed"]
         assert at_rate["simsql/gmm"]["recovered_failures"] > 0
@@ -51,6 +62,46 @@ class TestPayload:
         assert "checkpointed_total_seconds" in at_rate["spark/gmm"]
         assert not at_rate["graphlab/gmm"]["completed"]
         assert at_rate["graphlab/gmm"]["aborted"]
+
+    def test_preemption_cells_split_on_the_warning_window(self, payload):
+        def preempt(name):
+            cells = payload["cases"][name]["cells"]
+            return {c["warning_seconds"]: c for c in cells
+                    if c["regime"] == "preemption"}
+
+        spark = preempt("spark/gmm")
+        warned, abrupt = spark[120.0], spark[0.0]
+        # Spark drains inside the two-minute notice: no retries burned.
+        assert warned["completed"]
+        assert warned["preemptions_drained"] > 0
+        assert warned["total_retries"] == 0
+        # An abrupt reclaim is indistinguishable from a crash.
+        assert abrupt["preemptions_drained"] == 0
+        assert abrupt["total_retries"] > 0
+        assert abrupt["lost_seconds"] > warned["lost_seconds"]
+        # GraphLab has no fault tolerance at all: any reclaim aborts.
+        for cell in preempt("graphlab/gmm").values():
+            assert cell["aborted"]
+            assert "preemption" in cell["fail_reason"]
+
+    def test_resize_cells_never_abort(self, payload):
+        for name, case in payload["cases"].items():
+            for cell in case["cells"]:
+                if cell["regime"] != "resize":
+                    continue
+                assert cell["completed"], name
+                assert cell["resize_events"] > 0
+                assert cell["lost_seconds"] > 0
+                assert cell["total_retries"] == 0
+
+    def test_hetero_cell_is_slower_but_clean(self, payload):
+        for case in payload["cases"].values():
+            cells = case["cells"]
+            clean = cells[0]
+            hetero = next(c for c in cells if c["regime"] == "hetero")
+            assert hetero["completed"]
+            assert hetero["lost_seconds"] == 0.0
+            assert hetero["total_seconds"] > clean["total_seconds"]
 
     def test_same_seed_is_deterministic(self, payload):
         again = faultsweep.run_sweep(tiny_cases(), MACHINES, RATES)

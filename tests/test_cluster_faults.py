@@ -15,20 +15,28 @@ from repro.cluster import (
     FIXED,
     PLATFORM_PROFILES,
     ClusterSpec,
+    ContentionWindow,
     Fault,
     FaultInjector,
     FaultKind,
     FaultRates,
     FaultSchedule,
+    Fleet,
     Kind,
     RecoveryStrategy,
     RetryPolicy,
     Simulator,
     Site,
     Tracer,
+    UnknownFaultPhase,
     one_crash_per_iteration,
+    sample_fleet_speeds,
 )
-from repro.config import DEFAULT_RETRY_POLICY
+from repro.config import (
+    CHECKPOINT_REPLICATION,
+    DEFAULT_RETRY_POLICY,
+    SPOT_WARNING_SECONDS,
+)
 
 SPARK = PLATFORM_PROFILES["spark"]
 SIMSQL = PLATFORM_PROFILES["simsql"]
@@ -82,12 +90,40 @@ class TestFaultSchedule:
         assert schedule.faults_for(1, "iteration:0") == ()
 
     def test_sampled_is_deterministic_and_order_independent(self):
-        rates = FaultRates(machine_crash=0.5, task_failure=0.5, straggler=0.5)
+        rates = FaultRates(machine_crash=0.5, task_failure=0.5, straggler=0.5,
+                           preemption=0.5, resize=0.5,
+                           preemption_warning=45.0, resize_delta=2)
         a = FaultSchedule.sampled(rates, seed=7)
         b = FaultSchedule.sampled(rates, seed=7)
         forward = [a.faults_for(i, f"iteration:{i}") for i in range(10)]
         backward = [b.faults_for(i, f"iteration:{i}") for i in reversed(range(10))]
         assert forward == list(reversed(backward))
+        # All five kinds must actually appear at these rates, carrying
+        # the sampled parameters (the draws are keyed, not shared).
+        kinds = {f.kind for fs in forward for f in fs}
+        assert kinds == set(FaultKind)
+        for faults in forward:
+            for fault in faults:
+                if fault.kind is FaultKind.PREEMPTION:
+                    assert fault.warning_seconds == 45.0
+                if fault.kind is FaultKind.RESIZE:
+                    assert fault.delta_machines == 2
+
+    def test_new_kind_draws_do_not_disturb_legacy_streams(self):
+        # Preemption/resize draw *after* crash/task/straggler (and every
+        # draw is unconditional), so turning the new rates on never
+        # changes which of the original three kinds strike a phase.
+        legacy = FaultRates(machine_crash=0.4, task_failure=0.4, straggler=0.4)
+        extended = FaultRates(machine_crash=0.4, task_failure=0.4, straggler=0.4,
+                              preemption=1.0, resize=1.0)
+        a = FaultSchedule.sampled(legacy, seed=11)
+        b = FaultSchedule.sampled(extended, seed=11)
+        old_kinds = (FaultKind.MACHINE_CRASH, FaultKind.TASK_FAILURE,
+                     FaultKind.STRAGGLER)
+        for i in range(25):
+            was = [f for f in a.faults_for(i, "x") if f.kind in old_kinds]
+            now = [f for f in b.faults_for(i, "x") if f.kind in old_kinds]
+            assert was == now
 
     def test_different_seeds_differ(self):
         rates = FaultRates(machine_crash=0.5)
@@ -315,3 +351,306 @@ class TestReportRendering:
         # error must say where and why instead of "no iterations".
         with pytest.raises(ValueError, match="failed in 'init'"):
             _ = report.mean_iteration_seconds
+
+
+class TestStrictPhaseValidation:
+    """Satellite: typo'd explicit schedules must fail loudly."""
+
+    def test_unknown_phase_raises_and_lists_known_names(self):
+        tracer = make_trace(2)
+        typo = FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "iterotion:0")], strict=True)
+        with pytest.raises(UnknownFaultPhase) as err:
+            Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=typo)
+        message = str(err.value)
+        assert "iterotion:0" in message
+        assert "iteration:0" in message and "init" in message
+
+    def test_strict_is_default_under_pytest(self):
+        # PYTEST_CURRENT_TEST is set while this test runs, so the
+        # no-argument constructor must come up strict.
+        assert FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "nope")]).strict
+
+    def test_lenient_schedule_keeps_the_silent_no_op(self):
+        tracer = make_trace(2)
+        typo = FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "iterotion:0")], strict=False)
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=typo)
+        assert not report.failed and report.lost_seconds == 0.0
+
+    def test_env_override_disables_strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_FAULTS", "0")
+        assert not FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "nope")]).strict
+        monkeypatch.setenv("REPRO_STRICT_FAULTS", "1")
+        assert FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "nope")]).strict
+
+    def test_sampled_schedules_never_trip_validation(self):
+        tracer = make_trace(2)
+        schedule = FaultSchedule.sampled(FaultRates(machine_crash=0.5), seed=2)
+        assert schedule.strict
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=schedule)
+        assert not report.failed
+
+
+class TestPreemption:
+    """Spot reclaims: drain inside the warning window or take a crash."""
+
+    def drain_need(self, report):
+        peak = report.phases[1].memory.peak_bytes_per_machine
+        return peak / five.machine.network_bandwidth
+
+    def test_drain_capable_platforms_skip_the_crash_cost(self):
+        tracer = make_trace(1)
+        reclaim = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0")])
+        for profile in (SPARK, SIMSQL):
+            assert profile.recovery.preemption_drain
+            base = Simulator(five, profile).simulate(tracer, SCALES)
+            report = Simulator(five, profile).simulate(
+                tracer, SCALES, faults=reclaim)
+            assert not report.failed
+            assert report.preemptions_drained == 1
+            assert report.recovered_failures == 1
+            assert report.total_retries == 0
+            # Drain pays exactly the in-flight share on the survivors —
+            # no heartbeat timeout, no backoff.
+            redo = base.phases[1].parallel_seconds / 4
+            assert report.lost_seconds == pytest.approx(redo)
+
+    def test_too_short_warning_falls_back_to_crash(self):
+        tracer = make_trace(1)
+        base = Simulator(five, SIMSQL).simulate(tracer, SCALES)
+        need = self.drain_need(base)
+        assert need > 0
+        abrupt = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0",
+                   warning_seconds=need * 0.5)])
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=abrupt)
+        crash = Simulator(five, SIMSQL).simulate(
+            tracer, SCALES,
+            faults=FaultSchedule.explicit(
+                [Fault(FaultKind.MACHINE_CRASH, "iteration:0")]))
+        assert report.preemptions_drained == 0
+        assert report.total_retries == 1
+        assert report.lost_seconds == crash.lost_seconds
+
+    def test_warning_boundary_is_inclusive(self):
+        tracer = make_trace(1)
+        base = Simulator(five, SIMSQL).simulate(tracer, SCALES)
+        need = self.drain_need(base)
+        exact = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0", warning_seconds=need)])
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=exact)
+        assert report.preemptions_drained == 1
+
+    def test_bsp_giraph_cannot_drain(self):
+        tracer = make_trace(1)
+        assert not GIRAPH.recovery.preemption_drain
+        reclaim = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0",
+                   warning_seconds=SPOT_WARNING_SECONDS)])
+        report = Simulator(five, GIRAPH).simulate(tracer, SCALES, faults=reclaim)
+        assert report.preemptions_drained == 0
+        assert report.total_retries == 1
+        # Full crash treatment: heartbeat timeout is in the bill.
+        assert report.lost_seconds > DEFAULT_RETRY_POLICY.timeout_seconds
+
+    def test_graphlab_aborts_on_preemption(self):
+        tracer = make_trace(1)
+        reclaim = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0")])
+        report = Simulator(five, GRAPHLAB).simulate(tracer, SCALES, faults=reclaim)
+        assert report.aborted
+        assert "preemption" in report.fail_reason
+
+    def test_preemption_validation(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.PREEMPTION, "x", warning_seconds=-1.0)
+
+
+class TestResize:
+    """Elastic grow/shrink: planned, never fatal, priced per discipline."""
+
+    def simulate(self, profile, tracer, delta=-1):
+        shrink = FaultSchedule.explicit(
+            [Fault(FaultKind.RESIZE, "iteration:0", delta_machines=delta)])
+        return Simulator(five, profile).simulate(tracer, SCALES, faults=shrink)
+
+    def test_nobody_aborts_even_graphlab(self):
+        tracer = make_trace(1)
+        for profile in (SPARK, SIMSQL, GIRAPH, GRAPHLAB):
+            report = self.simulate(profile, tracer)
+            assert not report.failed and not report.aborted
+            assert report.resize_events == 1
+            assert report.lost_seconds > 0
+            # A planned resize is not a failure to recover from.
+            assert report.recovered_failures == 0
+            assert report.total_retries == 0
+
+    def test_simsql_pays_the_input_resplit_formula(self):
+        tracer = make_trace(1)
+        base = Simulator(five, SIMSQL).simulate(tracer, SCALES)
+        peak = base.phases[1].memory.peak_bytes_per_machine
+        report = self.simulate(SIMSQL, tracer, delta=-1)
+        moved = 1 / 5  # |delta| / max(old=5, new=4)
+        expected = SIMSQL.job_overhead + peak * 5 * moved / (
+            4 * five.machine.disk_bandwidth)
+        assert report.lost_seconds == pytest.approx(expected)
+
+    def test_giraph_pays_checkpoint_write_and_restore(self):
+        tracer = make_trace(1)
+        base = Simulator(five, GIRAPH).simulate(tracer, SCALES)
+        it = base.phases[1]
+        peak = it.memory.peak_bytes_per_machine
+        report = self.simulate(GIRAPH, tracer, delta=-1)
+        write_read = 2.0 * CHECKPOINT_REPLICATION * peak / five.machine.disk_bandwidth
+        expected = write_read + it.parallel_seconds * 5 * (1 / 5) / 4
+        assert report.lost_seconds == pytest.approx(expected)
+
+    def test_spark_resize_cost_grows_with_lineage_depth(self):
+        tracer = make_trace(4)
+        early = FaultSchedule.explicit(
+            [Fault(FaultKind.RESIZE, "iteration:0")])
+        late = FaultSchedule.explicit(
+            [Fault(FaultKind.RESIZE, "iteration:3")])
+        sim = Simulator(five, SPARK)
+        assert (sim.simulate(tracer, SCALES, faults=late).lost_seconds
+                > sim.simulate(tracer, SCALES, faults=early).lost_seconds)
+
+    def test_growing_is_cheaper_than_shrinking_the_same_share(self):
+        # +4 machines moves 4/9ths of the data but the rebuild runs on 9
+        # machines; -4 moves 4/5ths onto a single survivor.
+        tracer = make_trace(1)
+        grow = self.simulate(SIMSQL, tracer, delta=4)
+        shrink = self.simulate(SIMSQL, tracer, delta=-4)
+        assert grow.lost_seconds < shrink.lost_seconds
+
+    def test_resize_validation(self):
+        with pytest.raises(ValueError):
+            Fault(FaultKind.RESIZE, "x", delta_machines=0)
+        with pytest.raises(ValueError):
+            FaultRates(resize=1.5)
+
+
+class TestRetryExhaustionBoundaries:
+    """Satellite: the attempt budget at its exact edges."""
+
+    def test_preemption_shares_the_retry_budget(self):
+        # crash + task + undrainable preemption in one phase is three
+        # attempts; with max_attempts=3 the preemption is the one that
+        # exceeds the budget.
+        tracer = make_trace(1)
+        storm = FaultSchedule.explicit([
+            Fault(FaultKind.MACHINE_CRASH, "iteration:0"),
+            Fault(FaultKind.TASK_FAILURE, "iteration:0"),
+            Fault(FaultKind.PREEMPTION, "iteration:0", warning_seconds=0.0),
+        ])
+        report = Simulator(five, GIRAPH).simulate(
+            tracer, SCALES, faults=storm,
+            retry_policy=RetryPolicy(max_attempts=3))
+        assert report.aborted
+        assert report.fail_reason == (
+            "preemption in iteration:0: task exceeded 3 attempts")
+
+    def test_drained_preemptions_never_consume_attempts(self):
+        tracer = make_trace(1)
+        storm = FaultSchedule.explicit(
+            [Fault(FaultKind.PREEMPTION, "iteration:0")] * 10)
+        report = Simulator(five, SIMSQL).simulate(tracer, SCALES, faults=storm)
+        assert not report.failed
+        assert report.preemptions_drained == 10
+        assert report.total_retries == 0
+
+    def test_abort_lands_exactly_at_max_attempts(self):
+        tracer = make_trace(1)
+        sim = Simulator(five, SIMSQL)
+        at_budget = FaultSchedule.explicit(
+            [Fault(FaultKind.TASK_FAILURE, "iteration:0")]
+            * (DEFAULT_RETRY_POLICY.max_attempts - 1))
+        over_budget = FaultSchedule.explicit(
+            [Fault(FaultKind.TASK_FAILURE, "iteration:0")]
+            * DEFAULT_RETRY_POLICY.max_attempts)
+        assert not sim.simulate(tracer, SCALES, faults=at_budget).failed
+        assert sim.simulate(tracer, SCALES, faults=over_budget).aborted
+
+    def test_abort_before_first_iteration_renders_verbosely(self):
+        tracer = make_trace(2)
+        doomed = FaultSchedule.explicit(
+            [Fault(FaultKind.MACHINE_CRASH, "init")])
+        report = Simulator(five, GRAPHLAB).simulate(tracer, SCALES, faults=doomed)
+        assert report.failed and report.fail_phase == "init"
+        assert report.cell() == "Fail"
+        verbose = report.cell(verbose=True)
+        assert verbose.startswith("Fail [init:")
+        assert "no fault tolerance" in verbose
+        with pytest.raises(ValueError, match="failed in 'init'"):
+            _ = report.mean_iteration_seconds
+
+
+class TestFleet:
+    """Heterogeneous fleets: speeds, contention, scheduling disciplines."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fleet(speeds=())
+        with pytest.raises(ValueError):
+            Fleet(speeds=(1.0, 0.0))
+        with pytest.raises(ValueError):
+            Fleet(speeds=(1.0,), contention=(ContentionWindow(3, 0, 1),))
+        with pytest.raises(ValueError):
+            ContentionWindow(0, 2, 2)
+        with pytest.raises(ValueError):
+            ClusterSpec(machines=5, fleet=Fleet.uniform(3))
+
+    def test_contention_windows_stack_and_expire(self):
+        fleet = Fleet.uniform(2, contention=(
+            ContentionWindow(0, 1, 3, slowdown=2.0),
+            ContentionWindow(0, 2, 3, slowdown=1.5),
+        ))
+        assert fleet.effective_speed(0, 0) == 1.0
+        assert fleet.effective_speed(0, 1) == 0.5
+        assert fleet.effective_speed(0, 2) == pytest.approx(1.0 / 3.0)
+        assert fleet.effective_speed(0, 3) == 1.0
+        assert fleet.effective_speed(1, 2) == 1.0
+
+    def test_bsp_waits_for_slowest_but_speculation_rebalances(self):
+        fleet = Fleet.generations((4, 1.0), (1, 0.5))
+        # BSP: the half-speed machine's fixed share takes twice as long.
+        assert fleet.phase_stretch(0, speculative=False) == pytest.approx(2.0)
+        # Work stealing sees aggregate throughput 4.5/5.
+        assert fleet.phase_stretch(0, speculative=True) == pytest.approx(5 / 4.5)
+
+    def test_fleet_stretches_parallel_time_only(self):
+        tracer = make_trace(1)
+        fleet = Fleet.generations((4, 1.0), (1, 0.5))
+        plain = Simulator(five, GIRAPH).simulate(tracer, SCALES)
+        hetero = Simulator(
+            ClusterSpec(machines=5, fleet=fleet), GIRAPH).simulate(tracer, SCALES)
+        for p, h in zip(plain.phases, hetero.phases):
+            assert h.parallel_seconds == pytest.approx(2.0 * p.parallel_seconds)
+            assert h.serial_seconds == p.serial_seconds
+
+    def test_speculative_platform_suffers_less_from_the_same_fleet(self):
+        tracer = make_trace(1)
+        fleet = Fleet.generations((4, 1.0), (1, 0.5))
+        cluster = ClusterSpec(machines=5, fleet=fleet)
+        giraph_pen = (
+            Simulator(cluster, GIRAPH).simulate(tracer, SCALES).total_seconds
+            / Simulator(five, GIRAPH).simulate(tracer, SCALES).total_seconds)
+        simsql_pen = (
+            Simulator(cluster, SIMSQL).simulate(tracer, SCALES).total_seconds
+            / Simulator(five, SIMSQL).simulate(tracer, SCALES).total_seconds)
+        assert simsql_pen < giraph_pen
+
+    def test_sample_fleet_speeds_deterministic_unit_mean(self):
+        speeds = sample_fleet_speeds(100, rng=5, cv=0.3)
+        again = sample_fleet_speeds(100, rng=5, cv=0.3)
+        assert speeds == again
+        assert len(speeds) == 100
+        assert all(s > 0 for s in speeds)
+        assert np.mean(speeds) == pytest.approx(1.0, abs=0.1)
+        assert sample_fleet_speeds(3, rng=0, cv=0.0) == (1.0, 1.0, 1.0)
+        Fleet(speeds=speeds[:5])  # feeds straight into a Fleet

@@ -63,6 +63,24 @@ def test_lossy_cluster():
 
 
 @pytest.mark.slow
+def test_fleet_advisor():
+    out = run_example("fleet_advisor.py")
+    assert "Ranking by unlocked spot discount" in out
+    verdicts = [line for line in out.splitlines()
+                if "cheapest compliant fleet" in line and "->" in line]
+    assert len(verdicts) == 4
+    by_platform = {v.split(":")[0].split("-> ")[1]: v for v in verdicts}
+    # Drainers buy spot; GraphLab cannot (any reclaim aborts the run).
+    assert "spot discount 0%" in by_platform["GraphLab (sv)"]
+    assert " 0 spot" in by_platform["GraphLab (sv)"]
+    for drainer in ("Spark (Python)", "SimSQL", "Giraph"):
+        assert "spot discount 0%" not in by_platform[drainer]
+    assert "preemption in" in out and "no fault tolerance" in out
+    # Deterministic: the certified schedules are seeded.
+    assert out == run_example("fleet_advisor.py")
+
+
+@pytest.mark.slow
 def test_missing_data_imputation():
     out = run_example("missing_data_imputation.py")
     assert "imputation RMSE" in out

@@ -13,8 +13,10 @@ import pytest
 from repro.cluster import (
     ClusterSpec,
     CompactTracer,
+    ContentionWindow,
     FaultRates,
     FaultSchedule,
+    Fleet,
     Kind,
     PLATFORM_PROFILES,
     RetryPolicy,
@@ -27,6 +29,7 @@ from repro.cluster import (
     UnknownScaleGroup,
     replicate_studies,
     replicate_study,
+    sample_fleet_speeds,
     simulate_grid,
 )
 from repro.cluster.costmodel import ScaleMap
@@ -66,7 +69,8 @@ SCALES = {"data": 40.0, "p": 1.0}
 
 def oracle(tracer: Tracer, profile, scenario: Scenario):
     """The per-cell reference: one ``Simulator.simulate`` call."""
-    simulator = Simulator(ClusterSpec(machines=scenario.machines), profile)
+    simulator = Simulator(
+        ClusterSpec(machines=scenario.machines, fleet=scenario.fleet), profile)
     faults = None
     if scenario.rates is not None:
         faults = FaultSchedule.sampled(scenario.rates, seed=scenario.seed)
@@ -267,6 +271,136 @@ def test_grid_result_columns_track_reports():
         assert columns["total_retries"][i] == report.total_retries
         assert columns["lost_seconds"][i] == report.lost_seconds
         assert columns["total_seconds"][i] == report.total_seconds
+
+
+# ----------------------------------------------------------------------
+# Hostile-cluster axes: preemption, resize, heterogeneous fleets
+# ----------------------------------------------------------------------
+
+def test_preemption_axis_matches_oracle():
+    """Drains (Spark/SimSQL), crash fallbacks (Giraph, zero warning) and
+    aborts (GraphLab) must all reproduce the oracle bit for bit."""
+    tracer = build_trace(Tracer())
+    scenarios = [
+        Scenario.make(5, SCALES, rates=FaultRates(preemption=rate,
+                                                  preemption_warning=warning),
+                      seed=seed)
+        for rate in (0.3, 0.9)
+        for warning in (120.0, 0.0)
+        for seed in (1, 2, 3)
+    ]
+    for platform in sorted(PLATFORM_PROFILES):
+        assert_grid_matches_oracle(tracer, PLATFORM_PROFILES[platform],
+                                   scenarios)
+
+
+def test_resize_axis_matches_oracle():
+    """Every re-partitioning discipline (lineage recompute, checkpoint
+    restore, input re-split), shrink and grow, with and without a
+    checkpointing interval for the lineage window."""
+    tracer = build_trace(Tracer(), iterations=5)
+    scenarios = [
+        Scenario.make(5, SCALES,
+                      rates=FaultRates(resize=rate, resize_delta=delta),
+                      seed=seed, checkpoint_interval=interval)
+        for rate in (0.4, 0.9)
+        for delta in (-1, -4, 3)
+        for seed in (1, 4)
+        for interval in (0, 2)
+    ]
+    for platform in sorted(PLATFORM_PROFILES):
+        assert_grid_matches_oracle(tracer, PLATFORM_PROFILES[platform],
+                                   scenarios)
+
+
+def test_heterogeneous_fleet_matches_oracle():
+    """Fleet stretch lands in the base pricing: mixed generations,
+    contention windows, sampled lognormal speeds — fault-free and under
+    every fault kind at once."""
+    tracer = build_trace(Tracer())
+    fleets = [
+        Fleet.generations((3, 1.0), (2, 0.8)),
+        Fleet.uniform(5, contention=(ContentionWindow(0, 1, 3, 1.5),
+                                     ContentionWindow(2, 0, 4, 2.0))),
+        Fleet(speeds=sample_fleet_speeds(5, rng=7, cv=0.3)),
+    ]
+    hostile = FaultRates(machine_crash=0.2, task_failure=0.2, straggler=0.2,
+                         preemption=0.4, resize=0.3)
+    scenarios = [
+        Scenario.make(5, SCALES, rates=rates, seed=seed, fleet=fleet)
+        for fleet in fleets + [None]
+        for rates in (None, hostile)
+        for seed in (1, 2)
+    ]
+    for platform in sorted(PLATFORM_PROFILES):
+        assert_grid_matches_oracle(tracer, PLATFORM_PROFILES[platform],
+                                   scenarios)
+
+
+def test_preemption_exhausts_shared_retry_budget_like_oracle():
+    """An undrainable preemption draws from the same attempt budget as
+    crashes; a one-attempt policy turns it into the oracle's exact
+    'preemption ... exceeded' abort, including before iteration 0."""
+    tracer = build_trace(Tracer())
+    scenarios = [
+        Scenario.make(5, SCALES,
+                      rates=FaultRates(preemption=0.95, preemption_warning=0.0),
+                      seed=seed, retry_policy=RetryPolicy(max_attempts=1))
+        for seed in range(6)
+    ]
+    for platform in ("simsql", "spark", "giraph"):
+        result = assert_grid_matches_oracle(
+            tracer, PLATFORM_PROFILES[platform], scenarios)
+        reasons = [result.report(i).fail_reason for i in range(len(scenarios))]
+        assert any("preemption" in r and "exceeded" in r for r in reasons)
+    aborted_early = [
+        r for i in range(len(scenarios))
+        if (r := simulate_grid(tracer, PLATFORM_PROFILES["giraph"],
+                               ScenarioGrid.of(scenarios)).report(i)).failed
+        and r.fail_phase == "init"
+    ]
+    for report in aborted_early:
+        with pytest.raises(ValueError, match="before completing an iteration"):
+            report.mean_iteration_seconds
+        assert report.cell(verbose=True).startswith("Fail [init:")
+
+
+def test_hostile_columns_track_reports():
+    tracer = build_trace(Tracer())
+    scenarios = [
+        Scenario.make(5, SCALES,
+                      rates=FaultRates(preemption=0.8, resize=0.6), seed=seed)
+        for seed in (1, 2, 3)
+    ]
+    result = assert_grid_matches_oracle(
+        tracer, PLATFORM_PROFILES["spark"], scenarios)
+    columns = result.columns()
+    assert columns["preemption_rate"].tolist() == [0.8] * 3
+    assert columns["resize_rate"].tolist() == [0.6] * 3
+    drained = 0
+    resized = 0
+    for i in range(len(scenarios)):
+        report = result.report(i)
+        assert columns["preemptions_drained"][i] == report.preemptions_drained
+        assert columns["resize_events"][i] == report.resize_events
+        drained += report.preemptions_drained
+        resized += report.resize_events
+    assert drained > 0 and resized > 0
+
+
+def test_fleet_axis_in_product_grid():
+    tracer = build_trace(Tracer())
+    fleet = Fleet.generations((3, 1.0), (2, 0.8))
+    grid = ScenarioGrid.product(
+        machine_counts=(5,),
+        scale_sets=[SCALES],
+        rates=(None, FaultRates(preemption=0.5, resize=0.5)),
+        seeds=(1, 2),
+        fleets=(None, fleet),
+    )
+    assert len(grid) == 1 * 1 * 2 * 2 * 2
+    assert {s.fleet for s in grid} == {None, fleet}
+    assert_grid_matches_oracle(tracer, PLATFORM_PROFILES["simsql"], list(grid))
 
 
 # ----------------------------------------------------------------------
