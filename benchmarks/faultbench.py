@@ -6,7 +6,9 @@ into the simulated runs (``repro.bench.faultsweep``) — machine crashes
 of increasing rate, spot preemptions with and without a drainable
 warning window, elastic resizes (shrink and grow), and a heterogeneous
 mixed-generations fleet — and writes ``BENCH_<rev>_faults.json``
-(schema v2).  The engine traces are byte-identical across the whole
+(schema v2).  Cases are declarative ``ExperimentSpec`` records executed
+through ``repro.service.execution.execute_specs``, the same chokepoint
+the figure tables and the job server use.  The engine traces are byte-identical across the whole
 sweep — fault injection is pure post-processing — and the payload is
 deterministic for a fixed seed (``--selfcheck`` verifies both by
 running the sweep twice and comparing the JSON).

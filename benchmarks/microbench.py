@@ -3,8 +3,11 @@
 
 Times each model's per-iteration host cost per backend with the fast
 path on vs off (``repro.bench.wallclock``) and writes ``BENCH_<rev>.json``
-to the output directory.  The simulated cost events are identical either
-way — this measures only real wall-clock on the host.
+to the output directory.  Each case is declared as an ``ExperimentSpec``
+and bound through ``repro.service.execution.bind_factory``, so the
+timed factory is exactly what the figure tables and the job server
+execute.  The simulated cost events are identical either way — this
+measures only real wall-clock on the host.
 
     python benchmarks/microbench.py             # full suite
     python benchmarks/microbench.py --quick     # CI smoke (2 cases, 1 repeat)

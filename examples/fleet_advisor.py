@@ -27,7 +27,8 @@ fault semantics do the ranking:
 Run:  python examples/fleet_advisor.py
 """
 
-from repro.bench.faultsweep import SWEEP_SEED, _gmm_case, _scales_for, _trace_case
+from repro.bench.faultsweep import SWEEP_SEED, _gmm_case
+from repro.service.execution import scales_for, trace_spec
 from repro.cluster import (
     PLATFORM_PROFILES,
     FaultRates,
@@ -88,8 +89,8 @@ def advise(platform: str) -> tuple[str, list[str]]:
     best = None
     best_ondemand = None
     for machines in MACHINE_COUNTS:
-        tracer = _trace_case(case, machines)
-        scales = _scales_for(case, machines)
+        tracer = trace_spec(case, machines)
+        scales = scales_for(case, machines)
         fleets = candidate_fleets(machines)
         scenarios = []
         for spot, fleet in fleets:

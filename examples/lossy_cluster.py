@@ -20,7 +20,8 @@ byte-identical event stream.
 Run:  python examples/lossy_cluster.py
 """
 
-from repro.bench.faultsweep import CRASH_RATES, SWEEP_SEED, _scales_for, _trace_case, quick_cases
+from repro.bench.faultsweep import CRASH_RATES, SWEEP_SEED, quick_cases
+from repro.service.execution import scales_for, trace_spec
 from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
@@ -50,8 +51,8 @@ def main() -> None:
 
     spark_rows = {}
     for case in quick_cases():
-        tracer = _trace_case(case, MACHINES)
-        scales = _scales_for(case, MACHINES)
+        tracer = trace_spec(case, MACHINES)
+        scales = scales_for(case, MACHINES)
         simulator = Simulator(ClusterSpec(machines=MACHINES),
                               PLATFORM_PROFILES[case.platform])
         cells = []

@@ -39,7 +39,11 @@ def _profile(name: str, rules: set, strict_rng: bool = False,
 #: Simulation/trace/cost modules where only the harness may read clocks
 #: (rule D003's scope): path fragments relative to the package root.
 WALLCLOCK_BANNED = ("repro/cluster/", "repro/impls/", "repro/kernels/",
-                    "repro/fastpath.py")
+                    "repro/fastpath.py", "repro/service/")
+
+#: Exemptions checked before WALLCLOCK_BANNED: job timing is the one
+#: service concern that legitimately reads the wall clock.
+WALLCLOCK_EXEMPT = ("repro/service/jobs.py",)
 
 ENGINE = _profile(
     "engine", {"D001", "D002", "D003", "D004", "M001"}, strict_rng=True,
@@ -56,6 +60,11 @@ HARNESS = _profile(
 RNG_CHOKEPOINT = _profile(
     "rng-chokepoint", {"D001", "D004", "M001"},
     description="repro/stats/rng.py: the one module allowed to call default_rng")
+SERVICE = _profile(
+    "service", {"D001", "D002", "D003", "D004", "M001", "R001"},
+    strict_rng=True,
+    description="repro/service spec/store/server layer: deterministic and "
+                "clock-free except jobs.py (job timing)")
 SCRIPTS = _profile(
     "scripts", {"D001", "D002", "D004", "M001"},
     description="benchmarks/ and examples/ drivers (lenient RNG rules)")
@@ -80,6 +89,8 @@ def profile_for(path) -> Profile:
         return KERNEL
     if "repro/impls/" in text:
         return IMPLS
+    if "repro/service/" in text:
+        return SERVICE
     if "repro/bench/" in text:
         return HARNESS
     if "repro/" in text or "/src/" in f"/{text}":
@@ -90,11 +101,14 @@ def profile_for(path) -> Profile:
 def wallclock_banned(path) -> bool:
     """True when D003 applies: the file is on a simulated cost path."""
     text = _posix(path)
+    if any(fragment in text for fragment in WALLCLOCK_EXEMPT):
+        return False
     return any(fragment in text for fragment in WALLCLOCK_BANNED)
 
 
 # Profiles indexed for the CLI's --explain output.
-PROFILES = (ENGINE, KERNEL, IMPLS, HARNESS, RNG_CHOKEPOINT, SCRIPTS, TESTS)
+PROFILES = (ENGINE, KERNEL, IMPLS, HARNESS, RNG_CHOKEPOINT, SERVICE,
+            SCRIPTS, TESTS)
 
-__all__ = ["PROFILES", "Profile", "WALLCLOCK_BANNED", "profile_for",
-           "wallclock_banned"]
+__all__ = ["PROFILES", "Profile", "WALLCLOCK_BANNED", "WALLCLOCK_EXEMPT",
+           "profile_for", "wallclock_banned"]

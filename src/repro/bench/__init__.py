@@ -1,6 +1,5 @@
 """Benchmark harness: experiment grid, runner, pool, reporting, LoC counting."""
 
-from repro.bench import experiments
 from repro.bench.loc import count_source_lines
 from repro.bench.pool import (
     CellExecutionError,
@@ -22,6 +21,18 @@ from repro.bench.report import (
     seconds_of,
 )
 from repro.bench.runner import CellResult, paper_scales, run_benchmark
+
+
+def __getattr__(name: str):
+    # Lazy: experiments routes through repro.service.execution, which
+    # imports repro.bench.pool — importing it here eagerly would close
+    # that loop before either package finishes initializing.
+    if name == "experiments":
+        import importlib
+
+        return importlib.import_module("repro.bench.experiments")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CellExecutionError",

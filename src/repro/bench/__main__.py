@@ -19,13 +19,12 @@ Options::
 
 from __future__ import annotations
 
-import json
 import sys
 import time
-from pathlib import Path
 
 from repro.bench import experiments, figure_payload, format_figure
-from repro.bench.wallclock import git_revision
+from repro.bench.pool import CellExecutionError
+from repro.bench.report import write_figures_report
 
 FIGURES: dict[str, tuple[str, list[str]]] = {
     "figure_1a": ("Figure 1(a): GMM initial implementations",
@@ -82,17 +81,6 @@ def run_calibration(jobs: int | None = None) -> None:
               f"column {record['column']}")
 
 
-def write_figures_report(payloads: dict[str, dict], out_dir: str) -> Path:
-    """Dump figure payloads as ``BENCH_<rev>_figures.json``; sorted keys
-    and a trailing newline keep the bytes stable for diffing."""
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    path = out / f"BENCH_{git_revision()}_figures.json"
-    payload = {"kind": "figures", "figures": payloads}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
-
-
 def _parse_args(argv: list[str]) -> tuple[str | None, int | None, str | None]:
     """(target, jobs, out_dir); target None means usage error/help."""
     jobs: int | None = None
@@ -135,21 +123,28 @@ def main(argv: list[str]) -> int:
         for name, (title, _) in FIGURES.items():
             print(f"{name:<12} {title}")
         return 0
-    if target == "all":
-        payloads = {name: run_one(name, jobs) for name in FIGURES}
+    try:
+        if target == "all":
+            payloads = {name: run_one(name, jobs) for name in FIGURES}
+            if out_dir is not None:
+                print(f"wrote {write_figures_report(payloads, out_dir)}")
+            return 0
+        if target == "calibration":
+            run_calibration(jobs)
+            return 0
+        if target not in FIGURES:
+            print(f"unknown figure {target!r}; try 'list'", file=sys.stderr)
+            return 2
+        payload = run_one(target, jobs)
         if out_dir is not None:
-            print(f"wrote {write_figures_report(payloads, out_dir)}")
+            print(f"wrote {write_figures_report({target: payload}, out_dir)}")
         return 0
-    if target == "calibration":
-        run_calibration(jobs)
-        return 0
-    if target not in FIGURES:
-        print(f"unknown figure {target!r}; try 'list'", file=sys.stderr)
-        return 2
-    payload = run_one(target, jobs)
-    if out_dir is not None:
-        print(f"wrote {write_figures_report({target: payload}, out_dir)}")
-    return 0
+    except CellExecutionError as exc:
+        # One line on stderr naming the failing cell; the traceback is
+        # the worker's, already folded into the message's later lines.
+        first_line = str(exc).splitlines()[0]
+        print(f"error: {first_line}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

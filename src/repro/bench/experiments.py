@@ -12,29 +12,35 @@ the true 10 and 100 dimensions, HMM at the true 10k vocabulary, LDA at
 100 topics) and scaled through explicit scale groups where not (the
 Lasso's 1000 regressors, SimSQL's LDA vocabulary).
 
-Figures are *declared*, not executed inline: each function enumerates
-:class:`~repro.bench.pool.CellTask` records — registry key, workload
-references, per-cell seed, cluster size, scale map — and hands the list
-to :func:`~repro.bench.pool.run_cells`, which fans them out over a
-process pool (``jobs``/``REPRO_BENCH_JOBS``) and merges results back in
-declared order.  Input data is named by content-addressed
+Figures are *declared*, not executed inline: each figure has a spec
+builder (``figure_specs(name)`` / :data:`FIGURE_BUILDERS`) enumerating
+:class:`~repro.service.spec.ExperimentSpec` records — registry key,
+workload references, per-cell seed, cluster size, scale map — and the
+``figure_*`` functions hand that list to
+:func:`repro.service.execution.execute_specs`, the repo's one execution
+chokepoint, which fans them out over a process pool
+(``jobs``/``REPRO_BENCH_JOBS``) and merges results back in declared
+order.  Input data is named by content-addressed
 :class:`~repro.bench.pool.WorkloadSpec` keys, so a corpus shared by two
 figures is generated once per sweep and every cell draws from its own
 seeded stream — which is what makes parallel output byte-identical to
-serial.
+serial.  The same builders feed the job server
+(``python -m repro.service suite``): a figure submitted as service jobs
+and a figure run here produce identical artifacts.
 """
 
 from __future__ import annotations
 
-from repro.bench.pool import CellTask, WorkloadRef, WorkloadSpec, run_cells
 from repro.bench.runner import CellResult, paper_scales, sv_factor
-from repro.stats import derive_seed
 from repro.config import (
     GMM_100D_SCALE,
     GMM_SCALE,
     LASSO_SCALE,
     TEXT_SCALE,
 )
+from repro.service.execution import execute_specs
+from repro.service.spec import ExperimentSpec, workload_ref
+from repro.stats import derive_seed
 
 ITERATIONS = 2
 SEED = 20140622
@@ -68,47 +74,44 @@ IMPUTE_N = {"spark": 500, "simsql": 200, "graphlab": 500, "giraph": 500}
 
 
 # ----------------------------------------------------------------------
-# Workload specs (content-addressed; shared across figures via the cache)
+# Workload refs (content-addressed; shared across figures via the cache)
 # ----------------------------------------------------------------------
 
-def _gmm_points(n: int, dim: int) -> WorkloadRef:
-    spec = WorkloadSpec.make("gmm", SEED, n=n, dim=dim, clusters=10)
-    return WorkloadRef(spec, "points")
+def _gmm_points(n: int, dim: int):
+    return workload_ref("gmm", SEED, "points", n=n, dim=dim, clusters=10)
 
 
-def _corpus_documents(vocabulary: int) -> WorkloadRef:
-    spec = WorkloadSpec.make("newsgroup", SEED, n_documents=TEXT_DOCS,
-                             vocabulary=vocabulary)
-    return WorkloadRef(spec, "documents")
+def _corpus_documents(vocabulary: int):
+    return workload_ref("newsgroup", SEED, "documents", n_documents=TEXT_DOCS,
+                        vocabulary=vocabulary)
 
 
-def _lasso_ref(attr: str) -> WorkloadRef:
-    spec = WorkloadSpec.make("lasso", SEED, n=LASSO_N, p=LASSO_P)
-    return WorkloadRef(spec, attr)
+def _lasso_ref(attr: str):
+    return workload_ref("lasso", SEED, attr, n=LASSO_N, p=LASSO_P)
 
 
-def _censored_ref(n: int, attr: str) -> WorkloadRef:
-    spec = WorkloadSpec.make("censored-gmm", SEED, n=n, dim=10, clusters=10)
-    return WorkloadRef(spec, attr)
+def _censored_ref(n: int, attr: str):
+    return workload_ref("censored-gmm", SEED, attr, n=n, dim=10, clusters=10)
 
 
-def _task(label: str, key: tuple[str, str, str], args: tuple, seed: int,
+def _cell(label: str, key: tuple[str, str, str], args: tuple, seed: int,
           machines: int, units_per_machine: int, laptop_units: int,
-          paper: str, **extra_scales: float) -> CellTask:
+          paper: str, **extra_scales: float) -> ExperimentSpec:
     platform, model, variant = key
     scales = paper_scales(units_per_machine, machines, laptop_units, **extra_scales)
-    return CellTask(label=label, platform=platform, model=model, variant=variant,
-                    args=args, seed=seed, machines=machines,
-                    iterations=ITERATIONS, scales=tuple(sorted(scales.items())),
-                    paper=paper)
+    return ExperimentSpec.make_cell(platform, model, variant, args=args,
+                                    seed=seed, machines=machines,
+                                    iterations=ITERATIONS, scales=scales,
+                                    label=label, paper=paper)
 
 
-def _run(tasks: list[CellTask], jobs: int | None) -> dict[str, list[CellResult]]:
-    """Execute tasks through the pool; group results by system label,
-    preserving both label order and per-label cell order."""
+def _run(specs: list[ExperimentSpec],
+         jobs: int | None) -> dict[str, list[CellResult]]:
+    """Execute specs through the chokepoint; group results by system
+    label, preserving both label order and per-label cell order."""
     out: dict[str, list[CellResult]] = {}
-    for task, result in zip(tasks, run_cells(tasks, jobs=jobs)):
-        out.setdefault(task.label, []).append(result)
+    for spec, result in zip(specs, execute_specs(specs, jobs=jobs)):
+        out.setdefault(spec.label, []).append(result)
     return out
 
 
@@ -116,8 +119,7 @@ def _run(tasks: list[CellTask], jobs: int | None) -> dict[str, list[CellResult]]
 # Figure 1: GMM
 # ----------------------------------------------------------------------
 
-def figure_1a(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """GMM initial implementations (10-dim @5/20/100; 100-dim @5)."""
+def _figure_1a_specs() -> list[ExperimentSpec]:
     systems = {
         "SimSQL": ("simsql",
                    ["27:55 (13:55)", "28:55 (14:38)", "35:54 (18:58)", "1:51:12 (36:08)"]),
@@ -127,24 +129,28 @@ def figure_1a(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "Giraph": ("giraph",
                    ["25:21 (0:18)", "30:26 (0:15)", "Fail", "Fail"]),
     }
-    tasks = []
+    specs = []
     for label, (platform, paper) in systems.items():
         key = (platform, "gmm", "initial")
         points10 = _gmm_points(GMM10_N[platform], 10)
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, key, (points10, 10), _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, GMM10_N[platform], paper[idx],
             ))
-        tasks.append(_task(
+        specs.append(_cell(
             label, key, (_gmm_points(GMM100_N[platform], 100), 10), _cell_seed(3),
             5, GMM_100D_SCALE.units_per_machine, GMM100_N[platform], paper[3],
         ))
-    return _run(tasks, jobs)
+    return specs
 
 
-def figure_1b(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """GMM alternative implementations: Spark Java, GraphLab super-vertex."""
+def figure_1a(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """GMM initial implementations (10-dim @5/20/100; 100-dim @5)."""
+    return _run(_figure_1a_specs(), jobs)
+
+
+def _figure_1b_specs() -> list[ExperimentSpec]:
     n10, n100 = GMM10_N["spark"], GMM100_N["spark"]
     systems = {
         "Spark (Java)": (("spark", "gmm", "java"),
@@ -152,24 +158,28 @@ def figure_1b(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "GraphLab (Super Vertex)": (("graphlab", "gmm", "super-vertex"),
                                     ["6:13 (1:13)", "4:36 (2:47)", "6:09 (1:21)", "33:32 (0:42)"]),
     }
-    tasks = []
+    specs = []
     for label, (key, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, key, (_gmm_points(n10, 10), 10), _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, n10, paper[idx],
                 sv=sv_factor(machines, n10, 64),
             ))
-        tasks.append(_task(
+        specs.append(_cell(
             label, key, (_gmm_points(n100, 100), 10), _cell_seed(3), 5,
             GMM_100D_SCALE.units_per_machine, n100, paper[3],
             sv=sv_factor(5, n100, 64),
         ))
-    return _run(tasks, jobs)
+    return specs
 
 
-def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """GMM with vs without the super-vertex construction, 5 machines."""
+def figure_1b(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """GMM alternative implementations: Spark Java, GraphLab super-vertex."""
+    return _run(_figure_1b_specs(), jobs)
+
+
+def _figure_1c_specs() -> list[ExperimentSpec]:
     systems = {
         "SimSQL": ("simsql",
                    ["27:55 (13:55)", "6:20 (12:33)", "1:51:12 (36:08)", "7:22 (14:07)"]),
@@ -179,7 +189,7 @@ def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "Giraph": ("giraph",
                    ["25:21 (0:18)", "13:48 (0:03)", "Fail", "6:17:32 (0:03)"]),
     }
-    tasks = []
+    specs = []
     for label, (platform, paper) in systems.items():
         n10, n100 = GMM10_N[platform], GMM100_N[platform]
         for column, (variant, dim, units, n) in enumerate((
@@ -188,19 +198,24 @@ def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
             ("initial", 100, GMM_100D_SCALE.units_per_machine, n100),
             ("super-vertex", 100, GMM_100D_SCALE.units_per_machine, n100),
         )):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, (platform, "gmm", variant), (_gmm_points(n, dim), 10),
                 _cell_seed(column), 5, units, n, paper[column],
                 sv=sv_factor(5, n, 64),
             ))
-    return _run(tasks, jobs)
+    return specs
+
+
+def figure_1c(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """GMM with vs without the super-vertex construction, 5 machines."""
+    return _run(_figure_1c_specs(), jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 2: Bayesian Lasso
 # ----------------------------------------------------------------------
 
-def figure_2(jobs: int | None = None) -> dict[str, list[CellResult]]:
+def _figure_2_specs() -> list[ExperimentSpec]:
     p_factor = 1000.0 / LASSO_P
     systems = {
         "SimSQL": (("simsql", "lasso", "initial"),
@@ -213,24 +228,27 @@ def figure_2(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "Giraph (Super Vertex)": (("giraph", "lasso", "super-vertex"),
                                   ["0:58 (1:14)", "1:03 (1:14)", "2:08 (6:31)"]),
     }
-    tasks = []
+    specs = []
     for label, (key, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, key, (_lasso_ref("x"), _lasso_ref("y")), _cell_seed(idx),
                 machines, LASSO_SCALE.units_per_machine, LASSO_N, paper[idx],
                 p=p_factor, p2=p_factor**2,
                 sv=sv_factor(machines, LASSO_N, 64),
             ))
-    return _run(tasks, jobs)
+    return specs
+
+
+def figure_2(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    return _run(_figure_2_specs(), jobs)
 
 
 # ----------------------------------------------------------------------
 # Figures 3-4: HMM and LDA
 # ----------------------------------------------------------------------
 
-def figure_3a(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """HMM word-based and document-based, five machines."""
+def _figure_3a_specs() -> list[ExperimentSpec]:
     documents = _corpus_documents(HMM_VOCAB)
     systems = {
         "SimSQL (word)": (("simsql", "hmm", "word"), "8:17:07 (10:51:32)"),
@@ -240,16 +258,19 @@ def figure_3a(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "Spark (document)": (("spark", "hmm", "document"), "4:21:36 (27:36)"),
         "Giraph (document)": (("giraph", "hmm", "document"), "11:02 (7:03)"),
     }
-    tasks = [
-        _task(label, key, (documents, HMM_VOCAB, HMM_STATES), SEED, 5,
+    return [
+        _cell(label, key, (documents, HMM_VOCAB, HMM_STATES), SEED, 5,
               TEXT_SCALE.units_per_machine, TEXT_DOCS, paper)
         for label, (key, paper) in systems.items()
     ]
-    return _run(tasks, jobs)
 
 
-def figure_3b(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """HMM super-vertex implementations at 5/20/100 machines."""
+def figure_3a(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """HMM word-based and document-based, five machines."""
+    return _run(_figure_3a_specs(), jobs)
+
+
+def _figure_3b_specs() -> list[ExperimentSpec]:
     documents = _corpus_documents(HMM_VOCAB)
     systems = {
         "Giraph": ("giraph", ["2:27 (1:12)", "2:44 (1:52)", "3:12 (2:56)"]),
@@ -259,20 +280,24 @@ def figure_3b(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "SimSQL": ("simsql",
                    ["2:05:12 (1:44:45)", "2:05:31 (1:44:36)", "2:19:10 (2:04:40)"]),
     }
-    tasks = []
+    specs = []
     for label, (platform, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, (platform, "hmm", "super-vertex"),
                 (documents, HMM_VOCAB, HMM_STATES), _cell_seed(idx), machines,
                 TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                 sv=sv_factor(machines, TEXT_DOCS, 16),
             ))
-    return _run(tasks, jobs)
+    return specs
 
 
-def figure_4a(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """LDA word-based and document-based, five machines."""
+def figure_3b(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """HMM super-vertex implementations at 5/20/100 machines."""
+    return _run(_figure_3b_specs(), jobs)
+
+
+def _figure_4a_specs() -> list[ExperimentSpec]:
     documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
@@ -281,16 +306,19 @@ def figure_4a(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "Spark (document)": (("spark", "lda", "document"), "≈15:45:00 (≈2:30:00)"),
         "Giraph (document)": (("giraph", "lda", "document"), "22:22 (5:46)"),
     }
-    tasks = [
-        _task(label, key, (documents, LDA_VOCAB, LDA_TOPICS), SEED, 5,
+    return [
+        _cell(label, key, (documents, LDA_VOCAB, LDA_TOPICS), SEED, 5,
               TEXT_SCALE.units_per_machine, TEXT_DOCS, paper, vocab=vocab_factor)
         for label, (key, paper) in systems.items()
     ]
-    return _run(tasks, jobs)
 
 
-def figure_4b(jobs: int | None = None) -> dict[str, list[CellResult]]:
-    """LDA super-vertex implementations at 5/20/100 machines."""
+def figure_4a(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """LDA word-based and document-based, five machines."""
+    return _run(_figure_4a_specs(), jobs)
+
+
+def _figure_4b_specs() -> list[ExperimentSpec]:
     documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     systems = {
@@ -301,23 +329,28 @@ def figure_4b(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "SimSQL": ("simsql",
                    ["1:00:17 (3:09)", "1:06:59 (3:34)", "1:13:58 (4:28)"]),
     }
-    tasks = []
+    specs = []
     for label, (platform, paper) in systems.items():
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, (platform, "lda", "super-vertex"),
                 (documents, LDA_VOCAB, LDA_TOPICS), _cell_seed(idx), machines,
                 TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
                 vocab=vocab_factor, sv=sv_factor(machines, TEXT_DOCS, 16),
             ))
-    return _run(tasks, jobs)
+    return specs
+
+
+def figure_4b(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    """LDA super-vertex implementations at 5/20/100 machines."""
+    return _run(_figure_4b_specs(), jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 5: Gaussian imputation
 # ----------------------------------------------------------------------
 
-def figure_5(jobs: int | None = None) -> dict[str, list[CellResult]]:
+def _figure_5_specs() -> list[ExperimentSpec]:
     systems = {
         "Giraph": (("giraph", "imputation", "initial"),
                    ["28:43 (0:19)", "31:23 (0:18)", "Fail"]),
@@ -328,32 +361,68 @@ def figure_5(jobs: int | None = None) -> dict[str, list[CellResult]]:
         "SimSQL": (("simsql", "imputation", "initial"),
                    ["28:53 (14:29)", "30:41 (15:30)", "39:33 (22:15)"]),
     }
-    tasks = []
+    specs = []
     for label, (key, paper) in systems.items():
         n = IMPUTE_N[key[0]]
         args = (_censored_ref(n, "points"), _censored_ref(n, "mask"), 10)
         for idx, machines in enumerate((5, 20, 100)):
-            tasks.append(_task(
+            specs.append(_cell(
                 label, key, args, _cell_seed(idx), machines,
                 GMM_SCALE.units_per_machine, n, paper[idx],
                 sv=sv_factor(machines, n, 64),
             ))
-    return _run(tasks, jobs)
+    return specs
+
+
+def figure_5(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    return _run(_figure_5_specs(), jobs)
 
 
 # ----------------------------------------------------------------------
 # Figure 6: Spark Java LDA
 # ----------------------------------------------------------------------
 
-def figure_6(jobs: int | None = None) -> dict[str, list[CellResult]]:
+def _figure_6_specs() -> list[ExperimentSpec]:
     documents = _corpus_documents(LDA_VOCAB)
     vocab_factor = 10_000.0 / LDA_VOCAB
     paper = ["9:47 (0:53)", "19:36 (1:15)", "Fail"]
-    tasks = [
-        _task("Spark (Java)", ("spark", "lda", "java"),
+    return [
+        _cell("Spark (Java)", ("spark", "lda", "java"),
               (documents, LDA_VOCAB, LDA_TOPICS), _cell_seed(idx), machines,
               TEXT_SCALE.units_per_machine, TEXT_DOCS, paper[idx],
               vocab=vocab_factor)
         for idx, machines in enumerate((5, 20, 100))
     ]
-    return _run(tasks, jobs)
+
+
+def figure_6(jobs: int | None = None) -> dict[str, list[CellResult]]:
+    return _run(_figure_6_specs(), jobs)
+
+
+# ----------------------------------------------------------------------
+# The declarative index (feeds the service suite CLI)
+# ----------------------------------------------------------------------
+
+#: Figure name -> spec builder; the service CLI submits these as jobs.
+FIGURE_BUILDERS = {
+    "figure_1a": _figure_1a_specs,
+    "figure_1b": _figure_1b_specs,
+    "figure_1c": _figure_1c_specs,
+    "figure_2": _figure_2_specs,
+    "figure_3a": _figure_3a_specs,
+    "figure_3b": _figure_3b_specs,
+    "figure_4a": _figure_4a_specs,
+    "figure_4b": _figure_4b_specs,
+    "figure_5": _figure_5_specs,
+    "figure_6": _figure_6_specs,
+}
+
+
+def figure_specs(name: str) -> list[ExperimentSpec]:
+    """Every cell of one figure as declarative, submittable specs."""
+    try:
+        builder = FIGURE_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(FIGURE_BUILDERS)
+        raise KeyError(f"unknown figure {name!r}; known figures: {known}") from None
+    return builder()

@@ -11,6 +11,14 @@ Because fault injection is pure post-processing of the trace (see
 execution per cluster size, and the traced event stream is asserted
 byte-identical before and after the sweep.
 
+Cases are declared as ``sweep``-kind
+:class:`~repro.service.spec.ExperimentSpec` records — the fault axes
+live in a :class:`~repro.service.spec.SweepAxes` block — and executed
+through the repo's one chokepoint,
+:func:`repro.service.execution.execute_specs`, so the same case can be
+submitted to the job server and is served from the result store on
+repeat runs.
+
 ``python benchmarks/faultbench.py`` drives this and writes a
 ``BENCH_<rev>_faults.json`` so robustness results are kept per revision,
 mirroring the wall-clock microbenchmarks.
@@ -18,31 +26,15 @@ mirroring the wall-clock microbenchmarks.
 
 from __future__ import annotations
 
-import functools
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.bench.pool import WorkloadSpec, default_cache, pool_map
-from repro.bench.runner import paper_scales, sv_factor
 from repro.bench.wallclock import git_revision
-from repro.cluster import (
-    PLATFORM_PROFILES,
-    ClusterSpec,
-    ContentionWindow,
-    FaultRates,
-    Fleet,
-    RecoveryStrategy,
-    RunReport,
-    Scenario,
-    ScenarioGrid,
-    Tracer,
-    simulate_grid,
-)
-from repro.cluster.machine import DEFAULT_CONTENTION_SLOWDOWN
+from repro.cluster import Fleet
 from repro.config import GMM_SCALE, SPOT_WARNING_SECONDS, TEXT_SCALE
-from repro.impls.registry import data_factory
+from repro.service.execution import execute_specs
+from repro.service.spec import ExperimentSpec, SweepAxes, workload_ref
 
 SEED = 20140622
 #: Seed of the sampled fault schedules.  Chosen so the default rate
@@ -75,14 +67,11 @@ SCHEMA_VERSION = 2
 
 
 def hetero_fleet(machines: int) -> Fleet:
-    """The benchmark's mixed fleet: half the machines one generation
-    older (0.8x), plus a noisy neighbor on machine 0 for every
-    iteration phase."""
-    older = machines // 2
-    return Fleet.generations(
-        (machines - older, 1.0), (older, 0.8),
-        contention=(ContentionWindow(0, 1, 1 + ITERATIONS,
-                                     DEFAULT_CONTENTION_SLOWDOWN),))
+    """The benchmark's mixed fleet at this module's iteration count
+    (see :func:`repro.service.execution.hetero_fleet`)."""
+    from repro.service.execution import hetero_fleet as _fleet
+
+    return _fleet(machines, ITERATIONS)
 
 
 GMM_N = {"spark": 400, "simsql": 160, "graphlab": 400, "giraph": 400}
@@ -91,51 +80,52 @@ LDA_VOCAB = 2_000
 LDA_TOPICS = 100
 
 
-@dataclass(frozen=True)
-class SweepCase:
-    """One (platform, model) robustness case."""
-
-    name: str
-    platform: str
-    model: str
-    #: Builds the implementation for a cluster spec and tracer.
-    factory: Callable[[ClusterSpec, Tracer], object]
-    #: Paper-scale data units per machine for the scale map.
-    units_per_machine: int
-    #: Data units the laptop run actually executes.
-    laptop_units: int
-    extra_scales: dict[str, float] = field(default_factory=dict)
-    #: Super-vertex block size of the laptop run (0 = not a SV code).
-    sv_block: int = 0
+def _axes(units_per_machine: int, laptop_units: int,
+          extra_scales: dict[str, float] | None = None,
+          sv_block: int = 0) -> SweepAxes:
+    """The default fault axes bound to one case's scale parameters."""
+    return SweepAxes(
+        units_per_machine=units_per_machine,
+        laptop_units=laptop_units,
+        machine_counts=MACHINE_COUNTS,
+        crash_rates=CRASH_RATES,
+        sweep_seed=SWEEP_SEED,
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        preemption_rate=PREEMPTION_RATE,
+        preemption_warnings=PREEMPTION_WARNINGS,
+        resize_rate=RESIZE_RATE,
+        resize_deltas=RESIZE_DELTAS,
+        extra_scales=tuple(sorted((extra_scales or {}).items())),
+        sv_block=sv_block,
+    )
 
 
 def _gmm_case(name: str, platform: str, variant: str = "initial",
-              sv_block: int = 0) -> SweepCase:
+              sv_block: int = 0) -> ExperimentSpec:
     # Shared workload cache: three of the four GMM cases use the same
-    # (seed, n) spec, so the points are generated once per process.
+    # (seed, n) workload ref, so the points are generated once per
+    # process when the sweep executes.
     n = GMM_N[platform]
-    data = default_cache().get(
-        WorkloadSpec.make("gmm", SEED, n=n, dim=10, clusters=10))
-    factory = data_factory(platform, "gmm", variant, data.points, 10, seed=SEED)
-    return SweepCase(name=name, platform=platform, model="gmm", factory=factory,
-                     units_per_machine=GMM_SCALE.units_per_machine,
-                     laptop_units=n, sv_block=sv_block)
+    points = workload_ref("gmm", SEED, "points", n=n, dim=10, clusters=10)
+    return ExperimentSpec.make_sweep(
+        platform, "gmm", variant, args=(points, 10), seed=SEED,
+        iterations=ITERATIONS, label=name,
+        axes=_axes(GMM_SCALE.units_per_machine, n, sv_block=sv_block))
 
 
 def _lda_case(name: str, platform: str, variant: str,
-              sv_block: int = 0) -> SweepCase:
-    corpus = default_cache().get(WorkloadSpec.make(
-        "newsgroup", SEED, n_documents=LDA_DOCS, vocabulary=LDA_VOCAB))
-    factory = data_factory(platform, "lda", variant, corpus.documents,
-                           LDA_VOCAB, LDA_TOPICS, seed=SEED)
-    return SweepCase(name=name, platform=platform, model="lda", factory=factory,
-                     units_per_machine=TEXT_SCALE.units_per_machine,
-                     laptop_units=LDA_DOCS,
-                     extra_scales={"vocab": 10_000.0 / LDA_VOCAB},
-                     sv_block=sv_block)
+              sv_block: int = 0) -> ExperimentSpec:
+    documents = workload_ref("newsgroup", SEED, "documents",
+                             n_documents=LDA_DOCS, vocabulary=LDA_VOCAB)
+    return ExperimentSpec.make_sweep(
+        platform, "lda", variant, args=(documents, LDA_VOCAB, LDA_TOPICS),
+        seed=SEED, iterations=ITERATIONS, label=name,
+        axes=_axes(TEXT_SCALE.units_per_machine, LDA_DOCS,
+                   extra_scales={"vocab": 10_000.0 / LDA_VOCAB},
+                   sv_block=sv_block))
 
 
-def default_cases() -> list[SweepCase]:
+def default_cases() -> list[ExperimentSpec]:
     """GMM and LDA on all four platforms.
 
     GraphLab runs its super-vertex GMM (the plain one Fails on memory at
@@ -153,137 +143,13 @@ def default_cases() -> list[SweepCase]:
     ]
 
 
-def quick_cases() -> list[SweepCase]:
+def quick_cases() -> list[ExperimentSpec]:
     """CI smoke subset: GMM on every platform (all four semantics)."""
     return [case for case in default_cases() if case.model == "gmm"]
 
 
-def _scales_for(case: SweepCase, machines: int) -> dict[str, float]:
-    scales = paper_scales(case.units_per_machine, machines, case.laptop_units,
-                          **case.extra_scales)
-    if case.sv_block:
-        scales["sv"] = sv_factor(machines, case.laptop_units, case.sv_block)
-    return scales
-
-
-def _trace_case(case: SweepCase, machines: int) -> Tracer:
-    """Run the engine once; the sweep replays this trace."""
-    cluster = ClusterSpec(machines=machines)
-    tracer = Tracer()
-    impl = case.factory(cluster, tracer)
-    with tracer.init_phase():
-        impl.initialize()
-    for i in range(ITERATIONS):
-        with tracer.iteration_phase(i):
-            impl.iterate(i)
-    return tracer
-
-
-def _cell_payload(report: RunReport) -> dict:
-    payload = {
-        "completed": not report.failed,
-        "aborted": report.aborted,
-        "recovered_failures": report.recovered_failures,
-        "total_retries": report.total_retries,
-        "preemptions_drained": report.preemptions_drained,
-        "resize_events": report.resize_events,
-        "lost_seconds": report.lost_seconds,
-        "checkpoint_seconds": report.checkpoint_seconds,
-        "total_seconds": report.total_seconds,
-        "cell": report.cell(verbose=True),
-    }
-    if report.failed:
-        payload["fail_phase"] = report.fail_phase
-        payload["fail_reason"] = report.fail_reason
-    return payload
-
-
-def sweep_case(
-    case: SweepCase,
-    machine_counts: tuple[int, ...] = MACHINE_COUNTS,
-    crash_rates: tuple[float, ...] = CRASH_RATES,
-    seed: int = SWEEP_SEED,
-) -> dict:
-    """One engine run per cluster size, one *grid* simulation per size.
-
-    The whole crash-rate axis — plus the lineage platforms'
-    checkpointed second ride and the hostile-cluster regimes
-    (preemption at both warning windows, resize at both deltas, a
-    mixed-generations fleet) — goes through
-    :func:`repro.cluster.simulate_grid` in a single vectorized pass
-    over the trace; the per-cell ``Simulator.simulate`` path is the
-    oracle the golden suite checks the grid against, so the payload is
-    byte-identical to a one-simulation-per-cell loop.
-    """
-    profile = PLATFORM_PROFILES[case.platform]
-    lineage = profile.recovery.strategy is RecoveryStrategy.LINEAGE
-    cells = []
-    for machines in machine_counts:
-        tracer = _trace_case(case, machines)
-        frozen = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
-        scales = _scales_for(case, machines)
-        scenarios = []
-        tags: list[dict | None] = []
-        for rate in crash_rates:
-            scenarios.append(Scenario.make(
-                machines, scales, rates=FaultRates(machine_crash=rate),
-                seed=seed))
-            tags.append({"regime": "crash", "rate": rate, "crash_rate": rate})
-        checkpoint_base = len(scenarios)
-        if lineage:
-            # Second ride for the crash axis only; folded into the
-            # matching crash cell rather than tagged as its own cell.
-            for rate in crash_rates:
-                scenarios.append(Scenario.make(
-                    machines, scales, rates=FaultRates(machine_crash=rate),
-                    seed=seed, checkpoint_interval=CHECKPOINT_INTERVAL))
-                tags.append(None)
-        for warning in PREEMPTION_WARNINGS:
-            scenarios.append(Scenario.make(
-                machines, scales,
-                rates=FaultRates(preemption=PREEMPTION_RATE,
-                                 preemption_warning=warning),
-                seed=seed))
-            tags.append({"regime": "preemption", "rate": PREEMPTION_RATE,
-                         "warning_seconds": warning})
-        for delta in RESIZE_DELTAS:
-            scenarios.append(Scenario.make(
-                machines, scales,
-                rates=FaultRates(resize=RESIZE_RATE, resize_delta=delta),
-                seed=seed))
-            tags.append({"regime": "resize", "rate": RESIZE_RATE,
-                         "resize_delta": delta})
-        scenarios.append(Scenario.make(machines, scales, seed=seed,
-                                       fleet=hetero_fleet(machines)))
-        tags.append({"regime": "hetero", "rate": 0.0,
-                     "fleet": "mixed-generations"})
-        grid = simulate_grid(tracer, profile, ScenarioGrid.of(scenarios))
-        for i, tag in enumerate(tags):
-            if tag is None:
-                continue
-            cell = {"machines": machines, **tag}
-            cell.update(_cell_payload(grid.report(i)))
-            if tag["regime"] == "crash" and lineage:
-                checkpointed = grid.report(checkpoint_base + i)
-                cell["checkpointed_total_seconds"] = checkpointed.total_seconds
-            cells.append(cell)
-        after = [(p.name, tuple(p.events), tuple(p.memory)) for p in tracer.phases]
-        if after != frozen:
-            raise AssertionError(
-                f"{case.name}: fault injection mutated the trace at "
-                f"{machines} machines"
-            )
-    return {
-        "platform": case.platform,
-        "model": case.model,
-        "iterations": ITERATIONS,
-        "trace_immutable": True,
-        "cells": cells,
-    }
-
-
 def run_sweep(
-    cases: list[SweepCase] | None = None,
+    cases: list[ExperimentSpec] | None = None,
     machine_counts: tuple[int, ...] = MACHINE_COUNTS,
     crash_rates: tuple[float, ...] = CRASH_RATES,
     seed: int = SWEEP_SEED,
@@ -292,15 +158,18 @@ def run_sweep(
 ) -> dict:
     """Run every case and assemble the ``BENCH_<rev>_faults.json`` payload.
 
-    ``jobs`` fans the cases out over a process pool; the payload is
+    The machine/rate/seed arguments override each case's declared axes
+    (a quick subset is just the same specs with smaller axes).  ``jobs``
+    fans the cases out over a process pool; the payload is
     byte-identical to a serial run (it deliberately records nothing
     about the harness parallelism), merged in declared case order.
     """
-    case_list = list(cases if cases is not None else default_cases())
-    one_case = functools.partial(sweep_case, machine_counts=machine_counts,
-                                 crash_rates=crash_rates, seed=seed)
-    sweeps = pool_map(one_case, case_list, jobs=jobs,
-                      describe=lambda case: case.name)
+    case_list = [
+        case.with_axes(machine_counts=tuple(machine_counts),
+                       crash_rates=tuple(crash_rates), sweep_seed=seed)
+        for case in (cases if cases is not None else default_cases())
+    ]
+    sweeps = execute_specs(case_list, jobs=jobs)
     results: dict[str, dict] = {}
     for case, sweep in zip(case_list, sweeps):
         results[case.name] = sweep

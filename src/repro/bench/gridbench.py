@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench.faultsweep import _gmm_case, _scales_for, _trace_case, hetero_fleet
+from repro.bench.faultsweep import _gmm_case, hetero_fleet
 from repro.cluster import (
     PLATFORM_PROFILES,
     ClusterSpec,
@@ -31,6 +31,7 @@ from repro.cluster import (
     Simulator,
     simulate_grid,
 )
+from repro.service.execution import scales_for, trace_spec
 
 #: Default sweep axes: 2 x 7 x 2 x 36 x 2 fleets = 2,016 cells over two
 #: traces.
@@ -85,8 +86,8 @@ def run_gridbench(
     profile = PLATFORM_PROFILES[case.platform]
     bases = []
     for machines in machine_counts:
-        tracer = _trace_case(case, machines)
-        scales = _scales_for(case, machines)
+        tracer = trace_spec(case, machines)
+        scales = scales_for(case, machines)
         scenarios = ScenarioGrid.of(
             Scenario.make(machines, scales, rates=_rates(rate),
                           seed=seed, checkpoint_interval=interval,

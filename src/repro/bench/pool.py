@@ -42,6 +42,7 @@ import pickle
 import shutil
 import tempfile
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -162,15 +163,29 @@ class WorkloadCache:
         return self._directory / f"{spec.key}.pkl"
 
     def get(self, spec: WorkloadSpec):
-        """The workload for ``spec``: memoized, loaded, or generated."""
+        """The workload for ``spec``: memoized, loaded, or generated.
+
+        A corrupted or truncated disk pickle (a worker killed mid-write,
+        a stale partial file) is never fatal: the workload is
+        regenerated from the spec — generators are pure functions of the
+        seed — and the entry rewritten, with a warning naming the file.
+        """
         cached = self._memory.get(spec.key)
         if cached is not None:
             return cached
+        data = None
         path = self._path(spec)
         if path is not None and path.exists():
-            with path.open("rb") as handle:
-                data = pickle.load(handle)
-        else:
+            try:
+                with path.open("rb") as handle:
+                    data = pickle.load(handle)
+            except Exception as exc:
+                warnings.warn(
+                    f"workload cache entry {path.name} is unreadable "
+                    f"({type(exc).__name__}: {exc}); regenerating from spec",
+                    RuntimeWarning, stacklevel=2)
+                data = None
+        if data is None:
             data = spec.build()
             if path is not None:
                 self._write(path, data)

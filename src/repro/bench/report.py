@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.bench.runner import CellResult
 
 
@@ -29,6 +32,31 @@ def format_figure(title: str, rows: dict[str, list[CellResult]],
     return "\n".join(out)
 
 
+def cell_payload(cell: CellResult) -> dict:
+    """One cell's JSON-ready dict — the atom of every figure artifact.
+
+    Shared by :func:`figure_payload` (the batch path) and the service's
+    ``execute_payload`` (the served path), so both produce the exact
+    same per-cell bytes.
+    """
+    return {
+        "machines": cell.machines,
+        "cell": cell.cell,
+        "paper": cell.paper,
+        "loc": cell.loc,
+        "failed": cell.report.failed,
+        "phases": [
+            {
+                "name": phase.name,
+                "seconds": phase.seconds,
+                "parallel_seconds": phase.parallel_seconds,
+                "serial_seconds": phase.serial_seconds,
+            }
+            for phase in cell.report.phases
+        ],
+    }
+
+
 def figure_payload(rows: dict[str, list[CellResult]]) -> dict:
     """A JSON-ready dict of one figure's results.
 
@@ -36,28 +64,26 @@ def figure_payload(rows: dict[str, list[CellResult]]) -> dict:
     the payload with sorted keys gives a byte-stable artifact: the CI
     parallel-harness leg diffs a ``--jobs 2`` dump against a serial one.
     """
-    payload: dict[str, list[dict]] = {}
-    for label, cells in rows.items():
-        payload[label] = [
-            {
-                "machines": cell.machines,
-                "cell": cell.cell,
-                "paper": cell.paper,
-                "loc": cell.loc,
-                "failed": cell.report.failed,
-                "phases": [
-                    {
-                        "name": phase.name,
-                        "seconds": phase.seconds,
-                        "parallel_seconds": phase.parallel_seconds,
-                        "serial_seconds": phase.serial_seconds,
-                    }
-                    for phase in cell.report.phases
-                ],
-            }
-            for cell in cells
-        ]
-    return payload
+    return {label: [cell_payload(cell) for cell in cells]
+            for label, cells in rows.items()}
+
+
+def write_figures_report(payloads: dict[str, dict], out_dir: str | Path) -> Path:
+    """Dump figure payloads as ``BENCH_<rev>_figures.json``; sorted keys
+    and a trailing newline keep the bytes stable for diffing — the CI
+    service-smoke leg diffs a suite assembled from served results
+    against this same writer fed by the batch path.
+    """
+    # Lazy: report is imported by the service's execution chokepoint,
+    # which wallclock (home of git_revision) imports in turn.
+    from repro.bench.wallclock import git_revision
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{git_revision()}_figures.json"
+    payload = {"kind": "figures", "figures": payloads}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_summary(summary: dict) -> str:

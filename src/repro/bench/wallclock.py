@@ -24,16 +24,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro import fastpath
-from repro.bench.pool import (
-    WorkloadSpec,
-    default_cache,
-    pool_map,
-    resolve_jobs,
-)
+from repro.bench.pool import pool_map, resolve_jobs
 from repro.bench.report import format_summary
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
-from repro.impls.registry import data_factory
+from repro.service.execution import bind_factory
+from repro.service.spec import ExperimentSpec, workload_ref
 
 SEED = 20140622
 MACHINES = 3
@@ -50,56 +46,55 @@ class BenchCase:
     factory: Callable[[ClusterSpec, Tracer], object]
     iterations: int = 3
     repeats: int = 5
+    #: The declarative description the factory was bound from (None for
+    #: hand-built test cases).
+    spec: ExperimentSpec | None = None
 
 
-def _factory(platform: str, model: str, variant: str, *data) -> Callable:
-    """Registry factory with a fresh impl RNG per instantiation —
-    every repeat must see the same stream (make_rng(IMPL_SEED) is a pure
-    function of the seed, so repeats replay identically)."""
-    return data_factory(platform, model, variant, *data, seed=IMPL_SEED)
+def _case(name: str, platform: str, model: str, variant: str, args: tuple,
+          iterations: int = 3, repeats: int = 5) -> BenchCase:
+    """A case declared as an :class:`ExperimentSpec` and bound through
+    the service layer — every repeat must see the same stream
+    (``make_rng(IMPL_SEED)`` is a pure function of the seed, so repeats
+    replay identically)."""
+    spec = ExperimentSpec.make_cell(platform, model, variant, args=args,
+                                    seed=IMPL_SEED, machines=MACHINES,
+                                    iterations=iterations, label=name)
+    return BenchCase(name, model, platform, bind_factory(spec),
+                     iterations=iterations, repeats=repeats, spec=spec)
 
 
 def default_cases() -> list[BenchCase]:
     """The five models on Spark plus GMM on every other backend.
 
-    Workloads come from the shared :func:`default_cache`, so a suite
-    run after (or alongside) a figure sweep in the same process reuses
-    any already-generated dataset instead of regenerating it.
+    Workload refs resolve through the shared
+    :func:`~repro.bench.pool.default_cache`, so a suite run after (or
+    alongside) a figure sweep in the same process reuses any
+    already-generated dataset instead of regenerating it.
     """
-    cache = default_cache()
-    gmm_data = cache.get(WorkloadSpec.make("gmm", 7, n=600, dim=5, clusters=3))
-    small_gmm = cache.get(WorkloadSpec.make("gmm", 7, n=100, dim=5, clusters=3))
-    lda_corpus = cache.get(WorkloadSpec.make(
-        "lda", 5, n_documents=400, vocabulary=600, topics=5, mean_length=120))
-    lasso_data = cache.get(WorkloadSpec.make("lasso", 11, n=800, p=25))
-    hmm_corpus = cache.get(WorkloadSpec.make(
-        "newsgroup", 13, n_documents=40, vocabulary=500))
-    censored = cache.get(WorkloadSpec.make(
-        "censored-gmm", 17, n=400, dim=5, clusters=3))
+    gmm_points = workload_ref("gmm", 7, "points", n=600, dim=5, clusters=3)
+    small_points = workload_ref("gmm", 7, "points", n=100, dim=5, clusters=3)
+    lda_docs = workload_ref("lda", 5, "documents", n_documents=400,
+                            vocabulary=600, topics=5, mean_length=120)
+    hmm_docs = workload_ref("newsgroup", 13, "documents", n_documents=40,
+                            vocabulary=500)
     return [
-        BenchCase("spark_gmm", "gmm", "spark",
-                  _factory("spark", "gmm", "initial", gmm_data.points, 3)),
-        BenchCase("spark_lda", "lda", "spark",
-                  _factory("spark", "lda", "document",
-                           lda_corpus.documents, 600, 5)),
-        BenchCase("spark_lasso", "lasso", "spark",
-                  _factory("spark", "lasso", "initial",
-                           lasso_data.x, lasso_data.y)),
-        BenchCase("spark_hmm", "hmm", "spark",
-                  _factory("spark", "hmm", "document",
-                           hmm_corpus.documents, 500, 10)),
-        BenchCase("spark_imputation", "imputation", "spark",
-                  _factory("spark", "imputation", "initial",
-                           censored.points, censored.mask, 3)),
-        BenchCase("simsql_gmm", "gmm", "simsql",
-                  _factory("simsql", "gmm", "initial", small_gmm.points, 3),
-                  iterations=2, repeats=2),
-        BenchCase("giraph_gmm", "gmm", "giraph",
-                  _factory("giraph", "gmm", "initial", gmm_data.points, 3),
-                  repeats=3),
-        BenchCase("graphlab_gmm", "gmm", "graphlab",
-                  _factory("graphlab", "gmm", "initial", gmm_data.points, 3),
-                  repeats=3),
+        _case("spark_gmm", "spark", "gmm", "initial", (gmm_points, 3)),
+        _case("spark_lda", "spark", "lda", "document", (lda_docs, 600, 5)),
+        _case("spark_lasso", "spark", "lasso", "initial",
+              (workload_ref("lasso", 11, "x", n=800, p=25),
+               workload_ref("lasso", 11, "y", n=800, p=25))),
+        _case("spark_hmm", "spark", "hmm", "document", (hmm_docs, 500, 10)),
+        _case("spark_imputation", "spark", "imputation", "initial",
+              (workload_ref("censored-gmm", 17, "points", n=400, dim=5, clusters=3),
+               workload_ref("censored-gmm", 17, "mask", n=400, dim=5, clusters=3),
+               3)),
+        _case("simsql_gmm", "simsql", "gmm", "initial", (small_points, 3),
+              iterations=2, repeats=2),
+        _case("giraph_gmm", "giraph", "gmm", "initial", (gmm_points, 3),
+              repeats=3),
+        _case("graphlab_gmm", "graphlab", "gmm", "initial", (gmm_points, 3),
+              repeats=3),
     ]
 
 

@@ -12,6 +12,7 @@ pure function of the key in every process.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 
 import numpy as np
@@ -50,3 +51,16 @@ def stable_hash(value) -> int:
     process.  Supports the key types the engines place by: ints, strs,
     bytes, floats, None and tuples of those."""
     return zlib.crc32(_canonical(value))
+
+
+def stable_digest(value, length: int = 16) -> str:
+    """A hex content address over the same canonical encoding as
+    :func:`stable_hash`.
+
+    Placement decisions only need 32 well-mixed bits, but a content
+    address (a workload cache key, an experiment-spec result key) must
+    never collide across the lifetime of a store, so it gets a sha256
+    prefix instead of a crc.  Both functions share ``_canonical``: two
+    values hash equal iff they digest equal.
+    """
+    return hashlib.sha256(_canonical(value)).hexdigest()[:length]

@@ -1,0 +1,53 @@
+"""Benchmark-as-a-service: declarative specs, one execution chokepoint,
+a content-addressed result store, and a stdlib job server.
+
+* :mod:`repro.service.spec` — :class:`ExperimentSpec`, the frozen,
+  JSON-round-trippable description of one runnable experiment.
+* :mod:`repro.service.execution` — the single ``execute_spec``
+  chokepoint every bench driver funnels through.
+* :mod:`repro.service.store` — :class:`ResultStore`: identical specs
+  never recompute.
+* :mod:`repro.service.jobs` — the queued/running/done/failed job-state
+  machine and scheduler.
+* :mod:`repro.service.server` / :mod:`~repro.service.client` — the
+  stdlib HTTP layer (imported lazily; ``python -m repro.service`` is
+  the CLI).
+"""
+
+from repro.service.execution import (
+    bind_factory,
+    execute_payload,
+    execute_spec,
+    execute_specs,
+    execute_sweep,
+    payload_cell,
+)
+from repro.service.jobs import Job, JobScheduler, JobState
+from repro.service.spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    SpecError,
+    SweepAxes,
+    workload_ref,
+)
+from repro.service.store import STORE_ENV, ResultStore, default_store
+
+__all__ = [
+    "SPEC_VERSION",
+    "STORE_ENV",
+    "ExperimentSpec",
+    "Job",
+    "JobScheduler",
+    "JobState",
+    "ResultStore",
+    "SpecError",
+    "SweepAxes",
+    "bind_factory",
+    "default_store",
+    "execute_payload",
+    "execute_spec",
+    "execute_specs",
+    "execute_sweep",
+    "payload_cell",
+    "workload_ref",
+]

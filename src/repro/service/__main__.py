@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — see :mod:`repro.service.cli`."""
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

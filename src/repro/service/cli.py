@@ -1,0 +1,197 @@
+"""Command-line entry point for the experiment service.
+
+Usage::
+
+    python -m repro.service serve  [--host H] [--port P] [--store DIR]
+                                   [--workers N]
+    python -m repro.service submit SPEC.json [--url URL]
+    python -m repro.service status [--url URL]
+    python -m repro.service suite  [--figures a,b] [--url URL]
+                                   [--store DIR] [--out DIR]
+
+``serve`` boots the stdlib HTTP server over a job scheduler and blocks.
+``submit`` posts one spec file (``-`` reads stdin) and prints the job.
+``status`` prints a running server's health and job table.  ``suite``
+submits the whole paper-table suite — every figure cell as one job —
+and assembles the serviced results into the same
+``BENCH_<rev>_figures.json`` the batch driver writes: identical specs
+are served from the ResultStore instead of recomputed, and the bytes
+diff clean against ``python -m repro.bench all --serial --out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobScheduler
+from repro.service.spec import ExperimentSpec, SpecError
+from repro.service.store import ResultStore, default_store
+
+
+def _spec_from_file(path: str) -> ExperimentSpec:
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    return ExperimentSpec.from_json(json.loads(text))
+
+
+def _figure_names(selector: str | None) -> list[str]:
+    from repro.bench.__main__ import FIGURES
+
+    if not selector or selector == "all":
+        return list(FIGURES)
+    names = [name.strip() for name in selector.split(",") if name.strip()]
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        raise SpecError(f"unknown figures {unknown}; known: {list(FIGURES)}")
+    return names
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import start_server, stop_server
+
+    store = (ResultStore(args.store) if args.store is not None
+             else default_store())
+    server = start_server(host=args.host, port=args.port, store=store,
+                          workers=args.workers)
+    print(f"serving experiments on {server.url} "
+          f"(store: {store.directory or 'memory'})", flush=True)
+    try:
+        server._thread.join()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        stop_server(server)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    spec = _spec_from_file(args.spec)
+    client = ServiceClient(args.url)
+    job = client.wait(client.submit(spec)["id"])
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] == "done" else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    health = client.health()
+    print(json.dumps(health, indent=2, sort_keys=True))
+    for job in client.jobs():
+        flags = " (cached)" if job["cached"] else ""
+        print(f"{job['id']:<10} {job['state']:<8} "
+              f"{job['spec'].get('label') or job['key']}{flags}")
+    return 0
+
+
+def _run_suite_specs(specs: list[ExperimentSpec], args) -> list[dict]:
+    """Result payloads for the suite's specs, in declared order.
+
+    With ``--url`` every spec is submitted to the running server; without
+    one, an in-process scheduler with the same store semantics drains
+    the queue synchronously.
+    """
+    if args.url:
+        client = ServiceClient(args.url)
+        jobs = [client.submit(spec) for spec in specs]
+        results = []
+        for job in jobs:
+            final = (job if job["state"] in ("done", "failed")
+                     else client.wait(job["id"]))
+            if final["state"] == "failed":
+                raise ServiceError(500, final.get("error", "job failed"))
+            results.append(final.get("result") or client.result(final["key"]))
+        return results
+    store = (ResultStore(args.store) if args.store is not None
+             else default_store())
+    scheduler = JobScheduler(store=store)
+    jobs = [scheduler.submit(spec) for spec in specs]
+    scheduler.run_pending()
+    results = []
+    for job in jobs:
+        if job.state.value == "failed":
+            raise ServiceError(500, job.error)
+        results.append(scheduler.result(job))
+    return results
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+    from repro.bench.report import write_figures_report
+    from repro.service.execution import payload_cell
+
+    names = _figure_names(args.figures)
+    figures: list[tuple[str, list[ExperimentSpec]]] = [
+        (name, experiments.figure_specs(name)) for name in names]
+    flat = [spec for _, specs in figures for spec in specs]
+    print(f"suite: {len(flat)} cells across {len(names)} figures")
+    results = _run_suite_specs(flat, args)
+    by_spec = dict(zip(flat, results))
+
+    payloads: dict[str, dict] = {}
+    for name, specs in figures:
+        rows: dict[str, list[dict]] = {}
+        for spec in specs:
+            rows.setdefault(spec.label, []).append(payload_cell(by_spec[spec]))
+        payloads[name] = rows
+        print(f"{name}: {len(specs)} cells serviced")
+    path = write_figures_report(payloads, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.service",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="boot the HTTP experiment server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--store", default=None,
+                       help="result-store directory (default: "
+                            "REPRO_SERVICE_STORE, else memory-only)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="scheduler worker threads")
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit one spec JSON file")
+    submit.add_argument("spec", help="path to a spec JSON ('-' for stdin)")
+    submit.add_argument("--url", default="http://127.0.0.1:8765")
+    submit.set_defaults(fn=cmd_submit)
+
+    status = sub.add_parser("status", help="server health and job table")
+    status.add_argument("--url", default="http://127.0.0.1:8765")
+    status.set_defaults(fn=cmd_status)
+
+    suite = sub.add_parser("suite",
+                           help="run the paper-table suite as service jobs")
+    suite.add_argument("--figures", default="all",
+                       help="comma-separated figure names (default: all)")
+    suite.add_argument("--url", default=None,
+                       help="running server to submit to (default: an "
+                            "in-process scheduler)")
+    suite.add_argument("--store", default=None,
+                       help="result-store directory for the in-process "
+                            "scheduler")
+    suite.add_argument("--out", default=".",
+                       help="directory for BENCH_<rev>_figures.json")
+    suite.set_defaults(fn=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if not getattr(args, "fn", None):
+        _parser().print_help()
+        return 2
+    try:
+        return args.fn(args)
+    except (SpecError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["main"]

@@ -1,0 +1,105 @@
+"""Thin stdlib client for the experiment service.
+
+``urllib.request`` only — the client mirrors the server's endpoints
+one-for-one and raises :class:`ServiceError` with the server's own JSON
+error message on 4xx/5xx.  Polling waits are attempt-count loops with a
+fixed sleep between tries: the service layer keeps wall-clock reads
+confined to the job-timing module.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.spec import ExperimentSpec
+
+#: Seconds between poll attempts in :meth:`ServiceClient.wait`.
+POLL_SLEEP = 0.05
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with its JSON message and code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one running :mod:`repro.service.server`."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url.rstrip("/")
+
+    def _request(self, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.url + path, data=data,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(request) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get("error", "")
+            except ValueError:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def submit(self, spec: ExperimentSpec | dict) -> dict:
+        """Submit a spec (or its JSON form); returns the job payload."""
+        body = spec.to_json() if isinstance(spec, ExperimentSpec) else spec
+        return self._request("/jobs", body=body)
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("/jobs")["jobs"]
+
+    def result(self, key: str) -> dict:
+        return self._request(f"/results/{key}")["result"]
+
+    # -- conveniences ---------------------------------------------------
+
+    def wait(self, job_id: str, attempts: int = 1200) -> dict:
+        """Poll a job until it finishes; returns the final job payload."""
+        for attempt in range(attempts):
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if attempt + 1 < attempts:
+                time.sleep(POLL_SLEEP)
+        raise TimeoutError(
+            f"job {job_id} still {job['state']!r} after {attempts} polls")
+
+    def run(self, spec: ExperimentSpec | dict, attempts: int = 1200) -> dict:
+        """Submit and wait; returns the DONE job's result payload.
+
+        Raises :class:`ServiceError` on a FAILED job, carrying the
+        worker traceback the server preserved.
+        """
+        job = self.submit(spec)
+        if job["state"] not in ("done", "failed"):
+            job = self.wait(job["id"], attempts=attempts)
+        if job["state"] == "failed":
+            raise ServiceError(500, job.get("error", "job failed"))
+        result = job.get("result")
+        if result is None:
+            result = self.result(job["key"])
+        return result
+
+
+__all__ = ["POLL_SLEEP", "ServiceClient", "ServiceError"]

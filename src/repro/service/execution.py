@@ -1,0 +1,276 @@
+"""The one ``execute_spec`` chokepoint: spec in, result out.
+
+Every bench driver — the figure tables, the fault sweeps, the wall-clock
+and grid benchmarks, and the job server — funnels through this module,
+so "run this experiment" has exactly one meaning in the repo:
+
+* :func:`execute_spec` runs one spec in-process: a ``cell`` spec through
+  :func:`repro.bench.pool.run_cell` (the same worker body the process
+  pool uses, which is what keeps served results byte-identical to batch
+  runs), a ``sweep`` spec through the vectorized scenario grid.
+* :func:`execute_specs` fans a list out over :mod:`repro.bench.pool`
+  with the harness's jobs/env semantics, merging results in declared
+  order.
+* :func:`execute_payload` wraps the result in its JSON form — the shape
+  the :class:`~repro.service.store.ResultStore` persists and the HTTP
+  server serves.  Figure payload cells are exactly the dicts
+  :func:`repro.bench.report.figure_payload` emits, so a figure table
+  assembled from served results diffs clean against the batch path.
+
+No wall-clock here: simulated results must be a pure function of the
+spec.  Job timing lives in :mod:`repro.service.jobs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.pool import WorkloadCache, pool_map, run_cell, run_cells
+from repro.bench.report import cell_payload
+from repro.bench.runner import CellResult, paper_scales, sv_factor
+from repro.cluster import (
+    PLATFORM_PROFILES,
+    ClusterSpec,
+    ContentionWindow,
+    FaultRates,
+    Fleet,
+    RecoveryStrategy,
+    RunReport,
+    Scenario,
+    ScenarioGrid,
+    Tracer,
+    simulate_grid,
+)
+from repro.cluster.machine import DEFAULT_CONTENTION_SLOWDOWN
+from repro.impls.registry import BoundFactory, data_factory
+from repro.service.spec import ExperimentSpec
+
+
+def bind_factory(spec: ExperimentSpec,
+                 cache: WorkloadCache | None = None) -> BoundFactory:
+    """Resolve a spec's workload references and bind the registry cell.
+
+    The returned factory is the same ``(cluster_spec, tracer) ->
+    Implementation`` callable the batch harness builds by hand; data
+    comes from the shared workload cache, so two specs naming the same
+    corpus share one generation per process.
+    """
+    if cache is None:
+        from repro.bench.pool import default_cache
+        cache = default_cache()
+    args = [cache.resolve(arg) for arg in spec.args]
+    return data_factory(spec.platform, spec.model, spec.variant, *args,
+                        seed=spec.seed, **dict(spec.kwargs))
+
+
+def trace_spec(spec: ExperimentSpec, machines: int,
+               cache: WorkloadCache | None = None) -> Tracer:
+    """Run a spec's engine once at ``machines`` and return the trace."""
+    factory = bind_factory(spec, cache)
+    cluster = ClusterSpec(machines=machines)
+    tracer = Tracer()
+    impl = factory(cluster, tracer)
+    with tracer.init_phase():
+        impl.initialize()
+    for i in range(spec.iterations):
+        with tracer.iteration_phase(i):
+            impl.iterate(i)
+    return tracer
+
+
+def scales_for(spec: ExperimentSpec, machines: int) -> dict[str, float]:
+    """A sweep spec's paper-scale map at one cluster size."""
+    axes = spec.axes
+    scales = paper_scales(axes.units_per_machine, machines, axes.laptop_units,
+                          **dict(axes.extra_scales))
+    if axes.sv_block:
+        scales["sv"] = sv_factor(machines, axes.laptop_units, axes.sv_block)
+    return scales
+
+
+def hetero_fleet(machines: int, iterations: int = 3) -> Fleet:
+    """The benchmark's mixed fleet: half the machines one generation
+    older (0.8x), plus a noisy neighbor on machine 0 for every
+    iteration phase."""
+    older = machines // 2
+    return Fleet.generations(
+        (machines - older, 1.0), (older, 0.8),
+        contention=(ContentionWindow(0, 1, 1 + iterations,
+                                     DEFAULT_CONTENTION_SLOWDOWN),))
+
+
+def _report_payload(report: RunReport) -> dict:
+    payload = {
+        "completed": not report.failed,
+        "aborted": report.aborted,
+        "recovered_failures": report.recovered_failures,
+        "total_retries": report.total_retries,
+        "preemptions_drained": report.preemptions_drained,
+        "resize_events": report.resize_events,
+        "lost_seconds": report.lost_seconds,
+        "checkpoint_seconds": report.checkpoint_seconds,
+        "total_seconds": report.total_seconds,
+        "cell": report.cell(verbose=True),
+    }
+    if report.failed:
+        payload["fail_phase"] = report.fail_phase
+        payload["fail_reason"] = report.fail_reason
+    return payload
+
+
+def execute_sweep(spec: ExperimentSpec,
+                  cache: WorkloadCache | None = None) -> dict:
+    """One fault-sweep case: one engine run per cluster size, one *grid*
+    simulation per size.
+
+    The whole crash-rate axis — plus the lineage platforms'
+    checkpointed second ride and the hostile-cluster regimes
+    (preemption at each warning window, resize at each delta, a
+    mixed-generations fleet) — goes through
+    :func:`repro.cluster.simulate_grid` in a single vectorized pass
+    over the trace; the per-cell ``Simulator.simulate`` path is the
+    oracle the golden suite checks the grid against, so the payload is
+    byte-identical to a one-simulation-per-cell loop.
+    """
+    axes = spec.axes
+    profile = PLATFORM_PROFILES[spec.platform]
+    lineage = profile.recovery.strategy is RecoveryStrategy.LINEAGE
+    cells = []
+    for machines in axes.machine_counts:
+        tracer = trace_spec(spec, machines, cache)
+        frozen = [(p.name, tuple(p.events), tuple(p.memory))
+                  for p in tracer.phases]
+        scales = scales_for(spec, machines)
+        scenarios = []
+        tags: list[dict | None] = []
+        for rate in axes.crash_rates:
+            scenarios.append(Scenario.make(
+                machines, scales, rates=FaultRates(machine_crash=rate),
+                seed=axes.sweep_seed))
+            tags.append({"regime": "crash", "rate": rate, "crash_rate": rate})
+        checkpoint_base = len(scenarios)
+        if lineage:
+            # Second ride for the crash axis only; folded into the
+            # matching crash cell rather than tagged as its own cell.
+            for rate in axes.crash_rates:
+                scenarios.append(Scenario.make(
+                    machines, scales, rates=FaultRates(machine_crash=rate),
+                    seed=axes.sweep_seed,
+                    checkpoint_interval=axes.checkpoint_interval))
+                tags.append(None)
+        for warning in axes.preemption_warnings:
+            scenarios.append(Scenario.make(
+                machines, scales,
+                rates=FaultRates(preemption=axes.preemption_rate,
+                                 preemption_warning=warning),
+                seed=axes.sweep_seed))
+            tags.append({"regime": "preemption", "rate": axes.preemption_rate,
+                         "warning_seconds": warning})
+        for delta in axes.resize_deltas:
+            scenarios.append(Scenario.make(
+                machines, scales,
+                rates=FaultRates(resize=axes.resize_rate, resize_delta=delta),
+                seed=axes.sweep_seed))
+            tags.append({"regime": "resize", "rate": axes.resize_rate,
+                         "resize_delta": delta})
+        scenarios.append(Scenario.make(
+            machines, scales, seed=axes.sweep_seed,
+            fleet=hetero_fleet(machines, spec.iterations)))
+        tags.append({"regime": "hetero", "rate": 0.0,
+                     "fleet": "mixed-generations"})
+        grid = simulate_grid(tracer, profile, ScenarioGrid.of(scenarios))
+        for i, tag in enumerate(tags):
+            if tag is None:
+                continue
+            cell = {"machines": machines, **tag}
+            cell.update(_report_payload(grid.report(i)))
+            if tag["regime"] == "crash" and lineage:
+                checkpointed = grid.report(checkpoint_base + i)
+                cell["checkpointed_total_seconds"] = checkpointed.total_seconds
+            cells.append(cell)
+        after = [(p.name, tuple(p.events), tuple(p.memory))
+                 for p in tracer.phases]
+        if after != frozen:
+            raise AssertionError(
+                f"{spec.name}: fault injection mutated the trace at "
+                f"{machines} machines"
+            )
+    return {
+        "platform": spec.platform,
+        "model": spec.model,
+        "iterations": spec.iterations,
+        "trace_immutable": True,
+        "cells": cells,
+    }
+
+
+def execute_spec(spec: ExperimentSpec, cache: WorkloadCache | None = None):
+    """Execute one spec in this process.
+
+    ``cell`` specs return a :class:`~repro.bench.runner.CellResult`
+    (through the exact worker body the pool uses); ``sweep`` specs
+    return the fault-sweep case payload dict.
+    """
+    spec.validate()
+    if spec.kind == "cell":
+        return run_cell(spec.to_task(), cache)
+    return execute_sweep(spec, cache)
+
+
+def execute_specs(
+    specs: Iterable[ExperimentSpec],
+    jobs: int | None = None,
+    isolate: bool | None = None,
+    cache: WorkloadCache | None = None,
+) -> list:
+    """Execute specs with the harness's pool semantics.
+
+    Results come back in declared spec order regardless of completion
+    order; a homogeneous cell list rides :func:`repro.bench.pool.run_cells`
+    (shared cache warming, workload pickle handoff), anything else fans
+    out through :func:`repro.bench.pool.pool_map`.
+    """
+    specs = list(specs)
+    for spec in specs:
+        spec.validate()
+    if all(spec.kind == "cell" for spec in specs):
+        return run_cells([spec.to_task() for spec in specs], jobs=jobs,
+                         isolate=isolate, cache=cache)
+    return pool_map(execute_spec, specs, jobs=jobs, isolate=isolate,
+                    describe=lambda spec: spec.describe())
+
+
+def execute_payload(spec: ExperimentSpec,
+                    cache: WorkloadCache | None = None) -> dict:
+    """Execute a spec and return the JSON-ready result payload.
+
+    This is the serving currency: what the ResultStore persists, what
+    the HTTP server returns, and (for cell specs) exactly the per-cell
+    dict of :func:`repro.bench.report.figure_payload` plus the row
+    label, so figure tables assembled from served results are
+    byte-identical to batch ones.
+    """
+    result = execute_spec(spec, cache)
+    if spec.kind == "cell":
+        return {"kind": "cell", "label": result.label, **cell_payload(result)}
+    return {"kind": "sweep", "label": spec.name, **result}
+
+
+def payload_cell(payload: dict) -> dict:
+    """The figure-table cell dict inside a served ``cell`` payload."""
+    return {key: payload[key]
+            for key in ("machines", "cell", "paper", "loc", "failed", "phases")}
+
+
+__all__ = [
+    "CellResult",
+    "bind_factory",
+    "execute_payload",
+    "execute_spec",
+    "execute_specs",
+    "execute_sweep",
+    "hetero_fleet",
+    "payload_cell",
+    "scales_for",
+    "trace_spec",
+]

@@ -1,0 +1,268 @@
+"""Job-state machine and scheduler: queued -> running -> done/failed.
+
+The serving layer's unit of work is a *job*: one submitted
+:class:`~repro.service.spec.ExperimentSpec` moving through
+
+    QUEUED ----> RUNNING ----> DONE
+                     \\-------> FAILED   (worker traceback preserved)
+
+with two shortcuts that keep repeated traffic at memory speed:
+
+* a submission whose spec is already in the
+  :class:`~repro.service.store.ResultStore` completes instantly as a
+  DONE job marked ``cached`` — zero recomputation;
+* a submission whose spec is already queued or running coalesces onto
+  the in-flight job instead of queueing a duplicate.
+
+This is the service's *job-timing module*: the one place under
+``repro/service/`` allowed to read the wall clock (submission, start
+and finish stamps are operational metadata — simulated results remain a
+pure function of the spec; the linter's strict service profile enforces
+the boundary).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.service.execution import execute_payload
+from repro.service.spec import ExperimentSpec
+from repro.service.store import ResultStore
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: The legal transitions; anything else is a scheduler bug.
+TRANSITIONS = {
+    JobState.QUEUED: (JobState.RUNNING, JobState.DONE),
+    JobState.RUNNING: (JobState.DONE, JobState.FAILED),
+    JobState.DONE: (),
+    JobState.FAILED: (),
+}
+
+
+@dataclass
+class Job:
+    """One submitted spec and its lifecycle."""
+
+    id: str
+    spec: ExperimentSpec
+    state: JobState = JobState.QUEUED
+    #: True when the result came straight from the store (no execution).
+    cached: bool = False
+    #: Worker traceback, preserved verbatim on failure.
+    error: str = ""
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: How many submissions coalesced onto this job.
+    submissions: int = 1
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def advance(self, state: JobState) -> None:
+        if state not in TRANSITIONS[self.state]:
+            raise RuntimeError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {state.value}")
+        self.state = state
+        if self.finished:
+            self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes; True unless the wait timed out."""
+        return self._event.wait(timeout)
+
+    def to_json(self) -> dict:
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state.value,
+            "cached": self.cached,
+            "spec": self.spec.to_json(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "submissions": self.submissions,
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+class JobScheduler:
+    """Thread-backed queue executing specs through ``execute_spec``.
+
+    ``executor`` is injectable (tests count real executions with it);
+    the default is :func:`repro.service.execution.execute_payload`, the
+    same chokepoint every batch driver uses.
+    """
+
+    def __init__(self, store: ResultStore | None = None, executor=None,
+                 workers: int = 1) -> None:
+        self.store = store if store is not None else ResultStore()
+        self._executor = executor if executor is not None else execute_payload
+        self._workers_wanted = max(1, int(workers))
+        self._jobs: dict[str, Job] = {}
+        self._active: dict[str, str] = {}  # spec key -> in-flight job id
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        #: Specs actually executed (cache misses), for observability.
+        self.executions = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "JobScheduler":
+        with self._lock:
+            if self._threads:
+                return self
+            self._stopping = False
+            for index in range(self._workers_wanted):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._stopping = True
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join(timeout=5)
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, spec: ExperimentSpec) -> Job:
+        """Submit one spec; returns its job.
+
+        Validation happens here (bad specs never enqueue), then the
+        store is consulted: a hit produces an immediately-DONE cached
+        job, an in-flight duplicate coalesces, and only a genuine miss
+        queues work.
+        """
+        spec.validate()
+        with self._lock:
+            active = self._active.get(spec.key)
+            if active is not None:
+                job = self._jobs[active]
+                job.submissions += 1
+                return job
+            job = Job(id=f"job-{next(self._ids)}", spec=spec,
+                      submitted_at=time.time())
+            self._jobs[job.id] = job
+            if self.store.get(spec) is not None:
+                job.cached = True
+                job.finished_at = time.time()
+                job.advance(JobState.DONE)
+                return job
+            self._active[spec.key] = job.id
+            self._queue.put(job.id)
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def result(self, job: Job) -> dict | None:
+        """The stored payload for a finished job (None when FAILED)."""
+        return self.store.get(job.spec)
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                out[job.state.value] += 1
+            return out
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        job = self.job(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if not job.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id} still {job.state.value} after {timeout}s")
+        return job
+
+    # -- execution ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self.job(job_id)
+            if job is None or job.finished:
+                continue
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        job.started_at = time.time()
+        job.advance(JobState.RUNNING)
+        try:
+            payload = self._executor(job.spec)
+            self.store.put(job.spec, payload)
+        except Exception as exc:
+            job.error = (f"{type(exc).__name__}: {exc}\n"
+                         f"--- worker traceback ---\n{traceback.format_exc()}")
+            job.finished_at = time.time()
+            with self._lock:
+                self._active.pop(job.spec.key, None)
+            job.advance(JobState.FAILED)
+            return
+        with self._lock:
+            self.executions += 1
+            self._active.pop(job.spec.key, None)
+        job.finished_at = time.time()
+        job.advance(JobState.DONE)
+
+    def run_pending(self) -> int:
+        """Drain the queue synchronously (no worker threads needed).
+
+        Lets tests and the CLI's one-shot mode execute deterministically
+        in-process; returns the number of jobs run.
+        """
+        ran = 0
+        while True:
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                return ran
+            if job_id is None:
+                continue
+            job = self.job(job_id)
+            if job is None or job.finished:
+                continue
+            self._run(job)
+            ran += 1
+
+
+__all__ = ["Job", "JobScheduler", "JobState", "TRANSITIONS"]

@@ -1,0 +1,183 @@
+"""Stdlib HTTP server over the job scheduler: benchmark-as-a-service.
+
+No new dependencies: ``http.server.ThreadingHTTPServer`` accepts
+experiment specs as JSON and serves results, statuses, and store
+statistics.  The endpoints:
+
+==========================  ===========================================
+``POST /jobs``              submit a spec (JSON body); returns the job
+                            — instantly DONE and ``cached`` when the
+                            ResultStore already holds the result
+``GET /jobs``               every job's status
+``GET /jobs/<id>``          one job; includes ``result`` when DONE
+``GET /results/<key>``      a stored result by spec content address
+``GET /health``             liveness + job counts + store hit/miss stats
+==========================  ===========================================
+
+Errors are JSON too: 400 for malformed or invalid specs (the validation
+message names the unknown cell or field), 404 for unknown jobs/keys/
+paths.  The handler threads only move job records and payloads around;
+execution happens on the scheduler's worker threads through the same
+``execute_spec`` chokepoint the batch drivers use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.jobs import JobScheduler, JobState
+from repro.service.spec import ExperimentSpec, SpecError
+from repro.service.store import ResultStore
+
+
+class ExperimentServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`JobScheduler`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 scheduler: JobScheduler) -> None:
+        super().__init__(address, ServiceHandler)
+        self.scheduler = scheduler
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service is
+    # often run under a test harness, so stay quiet.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self.server.scheduler
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not JSON: {exc}")
+            return None
+
+    def _job_payload(self, job) -> dict:
+        payload = job.to_json()
+        if job.state is JobState.DONE:
+            result = self.scheduler.result(job)
+            if result is not None:
+                payload["result"] = result
+        return payload
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.rstrip("/") or "/"
+        if path == "/health":
+            self._send(200, {
+                "ok": True,
+                "jobs": self.scheduler.counts(),
+                "store": self.scheduler.store.stats(),
+            })
+        elif path == "/jobs":
+            self._send(200, {
+                "jobs": [job.to_json() for job in self.scheduler.jobs()],
+            })
+        elif path.startswith("/jobs/"):
+            job = self.scheduler.job(path[len("/jobs/"):])
+            if job is None:
+                self._error(404, f"unknown job {path[len('/jobs/'):]!r}")
+                return
+            self._send(200, self._job_payload(job))
+        elif path.startswith("/results/"):
+            key = path[len("/results/"):]
+            result = self.scheduler.store.get(key)
+            if result is None:
+                self._error(404, f"no stored result for key {key!r}")
+                return
+            self._send(200, {"key": key, "result": result})
+        else:
+            self._error(404, f"unknown path {self.path!r}; try /health, "
+                        f"/jobs, /jobs/<id> or /results/<key>")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown path {self.path!r}; POST specs "
+                        f"to /jobs")
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            spec = ExperimentSpec.from_json(payload)
+            job = self.scheduler.submit(spec)
+        except (SpecError, KeyError, TypeError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            self._error(400, f"invalid spec: {message}")
+            return
+        self._send(202 if not job.finished else 200, self._job_payload(job))
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                store: ResultStore | None = None,
+                scheduler: JobScheduler | None = None,
+                workers: int = 1) -> ExperimentServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    if scheduler is None:
+        scheduler = JobScheduler(store=store, workers=workers)
+    return ExperimentServer((host, port), scheduler)
+
+
+def start_server(host: str = "127.0.0.1", port: int = 0,
+                 store: ResultStore | None = None,
+                 scheduler: JobScheduler | None = None,
+                 workers: int = 1) -> ExperimentServer:
+    """Start a server (scheduler workers + an HTTP thread) and return it.
+
+    The serving thread is a daemon; call :func:`stop_server` for an
+    orderly shutdown.
+    """
+    server = make_server(host, port, store=store, scheduler=scheduler,
+                         workers=workers)
+    server.scheduler.start()
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service-http", daemon=True)
+    server._thread = thread
+    thread.start()
+    return server
+
+
+def stop_server(server: ExperimentServer) -> None:
+    server.shutdown()
+    server.server_close()
+    server.scheduler.stop()
+    thread = getattr(server, "_thread", None)
+    if thread is not None:
+        thread.join(timeout=5)
+
+
+__all__ = ["ExperimentServer", "ServiceHandler", "make_server",
+           "start_server", "stop_server"]

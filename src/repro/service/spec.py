@@ -1,0 +1,480 @@
+"""Declarative experiment specs: the repo's single currency for "an experiment".
+
+Every question the paper asks has the same shape — run (platform x
+model x variant x cluster size x faults x seeds) and compare — yet the
+batch drivers historically wired the registry, pool and cache by hand
+for each figure.  :class:`ExperimentSpec` extracts that shape into one
+frozen, JSON-round-trippable value:
+
+* **cell** specs describe one figure cell: a registry key, workload
+  references, an implementation seed, a cluster size, iteration count
+  and scale map.  Executing one yields a
+  :class:`~repro.bench.runner.CellResult`.
+* **sweep** specs add a :class:`SweepAxes` block — machine counts,
+  crash rates, hostile-cluster regimes, a schedule seed — and executing
+  one yields a fault-sweep case payload (one engine run per cluster
+  size, the whole scenario grid replayed over each trace).
+
+Specs are *validated* against :mod:`repro.impls.registry` (unknown
+cells fail at submission, not mid-run) and *canonically hashed* with
+:func:`repro.hashing.stable_hash` / :func:`~repro.hashing.stable_digest`
+the same way :class:`~repro.bench.pool.WorkloadCache` keys workloads:
+two specs that describe the same experiment — regardless of JSON key
+order, camelCase aliasing, or int-vs-float spelling of numeric fields —
+share one :attr:`ExperimentSpec.key`, which is what lets the service's
+:class:`~repro.service.store.ResultStore` serve repeated submissions
+without recomputation.
+
+This module is pure description: no wall-clock, no execution.  The one
+``execute_spec`` chokepoint lives in :mod:`repro.service.execution`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping
+
+from repro.bench.pool import GENERATORS, CellTask, WorkloadRef, WorkloadSpec
+from repro.hashing import stable_digest, stable_hash
+from repro.impls.registry import cell as registry_cell
+
+#: Bump when the canonical encoding changes shape; part of every hash.
+SPEC_VERSION = 1
+
+#: JSON-literal types a spec field (arg, param, kwarg) may hold.  Numpy
+#: arrays and other rich objects must come in as workload references —
+#: that is what makes a spec a *description* instead of a payload.
+_LITERALS = (bool, int, float, str, type(None))
+
+_CAMEL = re.compile(r"([a-z0-9])([A-Z])")
+
+
+class SpecError(ValueError):
+    """A spec that cannot describe a runnable experiment."""
+
+
+def _snake(name: str) -> str:
+    """``camelCase`` -> ``camel_case`` (snake_case passes through)."""
+    return _CAMEL.sub(r"\1_\2", name).lower()
+
+
+def _as_int(value, where: str) -> int:
+    """Coerce an integral number (``3``, ``3.0``) to int; reject the rest."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{where} must be an integer, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise SpecError(f"{where} must be integral, got {value!r}")
+        return int(value)
+    return value
+
+
+def _sorted_items(mapping, where: str, numeric: bool = False) -> tuple:
+    """A mapping (or items tuple) as a canonical sorted items tuple."""
+    items = mapping.items() if isinstance(mapping, Mapping) else tuple(mapping)
+    out = []
+    for key, value in sorted(items):
+        if numeric:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(f"{where}[{key!r}] must be numeric, got {value!r}")
+            value = float(value)
+        elif not isinstance(value, _LITERALS):
+            raise SpecError(
+                f"{where}[{key!r}] must be a JSON literal, got "
+                f"{type(value).__name__}")
+        out.append((str(key), value))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Sweep axes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepAxes:
+    """The fault-sweep axes of a ``sweep``-kind spec.
+
+    One engine run per entry of ``machine_counts``; each trace is then
+    replayed against every crash rate, both preemption warning windows,
+    both resize deltas, and a heterogeneous mixed-generations fleet, in
+    a single vectorized :func:`repro.cluster.simulate_grid` pass.
+    """
+
+    units_per_machine: int
+    laptop_units: int
+    machine_counts: tuple[int, ...]
+    crash_rates: tuple[float, ...]
+    sweep_seed: int
+    checkpoint_interval: int
+    preemption_rate: float
+    preemption_warnings: tuple[float, ...]
+    resize_rate: float
+    resize_deltas: tuple[int, ...]
+    extra_scales: tuple[tuple[str, float], ...] = ()
+    sv_block: int = 0
+
+    def canonical(self) -> tuple:
+        return ("sweep-axes", self.units_per_machine, self.laptop_units,
+                tuple(self.machine_counts), tuple(self.crash_rates),
+                self.sweep_seed, self.checkpoint_interval,
+                self.preemption_rate, tuple(self.preemption_warnings),
+                self.resize_rate, tuple(self.resize_deltas),
+                tuple(self.extra_scales), self.sv_block)
+
+    def to_json(self) -> dict:
+        return {
+            "units_per_machine": self.units_per_machine,
+            "laptop_units": self.laptop_units,
+            "machine_counts": list(self.machine_counts),
+            "crash_rates": list(self.crash_rates),
+            "sweep_seed": self.sweep_seed,
+            "checkpoint_interval": self.checkpoint_interval,
+            "preemption_rate": self.preemption_rate,
+            "preemption_warnings": list(self.preemption_warnings),
+            "resize_rate": self.resize_rate,
+            "resize_deltas": list(self.resize_deltas),
+            "extra_scales": dict(self.extra_scales),
+            "sv_block": self.sv_block,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "SweepAxes":
+        data = {_snake(key): value for key, value in payload.items()}
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise SpecError(f"unknown sweep-axes fields {sorted(unknown)}")
+        try:
+            return cls(
+                units_per_machine=_as_int(data["units_per_machine"],
+                                          "axes.units_per_machine"),
+                laptop_units=_as_int(data["laptop_units"], "axes.laptop_units"),
+                machine_counts=tuple(
+                    _as_int(m, "axes.machine_counts")
+                    for m in data["machine_counts"]),
+                crash_rates=tuple(float(r) for r in data["crash_rates"]),
+                sweep_seed=_as_int(data["sweep_seed"], "axes.sweep_seed"),
+                checkpoint_interval=_as_int(data["checkpoint_interval"],
+                                            "axes.checkpoint_interval"),
+                preemption_rate=float(data["preemption_rate"]),
+                preemption_warnings=tuple(
+                    float(w) for w in data["preemption_warnings"]),
+                resize_rate=float(data["resize_rate"]),
+                resize_deltas=tuple(
+                    _as_int(d, "axes.resize_deltas")
+                    for d in data["resize_deltas"]),
+                extra_scales=_sorted_items(data.get("extra_scales", ()),
+                                           "axes.extra_scales", numeric=True),
+                sv_block=_as_int(data.get("sv_block", 0), "axes.sv_block"),
+            )
+        except KeyError as exc:
+            raise SpecError(f"sweep axes missing field {exc.args[0]!r}") from None
+
+    def validate(self) -> None:
+        if not self.machine_counts:
+            raise SpecError("sweep axes need at least one machine count")
+        if any(m < 1 for m in self.machine_counts):
+            raise SpecError(f"machine counts must be >= 1, got "
+                            f"{list(self.machine_counts)}")
+        if not self.crash_rates:
+            raise SpecError("sweep axes need at least one crash rate")
+        if self.laptop_units < 1:
+            raise SpecError(f"laptop_units must be >= 1, got {self.laptop_units}")
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A frozen, JSON-round-trippable description of one runnable cell."""
+
+    platform: str
+    model: str
+    variant: str
+    #: Constructor data args: JSON literals or :class:`WorkloadRef`s.
+    args: tuple = ()
+    seed: int = 0
+    iterations: int = 1
+    #: Cluster size (``cell`` kind; sweeps carry theirs in ``axes``).
+    machines: int = 0
+    #: Scale-factor map as sorted items (``cell`` kind).
+    scales: tuple[tuple[str, float], ...] = ()
+    label: str = ""
+    #: The paper's published value for this cell, for side-by-side tables.
+    paper: str = ""
+    kwargs: tuple[tuple[str, object], ...] = ()
+    axes: SweepAxes | None = field(default=None)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def make_cell(cls, platform: str, model: str, variant: str, *, args=(),
+                  seed: int, machines: int, iterations: int,
+                  scales=(), label: str = "", paper: str = "",
+                  **kwargs) -> "ExperimentSpec":
+        spec = cls(platform=platform, model=model, variant=variant,
+                   args=tuple(args), seed=_as_int(seed, "seed"),
+                   iterations=_as_int(iterations, "iterations"),
+                   machines=_as_int(machines, "machines"),
+                   scales=_sorted_items(scales, "scales", numeric=True),
+                   label=label, paper=paper,
+                   kwargs=_sorted_items(kwargs, "kwargs"))
+        spec.validate()
+        return spec
+
+    @classmethod
+    def make_sweep(cls, platform: str, model: str, variant: str, *, args=(),
+                   seed: int, iterations: int, axes: SweepAxes,
+                   label: str = "", **kwargs) -> "ExperimentSpec":
+        spec = cls(platform=platform, model=model, variant=variant,
+                   args=tuple(args), seed=_as_int(seed, "seed"),
+                   iterations=_as_int(iterations, "iterations"),
+                   label=label, kwargs=_sorted_items(kwargs, "kwargs"),
+                   axes=axes)
+        spec.validate()
+        return spec
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return "sweep" if self.axes is not None else "cell"
+
+    @property
+    def name(self) -> str:
+        """Display name (the fault-sweep payload keys cases by it)."""
+        return self.label or "/".join((self.platform, self.model, self.variant))
+
+    def describe(self) -> str:
+        if self.kind == "sweep":
+            return (f"{self.name!r} sweep ({self.platform}/{self.model}/"
+                    f"{self.variant} @ {list(self.axes.machine_counts)} "
+                    f"machines, seed {self.seed})")
+        return (f"{self.name!r} ({self.platform}/{self.model}/{self.variant} "
+                f"@ {self.machines} machines, seed {self.seed})")
+
+    def canonical(self) -> tuple:
+        """The spec as a pure tuple tree: the hashing currency.
+
+        Every field participates — two specs differing only in a label
+        or a paper annotation produce different result payloads, so they
+        must content-address differently.
+        """
+        return ("experiment-spec", SPEC_VERSION, self.kind,
+                self.platform, self.model, self.variant,
+                tuple(_canonical_arg(arg) for arg in self.args),
+                self.seed, self.iterations, self.machines,
+                tuple(self.scales), self.label, self.paper,
+                tuple(self.kwargs),
+                self.axes.canonical() if self.axes is not None else None)
+
+    @property
+    def spec_hash(self) -> int:
+        """:func:`repro.hashing.stable_hash` of the canonical form."""
+        return stable_hash(self.canonical())
+
+    @property
+    def key(self) -> str:
+        """Stable content address, the :class:`~repro.service.store.ResultStore`
+        key: readable cell prefix + digest of the canonical form."""
+        return (f"{self.platform}.{self.model}.{self.variant}.{self.kind}"
+                f"-{stable_digest(self.canonical())}")
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self) -> "ExperimentSpec":
+        """Check the spec against the registry and generator tables.
+
+        Raises :class:`SpecError` (or the registry's own descriptive
+        ``KeyError`` for unknown cells) — submission-time, not mid-run.
+        """
+        registry_cell(self.platform, self.model, self.variant)
+        for index, arg in enumerate(self.args):
+            if isinstance(arg, WorkloadRef):
+                if arg.spec.generator not in GENERATORS:
+                    known = ", ".join(sorted(GENERATORS))
+                    raise SpecError(
+                        f"args[{index}] names unknown workload generator "
+                        f"{arg.spec.generator!r}; known generators: {known}")
+            elif not isinstance(arg, _LITERALS):
+                raise SpecError(
+                    f"args[{index}] must be a JSON literal or a workload "
+                    f"reference, got {type(arg).__name__}; pass data through "
+                    f"a WorkloadSpec so the spec stays a description")
+        if self.iterations < 1:
+            raise SpecError(f"iterations must be >= 1, got {self.iterations}")
+        if self.kind == "cell":
+            if self.machines < 1:
+                raise SpecError(
+                    f"cell specs need machines >= 1, got {self.machines}")
+        else:
+            if self.machines:
+                raise SpecError("sweep specs carry machine counts in axes, "
+                                "not a machines field")
+            self.axes.validate()
+        return self
+
+    # -- JSON -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        payload = {
+            "kind": self.kind,
+            "platform": self.platform,
+            "model": self.model,
+            "variant": self.variant,
+            "args": [_encode_arg(arg) for arg in self.args],
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "label": self.label,
+            "kwargs": dict(self.kwargs),
+        }
+        if self.kind == "cell":
+            payload["machines"] = self.machines
+            payload["scales"] = dict(self.scales)
+            payload["paper"] = self.paper
+        else:
+            payload["axes"] = self.axes.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "ExperimentSpec":
+        """Decode (and validate) a spec from its JSON form.
+
+        Key normalization makes the decode canonical: camelCase aliases
+        (``sweepSeed``, ``machineCounts``) are folded to snake_case and
+        integral floats to ints before hashing, so every JSON spelling
+        of the same experiment lands on the same :attr:`key`.
+        """
+        if not isinstance(payload, Mapping):
+            raise SpecError(f"spec payload must be an object, got "
+                            f"{type(payload).__name__}")
+        data = {_snake(key): value for key, value in payload.items()}
+        known = {f.name for f in fields(cls)} | {"kind"}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields {sorted(unknown)}")
+        kind = data.pop("kind", "sweep" if "axes" in data else "cell")
+        if kind not in ("cell", "sweep"):
+            raise SpecError(f"unknown spec kind {kind!r}")
+        try:
+            common = {
+                "platform": str(data["platform"]),
+                "model": str(data["model"]),
+                "variant": str(data["variant"]),
+                "args": tuple(_decode_arg(arg) for arg in data.get("args", ())),
+                "seed": data["seed"],
+                "iterations": data.get("iterations", 1),
+                "label": str(data.get("label", "")),
+            }
+        except KeyError as exc:
+            raise SpecError(f"spec missing field {exc.args[0]!r}") from None
+        kwargs = data.get("kwargs", ())
+        kwargs = dict(kwargs) if isinstance(kwargs, Mapping) else dict(kwargs)
+        if kind == "cell":
+            if "axes" in data:
+                raise SpecError("cell specs do not take sweep axes")
+            try:
+                machines = data["machines"]
+            except KeyError:
+                raise SpecError("cell spec missing field 'machines'") from None
+            return cls.make_cell(
+                common.pop("platform"), common.pop("model"),
+                common.pop("variant"), machines=machines,
+                scales=data.get("scales", ()), paper=str(data.get("paper", "")),
+                **common, **kwargs)
+        if "axes" not in data:
+            raise SpecError("sweep spec missing field 'axes'")
+        return cls.make_sweep(
+            common.pop("platform"), common.pop("model"), common.pop("variant"),
+            axes=SweepAxes.from_json(data["axes"]), **common, **kwargs)
+
+    # -- execution handoff ---------------------------------------------
+
+    def to_task(self) -> CellTask:
+        """The pool's execution record for a ``cell`` spec."""
+        if self.kind != "cell":
+            raise SpecError(f"{self.describe()} is a sweep, not a single cell")
+        return CellTask(label=self.label, platform=self.platform,
+                        model=self.model, variant=self.variant,
+                        args=self.args, seed=self.seed, machines=self.machines,
+                        iterations=self.iterations, scales=self.scales,
+                        paper=self.paper, kwargs=self.kwargs)
+
+    def with_axes(self, **changes) -> "ExperimentSpec":
+        """A sweep spec with some axes replaced (e.g. a quick subset)."""
+        if self.axes is None:
+            raise SpecError(f"{self.describe()} has no sweep axes to replace")
+        return replace(self, axes=replace(self.axes, **changes))
+
+    def scale_dict(self) -> dict[str, float]:
+        return dict(self.scales)
+
+
+# ----------------------------------------------------------------------
+# Arg encoding
+# ----------------------------------------------------------------------
+
+def workload_ref(generator: str, seed: int, attr: str = "", **params) -> WorkloadRef:
+    """Shorthand for a content-addressed workload reference arg."""
+    return WorkloadRef(WorkloadSpec.make(generator, seed, **params), attr)
+
+
+def _canonical_arg(arg) -> tuple | object:
+    if isinstance(arg, WorkloadRef):
+        return ("workload", arg.spec.generator, arg.spec.seed,
+                tuple(arg.spec.params), arg.attr)
+    return arg
+
+
+def _encode_arg(arg):
+    if isinstance(arg, WorkloadRef):
+        return {
+            "workload": {
+                "generator": arg.spec.generator,
+                "seed": arg.spec.seed,
+                "params": dict(arg.spec.params),
+            },
+            "attr": arg.attr,
+        }
+    return arg
+
+
+def _decode_arg(arg):
+    if isinstance(arg, Mapping):
+        data = {_snake(key): value for key, value in arg.items()}
+        if "workload" not in data:
+            raise SpecError(f"arg object must carry a 'workload' key, "
+                            f"got {sorted(data)}")
+        workload = {_snake(key): value for key, value in data["workload"].items()}
+        try:
+            generator = workload["generator"]
+            seed = _as_int(workload["seed"], "workload seed")
+        except KeyError as exc:
+            raise SpecError(
+                f"workload reference missing field {exc.args[0]!r}") from None
+        params = {str(k): v for k, v in workload.get("params", {}).items()}
+        for key, value in params.items():
+            if not isinstance(value, _LITERALS):
+                raise SpecError(f"workload param {key!r} must be a JSON "
+                                f"literal, got {type(value).__name__}")
+            if isinstance(value, float) and value.is_integer():
+                params[key] = int(value)
+        return WorkloadRef(WorkloadSpec.make(generator, seed, **params),
+                           str(data.get("attr", "")))
+    if isinstance(arg, _LITERALS):
+        if isinstance(arg, float) and not isinstance(arg, bool) and arg.is_integer():
+            return int(arg)
+        return arg
+    raise SpecError(f"spec args must be JSON literals or workload objects, "
+                    f"got {type(arg).__name__}")
+
+
+__all__ = [
+    "SPEC_VERSION",
+    "ExperimentSpec",
+    "SpecError",
+    "SweepAxes",
+    "workload_ref",
+]

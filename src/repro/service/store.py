@@ -1,0 +1,137 @@
+"""Content-addressed result store: identical specs never recompute.
+
+Results are keyed by :attr:`ExperimentSpec.key` — the stable digest of
+the spec's canonical form — exactly the way
+:class:`~repro.bench.pool.WorkloadCache` keys workloads.  A lookup hits
+the in-process memo first (memory speed), then the JSON directory (disk
+speed), and only a genuine miss costs an engine run.  Writes are atomic
+(tmp + rename) and content-addressed, so concurrent writers of the same
+spec are benign: both produce identical bytes.
+
+Entries persist as human-readable JSON (``{key, spec, result}``), so a
+store directory doubles as an audit trail of every experiment the
+service ever ran.  A corrupted or truncated entry is treated as a miss
+(with a warning) and rewritten on the next put — never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro.service.spec import ExperimentSpec
+
+#: Environment variable naming the default on-disk store directory.
+STORE_ENV = "REPRO_SERVICE_STORE"
+
+
+class ResultStore:
+    """Generate-once storage for executed experiment specs."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, dict] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path | None:
+        return self._directory
+
+    def _path(self, key: str) -> Path | None:
+        if self._directory is None:
+            return None
+        return self._directory / f"{key}.json"
+
+    @staticmethod
+    def _key(spec: ExperimentSpec | str) -> str:
+        return spec if isinstance(spec, str) else spec.key
+
+    def get(self, spec: ExperimentSpec | str) -> dict | None:
+        """The stored result payload for ``spec``, or None on a miss."""
+        key = self._key(spec)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        path = self._path(key)
+        if path is not None and path.exists():
+            entry = self._load(path)
+            if entry is not None:
+                payload = entry["result"]
+                self._memory[key] = payload
+                self.hits += 1
+                return payload
+        self.misses += 1
+        return None
+
+    def __contains__(self, spec: ExperimentSpec | str) -> bool:
+        key = self._key(spec)
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.exists() and self._load(path) is not None
+
+    def put(self, spec: ExperimentSpec, payload: dict) -> str:
+        """Store one result; returns the content-address key."""
+        key = spec.key
+        self._memory[key] = payload
+        path = self._path(key)
+        if path is not None:
+            entry = {"key": key, "spec": spec.to_json(), "result": payload}
+            self._write(path, entry)
+        return key
+
+    def _load(self, path: Path) -> dict | None:
+        """One disk entry, or None (with a warning) when unreadable."""
+        try:
+            entry = json.loads(path.read_text())
+            if not isinstance(entry, dict) or "result" not in entry:
+                raise ValueError("entry has no 'result' field")
+            return entry
+        except Exception as exc:
+            warnings.warn(
+                f"result-store entry {path.name} is unreadable "
+                f"({type(exc).__name__}: {exc}); treating as a miss",
+                RuntimeWarning, stacklevel=3)
+            return None
+
+    def _write(self, path: Path, entry: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(dir=path.parent,
+                                       prefix=f".{path.stem}-", suffix=".tmp")
+        with os.fdopen(handle, "w") as out:
+            json.dump(entry, out, indent=2, sort_keys=True)
+            out.write("\n")
+        os.replace(tmp, path)
+
+    def keys(self) -> list[str]:
+        """Every key the store can serve, memory and disk, sorted."""
+        keys = set(self._memory)
+        if self._directory is not None:
+            keys.update(p.stem for p in self._directory.glob("*.json"))
+        return sorted(keys)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.keys()),
+            "memory_entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "directory": (str(self._directory)
+                          if self._directory is not None else None),
+        }
+
+
+def default_store() -> ResultStore:
+    """A store on the ``REPRO_SERVICE_STORE`` directory (memory-only when
+    unset)."""
+    return ResultStore(os.environ.get(STORE_ENV) or None)
+
+
+__all__ = ["STORE_ENV", "ResultStore", "default_store"]

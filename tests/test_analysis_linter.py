@@ -53,9 +53,25 @@ class TestProfiles:
         assert profile_for("src/repro/bench/pool.py").name == "harness"
         assert profile_for("src/repro/stats/rng.py").name == "rng-chokepoint"
         assert profile_for("src/repro/dataflow/rdd.py").name == "engine"
+        assert profile_for("src/repro/service/spec.py").name == "service"
         assert profile_for("benchmarks/microbench.py").name == "scripts"
         assert profile_for("tests/test_anything.py").name == "tests"
         assert profile_for("benchmarks/conftest.py").name == "tests"
+
+    def test_service_layer_is_clock_free_except_job_timing(self):
+        """The service profile is strict: D003 bans wall-clock reads in
+        spec/store/server/execution code, with jobs.py (job timestamps)
+        the single exemption, and R001 keeps payloads picklable."""
+        from repro.analysis.profiles import wallclock_banned
+
+        service = profile_for("src/repro/service/store.py")
+        assert service.name == "service"
+        assert service.strict_rng
+        assert {"D003", "R001"} <= set(service.rules)
+        for module in ("spec", "store", "server", "client", "execution", "cli"):
+            assert wallclock_banned(f"src/repro/service/{module}.py")
+        assert not wallclock_banned("src/repro/service/jobs.py")
+        assert profile_for("src/repro/service/jobs.py").name == "service"
 
     def test_trace_algebra_is_engine_code(self):
         """The vectorized simulator core carries the full engine

@@ -143,6 +143,33 @@ class TestCli:
 
         assert main(["--help"]) == 2
 
+    def test_failing_cell_exits_nonzero_with_one_line(self, capsys,
+                                                      monkeypatch):
+        from repro.bench import __main__ as cli
+        from repro.bench.pool import CellExecutionError
+
+        def explode(jobs=None):
+            raise CellExecutionError(
+                "cell spark/gmm/no-such-variant (machines=5) failed\n"
+                "--- worker traceback ---\nTraceback (most recent call last):")
+
+        monkeypatch.setattr(cli.experiments, "figure_1a", explode)
+        assert cli.main(["figure_1a"]) == 1
+        err = capsys.readouterr().err
+        assert err == ("error: cell spark/gmm/no-such-variant "
+                       "(machines=5) failed\n")
+
+    def test_failing_cell_under_all_exits_nonzero(self, capsys, monkeypatch):
+        from repro.bench import __main__ as cli
+        from repro.bench.pool import CellExecutionError
+
+        def explode(jobs=None):
+            raise CellExecutionError("cell giraph/lda/super-vertex died")
+
+        monkeypatch.setattr(cli.experiments, "figure_1a", explode)
+        assert cli.main(["all"]) == 1
+        assert "giraph/lda/super-vertex" in capsys.readouterr().err
+
 
 class TestDiagnose:
     def test_breakdowns_run(self):

@@ -9,6 +9,7 @@ behaviour, crash reporting, jobs resolution) supports that guarantee.
 from __future__ import annotations
 
 import pickle
+import warnings
 
 import pytest
 
@@ -105,6 +106,29 @@ class TestWorkloadCache:
     def test_unknown_generator_is_descriptive(self):
         with pytest.raises(KeyError, match="unknown workload generator"):
             WorkloadSpec.make("nonesuch", 1).build()
+
+    def test_corrupted_pickle_regenerates_with_warning(self, tmp_path):
+        WorkloadCache(tmp_path).get(self.SPEC)
+        path = tmp_path / f"{self.SPEC.key}.pkl"
+        path.write_bytes(b"not a pickle \x00\x01\x02")
+        fresh = WorkloadCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            data = fresh.get(self.SPEC)
+        assert data.points.shape == (50, 3)
+        # The bad entry was rewritten in place: the next cold cache
+        # reads it silently and sees the same regenerated workload.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = WorkloadCache(tmp_path).get(self.SPEC)
+        assert (again.points == data.points).all()
+
+    def test_truncated_pickle_regenerates_with_warning(self, tmp_path):
+        WorkloadCache(tmp_path).get(self.SPEC)
+        path = tmp_path / f"{self.SPEC.key}.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.warns(RuntimeWarning, match="regenerating from spec"):
+            data = WorkloadCache(tmp_path).get(self.SPEC)
+        assert data.points.shape == (50, 3)
 
     def test_resolve_attr(self):
         cache = WorkloadCache()

@@ -1,0 +1,145 @@
+"""Job-state machine and scheduler: transitions, caching, coalescing."""
+
+import pytest
+
+from repro.service.jobs import Job, JobScheduler, JobState
+from repro.service.spec import ExperimentSpec
+from repro.service.store import ResultStore
+
+
+def spec(seed: int = 1) -> ExperimentSpec:
+    return ExperimentSpec.make_cell("spark", "gmm", "initial", args=(3,),
+                                    seed=seed, machines=5, iterations=1,
+                                    label="tiny")
+
+
+class CountingExecutor:
+    """Executor stub: counts real executions (and can be told to fail)."""
+
+    def __init__(self, fail: bool = False):
+        self.calls = 0
+        self.fail = fail
+
+    def __call__(self, job_spec):
+        self.calls += 1
+        if self.fail:
+            raise ValueError("deliberate worker explosion")
+        return {"kind": "cell", "seed": job_spec.seed}
+
+
+class TestStateMachine:
+    def test_happy_path_transitions(self):
+        job = Job(id="job-1", spec=spec())
+        assert job.state is JobState.QUEUED
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.DONE)
+        assert job.finished
+
+    def test_illegal_transition_raises(self):
+        job = Job(id="job-1", spec=spec())
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            job.advance(JobState.FAILED)  # QUEUED cannot fail directly
+        job.advance(JobState.RUNNING)
+        job.advance(JobState.DONE)
+        with pytest.raises(RuntimeError, match="illegal transition"):
+            job.advance(JobState.RUNNING)
+
+    def test_to_json_carries_identity(self):
+        job = Job(id="job-9", spec=spec())
+        payload = job.to_json()
+        assert payload["id"] == "job-9"
+        assert payload["key"] == spec().key
+        assert payload["state"] == "queued"
+        assert "error" not in payload
+
+
+class TestScheduler:
+    def test_miss_executes_then_repeat_is_cached(self):
+        executor = CountingExecutor()
+        scheduler = JobScheduler(store=ResultStore(), executor=executor)
+        first = scheduler.submit(spec())
+        assert first.state is JobState.QUEUED
+        assert scheduler.run_pending() == 1
+        assert first.state is JobState.DONE
+        assert executor.calls == 1
+
+        repeat = scheduler.submit(spec())
+        assert repeat.state is JobState.DONE
+        assert repeat.cached
+        assert repeat.id != first.id
+        assert executor.calls == 1  # zero recomputation
+        assert scheduler.result(repeat) == {"kind": "cell", "seed": 1}
+
+    def test_inflight_duplicate_coalesces(self):
+        scheduler = JobScheduler(store=ResultStore(),
+                                 executor=CountingExecutor())
+        a = scheduler.submit(spec())
+        b = scheduler.submit(spec())
+        assert a is b
+        assert a.submissions == 2
+        scheduler.run_pending()
+        # After completion a new submission is a fresh cached job.
+        c = scheduler.submit(spec())
+        assert c is not a and c.cached
+
+    def test_distinct_specs_queue_separately(self):
+        executor = CountingExecutor()
+        scheduler = JobScheduler(store=ResultStore(), executor=executor)
+        scheduler.submit(spec(1))
+        scheduler.submit(spec(2))
+        assert scheduler.run_pending() == 2
+        assert executor.calls == 2
+
+    def test_failure_preserves_worker_traceback(self):
+        scheduler = JobScheduler(store=ResultStore(),
+                                 executor=CountingExecutor(fail=True))
+        job = scheduler.submit(spec())
+        scheduler.run_pending()
+        assert job.state is JobState.FAILED
+        assert "ValueError: deliberate worker explosion" in job.error
+        assert "worker traceback" in job.error
+        assert "Traceback" in job.error
+        assert scheduler.result(job) is None
+        assert job.to_json()["error"] == job.error
+
+    def test_failed_spec_can_be_resubmitted(self):
+        executor = CountingExecutor(fail=True)
+        scheduler = JobScheduler(store=ResultStore(), executor=executor)
+        first = scheduler.submit(spec())
+        scheduler.run_pending()
+        executor.fail = False
+        retry = scheduler.submit(spec())
+        assert retry is not first
+        scheduler.run_pending()
+        assert retry.state is JobState.DONE
+
+    def test_invalid_spec_never_enqueues(self):
+        scheduler = JobScheduler(store=ResultStore(),
+                                 executor=CountingExecutor())
+        with pytest.raises(KeyError, match="no implementation registered"):
+            scheduler.submit(ExperimentSpec(platform="nope", model="gmm",
+                                            variant="initial", machines=5,
+                                            iterations=1))
+        assert scheduler.counts() == {"queued": 0, "running": 0,
+                                      "done": 0, "failed": 0}
+
+    def test_worker_threads_drain_the_queue(self):
+        scheduler = JobScheduler(store=ResultStore(),
+                                 executor=CountingExecutor(), workers=2)
+        scheduler.start()
+        try:
+            jobs = [scheduler.submit(spec(seed)) for seed in (1, 2, 3)]
+            for job in jobs:
+                assert scheduler.wait(job.id, timeout=10).state is JobState.DONE
+        finally:
+            scheduler.stop()
+        assert scheduler.counts()["done"] == 3
+
+    def test_store_hit_from_prior_run_skips_queue(self):
+        store = ResultStore()
+        store.put(spec(), {"kind": "cell", "seed": 1})
+        executor = CountingExecutor()
+        scheduler = JobScheduler(store=store, executor=executor)
+        job = scheduler.submit(spec())
+        assert job.state is JobState.DONE and job.cached
+        assert executor.calls == 0

@@ -1,0 +1,155 @@
+"""HTTP service: end-to-end submit/serve/repeat over a real socket."""
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobScheduler
+from repro.service.server import start_server, stop_server
+from repro.service.spec import ExperimentSpec, workload_ref
+from repro.service.store import ResultStore
+
+
+def tiny_spec(seed: int = 11) -> ExperimentSpec:
+    return ExperimentSpec.make_cell(
+        "spark", "gmm", "initial",
+        args=(workload_ref("gmm", 7, "points", n=60, dim=3, clusters=2), 3),
+        seed=seed, machines=5, iterations=1, label="tiny", paper="0:01",
+        scales={"data": 2.0})
+
+
+class CountingExecutor:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, spec):
+        self.calls += 1
+        if spec.seed == 666:
+            raise RuntimeError("cursed seed")
+        return {"kind": "cell", "label": spec.label, "seed": spec.seed}
+
+
+@pytest.fixture()
+def service():
+    executor = CountingExecutor()
+    scheduler = JobScheduler(store=ResultStore(), executor=executor)
+    server = start_server(port=0, scheduler=scheduler)
+    try:
+        yield ServiceClient(server.url), executor, server
+    finally:
+        stop_server(server)
+
+
+class TestEndToEnd:
+    def test_health(self, service):
+        client, _, _ = service
+        health = client.health()
+        assert health["ok"]
+        assert health["jobs"] == {"queued": 0, "running": 0,
+                                  "done": 0, "failed": 0}
+        assert health["store"]["entries"] == 0
+
+    def test_submit_wait_result(self, service):
+        client, executor, _ = service
+        job = client.submit(tiny_spec())
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["result"]["seed"] == 11
+        assert client.result(final["key"]) == final["result"]
+        assert executor.calls == 1
+
+    def test_repeat_submission_is_served_from_store(self, service):
+        client, executor, _ = service
+        first = client.wait(client.submit(tiny_spec())["id"])
+        repeat = client.submit(tiny_spec().to_json())
+        assert repeat["state"] == "done"
+        assert repeat["cached"] is True
+        assert repeat["id"] != first["id"]
+        assert executor.calls == 1  # the repeat never recomputed
+        assert json.dumps(repeat["result"], sort_keys=True) == json.dumps(
+            first["result"], sort_keys=True)
+
+    def test_json_spelling_does_not_defeat_the_cache(self, service):
+        client, executor, _ = service
+        client.wait(client.submit(tiny_spec())["id"])
+        alias = json.loads(json.dumps(tiny_spec().to_json()))
+        alias["seed"] = float(alias["seed"])  # 11 -> 11.0
+        repeat = client.submit(alias)
+        assert repeat["cached"] is True
+        assert executor.calls == 1
+
+    def test_failed_job_carries_worker_traceback(self, service):
+        client, _, _ = service
+        final = client.wait(client.submit(tiny_spec(seed=666))["id"])
+        assert final["state"] == "failed"
+        assert "cursed seed" in final["error"]
+        assert "worker traceback" in final["error"]
+        with pytest.raises(ServiceError) as info:
+            client.run(tiny_spec(seed=666))
+        assert "cursed seed" in str(info.value)
+
+    def test_jobs_listing(self, service):
+        client, _, _ = service
+        client.wait(client.submit(tiny_spec())["id"])
+        jobs = client.jobs()
+        assert len(jobs) == 1
+        assert jobs[0]["spec"]["label"] == "tiny"
+
+
+class TestErrors:
+    def test_invalid_spec_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as info:
+            client.submit({"platform": "nope", "model": "gmm",
+                           "variant": "initial", "seed": 1, "machines": 5})
+        assert info.value.code == 400
+        assert "no implementation registered" in info.value.message
+
+    def test_malformed_body_is_400(self, service):
+        client, _, server = service
+        import urllib.request
+
+        request = urllib.request.Request(server.url + "/jobs",
+                                         data=b"{ nope", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_unknown_job_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as info:
+            client.job("job-999")
+        assert info.value.code == 404
+
+    def test_unknown_result_key_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as info:
+            client.result("spark.gmm.initial.cell-ffffffffffffffff")
+        assert info.value.code == 404
+
+    def test_unknown_path_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as info:
+            client._request("/nope")
+        assert info.value.code == 404
+
+
+class TestRealExecution:
+    def test_cell_payload_matches_batch_bytes(self, tmp_path):
+        """A real cell served over HTTP produces exactly the figure-table
+        cell dict the batch path emits."""
+        from repro.bench.pool import run_cell
+        from repro.bench.report import cell_payload
+        from repro.service.execution import payload_cell
+
+        spec = tiny_spec()
+        server = start_server(port=0, store=ResultStore(tmp_path))
+        try:
+            client = ServiceClient(server.url)
+            served = client.run(spec)
+        finally:
+            stop_server(server)
+        batch = cell_payload(run_cell(spec.to_task()))
+        assert json.dumps(payload_cell(served), sort_keys=True) == json.dumps(
+            json.loads(json.dumps(batch)), sort_keys=True)

@@ -1,0 +1,192 @@
+"""ExperimentSpec: canonicalization, hashing, JSON round-trips, validation."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import experiments, faultsweep
+from repro.bench.pool import run_cell
+from repro.service.execution import execute_spec
+from repro.service.spec import ExperimentSpec, SpecError, SweepAxes, workload_ref
+
+
+def cell_spec(**overrides) -> ExperimentSpec:
+    base = dict(args=(workload_ref("gmm", 7, "points", n=60, dim=3, clusters=2), 3),
+                seed=11, machines=5, iterations=2,
+                scales={"data": 4.0, "cluster": 2.0},
+                label="Spark (Python)", paper="1:23")
+    base.update(overrides)
+    return ExperimentSpec.make_cell("spark", "gmm", "initial", **base)
+
+
+def sweep_spec() -> ExperimentSpec:
+    return faultsweep._gmm_case("spark/gmm", "spark")
+
+
+class TestCanonicalization:
+    def test_reordered_json_keys_hash_identically(self):
+        spec = cell_spec()
+        payload = spec.to_json()
+        scrambled = json.loads(json.dumps(payload, sort_keys=True))
+        reordered = dict(reversed(list(scrambled.items())))
+        assert ExperimentSpec.from_json(reordered).key == spec.key
+
+    def test_int_vs_float_seeds_hash_identically(self):
+        spec = cell_spec()
+        payload = spec.to_json()
+        payload["seed"] = float(payload["seed"])
+        payload["machines"] = float(payload["machines"])
+        payload["iterations"] = float(payload["iterations"])
+        assert ExperimentSpec.from_json(payload).key == spec.key
+
+    def test_camel_case_aliases_hash_identically(self):
+        spec = sweep_spec()
+        payload = json.loads(json.dumps(spec.to_json()))
+        axes = payload.pop("axes")
+        payload["axes"] = {
+            "unitsPerMachine": axes.pop("units_per_machine"),
+            "laptopUnits": axes.pop("laptop_units"),
+            "machineCounts": axes.pop("machine_counts"),
+            "crashRates": axes.pop("crash_rates"),
+            "sweepSeed": axes.pop("sweep_seed"),
+            "checkpointInterval": axes.pop("checkpoint_interval"),
+            "preemptionRate": axes.pop("preemption_rate"),
+            "preemptionWarnings": axes.pop("preemption_warnings"),
+            "resizeRate": axes.pop("resize_rate"),
+            "resizeDeltas": axes.pop("resize_deltas"),
+            "extraScales": axes.pop("extra_scales"),
+            "svBlock": axes.pop("sv_block"),
+        }
+        assert not axes
+        assert ExperimentSpec.from_json(payload).key == spec.key
+
+    def test_workload_params_are_order_insensitive(self):
+        a = cell_spec(args=(workload_ref("gmm", 7, "points",
+                                         n=60, dim=3, clusters=2),))
+        b = cell_spec(args=(workload_ref("gmm", 7, "points",
+                                         clusters=2, dim=3, n=60),))
+        assert a.key == b.key
+
+    def test_changed_axis_never_collides(self):
+        """Property-style sweep: every single-field perturbation of a
+        cell spec must land on a distinct content address."""
+        base = cell_spec()
+        keys = {base.key}
+        variants = [
+            cell_spec(seed=12),
+            cell_spec(machines=20),
+            cell_spec(iterations=3),
+            cell_spec(label="Giraph"),
+            cell_spec(paper="Fail"),
+            cell_spec(scales={"data": 4.0, "cluster": 2.5}),
+            cell_spec(scales={"data": 4.0}),
+            cell_spec(args=(workload_ref("gmm", 8, "points",
+                                         n=60, dim=3, clusters=2), 3)),
+            cell_spec(args=(workload_ref("gmm", 7, "points",
+                                         n=61, dim=3, clusters=2), 3)),
+            cell_spec(args=(workload_ref("gmm", 7, "", n=60, dim=3,
+                                         clusters=2), 3)),
+            ExperimentSpec.make_cell("giraph", "gmm", "initial",
+                                     args=(3,), seed=11, machines=5,
+                                     iterations=2),
+            ExperimentSpec.make_cell("spark", "gmm", "super-vertex",
+                                     args=(3,), seed=11, machines=5,
+                                     iterations=2),
+        ]
+        sweep = sweep_spec()
+        variants += [
+            sweep,
+            sweep.with_axes(sweep_seed=2),
+            sweep.with_axes(machine_counts=(5,)),
+            sweep.with_axes(crash_rates=(0.0,)),
+            sweep.with_axes(preemption_rate=0.25),
+            sweep.with_axes(resize_deltas=(-1,)),
+            sweep.with_axes(sv_block=8),
+        ]
+        for variant in variants:
+            assert variant.key not in keys, f"collision: {variant.describe()}"
+            keys.add(variant.key)
+
+    def test_hash_is_stable_across_processes(self):
+        # stable_digest is content-addressed, not runtime-salted: the
+        # same spec must key the result store identically forever.
+        spec = cell_spec()
+        again = ExperimentSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert spec.key == again.key
+        assert spec.spec_hash == again.spec_hash
+
+
+class TestRoundTrip:
+    def test_cell_round_trip_is_identity(self):
+        spec = cell_spec()
+        again = ExperimentSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert again == spec
+
+    def test_sweep_round_trip_is_identity(self):
+        spec = sweep_spec()
+        again = ExperimentSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert again == spec
+
+    def test_every_figure_spec_round_trips(self):
+        for name in experiments.FIGURE_BUILDERS:
+            for spec in experiments.figure_specs(name):
+                payload = json.loads(json.dumps(spec.to_json()))
+                assert ExperimentSpec.from_json(payload) == spec
+
+
+class TestValidation:
+    def test_unknown_cell_is_descriptive(self):
+        with pytest.raises(KeyError, match="no implementation registered"):
+            ExperimentSpec.make_cell("nope", "gmm", "initial", args=(3,),
+                                     seed=1, machines=5, iterations=1)
+
+    def test_unknown_generator_is_descriptive(self):
+        with pytest.raises(SpecError, match="known generators"):
+            cell_spec(args=(workload_ref("mystery", 7, "points"),))
+
+    def test_cell_needs_machines(self):
+        with pytest.raises(SpecError, match="machines"):
+            cell_spec(machines=0)
+
+    def test_non_literal_arg_rejected(self):
+        with pytest.raises(SpecError, match="JSON literal"):
+            cell_spec(args=(object(),))
+
+    def test_sweep_rejects_empty_machine_counts(self):
+        with pytest.raises(SpecError, match="machine count"):
+            sweep_spec().with_axes(machine_counts=()).validate()
+
+    def test_sweep_rejects_stray_machines_field(self):
+        spec = sweep_spec()
+        with pytest.raises(SpecError, match="axes"):
+            replace(spec, machines=5).validate()
+
+    def test_from_json_rejects_unknown_fields(self):
+        payload = cell_spec().to_json()
+        payload["surprise"] = 1
+        with pytest.raises(SpecError, match="surprise"):
+            ExperimentSpec.from_json(payload)
+
+    def test_from_json_rejects_fractional_seed(self):
+        payload = cell_spec().to_json()
+        payload["seed"] = 1.5
+        with pytest.raises(SpecError, match="integral"):
+            ExperimentSpec.from_json(payload)
+
+
+class TestExecution:
+    def test_execute_spec_matches_run_cell(self):
+        spec = cell_spec()
+        direct = run_cell(spec.to_task())
+        via_chokepoint = execute_spec(spec)
+        assert repr(via_chokepoint.report) == repr(direct.report)
+        assert via_chokepoint.label == direct.label
+
+    def test_axes_carry_through_to_sweep_payload(self):
+        spec = sweep_spec().with_axes(machine_counts=(5,), crash_rates=(0.0,))
+        payload = execute_spec(spec)
+        assert payload["platform"] == "spark"
+        assert {c["machines"] for c in payload["cells"]} == {5}
+        crash = [c for c in payload["cells"] if c["regime"] == "crash"]
+        assert [c["crash_rate"] for c in crash] == [0.0]

@@ -1,0 +1,82 @@
+"""ResultStore: content addressing, disk persistence, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.service.spec import ExperimentSpec
+from repro.service.store import ResultStore
+
+
+def spec(seed: int = 1) -> ExperimentSpec:
+    return ExperimentSpec.make_cell("spark", "gmm", "initial", args=(3,),
+                                    seed=seed, machines=5, iterations=1,
+                                    label="tiny")
+
+
+class TestMemoryStore:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        assert store.get(spec()) is None
+        store.put(spec(), {"kind": "cell", "x": 1})
+        assert store.get(spec()) == {"kind": "cell", "x": 1}
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+
+    def test_contains_and_keys(self):
+        store = ResultStore()
+        assert spec() not in store
+        key = store.put(spec(), {"x": 1})
+        assert spec() in store
+        assert key in store
+        assert store.keys() == [key]
+
+    def test_distinct_specs_do_not_collide(self):
+        store = ResultStore()
+        store.put(spec(1), {"x": 1})
+        assert store.get(spec(2)) is None
+
+    def test_lookup_by_raw_key(self):
+        store = ResultStore()
+        key = store.put(spec(), {"x": 1})
+        assert store.get(key) == {"x": 1}
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put(spec(), {"kind": "cell", "x": 2})
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(spec()) == {"kind": "cell", "x": 2}
+
+    def test_entry_is_audit_readable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(spec(), {"x": 3})
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        assert entry["key"] == key
+        assert entry["spec"]["platform"] == "spark"
+        assert entry["result"] == {"x": 3}
+
+    def test_corrupted_entry_is_a_miss_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(spec(), {"x": 4})
+        (tmp_path / f"{key}.json").write_text("{ not json !!")
+        fresh = ResultStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert fresh.get(spec()) is None
+
+    def test_corrupted_entry_is_rewritten_on_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(spec(), {"x": 5})
+        (tmp_path / f"{key}.json").write_text("")
+        fresh = ResultStore(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            assert fresh.get(spec()) is None
+        fresh.put(spec(), {"x": 5})
+        assert ResultStore(tmp_path).get(spec()) == {"x": 5}
+
+    def test_entry_without_result_field_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(spec(), {"x": 6})
+        (tmp_path / f"{key}.json").write_text(json.dumps({"key": key}))
+        with pytest.warns(RuntimeWarning, match="result"):
+            assert ResultStore(tmp_path).get(spec()) is None
