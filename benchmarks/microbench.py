@@ -9,7 +9,10 @@ timed factory is exactly what the figure tables and the job server
 execute.  The simulated cost events are identical either way — this
 measures only real wall-clock on the host.
 
-    python benchmarks/microbench.py             # full suite
+    python benchmarks/microbench.py             # default suite
+    python benchmarks/microbench.py --full      # every registered variant
+    python benchmarks/microbench.py --full --check-floor  # CI speed gate
+    python benchmarks/microbench.py --coverage  # batch-site coverage report
     python benchmarks/microbench.py --quick     # CI smoke (2 cases, 1 repeat)
     python benchmarks/microbench.py --jobs 4    # fan cases over 4 processes
     python benchmarks/microbench.py --compare-harness  # record serial-vs-pool
@@ -19,6 +22,7 @@ measures only real wall-clock on the host.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import replace
@@ -28,11 +32,25 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import wallclock  # noqa: E402
 
+DEFAULT_FLOOR_FILE = Path(__file__).resolve().parent / "speed_floor.json"
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke subset with a single repeat per case")
+    parser.add_argument("--full", action="store_true",
+                        help="one case per registered variant (the "
+                             "full-registry speed gate's suite)")
+    parser.add_argument("--coverage", action="store_true",
+                        help="print the computed batch-site coverage report "
+                             "and exit (fails if any cell is uncovered)")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if any case falls below its per-variant "
+                             "speed floor or loses events_identical")
+    parser.add_argument("--floor-file", default=str(DEFAULT_FLOOR_FILE),
+                        help="per-variant floor JSON "
+                             "(default: benchmarks/speed_floor.json)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the harness "
                              "(default: REPRO_BENCH_JOBS, else CPU count)")
@@ -49,8 +67,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     jobs = 1 if args.serial else args.jobs
 
+    if args.coverage:
+        from repro.impls.registry import batch_coverage  # noqa: E402
+
+        coverage = batch_coverage()
+        print(wallclock.format_coverage(coverage))
+        if coverage["covered"] != coverage["total"]:
+            print("FAIL: cells without a batch fast path or decline guard",
+                  file=sys.stderr)
+            return 1
+        return 0
+
     if args.quick:
         cases = [replace(case, repeats=1) for case in wallclock.quick_cases()]
+    elif args.full:
+        cases = wallclock.registry_cases()
     else:
         cases = wallclock.default_cases()
 
@@ -91,6 +122,14 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: vectorized grid diverged from the per-cell simulator",
               file=sys.stderr)
         return 1
+    if args.check_floor:
+        floors = json.loads(Path(args.floor_file).read_text())["floors"]
+        problems = wallclock.check_floor(payload, floors)
+        if problems:
+            for problem in problems:
+                print(f"FLOOR: {problem}", file=sys.stderr)
+            return 1
+        print(f"speed floor: {len(floors)} variants at or above floor")
     return 0
 
 

@@ -49,8 +49,10 @@ ENGINE = _profile(
     "engine", {"D001", "D002", "D003", "D004", "M001"}, strict_rng=True,
     description="src/repro engine, model and simulation code")
 KERNEL = _profile(
-    "kernel", {"D001", "D002", "D003", "D004", "K001", "M001"}, strict_rng=True,
-    description="repro/kernels sampler layer (adds K001 signature checks)")
+    "kernel", {"D001", "D002", "D003", "D004", "K001", "K002", "M001"},
+    strict_rng=True,
+    description="repro/kernels sampler layer (adds K001/K002 sampler "
+                "signature and batch-twin checks)")
 IMPLS = _profile(
     "impls", {"D001", "D002", "D003", "D004", "M001", "R001"}, strict_rng=True,
     description="repro/impls platform codes (adds R001 registration checks)")

@@ -379,6 +379,141 @@ class KernelSignatureRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# K002: kernel batch-twin discipline
+# ----------------------------------------------------------------------
+
+def _string_tuple(node: ast.AST) -> list[str] | None:
+    """The literal strings of a tuple/list of constants, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        out.append(element.value)
+    return out
+
+
+def _string_dict(node: ast.AST) -> dict[str, str] | None:
+    """The literal string pairs of a dict of constants, else None."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)):
+            return None
+        out[key.value] = value.value
+    return out
+
+
+def _rng_first(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    positional = [*fn.args.posonlyargs, *fn.args.args]
+    return bool(positional) and positional[0].arg == "rng"
+
+
+def _takes_rng(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = fn.args
+    return "rng" in {a.arg for a in
+                     (*args.posonlyargs, *args.args, *args.kwonlyargs)}
+
+
+class KernelBatchTwinRule(Rule):
+    id = "K002"
+    title = "kernel sampler outside the batch-twin tables"
+    hint = ("account for every public sampler in the module's BATCH_TWINS "
+            "mapping (scalar -> batch twin) or SCALAR_ONLY tuple; twins "
+            "must exist at module level and keep rng as the first "
+            "parameter on both sides")
+    doc = (
+        "The fast path executes whole populations through batch kernels "
+        "that must replay the scalar reference draw-for-draw, so every "
+        "scalar sampler in repro/kernels/ either has a declared batch "
+        "twin (BATCH_TWINS) or an explicit opt-out (SCALAR_ONLY: model "
+        "updates drawn once per iteration, never per record). An "
+        "undeclared sampler is a hole in the coverage gate — engines can "
+        "call it in a per-record loop with no batch equivalent and no "
+        "decline guard, and nothing fails until the speed floor drifts. "
+        "The tables are also what `python -m repro.bench --coverage` and "
+        "the equivalence tests enumerate, so they must name real "
+        "module-level functions, with the rng-first convention matching "
+        "across each scalar/batch pair (the pair contract is that both "
+        "consume the same explicitly threaded stream)."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        functions = {node.name: node for node in ctx.tree.body
+                     if isinstance(node, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))}
+        samplers = [fn for name, fn in functions.items()
+                    if name.startswith(_SAMPLER_PREFIXES)
+                    and not name.startswith("_")]
+        twins_node = scalar_only_node = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if target.id == "BATCH_TWINS":
+                        twins_node = node
+                    elif target.id == "SCALAR_ONLY":
+                        scalar_only_node = node
+        if twins_node is None:
+            if samplers:
+                return [self.finding(
+                    ctx, samplers[0], "module defines public samplers but "
+                    "no BATCH_TWINS table")]
+            return []
+
+        out = []
+        twins = _string_dict(twins_node.value)
+        if twins is None:
+            return [self.finding(
+                ctx, twins_node, "BATCH_TWINS must be a literal dict of "
+                "scalar-name -> batch-name strings")]
+        scalar_only: list[str] = []
+        if scalar_only_node is not None:
+            parsed = _string_tuple(scalar_only_node.value)
+            if parsed is None:
+                out.append(self.finding(
+                    ctx, scalar_only_node, "SCALAR_ONLY must be a literal "
+                    "tuple of function-name strings"))
+            else:
+                scalar_only = parsed
+
+        declared = set(twins) | set(twins.values()) | set(scalar_only)
+        for table, names in (("BATCH_TWINS", [*twins, *twins.values()]),
+                             ("SCALAR_ONLY", scalar_only)):
+            for name in names:
+                if name not in functions:
+                    out.append(self.finding(
+                        ctx, twins_node if table == "BATCH_TWINS"
+                        else scalar_only_node,
+                        f"{table} names {name}(), which is not a "
+                        "module-level function"))
+        for fn in samplers:
+            if fn.name not in declared:
+                out.append(self.finding(
+                    ctx, fn, f"public sampler {fn.name}() is in neither "
+                    "BATCH_TWINS nor SCALAR_ONLY"))
+        for scalar_name, batch_name in twins.items():
+            scalar = functions.get(scalar_name)
+            batch = functions.get(batch_name)
+            for fn in (scalar, batch):
+                if fn is not None and _takes_rng(fn) and not _rng_first(fn):
+                    out.append(self.finding(
+                        ctx, fn, f"{fn.name}() takes rng but not as the "
+                        "first parameter"))
+            if (scalar is not None and batch is not None
+                    and _rng_first(scalar) != _rng_first(batch)):
+                out.append(self.finding(
+                    ctx, batch, f"batch twin {batch_name}() must mirror "
+                    f"{scalar_name}()'s rng-first signature"))
+        return out
+
+
+# ----------------------------------------------------------------------
 # R001: registry-cell picklability
 # ----------------------------------------------------------------------
 
@@ -536,6 +671,7 @@ ALL_RULES = (
     WallClockRule(),
     UnsortedSetIterationRule(),
     KernelSignatureRule(),
+    KernelBatchTwinRule(),
     RegistryPicklabilityRule(),
     MutableDefaultRule(),
 )

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench figure_1a
     python -m repro.bench all
     python -m repro.bench calibration
+    python -m repro.bench --coverage
 
 Options::
 
@@ -93,6 +94,8 @@ def _parse_args(argv: list[str]) -> tuple[str | None, int | None, str | None]:
             return None, None, None
         if arg == "--serial":
             jobs = 1
+        elif arg == "--coverage":
+            positional.append("coverage")
         elif arg == "--jobs":
             if not rest:
                 print("--jobs needs a worker count", file=sys.stderr)
@@ -122,6 +125,17 @@ def main(argv: list[str]) -> int:
     if target == "list":
         for name, (title, _) in FIGURES.items():
             print(f"{name:<12} {title}")
+        return 0
+    if target == "coverage":
+        from repro.bench.wallclock import format_coverage
+        from repro.impls.registry import batch_coverage
+
+        coverage = batch_coverage()
+        print(format_coverage(coverage))
+        if coverage["covered"] != coverage["total"]:
+            print("FAIL: cells without a batch fast path or decline guard",
+                  file=sys.stderr)
+            return 1
         return 0
     try:
         if target == "all":

@@ -104,6 +104,77 @@ def quick_cases() -> list[BenchCase]:
             if case.name in ("spark_gmm", "spark_lda")]
 
 
+def registry_cases(iterations: int = 2, repeats: int = 2) -> list[BenchCase]:
+    """One timed scalar-vs-fast case per registered cell.
+
+    This is the full-registry speed gate: the case list is *derived*
+    from :func:`repro.impls.registry.cells`, so a newly registered
+    variant shows up here (and in the floor check) automatically.
+    Workloads are modest — the gate guards the host fast path's
+    relative speedup per variant, not absolute scale.
+    """
+    from repro.impls.registry import cells
+
+    gmm_points = workload_ref("gmm", 7, "points", n=400, dim=5, clusters=3)
+    hmm_docs = workload_ref("newsgroup", 13, "documents", n_documents=30,
+                            vocabulary=300)
+    lda_docs = workload_ref("lda", 5, "documents", n_documents=120,
+                            vocabulary=300, topics=5, mean_length=80)
+    args_by_model = {
+        "gmm": (gmm_points, 3),
+        "lasso": (workload_ref("lasso", 11, "x", n=300, p=10),
+                  workload_ref("lasso", 11, "y", n=300, p=10)),
+        "hmm": (hmm_docs, 300, 5),
+        "lda": (lda_docs, 300, 5),
+        "imputation": (
+            workload_ref("censored-gmm", 17, "points", n=240, dim=5, clusters=3),
+            workload_ref("censored-gmm", 17, "mask", n=240, dim=5, clusters=3),
+            3),
+    }
+    return [
+        _case(f"{platform}_{model}_{variant.replace('-', '_')}",
+              platform, model, variant, args_by_model[model],
+              iterations=iterations, repeats=repeats)
+        for platform, model, variant in cells()
+    ]
+
+
+def check_floor(payload: dict, floors: dict) -> list[str]:
+    """Speed-floor violations in a suite payload; empty means pass.
+
+    Every floored case must exist, stay at or above its floor, and keep
+    ``events_identical``; unfloored measurements still fail on an event
+    mismatch (the bitwise contract has no opt-out).
+    """
+    problems = []
+    for name, floor in sorted(floors.items()):
+        report = payload["cases"].get(name)
+        if report is None:
+            problems.append(f"{name}: floored but not measured")
+            continue
+        if not report["events_identical"]:
+            problems.append(f"{name}: cost events changed under the fast path")
+        if report["speedup"] < floor:
+            problems.append(f"{name}: speedup {report['speedup']:.2f}x below "
+                            f"floor {floor:.2f}x")
+    for name, report in sorted(payload["cases"].items()):
+        if name not in floors and not report["events_identical"]:
+            problems.append(f"{name}: cost events changed under the fast path")
+    return problems
+
+
+def format_coverage(coverage: dict) -> str:
+    """Render a :func:`repro.impls.registry.batch_coverage` report."""
+    lines = []
+    for name, report in sorted(coverage["cells"].items()):
+        sites = report["batch_sites"] + [f"{s} (decline)"
+                                         for s in report["decline_sites"]]
+        mark = "ok " if report["covered"] else "MISS"
+        lines.append(f"{mark} {name:36s} {', '.join(sites) or '-'}")
+    lines.append(f"covered: {coverage['covered']}/{coverage['total']}")
+    return "\n".join(lines)
+
+
 def _run_once(case: BenchCase, fast: bool) -> tuple[float, list, dict]:
     """One full run: init (untimed) + timed iterations.  Returns the
     iteration wall-clock, the phase event streams, and the summary."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable
 
+from repro import fastpath
 from repro.cluster.events import DATA, FIXED, Kind, Site
 from repro.cluster.sizes import estimate_records_bytes
 from repro.hashing import stable_hash
@@ -435,7 +436,11 @@ class _MappedRDD(RDD):
             # consume the same RNG stream) as the per-record form.
             out = [list(self._batch_part_fn(part)) if part else []
                    for part in parent_parts]
+            fastpath.record_batch(f"rdd.map:{self._label}")
         else:
+            if self._per_partition and self.ctx.fast_path:
+                # Partition-granular callbacks are inherently batched.
+                fastpath.record_batch(f"rdd.map_partitions:{self._label}")
             out = [list(self._part_fn(part)) for part in parent_parts]
         n_out = sum(len(p) for p in out)
         # Every record crosses the runtime boundary into the callback and
@@ -506,14 +511,21 @@ class _ShuffleRDD(RDD):
                 # Same key order (first occurrence) and per-key value
                 # order as the scalar fold; batch_combiner is contracted
                 # to equal the left fold of the combiner bitwise.
+                batched_groups = 0
                 for part in parent_parts:
                     groups: dict = {}
                     for key, value in part:
                         groups.setdefault(key, []).append(value)
-                    combined_parts.append([
-                        (key, vals[0] if len(vals) == 1 else batch(vals))
-                        for key, vals in groups.items()
-                    ])
+                    combined = []
+                    for key, vals in groups.items():
+                        if len(vals) == 1:
+                            combined.append((key, vals[0]))
+                        else:
+                            combined.append((key, batch(vals)))
+                            batched_groups += 1
+                    combined_parts.append(combined)
+                if batched_groups:
+                    fastpath.record_batch(f"rdd.combine:{self._label}")
             else:
                 for part in parent_parts:
                     acc: dict = {}
@@ -548,8 +560,19 @@ class _ShuffleRDD(RDD):
                     bucket = grouped[stable_hash(key) % self.num_partitions]
                     merge_touches += 1
                     bucket.setdefault(key, []).append(value)
-            out = [[(key, vals[0] if len(vals) == 1 else batch(vals))
-                    for key, vals in bucket.items()] for bucket in grouped]
+            merged_groups = 0
+            out = []
+            for bucket in grouped:
+                rows = []
+                for key, vals in bucket.items():
+                    if len(vals) == 1:
+                        rows.append((key, vals[0]))
+                    else:
+                        rows.append((key, batch(vals)))
+                        merged_groups += 1
+                out.append(rows)
+            if merged_groups:
+                fastpath.record_batch(f"rdd.merge:{self._label}")
         else:
             buckets: list[dict] = [dict() for _ in range(self.num_partitions)]
             for part in to_shuffle:

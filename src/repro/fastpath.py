@@ -17,10 +17,38 @@ _ENABLED = os.environ.get("REPRO_FAST_PATH", "1").strip().lower() not in (
     "0", "false", "no", "off", "",
 )
 
+# Coverage accounting: every engine batch site records the executions it
+# takes (record_batch) and the ones it explicitly refuses (record_decline,
+# e.g. ROW_STABLE_MAX_DIM or min-batch-size guards).  registry.batch_coverage
+# reads the deltas to prove which variants reach a batch path.
+_BATCH_COUNTS: dict[str, int] = {}
+_DECLINE_COUNTS: dict[str, int] = {}
+
 
 def enabled() -> bool:
     """True when host execution may cache partitions and batch kernels."""
     return _ENABLED
+
+
+def record_batch(site: str) -> None:
+    """Count one batch-path execution at ``site``."""
+    _BATCH_COUNTS[site] = _BATCH_COUNTS.get(site, 0) + 1
+
+
+def record_decline(site: str) -> None:
+    """Count one explicit decline (guarded fallback to the scalar path)."""
+    _DECLINE_COUNTS[site] = _DECLINE_COUNTS.get(site, 0) + 1
+
+
+def counters() -> dict:
+    """Snapshot of the batch/decline counters, keyed by site label."""
+    return {"batch": dict(_BATCH_COUNTS), "decline": dict(_DECLINE_COUNTS)}
+
+
+def reset_counters() -> None:
+    """Zero the batch/decline counters (coverage probes, tests)."""
+    _BATCH_COUNTS.clear()
+    _DECLINE_COUNTS.clear()
 
 
 def set_enabled(value: bool) -> bool:

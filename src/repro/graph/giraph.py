@@ -39,6 +39,14 @@ from repro.graph.graph import GraphEngine, VertexId
 #: sender-side serialization buffers at the peak.
 OUTGOING_BUFFER_FRACTION = 0.25
 
+#: Minimum messages per (sender machine, destination vertex) group before
+#: a combiner ``batch_fn`` is worth its dispatch overhead.  Below this the
+#: scalar fold wins (stack/cumsum setup dominates on short groups — the
+#: giraph GMM regression in BENCH_9c9ce86.json), so small groups fall back
+#: to the incremental combiner and are recorded as declines, the same
+#: decline-guard pattern as ``ROW_STABLE_MAX_DIM``.
+COMBINER_MIN_BATCH = 8
+
 
 class GiraphContext:
     """Per-superstep API handed to vertex compute functions."""
@@ -173,6 +181,7 @@ class GiraphEngine(GraphEngine):
                         messages = broadcasts + messages
                     items.append((vertex, value, messages))
                 batch_fn(ctx, items)
+                fastpath.record_batch(f"giraph.compute:{kind_name}")
                 invocations = len(items)
             else:
                 invocations = 0
@@ -247,14 +256,27 @@ class GiraphEngine(GraphEngine):
                 if batch_fn is not None and fastpath.enabled():
                     # Group first, then combine each batch in one call;
                     # the group (and wire) order is first-occurrence,
-                    # exactly like the incremental fold below.
+                    # exactly like the incremental fold below.  Groups
+                    # shorter than COMBINER_MIN_BATCH decline to the
+                    # incremental fold (identical result either way).
                     grouped: dict[tuple[int, Hashable], list] = {}
                     for sender_machine, dst_vertex, message in entries:
                         grouped.setdefault((sender_machine, dst_vertex),
                                            []).append(message)
                     for key, messages in grouped.items():
-                        combined[key] = (messages[0] if len(messages) == 1
-                                         else batch_fn(messages))
+                        if len(messages) == 1:
+                            combined[key] = messages[0]
+                        elif len(messages) >= COMBINER_MIN_BATCH:
+                            combined[key] = batch_fn(messages)
+                            fastpath.record_batch(
+                                f"giraph.combiner:{dst_kind}")
+                        else:
+                            value = messages[0]
+                            for message in messages[1:]:
+                                value = combiner(value, message)
+                            combined[key] = value
+                            fastpath.record_decline(
+                                f"giraph.combiner:{dst_kind}")
                 else:
                     for sender_machine, dst_vertex, message in entries:
                         key = (sender_machine, dst_vertex)

@@ -152,6 +152,7 @@ class GraphLabEngine(GraphEngine):
                 total = None
             elif batch is not None and len(contributions) > 1:
                 total = batch(contributions)
+                fastpath.record_batch(f"graphlab.sum:{center_kind}")
             else:
                 total = contributions[0]
                 for contribution in contributions[1:]:

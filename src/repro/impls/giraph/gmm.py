@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.events import DATA
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
@@ -27,6 +28,7 @@ from repro.graph import GiraphEngine
 from repro.impls.base import Implementation, declare_scale_limit
 from repro.kernels import gmm
 from repro.stats import Categorical, MultivariateNormal, sample_categorical_rows
+from repro.stats.mvn import ROW_STABLE_MAX_DIM
 
 
 class GiraphGMM(Implementation):
@@ -78,7 +80,8 @@ class GiraphGMM(Implementation):
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
         engine.set_combiner("cluster", gmm.add_triples, batch_fn=gmm.add_triples_batch)
-        engine.set_compute("data", self._data_compute)
+        engine.set_compute("data", self._data_compute,
+                           batch_fn=self._data_compute_batch)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)
 
@@ -149,6 +152,42 @@ class GiraphGMM(Implementation):
         ctx.charge_flops(self.clusters * (3.0 * d * d + 4.0 * d) + d * d)
         ctx.send("cluster", k, gmm.membership_triple(x, mu))
 
+    def _data_compute_batch(self, ctx, items):
+        """All points' membership densities in one stacked evaluation
+        and one merged categorical draw.  The broadcast triples are the
+        same objects at every vertex, so the weight rows match the
+        per-vertex scalar calls bitwise — except past the row-stability
+        bound, where the stacked solve reorders and the batch declines."""
+        if self._phase(ctx.superstep) != 2:
+            return
+        live = []
+        for vid, x, messages in items:
+            triples = sorted(m for m in messages
+                             if isinstance(m, tuple) and len(m) == 4)
+            if triples:
+                live.append((vid, x, triples))
+        if not live:
+            return
+        d = live[0][1].size
+        if d > ROW_STABLE_MAX_DIM:
+            fastpath.record_decline("giraph.gmm:membership-weights")
+            for vid, x, messages in items:
+                ctx._current_vertex = vid
+                self._data_compute(ctx, vid, x, messages)
+            return
+        triples = live[0][2]
+        log_pis = [np.log(max(t[1], 1e-300)) for t in triples]
+        dists = [t[3] for t in triples]
+        xs = np.vstack([x for _, x, _ in live])
+        choices = sample_categorical_rows(
+            self.rng, gmm.batch_membership_weights(xs, log_pis, dists))
+        flops = self.clusters * (3.0 * d * d + 4.0 * d) + d * d
+        for (vid, x, triples), choice in zip(live, choices):
+            ctx._current_vertex = vid
+            k, _, mu, _ = triples[int(choice)]
+            ctx.charge_flops(flops)
+            ctx.send("cluster", k, gmm.membership_triple(x, mu))
+
     # -- bookkeeping --------------------------------------------------------
 
     def _refresh_state(self) -> None:
@@ -214,7 +253,8 @@ class GiraphGMMSuperVertex(GiraphGMM):
         engine.add_vertices("mixture", {0: {"pi": self.state.pi.copy(),
                                             "counts": np.zeros(self.clusters)}})
         engine.set_combiner("cluster", gmm.add_triples, batch_fn=gmm.add_triples_batch)
-        engine.set_compute("data", self._data_compute)
+        engine.set_compute("data", self._data_compute,
+                           batch_fn=self._data_compute_batch)
         engine.set_compute("cluster", self._cluster_compute)
         engine.set_compute("mixture", self._mixture_compute)
 
@@ -239,3 +279,46 @@ class GiraphGMMSuperVertex(GiraphGMM):
             if stats.counts[k] > 0:
                 ctx.send("cluster", k,
                          (stats.counts[k], stats.sums[k], stats.scatters[k]))
+
+    def _data_compute_batch(self, ctx, items):
+        """All blocks vstack into one membership evaluation and one
+        merged draw; the per-block draw sequence is the merged rows in
+        block order, so slicing the labels back out is bitwise."""
+        if self._phase(ctx.superstep) != 2:
+            return
+        live = []
+        for vid, block, messages in items:
+            triples = sorted(m for m in messages
+                             if isinstance(m, tuple) and len(m) == 4)
+            if triples:
+                live.append((vid, block, triples))
+        if not live:
+            return
+        d = live[0][1].shape[1]
+        if d > ROW_STABLE_MAX_DIM:
+            fastpath.record_decline("giraph.gmm:membership-weights")
+            for vid, block, messages in items:
+                ctx._current_vertex = vid
+                self._data_compute(ctx, vid, block, messages)
+            return
+        triples = live[0][2]
+        state = gmm.GMMState(
+            pi=np.array([t[1] for t in triples]),
+            means=np.vstack([t[2] for t in triples]),
+            covariances=np.stack([t[3].cov for t in triples]),
+        )
+        stacked = np.vstack([block for _, block, _ in live])
+        labels = sample_categorical_rows(
+            self.rng, gmm.membership_weights(stacked, state))
+        offset = 0
+        for vid, block, _ in live:
+            ctx._current_vertex = vid
+            block_labels = labels[offset:offset + len(block)]
+            offset += len(block)
+            stats = gmm.sufficient_statistics(block, block_labels, state)
+            ctx.charge_flops(
+                len(block) * (self.clusters * (3.0 * d * d + 4.0 * d) + d * d))
+            for k in range(self.clusters):
+                if stats.counts[k] > 0:
+                    ctx.send("cluster", k,
+                             (stats.counts[k], stats.sums[k], stats.scatters[k]))

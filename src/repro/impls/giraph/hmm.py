@@ -23,6 +23,8 @@ from repro.cluster.tracer import Tracer
 from repro.graph import GiraphEngine, group_items
 from repro.impls.base import Implementation
 from repro.kernels import hmm
+from repro.kernels.folds import fold_array_sum
+from repro.stats import sample_categorical_rows
 
 
 def _sparse_counts(counts: hmm.HMMCounts, state: int) -> dict:
@@ -40,6 +42,18 @@ def _merge_state_counts(a: dict, b: dict) -> dict:
     out = {"emit": dict(a["emit"]), "trans": a["trans"] + b["trans"]}
     for word, count in b["emit"].items():
         out["emit"][word] = out["emit"].get(word, 0.0) + count
+    return out
+
+
+def _merge_state_counts_batch(messages: list) -> dict:
+    """Left fold of :func:`_merge_state_counts`: same first-occurrence
+    key order in the emission dict, same per-key addition order, and the
+    transition rows sum by sequential cumsum."""
+    out = {"emit": dict(messages[0]["emit"]),
+           "trans": fold_array_sum([m["trans"] for m in messages])}
+    for message in messages[1:]:
+        for word, count in message["emit"].items():
+            out["emit"][word] = out["emit"].get(word, 0.0) + count
     return out
 
 
@@ -84,10 +98,12 @@ class GiraphHMMDocument(Implementation):
             s: {"psi": self.model.psi[s], "delta": self.model.delta[s]}
             for s in range(self.states)
         })
-        engine.set_combiner("state", _merge_state_counts)
+        engine.set_combiner("state", _merge_state_counts,
+                            batch_fn=_merge_state_counts_batch)
         engine.register_aggregator("delta0", lambda a, b: a + b,
                                    np.zeros(self.states))
-        engine.set_compute("data", self._data_compute)
+        engine.set_compute("data", self._data_compute,
+                           batch_fn=self._data_compute_batch)
         engine.set_compute("state", self._state_compute)
 
     def iterate(self, iteration: int) -> None:
@@ -113,6 +129,26 @@ class GiraphHMMDocument(Implementation):
         for s in range(self.states):
             ctx.send("state", s, _sparse_counts(counts, s))
         ctx.aggregate("delta0", counts.starts)
+
+    def _data_compute_batch(self, ctx, items):
+        """All documents' FFBS sweeps through one stacked categorical
+        draw; per-vertex side effects replay in vertex order."""
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        model = self._current_model(ctx)
+        values = [(value["words"], value["states"]) for _, value, _ in items]
+        updated = hmm.resample_documents_batch(self.rng, values, model,
+                                               self._iteration)
+        for (vid, value, _), states in zip(items, updated):
+            ctx._current_vertex = vid
+            value["states"] = states
+            words = value["words"]
+            counts = hmm.document_counts(words, states, self.states,
+                                         self.vocabulary)
+            ctx.charge_ops(float(len(words) * 4))
+            for s in range(self.states):
+                ctx.send("state", s, _sparse_counts(counts, s))
+            ctx.aggregate("delta0", counts.starts)
 
     def _state_compute(self, ctx, vid, value, messages):
         if ctx.superstep % self.SUPERSTEPS != 1:
@@ -204,6 +240,32 @@ class GiraphHMMSuperVertex(GiraphHMMDocument):
             ctx.send("state", s, _sparse_counts(counts, s))
         ctx.aggregate("delta0", counts.starts)
 
+    def _data_compute_batch(self, ctx, items):
+        """Every block's documents flatten (vertex order, then slot
+        order) into one stacked FFBS draw — the same document order the
+        scalar loop visits."""
+        if ctx.superstep % self.SUPERSTEPS != 0:
+            return
+        model = self._current_model(ctx)
+        values = [(words, states) for _, value, _ in items
+                  for words, states in zip(value["words"], value["states"])]
+        updated = iter(hmm.resample_documents_batch(self.rng, values, model,
+                                                    self._iteration))
+        for vid, value, _ in items:
+            ctx._current_vertex = vid
+            counts = hmm.HMMCounts.zeros(self.states, self.vocabulary)
+            total_words = 0
+            for slot, words in enumerate(value["words"]):
+                states = next(updated)
+                value["states"][slot] = states
+                counts = counts.merge(hmm.document_counts(
+                    words, states, self.states, self.vocabulary))
+                total_words += len(words)
+            ctx.charge_ops(float(total_words * 1))
+            for s in range(self.states):
+                ctx.send("state", s, _sparse_counts(counts, s))
+            ctx.aggregate("delta0", counts.starts)
+
     def assignments(self) -> list:
         out: dict[int, np.ndarray] = {}
         for vertex in self.engine.kinds["data"].values.values():
@@ -257,10 +319,12 @@ class GiraphHMMWord(Implementation):
             s: {"psi": self.model.psi[s], "delta": self.model.delta[s]}
             for s in range(self.states)
         })
-        engine.set_combiner("state", _merge_pair_counts)
+        engine.set_combiner("state", _merge_pair_counts,
+                            batch_fn=_merge_pair_counts_batch)
         engine.register_aggregator("delta0", lambda a, b: a + b,
                                    np.zeros(self.states))
-        engine.set_compute("word", self._word_compute)
+        engine.set_compute("word", self._word_compute,
+                           batch_fn=self._word_compute_batch)
         engine.set_compute("state", self._state_compute)
 
     def iterate(self, iteration: int) -> None:
@@ -305,6 +369,50 @@ class GiraphHMMWord(Implementation):
                 pair_counts["trans"][next_state] = 1.0
             ctx.send("state", value["state"], pair_counts)
 
+    def _word_compute_batch(self, ctx, items):
+        """The resample phase's per-vertex ``rng.choice`` calls merge
+        into one stacked categorical draw over the parity turns' weight
+        rows; message application and count sends replay in vertex
+        order.  The other phases have no batchable work."""
+        phase = ctx.superstep % self.SUPERSTEPS
+        if phase != 1:
+            for vid, value, messages in items:
+                ctx._current_vertex = vid
+                self._word_compute(ctx, vid, value, messages)
+            return
+        rows = []
+        draw_at: dict[int, int] = {}
+        neighbors = []
+        for index, (vid, value, messages) in enumerate(items):
+            for kind, state in messages:
+                value[kind] = state
+            _, pos = vid
+            prev_state = (value["prev"]
+                          if value["prev"] is not None and pos > 0 else None)
+            next_state = (value["next"]
+                          if value["next"] is not None
+                          and pos < value["len"] - 1 else None)
+            neighbors.append(next_state)
+            if (pos + 1) % 2 == self._iteration % 2:
+                draw_at[index] = len(rows)
+                rows.append(hmm.word_state_weights(self.model, value["word"],
+                                                   prev_state, next_state))
+        draws = (sample_categorical_rows(self.rng, np.vstack(rows))
+                 if rows else [])
+        for index, (vid, value, _) in enumerate(items):
+            ctx._current_vertex = vid
+            _, pos = vid
+            if index in draw_at:
+                value["state"] = int(draws[draw_at[index]])
+                ctx.charge_ops(4.0)
+            if pos == 0:
+                ctx.aggregate("delta0", _one_hot(value["state"], self.states))
+            pair_counts = {"emit": {value["word"]: 1.0}, "trans": {}}
+            next_state = neighbors[index]
+            if next_state is not None:
+                pair_counts["trans"][next_state] = 1.0
+            ctx.send("state", value["state"], pair_counts)
+
     def _state_compute(self, ctx, vid, value, messages):
         if ctx.superstep % self.SUPERSTEPS != 2:
             return
@@ -337,4 +445,17 @@ def _merge_pair_counts(a: dict, b: dict) -> dict:
         out["emit"][word] = out["emit"].get(word, 0.0) + count
     for nxt, count in b["trans"].items():
         out["trans"][nxt] = out["trans"].get(nxt, 0.0) + count
+    return out
+
+
+def _merge_pair_counts_batch(messages: list) -> dict:
+    """Left fold of :func:`_merge_pair_counts`: one accumulator copy,
+    same first-occurrence key order and per-key addition order."""
+    out = {"emit": dict(messages[0]["emit"]),
+           "trans": dict(messages[0]["trans"])}
+    for message in messages[1:]:
+        for word, count in message["emit"].items():
+            out["emit"][word] = out["emit"].get(word, 0.0) + count
+        for nxt, count in message["trans"].items():
+            out["trans"][nxt] = out["trans"].get(nxt, 0.0) + count
     return out

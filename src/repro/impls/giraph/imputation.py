@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.impls.giraph.gmm import GiraphGMM
-from repro.kernels.imputation import impute_point, scalar_marginal_weights
+from repro.kernels import gmm
+from repro.kernels.imputation import (
+    impute_point,
+    marginal_membership_weights,
+    scalar_marginal_weights,
+)
 from repro.stats import Categorical
+from repro.stats.mvn import ROW_STABLE_MAX_DIM
 
 
 class GiraphImputation(GiraphGMM):
@@ -62,6 +69,60 @@ class GiraphImputation(GiraphGMM):
         d = completed.size
         ctx.charge_flops(self.clusters * (6.0 * d**3 / 8.0 + 3.0 * d * d) + d * d)
         ctx.send("cluster", k, (1.0, completed, np.outer(diff, diff)))
+
+    def _data_compute_batch(self, ctx, items):
+        """Marginal membership weights for the whole population in one
+        stacked evaluation; the (membership, conditional-impute) draw
+        pairs stay interleaved per point in vertex order, with the
+        conditioning factorizations hoisted per (cluster, pattern)."""
+        if self._phase(ctx.superstep) != 2:
+            return
+        live = []
+        for vid, value, messages in items:
+            triples = sorted(m for m in messages
+                             if isinstance(m, tuple) and len(m) == 4)
+            if triples:
+                live.append((vid, value, triples))
+        if not live:
+            return
+        d = live[0][1]["x"].size
+        if d > ROW_STABLE_MAX_DIM:
+            fastpath.record_decline("giraph.impute:marginal-weights")
+            for vid, value, messages in items:
+                ctx._current_vertex = vid
+                self._data_compute(ctx, vid, value, messages)
+            return
+        triples = live[0][2]
+        state = gmm.GMMState(
+            pi=np.array([t[1] for t in triples]),
+            means=np.vstack([t[2] for t in triples]),
+            covariances=np.stack([t[3].cov for t in triples]),
+        )
+        points = np.array([value["x"] for _, value, _ in live])
+        masks = np.array([value["mask"] for _, value, _ in live])
+        weights = marginal_membership_weights(points, masks, state)
+        conditioners: dict[tuple[int, bytes], object] = {}
+        flops = self.clusters * (6.0 * d**3 / 8.0 + 3.0 * d * d) + d * d
+        for j, (vid, value, triples) in enumerate(live):
+            ctx._current_vertex = vid
+            choice = int(Categorical(weights[j]).sample(self.rng))
+            k, _, mu, dist = triples[choice]
+            x, row_mask = points[j], masks[j]
+            completed = x.copy()
+            if row_mask.all():
+                completed[:] = dist.sample(self.rng)
+            elif row_mask.any():
+                cache_key = (choice, row_mask.tobytes())
+                conditional = conditioners.get(cache_key)
+                if conditional is None:
+                    conditional = conditioners[cache_key] = dist.conditioner(
+                        np.flatnonzero(~row_mask))
+                completed[row_mask] = conditional.sample_given(
+                    self.rng, x[~row_mask])
+            value["x"] = completed
+            diff = completed - mu
+            ctx.charge_flops(flops)
+            ctx.send("cluster", k, (1.0, completed, np.outer(diff, diff)))
 
     def completed_points(self) -> np.ndarray:
         data = self.engine.kinds["data"]

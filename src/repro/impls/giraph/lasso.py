@@ -23,6 +23,7 @@ from repro.cluster.tracer import Tracer
 from repro.graph import OUTGOING_BUFFER_FRACTION, GiraphEngine, group_rows
 from repro.impls.base import Implementation
 from repro.kernels import lasso
+from repro.kernels.folds import fold_array_sum
 
 
 class GiraphLassoSuperVertex(Implementation):
@@ -68,8 +69,10 @@ class GiraphLassoSuperVertex(Implementation):
             "state": lasso.initial_state(self.rng, p),
             "gram": np.zeros((p, p)), "xty": np.zeros(p), "y_sum": 0.0, "n": 0,
         }})
-        engine.set_combiner("dimension", lambda a, b: a + b)
-        engine.set_compute("data", self._data_compute)
+        engine.set_combiner("dimension", lambda a, b: a + b,
+                            batch_fn=fold_array_sum)
+        engine.set_compute("data", self._data_compute,
+                           batch_fn=self._data_compute_batch)
         engine.set_compute("dimension", self._dimension_compute)
         engine.set_compute("model", self._model_compute)
         for _ in range(self.INIT_SUPERSTEPS + 1):
@@ -125,6 +128,29 @@ class GiraphLassoSuperVertex(Implementation):
             # the centering correction.
             residuals = by - bx @ beta
             ctx.charge_flops(2.0 * bx.shape[0] * p)
+            ctx.send("model", 0, ("rss", float(residuals @ residuals),
+                                  float(residuals.sum()), len(by)))
+
+    def _data_compute_batch(self, ctx, items):
+        """Steady state: beta is the same broadcast in every vertex's
+        mailbox, so it parses once instead of per-vertex; the per-block
+        residual products then replay in vertex order.  The Gram
+        supersteps have per-vertex payloads and fall through scalar."""
+        if ctx.superstep <= self.INIT_SUPERSTEPS:
+            for vid, value, messages in items:
+                ctx._current_vertex = vid
+                self._data_compute(ctx, vid, value, messages)
+            return
+        beta = None
+        for message in items[0][2]:
+            if isinstance(message, tuple) and message[0] == "beta":
+                beta = message[1]
+        if beta is None:
+            return
+        for vid, (bx, by), _ in items:
+            ctx._current_vertex = vid
+            residuals = by - bx @ beta
+            ctx.charge_flops(2.0 * bx.shape[0] * bx.shape[1])
             ctx.send("model", 0, ("rss", float(residuals @ residuals),
                                   float(residuals.sum()), len(by)))
 

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.events import DATA
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_items
 from repro.impls.base import Implementation, declare_scale_limit
 from repro.kernels import hmm
+from repro.kernels.folds import fold_array_sum
 
 
 class _ResampleStates(GASProgram):
@@ -37,6 +39,13 @@ class _ResampleStates(GASProgram):
     def sum(self, a, b):
         return a + b
 
+    def sum_batch(self, contributions):
+        # List concatenation: the left fold of + in one pass.
+        out = []
+        for contribution in contributions:
+            out.extend(contribution)
+        return out
+
     def apply(self, center_id, center_value, total):
         impl = self.impl
         rows = sorted(total or [])
@@ -45,12 +54,20 @@ class _ResampleStates(GASProgram):
             delta=np.vstack([r[2] for r in rows]),
             psi=np.vstack([r[1] for r in rows]),
         )
+        values = list(zip(center_value["words"], center_value["states"]))
+        if fastpath.enabled() and len(values) > 1:
+            updated_list = hmm.resample_documents_batch(impl.rng, values, model,
+                                                        impl.iteration)
+        else:
+            updated_list = [
+                hmm.resample_document_states(impl.rng, words, states, model,
+                                             impl.iteration)
+                for words, states in values
+            ]
         counts = hmm.HMMCounts.zeros(impl.states, impl.vocabulary)
         total_words = 0
-        for slot, (words, states) in enumerate(
-                zip(center_value["words"], center_value["states"])):
-            updated = hmm.resample_document_states(impl.rng, words, states, model,
-                                                   impl.iteration)
+        for slot, (words, _) in enumerate(values):
+            updated = updated_list[slot]
             center_value["states"][slot] = updated
             counts = counts.merge(
                 hmm.document_counts(words, updated, impl.states, impl.vocabulary))
@@ -77,6 +94,12 @@ class _UpdateModel(GASProgram):
 
     def sum(self, a, b):
         return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    def sum_batch(self, contributions):
+        # Columnwise cumsum folds: each equals the sequential left fold.
+        return (fold_array_sum([c[0] for c in contributions]),
+                fold_array_sum([c[1] for c in contributions]),
+                fold_array_sum([c[2] for c in contributions]))
 
     def apply(self, center_id, center_value, total):
         impl = self.impl

@@ -7,13 +7,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.events import DATA
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import group_rows
 from repro.impls.graphlab.gmm import GraphLabGMMSuperVertex
 from repro.kernels import gmm
-from repro.kernels.imputation import impute_points, sample_marginal_memberships
+from repro.kernels.imputation import (
+    impute_points,
+    impute_points_batch,
+    sample_marginal_memberships,
+)
 
 
 class GraphLabImputationSuperVertex(GraphLabGMMSuperVertex):
@@ -53,7 +58,8 @@ class GraphLabImputationSuperVertex(GraphLabGMMSuperVertex):
             covariances=np.stack([v[3].cov for v in views]),
         )
         labels = sample_marginal_memberships(self.rng, block, mask, state)
-        completed = impute_points(self.rng, block, mask, labels, state)
+        impute = impute_points_batch if fastpath.enabled() else impute_points
+        completed = impute(self.rng, block, mask, labels, state)
         stats = gmm.sufficient_statistics(completed, labels, state)
         d = block.shape[1]
         self.engine.charge(

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.events import DATA
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.graph import GASProgram, GraphLabEngine, group_items
 from repro.impls.base import Implementation, declare_scale_limit
 from repro.kernels import lda
+from repro.kernels.folds import fold_array_sum
 
 
 class _ResampleTopics(GASProgram):
@@ -29,17 +31,33 @@ class _ResampleTopics(GASProgram):
     def sum(self, a, b):
         return a + b
 
+    def sum_batch(self, contributions):
+        # List concatenation: the left fold of + in one pass.
+        out = []
+        for contribution in contributions:
+            out.extend(contribution)
+        return out
+
     def apply(self, center_id, center_value, total):
         impl = self.impl
         rows = sorted(total or [])
         phi = np.vstack([row for _, row in rows])
         totals = np.zeros((impl.topics, impl.vocabulary))
         total_words = 0
-        for slot, words in enumerate(center_value["words"]):
-            z, new_theta, counts = lda.resample_document(
-                impl.rng, words, center_value["thetas"][slot], phi, impl.alpha)
+        values = list(zip(center_value["words"], center_value["thetas"]))
+        if fastpath.enabled() and len(values) > 1:
+            resampled = lda.resample_documents_batch(impl.rng, values, phi,
+                                                     impl.alpha)
+        else:
+            resampled = [
+                lda.resample_document(impl.rng, words, theta, phi,
+                                      impl.alpha)[:2]
+                for words, theta in values
+            ]
+        for slot, ((words, _), (z, new_theta)) in enumerate(
+                zip(values, resampled)):
             center_value["thetas"][slot] = new_theta
-            totals += counts
+            np.add.at(totals, (z, words), 1.0)
             total_words += len(words)
         impl.engine.charge(records=float(total_words * 3),
                            flops=float(total_words * impl.topics * 4), scale=DATA,
@@ -60,6 +78,9 @@ class _UpdatePhi(GASProgram):
 
     def sum(self, a, b):
         return a + b
+
+    def sum_batch(self, contributions):
+        return fold_array_sum(contributions)
 
     def apply(self, center_id, center_value, total):
         impl = self.impl

@@ -86,4 +86,71 @@ def data_factory(platform: str, model: str, variant: str, *data,
                         rng_maker, kwargs)
 
 
-__all__ = ["BoundFactory", "cell", "cells", "data_factory"]
+def coverage_workloads(seed: int = 20140622) -> dict[str, tuple]:
+    """Tiny per-model data args, just big enough that every engine's
+    batch sites see multi-record populations."""
+    from repro.workloads import (
+        censor_beta_coin,
+        generate_gmm_data,
+        generate_lasso_data,
+        newsgroup_style_corpus,
+    )
+
+    rng = make_rng(seed)
+    gmm = generate_gmm_data(rng, 48, dim=3, clusters=2)
+    lasso = generate_lasso_data(rng, 30, p=4)
+    corpus = newsgroup_style_corpus(rng, 6, vocabulary=40)
+    censored = censor_beta_coin(
+        rng, generate_gmm_data(rng, 32, dim=3, clusters=2).points)
+    return {
+        "gmm": (gmm.points, 2),
+        "lasso": (lasso.x, lasso.y),
+        "hmm": (corpus.documents, 40, 3),
+        "lda": (corpus.documents, 40, 3),
+        "imputation": (censored.points, censored.mask, 2),
+    }
+
+
+def batch_coverage(machines: int = 3, seed: int = 20140622,
+                   iterations: int = 2) -> dict:
+    """Execute every registered cell with the fast path on and report
+    which batch/decline sites fired.
+
+    The report is *computed*, never hand-counted: each cell runs on a
+    tiny workload under ``fastpath.fast_path(True)`` and the per-site
+    counters (:func:`repro.fastpath.counters`) are read back.  A cell
+    counts as covered when at least one batch site fired or an explicit
+    decline guard recorded itself — silence means the cell never reached
+    a fast path at all.
+    """
+    from repro import fastpath
+
+    data = coverage_workloads(seed)
+    report: dict[str, dict] = {}
+    for platform, model, variant in cells():
+        factory = data_factory(platform, model, variant, *data[model],
+                               seed=seed)
+        fastpath.reset_counters()
+        with fastpath.fast_path(True):
+            tracer = Tracer()
+            impl = factory(ClusterSpec(machines=machines), tracer)
+            with tracer.phase("init"):
+                impl.initialize()
+            for i in range(iterations):
+                with tracer.phase(f"iteration-{i}"):
+                    impl.iterate(i)
+        counts = fastpath.counters()
+        report["/".join((platform, model, variant))] = {
+            "batch_sites": sorted(counts["batch"]),
+            "decline_sites": sorted(counts["decline"]),
+            "covered": bool(counts["batch"] or counts["decline"]),
+        }
+    return {
+        "cells": report,
+        "covered": sum(1 for r in report.values() if r["covered"]),
+        "total": len(report),
+    }
+
+
+__all__ = ["BoundFactory", "batch_coverage", "cell", "cells",
+           "coverage_workloads", "data_factory"]

@@ -25,13 +25,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.events import FIXED, Kind, Site
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation, declare_scale_limit
 from repro.kernels import hmm
-from repro.kernels.folds import merge_sparse, sparse_topic_counts
+from repro.kernels.folds import (
+    fold_array_sum,
+    merge_sparse,
+    merge_sparse_batch,
+    sparse_topic_counts,
+    sparse_topic_counts_fast,
+)
+from repro.stats import sample_categorical_rows
 
 
 class SparkHMMDocument(Implementation):
@@ -89,7 +97,7 @@ class SparkHMMDocument(Implementation):
             lambda record: comp_h(record[1]), flops_per_record=float(mean_len),
             label="comp_h", out_scale="data",
         ).reduce_by_key(lambda a, b: a + b, flops_per_record=float(states_k),
-                        label="h-agg")
+                        label="h-agg", batch_combiner=fold_array_sum)
         h_map = h.collect_as_map()
 
         # Jobs 3+4: emission counts per state (sparse per document — a
@@ -102,8 +110,12 @@ class SparkHMMDocument(Implementation):
         f = self.d_w_s_seq.flat_map(
             lambda record: comp_f(record[1]), flops_per_record=float(mean_len),
             label="comp_f", out_scale="data",
+            batch_fn=lambda part: [
+                o for record in part
+                for o in sparse_topic_counts_fast(record[1][1], record[1][0])
+            ],
         ).reduce_by_key(merge_sparse, flops_per_record=float(mean_len),
-                        label="f-agg")
+                        label="f-agg", batch_combiner=merge_sparse_batch)
         f_map = f.collect_as_map()
 
         counts = hmm.HMMCounts.zeros(states_k, vocab)
@@ -119,6 +131,11 @@ class SparkHMMDocument(Implementation):
         # Job 5: alternating-parity state update per document.
         # The paper's update_state walks the document word-by-word in
         # Python: ~2 interpreted operations per word.
+        def update_batch(values):
+            updated = hmm.resample_documents_batch(rng, values, model, iteration)
+            return [(words, new_states)
+                    for (words, _), new_states in zip(values, updated)]
+
         old = self.d_w_s_seq
         self.d_w_s_seq = old.map_values(
             lambda value: (value[0], hmm.resample_document_states(
@@ -126,7 +143,7 @@ class SparkHMMDocument(Implementation):
             flops_per_record=float(mean_len * states_k * 3),
             ops_per_record=float(2 * mean_len),
             closure_bytes=states_k * (vocab + states_k + 1) * 8.0,
-            label="update_state",
+            label="update_state", batch_fn=update_batch,
         ).cache()
         self.d_w_s_seq.count()  # materialize before dropping the parent
         old.unpersist()
@@ -165,12 +182,21 @@ class SparkHMMSuperVertex(SparkHMMDocument):
         def process_block(block):
             counts = hmm.HMMCounts.zeros(states_k, vocab)
             out = []
-            for d_id, (words, states) in block:
-                updated = hmm.resample_document_states(rng, words, states,
-                                                       model, iteration)
-                counts = counts.merge(
-                    hmm.document_counts(words, updated, states_k, vocab))
-                out.append((d_id, (words, updated)))
+            if fastpath.enabled() and len(block) > 1:
+                values = [value for _, value in block]
+                updated_all = hmm.resample_documents_batch(rng, values, model,
+                                                           iteration)
+                for (d_id, (words, _)), updated in zip(block, updated_all):
+                    counts = counts.merge(
+                        hmm.document_counts(words, updated, states_k, vocab))
+                    out.append((d_id, (words, updated)))
+            else:
+                for d_id, (words, states) in block:
+                    updated = hmm.resample_document_states(rng, words, states,
+                                                           model, iteration)
+                    counts = counts.merge(
+                        hmm.document_counts(words, updated, states_k, vocab))
+                    out.append((d_id, (words, updated)))
             accumulated.append(counts)
             return out
 
@@ -284,10 +310,47 @@ class SparkHMMWord(Implementation):
             new_state = int(rng.choice(states_k, p=weights / weights.sum()))
             return ((d_id, k), (word, new_state, doc_len))
 
+        def resample_batch(entries):
+            # The per-word weight rows carry no randomness, so they
+            # assemble first and the state draws collapse into one
+            # stacked categorical call — the same stream as the
+            # sequential ``rng.choice`` draws.
+            out = []
+            pending = []
+            rows = []
+            for entry in entries:
+                (d_id, k), contributions = entry
+                word = state = doc_len = None
+                prev_state = next_state = None
+                for item in contributions:
+                    if item[0] == "self":
+                        _, word, state, doc_len = item
+                    elif item[0] == "prev":
+                        prev_state = item[1]
+                    else:
+                        next_state = item[1]
+                if word is None:
+                    out.append(None)
+                    continue
+                if (k + 1) % 2 != iteration % 2:
+                    out.append(((d_id, k), (word, state, doc_len)))
+                    continue
+                if k >= doc_len - 1:
+                    next_state = None
+                rows.append(hmm.word_state_weights(model, word, prev_state,
+                                                   next_state))
+                pending.append((len(out), (d_id, k), word, doc_len))
+                out.append(None)
+            if rows:
+                draws = sample_categorical_rows(rng, np.vstack(rows))
+                for (i, key, word, doc_len), s in zip(pending, draws):
+                    out[i] = (key, (word, int(s), doc_len))
+            return out
+
         old = self.words
         self.words = gathered.map(
             resample, flops_per_record=float(states_k * 4), label="word-resample",
-            out_scale="words",
+            out_scale="words", batch_fn=resample_batch,
         ).filter(lambda r: r is not None, label="drop-empty").cache()
         self.words.count()
         old.unpersist()

@@ -16,13 +16,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fastpath
 from repro.cluster.machine import ClusterSpec
 from repro.cluster.tracer import Tracer
 from repro.dataflow import SparkContext
 from repro.impls.base import Implementation
 from repro.kernels import gmm
-from repro.kernels.imputation import impute_point, scalar_marginal_weights
-from repro.stats import Categorical
+from repro.kernels.imputation import (
+    impute_point,
+    marginal_membership_weights,
+    scalar_marginal_weights,
+)
+from repro.stats import Categorical, MultivariateNormal
+from repro.stats.mvn import ROW_STABLE_MAX_DIM
 
 
 class SparkImputation(Implementation):
@@ -89,19 +95,63 @@ class SparkImputation(Implementation):
             diff = completed - state.means[k]
             return (k, completed, mask, np.outer(diff, diff))
 
+        def impute_batch(records):
+            # The draw pairs (membership, then conditional-normal impute)
+            # stay interleaved per point; the marginal weights depend
+            # only on last iteration's state, so they bulk-compute
+            # upfront, and the conditional factorizations hoist per
+            # (cluster, censoring-pattern) pair.
+            if d > ROW_STABLE_MAX_DIM:
+                # Stacked densities are not row-decomposable here.
+                fastpath.record_decline("spark.impute:marginal-weights")
+                return [impute_and_aggregate(r) for r in records]
+            points = np.array([x for x, _ in records])
+            masks = np.array([m for _, m in records])
+            weights = marginal_membership_weights(points, masks, state)
+            dists: dict[int, MultivariateNormal] = {}
+            conditioners: dict[tuple[int, bytes], object] = {}
+            out = []
+            for j in range(len(records)):
+                k = int(Categorical(weights[j]).sample(rng))
+                x = points[j]
+                row_mask = masks[j]
+                if not row_mask.any():
+                    completed = x.copy()
+                else:
+                    dist = dists.get(k)
+                    if dist is None:
+                        dist = dists[k] = MultivariateNormal(
+                            state.means[k], state.covariances[k])
+                    if row_mask.all():
+                        completed = dist.sample(rng)
+                    else:
+                        cache_key = (k, row_mask.tobytes())
+                        conditional = conditioners.get(cache_key)
+                        if conditional is None:
+                            conditional = conditioners[cache_key] = (
+                                dist.conditioner(np.flatnonzero(~row_mask)))
+                        completed = x.copy()
+                        completed[row_mask] = conditional.sample_given(
+                            rng, x[~row_mask])
+                diff = completed - state.means[k]
+                out.append((k, completed, row_mask, np.outer(diff, diff)))
+            return out
+
         flops = clusters * (6.0 * d**3 / 8.0 + 3.0 * d * d) + d * d
         old = self.data
         imputed = old.map(
             impute_and_aggregate, flops_per_record=flops,
             ops_per_record=float(2 * clusters + 6),
             closure_bytes=clusters * (d * d + d + 1) * 8.0, label="impute",
+            batch_fn=impute_batch,
         ).cache()
         imputed.count()  # materialize the new data set
         old.unpersist()
 
         c_agg = imputed.map(
             lambda r: (r[0], (1.0, r[1], r[3])), label="triple",
-        ).reduce_by_key(gmm.add_triples, flops_per_record=d * d + d, label="agg")
+        ).reduce_by_key(gmm.add_triples, flops_per_record=d * d + d, label="agg",
+                        batch_combiner=gmm.add_triples_batch)
         c_stats = c_agg.collect_as_map()
 
         counts = np.zeros(clusters)

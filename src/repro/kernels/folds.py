@@ -11,6 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Scalar fold -> vectorized batch twin (enforced by linter rule K002).
+BATCH_TWINS = {"merge_sparse": "merge_sparse_batch",
+               "sparse_topic_counts": "sparse_topic_counts_fast"}
+
 
 def merge_sparse(a: dict, b: dict) -> dict:
     """Two-way merge-add of sparse count dicts (the scalar combiner)."""
@@ -63,3 +67,10 @@ def fold_scalar_sum(values) -> float:
     """Left fold of ``+`` over scalars; sequential cumsum == the scalar
     fold bitwise (pairwise ``np.sum`` would not be)."""
     return np.cumsum(np.asarray(values))[-1]
+
+
+def fold_array_sum(values) -> np.ndarray:
+    """Left fold of ``+`` over equal-shape arrays; the axis-0 cumsum is
+    the same sequential accumulation bitwise (pairwise ``np.sum`` would
+    not be)."""
+    return np.cumsum(np.stack(values), axis=0)[-1]

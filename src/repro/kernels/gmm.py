@@ -39,6 +39,16 @@ from repro.stats import Dirichlet, InverseWishart, MultivariateNormal, sample_ca
 #: The paper's Dirichlet concentration on pi (all implementations).
 DEFAULT_ALPHA = 1.0
 
+#: Scalar form -> vectorized batch twin (enforced by linter rule K002).
+BATCH_TWINS = {"scalar_membership_weights": "batch_membership_weights",
+               "membership_triple": "batch_membership_triples",
+               "add_triples": "add_triples_batch"}
+#: Samplers with no batch twin: per-cluster model updates run once per
+#: center on the driver / apply phase, never per record (K002).
+SCALAR_ONLY = ("initial_state", "sample_memberships", "sample_cluster_mean",
+               "sample_cluster_covariance", "sample_means",
+               "sample_covariances", "sample_pi")
+
 
 def df_prior(dim: int) -> float:
     """Inverse-Wishart degrees of freedom: ``dim + 2`` (the

@@ -41,6 +41,13 @@ DEFAULT_ALPHA = 1.0
 #: The paper's Dirichlet concentration on the emission rows.
 DEFAULT_BETA = 1.0
 
+#: Scalar sampler -> vectorized batch twin (enforced by linter rule K002).
+BATCH_TWINS = {"resample_document_states": "resample_documents_batch"}
+#: Samplers with no batch twin: model-row updates run once per state on
+#: the driver / center vertex, never per record (enforced by K002).
+SCALAR_ONLY = ("initial_model", "initial_assignments", "resample_emission_row",
+               "resample_transition_row", "resample_delta0", "resample_model")
+
 
 @dataclass
 class HMMState:
@@ -146,6 +153,56 @@ def resample_document_states(rng: np.random.Generator, words: np.ndarray,
         weights[zero_rows] = 1.0  # degenerate numerics: fall back to uniform
     states[update] = sample_categorical_rows(rng, weights)
     return states
+
+
+def resample_documents_batch(rng: np.random.Generator, values: list,
+                             model: HMMState, iteration: int) -> list:
+    """Vectorized :func:`resample_document_states` over a block of documents.
+
+    ``values`` is a list of ``(words, states)`` pairs; returns one new
+    states array per document.  Under the alternating-parity scheme every
+    updated position's weights depend only on the pre-sweep neighbor
+    states and the fixed model, so the block's weight rows are assembled
+    per document and resolved in ONE stacked categorical draw: the scalar
+    path's per-document ``rng.uniform(size=(m, 1))`` blocks concatenate
+    into exactly one uniform fill, and the row-wise CDF inversion matches
+    the per-document calls bitwise.  Documents with no updated position
+    consume no randomness, exactly as the scalar sweep.
+    """
+    out = []
+    pending = []  # (states_copy, update) awaiting the stacked draw
+    weight_blocks = []
+    for words, states in values:
+        length = len(words)
+        if length == 0:
+            out.append(states)
+            continue
+        states = states.copy()
+        out.append(states)
+        positions = np.arange(length)
+        update = positions[(positions + 1) % 2 == iteration % 2]
+        if update.size == 0:
+            continue
+        weights = model.psi[:, words[update]].T  # (m, K): emission term
+        has_prev = update > 0
+        prev_states = states[update[has_prev] - 1]
+        weights[has_prev] *= model.delta[prev_states]
+        weights[~has_prev] *= model.delta0
+        has_next = update < length - 1
+        next_states = states[update[has_next] + 1]
+        weights[has_next] *= model.delta[:, next_states].T
+        zero_rows = weights.sum(axis=1) <= 0
+        if np.any(zero_rows):
+            weights[zero_rows] = 1.0  # degenerate numerics: fall back to uniform
+        pending.append((states, update))
+        weight_blocks.append(weights)
+    if weight_blocks:
+        draws = sample_categorical_rows(rng, np.vstack(weight_blocks))
+        offset = 0
+        for (states, update), weights in zip(pending, weight_blocks):
+            states[update] = draws[offset:offset + update.size]
+            offset += update.size
+    return out
 
 
 def document_counts(words: np.ndarray, states: np.ndarray, model_states: int,

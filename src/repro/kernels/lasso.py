@@ -34,6 +34,13 @@ from repro.stats import InverseGamma, InverseGaussian, MultivariateNormal
 #: The paper's shrinkage hyperparameter lambda (all implementations).
 DEFAULT_LAM = 1.0
 
+#: Scalar sampler -> vectorized batch twin (enforced by linter rule K002).
+BATCH_TWINS = {"sample_tau2_inv_element": "sample_tau2_inv"}
+#: Samplers with no batch twin: whole-vector driver updates drawn once
+#: per iteration, never per record (enforced by K002).
+SCALAR_ONLY = ("initial_state", "sample_beta_from", "sample_beta",
+               "sample_sigma2")
+
 
 @dataclass
 class LassoState:

@@ -32,6 +32,12 @@ DEFAULT_ALPHA = 0.5
 #: The paper's Dirichlet concentration on the topic-word rows.
 DEFAULT_BETA = 0.1
 
+#: Scalar sampler -> vectorized batch twin (enforced by linter rule K002).
+BATCH_TWINS = {"resample_document": "resample_documents_batch",
+               "resample_phi_row": "resample_phi"}
+#: Samplers with no batch twin: one-time initialization draws (K002).
+SCALAR_ONLY = ("initial_phi", "initial_thetas")
+
 
 @dataclass
 class LDAState:

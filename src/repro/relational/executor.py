@@ -404,8 +404,11 @@ class Executor:
             )
         batched = vg.invoke_batch(self.db.rng, grouped) if fastpath.enabled() else None
         if batched is not None:
+            fastpath.record_batch(f"vg:{vg.name}")
             out_rows = list(batched)
         else:
+            if fastpath.enabled() and grouped:
+                fastpath.record_decline(f"vg:{vg.name}")
             for key, rows_by_param in grouped:
                 for out in vg.invoke(self.db.rng, rows_by_param):
                     out_rows.append(key + tuple(out))

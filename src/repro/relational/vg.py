@@ -53,6 +53,17 @@ class VGFunction:
         """
         return None
 
+    def _strip_batch(self, rng, grouped):
+        """Dispatch-stripped batch plan: the identical scalar sampler per
+        group, inline and in group order — one batched invocation instead
+        of the executor's per-group loop.  Bitwise-equal by construction;
+        used by samplers whose draws interleave per group and cannot
+        merge into one block.
+        """
+        return [key + tuple(out)
+                for key, params in grouped
+                for out in self.invoke(rng, params)]
+
     def flops_per_invocation(self, params: dict[str, list[tuple]]) -> float:
         """Rough internal FLOP count of one invocation, for the cost model."""
         return 50.0
@@ -77,6 +88,8 @@ class DirichletVG(VGFunction):
         probs = Dirichlet(alpha).sample(rng)
         return list(zip(ids, probs.tolist()))
 
+    invoke_batch = VGFunction._strip_batch
+
     def flops_per_invocation(self, params):
         return 20.0 * len(params.get("alpha", ()))
 
@@ -93,6 +106,8 @@ class CategoricalVG(VGFunction):
         weights = np.array([r[1] for r in rows], dtype=float)
         choice = Categorical(weights).sample(rng)
         return [(ids[choice],)]
+
+    invoke_batch = VGFunction._strip_batch
 
     def flops_per_invocation(self, params):
         return 5.0 * len(params.get("weights", ()))
@@ -118,6 +133,8 @@ class NormalVG(VGFunction):
             cov[index[d1], index[d2]] = value
         draw = MultivariateNormal(mean, cov).sample(rng)
         return list(zip(dims, draw.tolist()))
+
+    invoke_batch = VGFunction._strip_batch
 
     def flops_per_invocation(self, params):
         d = max(1, len(params.get("mean", ())))
@@ -145,6 +162,8 @@ class InvWishartVG(VGFunction):
             for d2 in dims
         ]
 
+    invoke_batch = VGFunction._strip_batch
+
     def flops_per_invocation(self, params):
         d = max(1, int(np.sqrt(len(params.get("scale", (1,))))))
         return float(3 * d**3)
@@ -160,6 +179,8 @@ class InvGammaVG(VGFunction):
         (shape,), = self._require(params, "shape")
         (scale,), = self._require(params, "scale")
         return [(float(InverseGamma(float(shape), float(scale)).sample(rng)),)]
+
+    invoke_batch = VGFunction._strip_batch
 
 
 class InvGaussianVG(VGFunction):

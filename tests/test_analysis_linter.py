@@ -179,23 +179,86 @@ class TestD004SetIteration:
 
 
 class TestK001KernelSignature:
+    # The fixtures carry SCALAR_ONLY tables so K002 stays quiet and each
+    # test isolates the signature rule.
     def test_public_sampler_must_take_rng(self):
-        src = "def sample_topic(counts):\n    return counts[0]\n"
+        src = ("SCALAR_ONLY = (\"sample_topic\",)\n"
+               "BATCH_TWINS = {}\n\n"
+               "def sample_topic(counts):\n    return counts[0]\n")
         finding = only_finding(KERNEL_PATH, src, "K001")
         assert "sample_topic" in finding.message
 
     def test_kernel_must_not_build_its_own_generator(self):
         src = ("from repro.stats import make_rng\n\n"
+               "SCALAR_ONLY = (\"sample_topic\",)\n"
+               "BATCH_TWINS = {}\n\n"
                "def sample_topic(rng, counts):\n"
                "    local = make_rng(0)\n"
                "    return local.random()\n")
         only_finding(KERNEL_PATH, src, "K001")
 
     def test_conforming_kernel_is_clean(self):
-        src = ("def sample_topic(rng, counts):\n"
+        src = ("SCALAR_ONLY = (\"sample_topic\",)\n"
+               "BATCH_TWINS = {}\n\n"
+               "def sample_topic(rng, counts):\n"
                "    return rng.random() * counts[0]\n\n"
                "def _private_helper(counts):\n    return counts\n")
         assert lint_source(KERNEL_PATH, src) == []
+
+
+class TestK002BatchTwins:
+    CONFORMING = (
+        "BATCH_TWINS = {\"sample_topic\": \"sample_topics_batch\"}\n"
+        "SCALAR_ONLY = (\"initial_state\",)\n\n"
+        "def sample_topic(rng, counts):\n    return rng.random()\n\n"
+        "def sample_topics_batch(rng, rows):\n    return rng.random(len(rows))\n\n"
+        "def initial_state(rng, k):\n    return rng.random(k)\n"
+    )
+
+    def test_conforming_tables_are_clean(self):
+        assert lint_source(KERNEL_PATH, self.CONFORMING) == []
+
+    def test_sampler_module_without_tables(self):
+        src = "def sample_topic(rng, counts):\n    return rng.random()\n"
+        finding = only_finding(KERNEL_PATH, src, "K002")
+        assert "no BATCH_TWINS table" in finding.message
+
+    def test_undeclared_sampler(self):
+        src = self.CONFORMING + "\ndef draw_extra(rng):\n    return rng.random()\n"
+        finding = only_finding(KERNEL_PATH, src, "K002")
+        assert "draw_extra" in finding.message
+        assert "neither" in finding.message
+
+    def test_twin_must_resolve_to_a_module_function(self):
+        src = ("BATCH_TWINS = {\"sample_topic\": \"sample_topics_batch\"}\n\n"
+               "def sample_topic(rng, counts):\n    return rng.random()\n")
+        finding = only_finding(KERNEL_PATH, src, "K002")
+        assert "sample_topics_batch" in finding.message
+
+    def test_batch_twin_must_mirror_rng_first(self):
+        src = ("BATCH_TWINS = {\"sample_topic\": \"topic_rows_fast\"}\n\n"
+               "def sample_topic(rng, counts):\n    return rng.random()\n\n"
+               "def topic_rows_fast(rows):\n    return rows\n")
+        finding = only_finding(KERNEL_PATH, src, "K002")
+        assert "rng-first" in finding.message
+
+    def test_rng_must_come_first_in_a_twin_pair(self):
+        src = ("BATCH_TWINS = {\"sample_topic\": \"sample_topics_batch\"}\n\n"
+               "def sample_topic(counts, rng):\n    return rng.random()\n\n"
+               "def sample_topics_batch(rows, rng):\n    return rows\n")
+        findings = lint_source(KERNEL_PATH, src)
+        assert [f.rule for f in findings] == ["K002", "K002"]
+        assert all("first parameter" in f.message for f in findings)
+
+    def test_non_literal_table_is_flagged(self):
+        src = ("_PAIRS = [(\"a\", \"b\")]\n"
+               "BATCH_TWINS = dict(_PAIRS)\n")
+        finding = only_finding(KERNEL_PATH, src, "K002")
+        assert "literal dict" in finding.message
+
+    def test_tables_only_apply_to_kernel_modules(self):
+        src = "def sample_topic(rng, counts):\n    return rng.random()\n"
+        assert lint_source(ENGINE_PATH, src) == []
 
 
 class TestR001Picklability:

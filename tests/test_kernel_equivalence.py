@@ -202,6 +202,28 @@ def test_word_state_weights_match_document_sweep(hmm_setup):
         states = swept
 
 
+def test_resample_documents_batch_matches_scalar_sweep(hmm_setup):
+    """The FFBS batch kernel replays the per-document scalar sweep
+    bitwise, empty documents included, without forking the stream."""
+    documents, model = hmm_setup
+    assignments = hmm.initial_assignments(make_rng(SEED + 2), documents, 4)
+    values = [(words, states)
+              for words, states in zip(documents, assignments)]
+    values.append((np.array([], dtype=int), np.array([], dtype=int)))
+    for iteration in range(2):
+        rng_fast, rng_slow = make_rng(SEED + 5), make_rng(SEED + 5)
+        batch = hmm.resample_documents_batch(rng_fast, values, model,
+                                             iteration)
+        scalar = [hmm.resample_document_states(rng_slow, words, states,
+                                               model, iteration)
+                  for words, states in values]
+        for swept_batch, swept_scalar in zip(batch, scalar):
+            assert np.array_equal(swept_batch, swept_scalar)
+        assert rng_fast.bit_generator.state == rng_slow.bit_generator.state
+        values = [(words, states) for (words, _), states
+                  in zip(values, scalar)]
+
+
 # ----------------------------------------------------------------------
 # LDA
 # ----------------------------------------------------------------------
@@ -270,6 +292,28 @@ def test_scalar_marginal_weights_match_batch():
             [state.means[k] for k in range(2)],
             [state.covariances[k] for k in range(2)])
         assert np.array_equal(scalar, batch[j])
+
+
+def test_impute_points_batch_matches_scalar():
+    """Bulk imputation preserves the scalar per-point (membership,
+    conditional-draw) interleave — fully censored and fully observed
+    rows included — and leaves the stream in the same state."""
+    rng = make_rng(SEED)
+    data = generate_gmm_data(rng, 30, dim=4, clusters=2)
+    mask = rng.uniform(size=data.points.shape) < 0.3
+    mask[0] = True   # fully censored: prior-only conditional
+    mask[1] = False  # fully observed: no draw at all
+    prior = gmm.empirical_prior(data.points, 2)
+    state = gmm.initial_state(make_rng(SEED + 1), prior)
+    labels = imputation.sample_marginal_memberships(
+        make_rng(SEED + 2), data.points, mask, state)
+    rng_fast, rng_slow = make_rng(SEED + 3), make_rng(SEED + 3)
+    fast = imputation.impute_points_batch(rng_fast, data.points, mask,
+                                          labels, state)
+    slow = imputation.impute_points(rng_slow, data.points, mask, labels,
+                                    state)
+    assert np.array_equal(fast, slow)
+    assert rng_fast.bit_generator.state == rng_slow.bit_generator.state
 
 
 # ----------------------------------------------------------------------
@@ -348,3 +392,59 @@ def test_multinomial_membership_vg_declines_above_row_stable_dim():
     wide = [(d, 0.0) for d in range(ROW_STABLE_MAX_DIM + 1)]
     vg = MultinomialMembershipVG(make_rng(SEED + 9))
     assert vg.invoke_batch(None, [((0,), {"point": wide})]) is None
+
+
+# ----------------------------------------------------------------------
+# Registry-wide golden sweep: every cell, fast vs slow, bitwise
+# ----------------------------------------------------------------------
+
+from repro import fastpath  # noqa: E402
+from repro.cluster.machine import ClusterSpec  # noqa: E402
+from repro.cluster.tracer import Tracer  # noqa: E402
+from repro.impls.registry import (  # noqa: E402
+    cells,
+    coverage_workloads,
+    data_factory,
+)
+
+
+@pytest.fixture(scope="module")
+def registry_data():
+    return coverage_workloads(SEED)
+
+
+def _run_cell(factory, fast: bool, iterations: int = 2):
+    """One full run of a cell; (phase event streams, end rng state)."""
+    with fastpath.fast_path(fast):
+        tracer = Tracer()
+        impl = factory(ClusterSpec(machines=3), tracer)
+        with tracer.phase("init"):
+            impl.initialize()
+        for i in range(iterations):
+            with tracer.phase(f"iteration-{i}"):
+                impl.iterate(i)
+    events = [(p.name, p.events, p.memory) for p in tracer.phases]
+    return events, impl.rng.bit_generator.state
+
+
+@pytest.mark.parametrize("platform, model, variant", cells())
+def test_registry_cell_fast_path_is_bitwise(registry_data, platform, model,
+                                            variant):
+    """Every registered cell must (a) reach at least one batch fast path
+    or explicit decline guard and (b) replay the scalar run bitwise —
+    identical cost-event streams and identical end-of-run rng state."""
+    factory = data_factory(platform, model, variant, *registry_data[model],
+                           seed=SEED)
+    fastpath.reset_counters()
+    fast_events, fast_rng = _run_cell(factory, fast=True)
+    counts = fastpath.counters()
+    slow_events, slow_rng = _run_cell(factory, fast=False)
+    assert counts["batch"] or counts["decline"], (
+        f"{platform}/{model}/{variant} never reached a batch fast path "
+        "or decline guard")
+    assert fast_events == slow_events, (
+        f"{platform}/{model}/{variant}: cost events diverged under the "
+        "fast path")
+    assert fast_rng == slow_rng, (
+        f"{platform}/{model}/{variant}: rng stream diverged under the "
+        "fast path")
