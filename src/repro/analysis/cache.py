@@ -1,0 +1,96 @@
+"""Content-hash incremental cache for the analysis engine.
+
+The expensive half of a lint run is per-file: parsing, the local rule
+walks, and the flow pass that builds the module summary.  All of it is
+a pure function of (file content, linter code, profile), so the cache
+keys each file by the sha256 of its source plus a digest of the
+analysis package itself — editing any linter module invalidates
+everything, editing one source file invalidates one entry.  Project
+rules are *not* cached: they are fixed points over all summaries, and a
+change in one module can legitimately move a finding into another, so
+the engine recomputes them fresh each run (cheap — it is pure dict
+pushing over ~150 small summaries, no parsing).
+
+The cache file is plain JSON so CI can persist it as an artifact
+between runs; a version bump, a linter-digest mismatch, or any decode
+error silently discards it — a stale cache must never change results,
+only timings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+CACHE_VERSION = 1
+
+#: Default location, kept out of the package tree.
+DEFAULT_CACHE_PATH = ".repro-analysis-cache.json"
+
+
+def _package_digest() -> str:
+    """sha256 over the analysis package's own sources.
+
+    Any edit to the linter invalidates every cached entry: rule changes
+    must re-lint the world, and the digest is the cheapest sound way to
+    notice them.
+    """
+    package_dir = Path(__file__).resolve().parent
+    hasher = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        hasher.update(path.name.encode())
+        hasher.update(path.read_bytes())
+    return hasher.hexdigest()
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8", "surrogatepass")).hexdigest()
+
+
+class AnalysisCache:
+    """Per-file (findings, summary) memo keyed by content hash."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.linter_digest = _package_digest()
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (isinstance(raw, dict)
+                and raw.get("version") == CACHE_VERSION
+                and raw.get("linter") == self.linter_digest
+                and isinstance(raw.get("entries"), dict)):
+            self.entries = raw["entries"]
+
+    def get(self, path: str, digest: str, profile_name: str):
+        """The cached (findings_json, summary_json) for a file, or None."""
+        entry = self.entries.get(path)
+        if (entry is None or entry.get("digest") != digest
+                or entry.get("profile") != profile_name):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["findings"], entry.get("summary")
+
+    def put(self, path: str, digest: str, profile_name: str,
+            findings_json: list, summary_json) -> None:
+        self.entries[path] = {"digest": digest, "profile": profile_name,
+                              "findings": findings_json,
+                              "summary": summary_json}
+
+    def save(self) -> None:
+        payload = {"version": CACHE_VERSION, "linter": self.linter_digest,
+                   "entries": self.entries}
+        self.path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+
+
+__all__ = ["AnalysisCache", "CACHE_VERSION", "DEFAULT_CACHE_PATH",
+           "source_digest"]

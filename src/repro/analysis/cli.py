@@ -24,8 +24,8 @@ from collections import Counter
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import lint_paths
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.engine import run_analysis
+from repro.analysis.rules import ALL_RULES, PROJECT_RULES
 
 
 def _load_pyproject_defaults(start: Path) -> dict:
@@ -56,22 +56,36 @@ def _git_revision() -> str:
         return "dev"
 
 
-def _stats_payload(findings, suppressed, stale, files_scanned, paths) -> dict:
+def _unique_rules():
+    """Local + project rules, one entry per id (C001 has two halves)."""
+    out = []
+    for rule in (*ALL_RULES, *PROJECT_RULES):
+        if rule.id not in {r.id for r in out}:
+            out.append(rule)
+    return out
+
+
+def _stats_payload(findings, suppressed, stale, result, paths) -> dict:
     by_rule = Counter(f.rule for f in findings)
     return {
         "rev": _git_revision(),
         "kind": "lint",
         "paths": [str(p) for p in paths],
-        "files_scanned": files_scanned,
+        "files_scanned": result.files_scanned,
+        "files_reanalyzed": result.files_reanalyzed,
+        "cache_hits": result.cache_hits,
         "findings": len(findings),
         "suppressed_by_baseline": len(suppressed),
+        "suppressed_inline": result.suppressions_used,
         "stale_baseline_entries": len(stale),
-        "by_rule": {rule.id: by_rule.get(rule.id, 0) for rule in ALL_RULES},
+        "by_rule": {rule_id: by_rule.get(rule_id, 0)
+                    for rule_id in
+                    (rule.id for rule in _unique_rules())},
     }
 
 
 def _print_rules() -> None:
-    for rule in ALL_RULES:
+    for rule in _unique_rules():
         print(f"{rule.id}  {rule.title}")
         print(f"      fix: {rule.hint}")
         for line in rule.doc.split(". "):
@@ -103,6 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "DIR/BENCH_<rev>_lint.json")
     parser.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--graph", action="store_true",
+                        help="include the import/call graph and per-layer "
+                             "fan-in/out statistics in --stats / --out "
+                             "output")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical autofixes (M001 mutable "
+                             "defaults, D004 sorted() wrapping) before "
+                             "linting")
+    parser.add_argument("--cache", metavar="FILE", default=None,
+                        help="incremental cache file: unchanged files reuse "
+                             "their per-file findings and summaries "
+                             "(default: no cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore any configured cache")
     return parser
 
 
@@ -122,11 +150,26 @@ def main(argv=None) -> int:
         return 2
     baseline_path = args.baseline or defaults.get("baseline")
 
+    if args.fix:
+        from repro.analysis.fixes import fix_paths
+
+        for path, count in fix_paths(paths):
+            print(f"fixed {path}: {count} edit(s)")
+
+    cache = None
+    if not args.no_cache:
+        cache_path = args.cache or defaults.get("cache")
+        if cache_path:
+            from repro.analysis.cache import AnalysisCache
+
+            cache = AnalysisCache(cache_path)
+
     try:
-        findings, files_scanned = lint_paths(paths)
+        result = run_analysis(paths, cache=cache)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    findings, files_scanned = result.findings, result.files_scanned
 
     if args.write_baseline:
         Baseline.from_findings(findings).save(args.write_baseline)
@@ -147,7 +190,9 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
-    stats = _stats_payload(findings, suppressed, stale, files_scanned, paths)
+    stats = _stats_payload(findings, suppressed, stale, result, paths)
+    if args.graph and result.project is not None:
+        stats["graph"] = result.project.graph.stats()
 
     if args.format == "json":
         payload = {**stats, "items": [f.as_dict() for f in findings],
@@ -161,8 +206,21 @@ def main(argv=None) -> int:
                   "delete it from the baseline)")
         if args.stats:
             print(f"\nscanned {files_scanned} file(s) under "
-                  f"{', '.join(str(p) for p in paths)}")
-            for rule in ALL_RULES:
+                  f"{', '.join(str(p) for p in paths)}"
+                  + (f" ({result.cache_hits} cached, "
+                     f"{result.files_reanalyzed} reanalyzed)"
+                     if result.cache_hits else ""))
+            if args.graph and "graph" in stats:
+                shape = stats["graph"]
+                print(f"  graph: {shape['modules']} modules, "
+                      f"{shape['functions']} functions, "
+                      f"{shape['import_edges']} import edges, "
+                      f"{shape['call_edges']} call edges")
+                for layer, row in shape["layers"].items():
+                    print(f"    {layer:10s} {row['modules']:3d} modules  "
+                          f"fan-in {row['fan_in']:3d}  "
+                          f"fan-out {row['fan_out']:3d}")
+            for rule in _unique_rules():
                 print(f"  {rule.id}: {stats['by_rule'][rule.id]:3d}  {rule.title}")
             if suppressed:
                 print(f"  {len(suppressed)} finding(s) suppressed by baseline")

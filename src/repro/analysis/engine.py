@@ -7,12 +7,28 @@ locally shadowed ``hash`` is not reported as the builtin).  Each rule
 walks the tree independently; at this repository's size a handful of
 extra walks per file is far cheaper than the bookkeeping of a fused
 visitor, and it keeps every rule readable in isolation.
+
+Since the interprocedural growth, a full run has two tiers:
+
+1. **Per file** (cacheable): parse, local rules, and the flow pass that
+   produces the module summary.  :class:`~repro.analysis.cache
+   .AnalysisCache` memoizes this tier by content hash.
+2. **Per project** (always fresh): assemble every summary into a
+   :class:`~repro.analysis.graph.ProjectGraph`, run the dataflow fixed
+   points, then the :data:`~repro.analysis.rules.PROJECT_RULES`
+   (F001/C001/L001/P001).  Project findings pass through the same
+   per-file profile filter as local ones.
+
+Inline suppressions (``# repro: allow[RULE] reason``) are applied after
+the two tiers merge; a suppression that matches nothing becomes an S001
+finding, so they age out exactly like stale baseline entries.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.profiles import Profile, profile_for
@@ -173,14 +189,204 @@ def iter_python_files(paths) -> list[Path]:
     return out
 
 
-def lint_paths(paths) -> tuple[list[Finding], int]:
-    """Lint files/directories.  Returns (findings, files_scanned)."""
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z]\d{3})\]\s*(.*)$")
+
+
+def find_suppressions(source: str) -> dict:
+    """line number -> (rule id, reason) for ``# repro: allow[...]``.
+
+    Tokenized, not regex-over-lines: a string literal that happens to
+    contain the marker (a rule hint, a test fixture) is not a
+    suppression.  Unparseable tails are ignored — E000 owns those.
+    """
+    out: dict = {}
+    import io
+    import tokenize
+
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is not None:
+                out[token.start[0]] = (match.group(1), match.group(2).strip())
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return out
+
+
+def apply_suppressions(findings: list, suppressions: dict,
+                       path: str) -> tuple:
+    """(kept findings, suppressions used): drop suppressed findings and
+    turn unused/invalid suppressions into S001 findings.  S001 itself
+    cannot be suppressed."""
+    used: set = set()
+    kept: list = []
+    for finding in findings:
+        entry = suppressions.get(finding.line)
+        if (entry is not None and entry[0] == finding.rule and entry[1]
+                and finding.rule != "S001"):
+            used.add(finding.line)
+            continue
+        kept.append(finding)
+    for line, (rule, reason) in sorted(suppressions.items()):
+        if line in used:
+            continue
+        if not reason:
+            kept.append(Finding(
+                rule="S001", path=path, line=line, col=0,
+                message=f"suppression allow[{rule}] has no reason",
+                hint="write '# repro: allow[RULE] <why this is sound>'"))
+        else:
+            kept.append(Finding(
+                rule="S001", path=path, line=line, col=0,
+                message=f"stale suppression: no {rule} finding on this line",
+                hint="the violation is gone (or the line moved) — delete "
+                "the allow[] comment"))
+    return kept, len(used)
+
+
+# ----------------------------------------------------------------------
+# Project orchestration
+# ----------------------------------------------------------------------
+
+@dataclass
+class ProjectContext:
+    """The assembled graph plus the dataflow fixed points rules consume."""
+
+    graph: object
+    escaping: dict = field(default_factory=dict)
+    mutating: dict = field(default_factory=dict)
+    clock_reach: dict = field(default_factory=dict)
+
+    def resolve_call(self, summary, fn, rec):
+        """(callee module, callee qualname, callee summary) or None."""
+        resolved = self.graph.resolve_call(summary, fn, rec)
+        if resolved is not None and resolved[0] == "function":
+            callee = self.graph.modules[resolved[1]].functions.get(resolved[2])
+            if callee is not None:
+                return resolved[1], resolved[2], callee
+        return None
+
+
+@dataclass
+class AnalysisResult:
+    """One full run: merged findings plus run-shape counters."""
+
+    findings: list
+    files_scanned: int
+    cache_hits: int = 0
+    files_reanalyzed: int = 0
+    suppressions_used: int = 0
+    project: ProjectContext | None = None
+
+
+def _finding_from_dict(raw: dict) -> Finding:
+    return Finding(rule=raw["rule"], path=raw["path"], line=raw["line"],
+                   col=raw["col"], message=raw["message"], hint=raw["hint"])
+
+
+def build_project_context(summaries) -> ProjectContext:
+    from repro.analysis.flow import (
+        escaping_params,
+        mutating_params,
+        wallclock_reach,
+    )
+    from repro.analysis.graph import build_project
+    from repro.analysis.profiles import wallclock_exempt
+
+    graph = build_project(summaries)
+    return ProjectContext(
+        graph=graph,
+        escaping=escaping_params(graph),
+        mutating=mutating_params(graph),
+        clock_reach=wallclock_reach(graph, wallclock_exempt))
+
+
+def run_analysis(paths, cache=None) -> AnalysisResult:
+    """The full two-tier analysis over files and directories.
+
+    ``cache`` is an :class:`~repro.analysis.cache.AnalysisCache` (or
+    None): per-file findings and summaries are reused when the content
+    hash matches; project rules always run fresh over the summaries.
+    """
+    from repro.analysis.cache import source_digest
+    from repro.analysis.graph import build_module_summary
+    from repro.analysis.rules import PROJECT_RULES
+
     files = iter_python_files(paths)
-    findings: list[Finding] = []
+    sources: dict = {}
+    local_findings: dict = {}
+    summaries: list = []
+    reanalyzed = 0
     for file in files:
-        findings.extend(lint_source(file.as_posix(), file.read_text()))
-    return findings, len(files)
+        path = file.as_posix()
+        source = file.read_text()
+        sources[path] = source
+        profile = profile_for(path)
+        digest = source_digest(source)
+        cached = cache.get(path, digest, profile.name) if cache else None
+        if cached is not None:
+            findings_json, summary_json = cached
+            local_findings[path] = [_finding_from_dict(f)
+                                    for f in findings_json]
+            if summary_json is not None:
+                from repro.analysis.graph import ModuleSummary
+                summaries.append(ModuleSummary.from_json(summary_json))
+            continue
+        reanalyzed += 1
+        findings = lint_source(path, source, profile)
+        local_findings[path] = findings
+        summary = None
+        if not any(f.rule == "E000" for f in findings):
+            tree = ast.parse(source, filename=path)
+            summary = build_module_summary(path, tree, _import_aliases(tree))
+            summaries.append(summary)
+        if cache is not None:
+            cache.put(path, digest, profile.name,
+                      [f.as_dict() for f in findings],
+                      summary.to_json() if summary is not None else None)
+    if cache is not None:
+        cache.save()
+
+    project = build_project_context(summaries)
+    analyzed = set(local_findings)
+    for rule in PROJECT_RULES:
+        for finding in rule.check_project(project):
+            if (finding.path in analyzed
+                    and finding.rule in profile_for(finding.path).rules):
+                local_findings[finding.path].append(finding)
+
+    merged: list = []
+    suppressions_used = 0
+    for path, findings in local_findings.items():
+        suppressions = find_suppressions(sources[path])
+        findings, used = apply_suppressions(findings, suppressions, path)
+        suppressions_used += used
+        merged.extend(findings)
+    merged.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return AnalysisResult(findings=merged, files_scanned=len(files),
+                          cache_hits=cache.hits if cache else 0,
+                          files_reanalyzed=reanalyzed,
+                          suppressions_used=suppressions_used,
+                          project=project)
 
 
-__all__ = ["Finding", "ModuleContext", "iter_python_files", "lint_paths",
-           "lint_source"]
+def lint_paths(paths) -> tuple[list[Finding], int]:
+    """Lint files/directories.  Returns (findings, files_scanned).
+
+    Runs the full two-tier analysis (local + project rules +
+    suppressions); the richer counters live on :func:`run_analysis`.
+    """
+    result = run_analysis(paths)
+    return result.findings, result.files_scanned
+
+
+__all__ = ["AnalysisResult", "Finding", "ModuleContext", "ProjectContext",
+           "apply_suppressions", "build_project_context",
+           "find_suppressions", "iter_python_files", "lint_paths",
+           "lint_source", "run_analysis"]

@@ -1,0 +1,157 @@
+"""``--fix``: mechanical autofixes for M001 and D004.
+
+Only the two rules whose fix is a pure local rewrite are automated:
+
+* **M001** mutable defaults: the default becomes ``None`` and a guard
+  line (``x = <original expr> if x is None else x``) is inserted at the
+  top of the body, after the docstring.  Call-shared state disappears;
+  behaviour for explicit arguments is untouched.
+* **D004** unsorted set iteration: the iterable is wrapped in
+  ``sorted(...)``, pinning the order the rule exists to pin.
+
+Everything else (lock discipline, stream flow, layer contracts) needs a
+human to choose *which* restructuring is right, so ``--fix`` refuses to
+guess.  Fixes are applied as bottom-up text splices over exact AST
+spans, so surrounding formatting and comments survive; running the
+fixer twice is a no-op because the rewritten code no longer trips the
+rule that produced the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.engine import iter_python_files
+from repro.analysis.profiles import profile_for
+from repro.analysis.rules import (
+    MutableDefaultRule,
+    UnsortedSetIterationRule,
+    _iteration_sites,
+    _scopes,
+    _set_assigned_names,
+)
+
+FIXABLE_RULES = ("D004", "M001")
+
+
+def _line_offsets(source: str) -> list:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(offsets, node) -> tuple:
+    start = offsets[node.lineno - 1] + node.col_offset
+    end = offsets[node.end_lineno - 1] + node.end_col_offset
+    return start, end
+
+
+def _mutable_default_edits(tree, source, offsets, rule) -> list:
+    """Edits for every fixable mutable default, grouped per function."""
+    edits = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                         args.defaults))
+        pairs.extend((arg, default) for arg, default
+                     in zip(args.kwonlyargs, args.kw_defaults)
+                     if default is not None)
+        fixable = [(arg.arg, default) for arg, default in pairs
+                   if rule._mutable(default)]
+        if not fixable:
+            continue
+        body = fn.body
+        if body[0].lineno == fn.lineno:
+            continue  # one-line def: no block to insert guards into
+        has_docstring = (isinstance(body[0], ast.Expr)
+                         and isinstance(body[0].value, ast.Constant)
+                         and isinstance(body[0].value.value, str))
+        if has_docstring:
+            if len(body) > 1:
+                anchor = offsets[body[1].lineno - 1]
+                indent = " " * body[1].col_offset
+            else:
+                anchor = offsets[min(body[0].end_lineno, len(offsets) - 1)]
+                indent = " " * body[0].col_offset
+        else:
+            anchor = offsets[body[0].lineno - 1]
+            indent = " " * body[0].col_offset
+        guards = []
+        for name, default in fixable:
+            start, end = _span(offsets, default)
+            expr = source[start:end]
+            edits.append((start, end, "None"))
+            guards.append(f"{indent}{name} = {expr} if {name} is None "
+                          f"else {name}\n")
+        edits.append((anchor, anchor, "".join(guards)))
+    return edits
+
+
+def _unsorted_iteration_edits(tree, source, offsets) -> list:
+    """Wrap every D004 site in ``sorted(...)``."""
+    edits = []
+    seen = set()
+    rule = UnsortedSetIterationRule()
+    for _scope, body_nodes in _scopes(tree):
+        set_names = _set_assigned_names(body_nodes)
+        for node in body_nodes:
+            for iterable in _iteration_sites(node):
+                start, end = _span(offsets, iterable)
+                if (start, end) in seen:
+                    continue
+                is_keys = (isinstance(iterable, ast.Call)
+                           and isinstance(iterable.func, ast.Attribute)
+                           and iterable.func.attr == "keys"
+                           and not iterable.args)
+                if rule._set_like(iterable, set_names) or is_keys:
+                    seen.add((start, end))
+                    edits.append((start, end,
+                                  f"sorted({source[start:end]})"))
+    return edits
+
+
+def fix_source(path: str, source: str) -> tuple:
+    """(fixed source, number of edits) for one file.
+
+    Respects the file's profile: a rule disabled for this path is never
+    auto-fixed.  Unparseable files are returned untouched.
+    """
+    profile = profile_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, 0
+    offsets = _line_offsets(source)
+    edits = []
+    if "M001" in profile.rules:
+        edits.extend(_mutable_default_edits(tree, source, offsets,
+                                            MutableDefaultRule()))
+    if "D004" in profile.rules:
+        edits.extend(_unsorted_iteration_edits(tree, source, offsets))
+    if not edits:
+        return source, 0
+    out = source
+    for start, end, replacement in sorted(edits, reverse=True):
+        out = out[:start] + replacement + out[end:]
+    return out, len(edits)
+
+
+def fix_paths(paths) -> list:
+    """Fix files in place.  Returns (path, edit count) for changed files."""
+    changed = []
+    for file in iter_python_files(paths):
+        path = file.as_posix()
+        source = file.read_text()
+        fixed, count = fix_source(path, source)
+        if count and fixed != source:
+            Path(file).write_text(fixed)
+            changed.append((path, count))
+    return changed
+
+
+__all__ = ["FIXABLE_RULES", "fix_paths", "fix_source"]

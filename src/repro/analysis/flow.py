@@ -1,0 +1,641 @@
+"""Conservative intraprocedural dataflow with call-edge summaries.
+
+This is the half of the interprocedural engine that looks *inside*
+function bodies.  For every function it answers four questions, each
+scoped to what a determinism linter actually needs rather than to full
+points-to precision:
+
+* which values are RNG ``Generator``\\ s (parameters named ``rng`` /
+  ``*_rng``, results of ``make_rng``/``spawn_child``/``default_rng``,
+  elements of ``spawn(...)``, and plain aliases of any of those);
+* which calls it makes, with enough receiver typing to resolve methods
+  (``self.f()``, ``obj.f()`` on a local constructed from a known class,
+  ``self.attr.f()`` through the owning class's attribute types), and
+  which arguments are generators or bare parameters;
+* which of its parameters it mutates (subscript/attribute stores,
+  in-place mutator methods such as ``.fill``/``.append``/``.update``,
+  ``out=`` keywords, ``del``), tracking aliases rooted at a parameter —
+  a call in the chain breaks the root, which keeps the pass
+  conservative rather than clever;
+* which direct wall-clock reads it performs.
+
+On top of the per-function summaries, three project-level fixed points
+(:func:`escaping_params`, :func:`mutating_params`,
+:func:`wallclock_reach`) push facts across resolved call edges so the
+F001/P001/L001 rules can flag a value two hops away from the boundary
+it crosses.  Two-phase within a function (collect bindings, then emit
+facts) so statement order never matters; every iteration is bounded, so
+the whole pass stays linear-ish in project size.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.graph import (
+    CallRecord,
+    ClassSummary,
+    FunctionSummary,
+    ProjectGraph,
+)
+
+# ----------------------------------------------------------------------
+# Vocabulary
+# ----------------------------------------------------------------------
+
+#: Dotted calls that read the wall clock (``time.sleep`` waits but does
+#: not *read*, so it is deliberately absent).
+WALLCLOCK_READS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+#: Call leaves whose result is a ``numpy.random.Generator``.  A
+#: ``spawn_child`` result is still a Generator — the sanctioned way to
+#: cross a process/deferred boundary is a *seed* from ``derive_seed``.
+GENERATOR_FACTORIES = frozenset({"default_rng", "make_rng", "spawn_child"})
+
+#: Call leaves returning a *list* of generators.
+GENERATOR_LIST_FACTORIES = frozenset({"spawn"})
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popleft", "appendleft",
+    "clear", "sort", "reverse", "add", "discard", "update", "setdefault",
+    "fill", "partition", "itemset", "setfield", "resize", "setflags",
+})
+
+#: F001 sinks — values passed here cross a process, thread or deferred
+#: boundary (or are memoised across one).  Functions:
+SINK_FUNCTIONS = frozenset({"pool_map", "run_cells"})
+#: ... constructors whose instances are shipped or cached cross-context:
+SINK_CONSTRUCTORS = frozenset({
+    "Thread", "Process", "ProcessPoolExecutor", "ThreadPoolExecutor",
+    "CellTask", "ExperimentSpec", "WorkloadSpec", "WorkloadCache",
+})
+#: ... and receiver methods that enqueue/defer/memoise their arguments:
+SINK_METHODS = frozenset({"submit", "apply_async", "map_async", "put"})
+
+#: Lock types C001 recognises on ``self`` attributes.
+LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _dotted_name(node: ast.AST, aliases: dict) -> str | None:
+    """Alias-resolved dotted name of an expression, or None if dynamic."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = aliases.get(parts[0])
+    return ".".join([head, *parts[1:]]) if head is not None else ".".join(parts)
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """Base ``Name`` of an attribute/subscript chain; calls break it."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _function_params(fn) -> tuple:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.append(extra.arg)
+    return tuple(names)
+
+
+def _is_rng_param(name: str) -> bool:
+    return name == "rng" or name.endswith("_rng")
+
+
+def _body_walk(fn):
+    """Every node of a function body, nested defs/lambdas included.
+
+    Facts found inside a nested function are attributed to the enclosing
+    one: a closure mutating an enclosing parameter still mutates it when
+    the closure runs.
+    """
+    for stmt in fn.body:
+        yield from ast.walk(stmt)
+
+
+# ----------------------------------------------------------------------
+# Per-function summaries
+# ----------------------------------------------------------------------
+
+def _collect_bindings(fn, aliases: dict):
+    """Fixed-point collection of generator vars, generator-list vars,
+    parameter alias roots, and locals of known class type."""
+    params = _function_params(fn)
+    gen_vars = {p for p in params if _is_rng_param(p)}
+    gen_lists: set = set()
+    gen_closures: set = set()
+    param_roots = {p: p for p in params}
+    local_types: dict = {}
+
+    def value_is_gen(value) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in gen_vars
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func, aliases)
+            return dotted is not None and _leaf(dotted) in GENERATOR_FACTORIES
+        if isinstance(value, ast.Subscript):
+            base = value.value
+            return isinstance(base, ast.Name) and base.id in gen_lists
+        return False
+
+    def value_is_gen_list(value) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in gen_lists
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func, aliases)
+            return (dotted is not None
+                    and _leaf(dotted) in GENERATOR_LIST_FACTORIES)
+        return False
+
+    for _round in range(8):
+        changed = False
+        for node in _body_walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    name = target.id
+                    if value_is_gen(node.value) and name not in gen_vars:
+                        gen_vars.add(name)
+                        changed = True
+                    if value_is_gen_list(node.value) and name not in gen_lists:
+                        gen_lists.add(name)
+                        changed = True
+                    root = _root_name(node.value)
+                    if (root in param_roots and name not in param_roots
+                            and not isinstance(node.value, ast.Call)):
+                        param_roots[name] = param_roots[root]
+                        changed = True
+                    if isinstance(node.value, ast.Call):
+                        dotted = _dotted_name(node.value.func, aliases)
+                        if dotted is not None and name not in local_types:
+                            # Bare names cover same-module classes; the
+                            # graph resolves them against the summary.
+                            local_types[name] = dotted
+                            changed = True
+                elif (isinstance(target, (ast.Tuple, ast.List))
+                      and value_is_gen_list(node.value)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name) and elt.id not in gen_vars:
+                            gen_vars.add(elt.id)
+                            changed = True
+            elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                if (value_is_gen_list(node.iter)
+                        and node.target.id not in gen_vars):
+                    gen_vars.add(node.target.id)
+                    changed = True
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn and node.name not in gen_closures:
+                    captures = {n.id for n in ast.walk(node)
+                                if isinstance(n, ast.Name)
+                                and isinstance(n.ctx, ast.Load)}
+                    if captures & gen_vars:
+                        gen_closures.add(node.name)
+                        changed = True
+        if not changed:
+            break
+    return params, gen_vars, gen_lists, gen_closures, param_roots, local_types
+
+
+def _classify_call(call: ast.Call, aliases: dict, param_roots: dict,
+                   local_types: dict):
+    """(kind, callee, recv_type, recv_attr, recv_param) for one call."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        dotted = aliases.get(func.id, func.id)
+        return ("name", dotted, "", "", "")
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                return ("self", func.attr, "", "", "")
+            if base.id in local_types:
+                return ("method", func.attr, local_types[base.id], "", "")
+            if base.id in param_roots:
+                return ("method", func.attr, "", "", param_roots[base.id])
+            dotted = _dotted_name(func, aliases)
+            if dotted is not None and dotted != f"{base.id}.{func.attr}":
+                return ("name", dotted, "", "", "")
+            return ("name", dotted or f"{base.id}.{func.attr}", "", "", "")
+        if (isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name)
+                and base.value.id == "self"):
+            return ("selfattr", func.attr, "", base.attr, "")
+        root = _root_name(base)
+        if root in param_roots:
+            return ("method", func.attr, "", "", param_roots[root])
+        dotted = _dotted_name(func, aliases)
+        if dotted is not None:
+            return ("name", dotted, "", "", "")
+    return None
+
+
+def _argument_positions(call: ast.Call):
+    """Yield (position label, value expression) for every argument."""
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        yield str(index), arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            yield f"kw:{kw.arg}", kw.value
+
+
+def summarize_function(fn, qualname: str, aliases: dict,
+                       is_method: bool) -> FunctionSummary:
+    """Run the flow pass over one function and package the results."""
+    (params, gen_vars, gen_lists, gen_closures, param_roots,
+     local_types) = _collect_bindings(fn, aliases)
+    calls = []
+    wallclock = []
+    mutations = []
+    attr_writes = []
+
+    def mutation_root(node) -> str | None:
+        """Parameter (or ``self``) a store through ``node`` lands on."""
+        root = _root_name(node)
+        if root == "self":
+            return "self"
+        if root in param_roots:
+            return param_roots[root]
+        return None
+
+    def record_store(target, line: int, kind: str) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = mutation_root(target)
+            if root is not None:
+                mutations.append((root, line, kind))
+            base = target.value if isinstance(target, ast.Attribute) else None
+            if (isinstance(base, ast.Name) and base.id in local_types
+                    and isinstance(target, ast.Attribute)):
+                attr_writes.append((local_types[base.id], target.attr, line))
+
+    for node in _body_walk(fn):
+        if isinstance(node, ast.Call):
+            classified = _classify_call(node, aliases, param_roots, local_types)
+            if classified is not None:
+                kind, callee, recv_type, recv_attr, recv_param = classified
+                if kind == "name" and callee in WALLCLOCK_READS:
+                    wallclock.append((callee, node.lineno))
+                gen_args = []
+                param_args = []
+                for position, value in _argument_positions(node):
+                    if isinstance(value, ast.Name):
+                        if value.id in gen_vars or value.id in gen_closures:
+                            gen_args.append(position)
+                        if value.id in params:
+                            param_args.append((position, value.id))
+                        if value.id in gen_lists:
+                            gen_args.append(position)
+                    elif isinstance(value, ast.Call):
+                        dotted = _dotted_name(value.func, aliases)
+                        if (dotted is not None
+                                and _leaf(dotted) in (GENERATOR_FACTORIES
+                                                      | GENERATOR_LIST_FACTORIES)):
+                            gen_args.append(position)
+                    elif isinstance(value, ast.Lambda):
+                        captures = {n.id for n in ast.walk(value.body)
+                                    if isinstance(n, ast.Name)
+                                    and isinstance(n.ctx, ast.Load)}
+                        if captures & gen_vars:
+                            gen_args.append(position)
+                    if (position.startswith("kw:") and position[3:] == "out"):
+                        root = (mutation_root(value)
+                                if isinstance(value, (ast.Name, ast.Attribute,
+                                                      ast.Subscript)) else None)
+                        if isinstance(value, ast.Name):
+                            root = param_roots.get(value.id)
+                        if root is not None:
+                            mutations.append((root, node.lineno, "out="))
+                if (kind in ("method", "selfattr", "self")
+                        and callee in MUTATOR_METHODS):
+                    if recv_param:
+                        mutations.append((recv_param, node.lineno,
+                                          f"call:{callee}"))
+                    elif kind in ("self", "selfattr"):
+                        mutations.append(("self", node.lineno,
+                                          f"call:{callee}"))
+                calls.append(CallRecord(
+                    kind=kind, callee=callee, line=node.lineno,
+                    recv_type=recv_type, recv_attr=recv_attr,
+                    recv_param=recv_param, gen_args=tuple(gen_args),
+                    param_args=tuple(param_args)))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                record_store(target, node.lineno, "store")
+        elif isinstance(node, ast.AugAssign):
+            record_store(node.target, node.lineno, "augstore")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                record_store(target, node.lineno, "del")
+
+    return FunctionSummary(
+        name=qualname, line=fn.lineno, params=params, is_method=is_method,
+        calls=tuple(calls), wallclock=tuple(wallclock),
+        mutations=tuple(mutations), attr_writes=tuple(attr_writes))
+
+
+def summarize_functions(tree: ast.Module, aliases: dict) -> dict:
+    """Flow summaries for all module functions and class methods."""
+    out: dict = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[node.name] = summarize_function(node, node.name, aliases,
+                                                is_method=False)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{node.name}.{item.name}"
+                    out[qual] = summarize_function(item, qual, aliases,
+                                                   is_method=True)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Class summaries and lock discipline
+# ----------------------------------------------------------------------
+
+def _self_attr_assignments(method):
+    """(attr, value, line) for every ``self.X = ...`` in a method."""
+    for node in _body_walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    yield target.attr, node.value, node.lineno
+
+
+def _methods_of(classdef: ast.ClassDef):
+    for item in classdef.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def _is_lock_with_item(item, lock_attrs) -> bool:
+    expr = item.context_expr
+    return (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self" and expr.attr in lock_attrs)
+
+
+def class_lock_report(classdef: ast.ClassDef, aliases: dict) -> dict:
+    """Lock-discipline facts for one class.
+
+    Returns ``{"lock_attrs", "guarded", "accesses"}`` where ``guarded``
+    maps each field written under ``with self.<lock>`` in a non-init
+    method to the line of its first guarded write, and ``accesses`` is
+    every ``self.<attr>`` load/store in non-init methods as
+    ``(attr, line, method, under_lock)`` tuples.
+    """
+    lock_attrs = set()
+    attr_types = []
+    seen_attrs = set()
+    for method in _methods_of(classdef):
+        for attr, value, _line in _self_attr_assignments(method):
+            if isinstance(value, ast.Call):
+                dotted = _dotted_name(value.func, aliases)
+                if dotted is not None:
+                    if dotted in LOCK_TYPES:
+                        lock_attrs.add(attr)
+                    if attr not in seen_attrs:
+                        attr_types.append((attr, dotted))
+                        seen_attrs.add(attr)
+
+    guarded: dict = {}
+    accesses = []
+
+    def visit(node, method_name: str, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = locked or any(_is_lock_with_item(i, lock_attrs)
+                                  for i in node.items)
+            for item in node.items:
+                visit(item.context_expr, method_name, locked)
+            for stmt in node.body:
+                visit(stmt, method_name, inner)
+            return
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr not in lock_attrs):
+            accesses.append((node.attr, node.lineno, method_name, locked))
+            if locked and isinstance(node.ctx, (ast.Store, ast.Del)):
+                guarded.setdefault(node.attr, node.lineno)
+        for child in ast.iter_child_nodes(node):
+            visit(child, method_name, locked)
+
+    for method in _methods_of(classdef):
+        if method.name == "__init__":
+            continue
+        for stmt in method.body:
+            visit(stmt, method.name, False)
+
+    return {"lock_attrs": lock_attrs, "attr_types": attr_types,
+            "guarded": guarded, "accesses": accesses}
+
+
+def summarize_classes(tree: ast.Module, aliases: dict) -> dict:
+    """ClassSummary for every top-level class in a module."""
+    out: dict = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        report = class_lock_report(node, aliases)
+        bases = []
+        for base in node.bases:
+            dotted = _dotted_name(base, aliases)
+            if dotted is not None:
+                bases.append(dotted)
+        out[node.name] = ClassSummary(
+            name=node.name, line=node.lineno, bases=tuple(bases),
+            attr_types=tuple(report["attr_types"]),
+            lock_attrs=tuple(sorted(report["lock_attrs"])),
+            guarded=tuple(sorted(report["guarded"])))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Project-level fixed points
+# ----------------------------------------------------------------------
+
+def sink_description(rec: CallRecord) -> str | None:
+    """Non-None when a call record is an F001 escape boundary."""
+    leaf = _leaf(rec.callee)
+    if rec.kind == "name":
+        if leaf in SINK_FUNCTIONS:
+            return f"{leaf}()"
+        if leaf in SINK_CONSTRUCTORS:
+            return f"{leaf}(...)"
+        return None
+    if rec.kind in ("method", "selfattr", "self") and leaf in SINK_METHODS:
+        return f".{leaf}()"
+    return None
+
+
+def _resolved_callee(graph: ProjectGraph, summary, fn, rec):
+    resolved = graph.resolve_call(summary, fn, rec)
+    if resolved is not None and resolved[0] == "function":
+        callee = graph.modules[resolved[1]].functions.get(resolved[2])
+        if callee is not None:
+            return resolved[1], resolved[2], callee
+    return None
+
+
+def _fixed_point(graph: ProjectGraph, update) -> dict:
+    """Run ``update(state, module_summary, qual, fn)`` to a fixed point."""
+    state: dict = {}
+    for _round in range(len(graph.modules) + 2):
+        changed = False
+        for summary in graph.modules.values():
+            for qual, fn in summary.functions.items():
+                if update(state, summary, qual, fn):
+                    changed = True
+        if not changed:
+            return state
+    return state
+
+
+def escaping_params(graph: ProjectGraph) -> dict:
+    """(module, qualname) -> {param: (line, description)} for parameters
+    that reach an F001 sink, possibly through further project calls."""
+
+    def update(state, summary, qual, fn) -> bool:
+        cur = state.setdefault((summary.module, qual), {})
+        changed = False
+        for rec in fn.calls:
+            sink = sink_description(rec)
+            if sink is not None:
+                for _pos, param in rec.param_args:
+                    if param not in cur:
+                        cur[param] = (rec.line, sink)
+                        changed = True
+                continue
+            hit = _resolved_callee(graph, summary, fn, rec)
+            if hit is None:
+                continue
+            callee_module, callee_qual, callee = hit
+            downstream = state.get((callee_module, callee_qual), {})
+            for position, param in rec.param_args:
+                landing = callee.param_at(position)
+                if landing in downstream and param not in cur:
+                    target, via = downstream[landing]
+                    cur[param] = (rec.line, f"{via} via {_leaf(rec.callee)}()")
+                    changed = True
+        return changed
+
+    return _fixed_point(graph, update)
+
+
+def mutating_params(graph: ProjectGraph) -> dict:
+    """(module, qualname) -> {param: (line, kind)} for parameters the
+    function mutates, directly or through callees.  ``self`` appears as
+    a pseudo-parameter so method mutation propagates to receivers."""
+
+    def update(state, summary, qual, fn) -> bool:
+        cur = state.setdefault((summary.module, qual), {})
+        changed = False
+        for param, line, kind in fn.mutations:
+            if param not in cur:
+                cur[param] = (line, kind)
+                changed = True
+        for rec in fn.calls:
+            hit = _resolved_callee(graph, summary, fn, rec)
+            if hit is None:
+                continue
+            callee_module, callee_qual, callee = hit
+            downstream = state.get((callee_module, callee_qual), {})
+            for position, param in rec.param_args:
+                landing = callee.param_at(position)
+                if landing in downstream and param not in cur:
+                    cur[param] = (rec.line, f"via {_leaf(rec.callee)}()")
+                    changed = True
+            if "self" in downstream:
+                if rec.recv_param and rec.recv_param not in cur:
+                    cur[rec.recv_param] = (rec.line,
+                                           f"via .{_leaf(rec.callee)}()")
+                    changed = True
+                if rec.kind in ("self", "selfattr") and "self" not in cur:
+                    cur["self"] = (rec.line, f"via .{_leaf(rec.callee)}()")
+                    changed = True
+        return changed
+
+    return _fixed_point(graph, update)
+
+
+def wallclock_reach(graph: ProjectGraph, is_exempt) -> dict:
+    """(module, qualname) -> (line, chain) for functions that reach a
+    wall-clock read through at least one call hop.
+
+    ``is_exempt(path)`` marks sanctioned absorbers (``service/jobs.py``):
+    taint neither originates from nor propagates through them.  A
+    function with a *direct* read is a taint source for its callers but
+    is not itself reported here — D003 already covers direct reads.
+    """
+    direct = {}
+    for summary in graph.modules.values():
+        if is_exempt(summary.path):
+            continue
+        for qual, fn in summary.functions.items():
+            if fn.wallclock:
+                dotted, line = fn.wallclock[0]
+                direct[(summary.module, qual)] = dotted
+
+    def update(state, summary, qual, fn) -> bool:
+        if is_exempt(summary.path):
+            return False
+        key = (summary.module, qual)
+        if key in state:
+            return False
+        for rec in fn.calls:
+            hit = _resolved_callee(graph, summary, fn, rec)
+            if hit is None:
+                continue
+            callee_key = (hit[0], hit[1])
+            if callee_key in direct:
+                state[key] = (rec.line,
+                              f"{_leaf(rec.callee)}() -> {direct[callee_key]}")
+                return True
+            if callee_key in state:
+                _line, chain = state[callee_key]
+                state[key] = (rec.line, f"{_leaf(rec.callee)}() -> {chain}")
+                return True
+        return False
+
+    state = _fixed_point(graph, update)
+    return {key: value for key, value in state.items() if key not in direct}
+
+
+__all__ = [
+    "GENERATOR_FACTORIES",
+    "GENERATOR_LIST_FACTORIES",
+    "LOCK_TYPES",
+    "MUTATOR_METHODS",
+    "SINK_CONSTRUCTORS",
+    "SINK_FUNCTIONS",
+    "SINK_METHODS",
+    "WALLCLOCK_READS",
+    "class_lock_report",
+    "escaping_params",
+    "mutating_params",
+    "sink_description",
+    "summarize_classes",
+    "summarize_function",
+    "summarize_functions",
+    "wallclock_reach",
+]

@@ -42,33 +42,44 @@ WALLCLOCK_BANNED = ("repro/cluster/", "repro/impls/", "repro/kernels/",
                     "repro/fastpath.py", "repro/service/")
 
 #: Exemptions checked before WALLCLOCK_BANNED: job timing is the one
-#: service concern that legitimately reads the wall clock.
+#: service concern that legitimately reads the wall clock.  For L001's
+#: transitive check these files are sanctioned absorbers — clock taint
+#: neither originates from nor propagates through them.
 WALLCLOCK_EXEMPT = ("repro/service/jobs.py",)
 
+#: P001's scope: trace-algebra and fault-replay modules whose functions
+#: must treat TraceTable/event-array inputs as immutable.
+PURE_TRACE = ("repro/cluster/tracealgebra.py", "repro/cluster/faults.py")
+
 ENGINE = _profile(
-    "engine", {"D001", "D002", "D003", "D004", "M001"}, strict_rng=True,
+    "engine", {"D001", "D002", "D003", "D004", "M001",
+               "C001", "F001", "L001", "P001"}, strict_rng=True,
     description="src/repro engine, model and simulation code")
 KERNEL = _profile(
-    "kernel", {"D001", "D002", "D003", "D004", "K001", "K002", "M001"},
+    "kernel", {"D001", "D002", "D003", "D004", "K001", "K002", "M001",
+               "C001", "F001", "L001"},
     strict_rng=True,
     description="repro/kernels sampler layer (adds K001/K002 sampler "
                 "signature and batch-twin checks)")
 IMPLS = _profile(
-    "impls", {"D001", "D002", "D003", "D004", "M001", "R001"}, strict_rng=True,
+    "impls", {"D001", "D002", "D003", "D004", "M001", "R001",
+              "C001", "F001", "L001"}, strict_rng=True,
     description="repro/impls platform codes (adds R001 registration checks)")
 HARNESS = _profile(
-    "harness", {"D001", "D002", "D004", "M001", "R001"}, strict_rng=True,
+    "harness", {"D001", "D002", "D004", "M001", "R001",
+                "C001", "F001", "L001"}, strict_rng=True,
     description="repro/bench harness: may measure time, must seed via stats.rng")
 RNG_CHOKEPOINT = _profile(
-    "rng-chokepoint", {"D001", "D004", "M001"},
+    "rng-chokepoint", {"D001", "D004", "M001", "L001"},
     description="repro/stats/rng.py: the one module allowed to call default_rng")
 SERVICE = _profile(
-    "service", {"D001", "D002", "D003", "D004", "M001", "R001"},
+    "service", {"D001", "D002", "D003", "D004", "M001", "R001",
+                "C001", "F001", "L001"},
     strict_rng=True,
     description="repro/service spec/store/server layer: deterministic and "
                 "clock-free except jobs.py (job timing)")
 SCRIPTS = _profile(
-    "scripts", {"D001", "D002", "D004", "M001"},
+    "scripts", {"D001", "D002", "D004", "M001", "C001", "F001"},
     description="benchmarks/ and examples/ drivers (lenient RNG rules)")
 TESTS = _profile(
     "tests", {"M001"},
@@ -103,14 +114,27 @@ def profile_for(path) -> Profile:
 def wallclock_banned(path) -> bool:
     """True when D003 applies: the file is on a simulated cost path."""
     text = _posix(path)
-    if any(fragment in text for fragment in WALLCLOCK_EXEMPT):
+    if wallclock_exempt(path):
         return False
     return any(fragment in text for fragment in WALLCLOCK_BANNED)
+
+
+def wallclock_exempt(path) -> bool:
+    """True for sanctioned clock absorbers (service job timing)."""
+    text = _posix(path)
+    return any(fragment in text for fragment in WALLCLOCK_EXEMPT)
+
+
+def pure_trace(path) -> bool:
+    """True when P001 applies: trace-replay code that must stay pure."""
+    text = _posix(path)
+    return any(fragment in text for fragment in PURE_TRACE)
 
 
 # Profiles indexed for the CLI's --explain output.
 PROFILES = (ENGINE, KERNEL, IMPLS, HARNESS, RNG_CHOKEPOINT, SERVICE,
             SCRIPTS, TESTS)
 
-__all__ = ["PROFILES", "Profile", "WALLCLOCK_BANNED", "WALLCLOCK_EXEMPT",
-           "profile_for", "wallclock_banned"]
+__all__ = ["PROFILES", "PURE_TRACE", "Profile", "WALLCLOCK_BANNED",
+           "WALLCLOCK_EXEMPT", "profile_for", "pure_trace",
+           "wallclock_banned", "wallclock_exempt"]

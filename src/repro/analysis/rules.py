@@ -664,6 +664,302 @@ class MutableDefaultRule(Rule):
                 and node.func.id in self._MUTABLE_CALLS)
 
 
+# ----------------------------------------------------------------------
+# C001: lock discipline (local half)
+# ----------------------------------------------------------------------
+
+class LockDisciplineRule(Rule):
+    id = "C001"
+    title = "lock-guarded field accessed without the lock"
+    hint = ("take the lock (with self._lock:) around every access of a "
+            "field that is ever written under it, or move the access into "
+            "__init__; a helper called with the lock already held can carry "
+            "a '# repro: allow[C001] caller holds the lock' suppression")
+    doc = (
+        "Classes owning a threading.Lock (JobScheduler, ResultStore) "
+        "promise that fields written under `with self._lock:` are only "
+        "ever touched under it: the scheduler's worker threads and the "
+        "HTTP handlers race on exactly these fields, and an unlocked read "
+        "can observe a half-updated job table — the kind of bug that "
+        "makes the service's byte-identity promise flake once per "
+        "thousand suite runs. __init__ is exempt (no concurrent aliases "
+        "exist yet); the lock attribute itself is never flagged."
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        from repro.analysis.flow import class_lock_report
+
+        out = []
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            report = class_lock_report(node, ctx.aliases)
+            if not report["lock_attrs"]:
+                continue
+            lock = sorted(report["lock_attrs"])[0]
+            for attr, guard_line in sorted(report["guarded"].items()):
+                for name, line, method, locked in report["accesses"]:
+                    if name == attr and not locked:
+                        out.append(Finding(
+                            rule=self.id, path=ctx.path, line=line, col=0,
+                            message=f"{node.name}.{method}() touches "
+                            f"self.{attr} without self.{lock}, but the field "
+                            f"is written under the lock (line {guard_line})",
+                            hint=self.hint))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Project rules: F001 / C001-external / L001 / P001
+# ----------------------------------------------------------------------
+
+class ProjectRule:
+    """A rule that needs the whole-project graph, not one module.
+
+    ``check_project`` receives the :class:`ProjectContext` the engine
+    assembled (graph + precomputed fixed points) and returns findings
+    for *any* analyzed file; the engine filters them through each file's
+    profile afterwards, exactly like local rules.
+    """
+
+    id: str = ""
+    title: str = ""
+    hint: str = ""
+    doc: str = ""
+
+    def check_project(self, project) -> list[Finding]:
+        raise NotImplementedError
+
+
+class RngStreamFlowRule(ProjectRule):
+    id = "F001"
+    title = "RNG Generator escaping across a process/deferred boundary"
+    hint = ("pass an integer seed across the boundary — "
+            "derive_seed(seed, tag) on this side, make_rng(seed) on the "
+            "far side — or spawn_child(rng, tag) per consumer when the "
+            "consumers stay in-process and ordered")
+    doc = (
+        "A numpy Generator is a mutable cursor into one stream. Handing "
+        "it to pool_map/run_cells, packing it into a CellTask/"
+        "ExperimentSpec/WorkloadSpec, caching it in a WorkloadCache, or "
+        "submitting it to an executor means the draw order now depends "
+        "on scheduling: two unordered consumers advance the same cursor "
+        "in whatever order the pool runs them, and a pickled generator "
+        "resumes from a *copy* of its state, silently reusing draws. "
+        "Both break the pooled-equals-serial byte-identity contract "
+        "(PR 4). The flow pass follows the generator through project "
+        "calls, so passing rng to a helper whose parameter escapes is "
+        "flagged at the call site."
+    )
+
+    def check_project(self, project) -> list[Finding]:
+        from repro.analysis.flow import sink_description
+
+        out = []
+        for summary in project.graph.modules.values():
+            for qual, fn in summary.functions.items():
+                for rec in fn.calls:
+                    if not rec.gen_args:
+                        continue
+                    sink = sink_description(rec)
+                    if sink is not None:
+                        out.append(Finding(
+                            rule=self.id, path=summary.path, line=rec.line,
+                            col=0, message=f"{qual}() passes a numpy "
+                            f"Generator into {sink}, which crosses a "
+                            "process/deferred boundary", hint=self.hint))
+                        continue
+                    hit = project.resolve_call(summary, fn, rec)
+                    if hit is None:
+                        continue
+                    callee_module, callee_qual, callee = hit
+                    escapes = project.escaping.get(
+                        (callee_module, callee_qual), {})
+                    for position in rec.gen_args:
+                        landing = callee.param_at(position)
+                        if landing in escapes:
+                            _line, where = escapes[landing]
+                            out.append(Finding(
+                                rule=self.id, path=summary.path,
+                                line=rec.line, col=0,
+                                message=f"{qual}() passes a numpy Generator "
+                                f"to {callee_qual}(), whose parameter "
+                                f"'{landing}' escapes into {where}",
+                                hint=self.hint))
+        return out
+
+
+class ExternalLockedWriteRule(ProjectRule):
+    id = "C001"
+    title = "lock-guarded field written from outside its class"
+    hint = ("go through a method of the owning class that takes the lock; "
+            "guarded state is private to the class that guards it")
+    doc = LockDisciplineRule.doc
+
+    def check_project(self, project) -> list[Finding]:
+        out = []
+        for summary in project.graph.modules.values():
+            for qual, fn in summary.functions.items():
+                owner = qual.split(".", 1)[0] if "." in qual else None
+                for dotted, attr, line in fn.attr_writes:
+                    resolved = project.graph.resolve(dotted)
+                    if resolved is None or resolved[0] != "class":
+                        continue
+                    cls_module, cls_name = resolved[1], resolved[2]
+                    if owner == cls_name and cls_module == summary.module:
+                        continue
+                    cls = project.graph.modules[cls_module].classes[cls_name]
+                    if attr in cls.guarded:
+                        out.append(Finding(
+                            rule=self.id, path=summary.path, line=line, col=0,
+                            message=f"{qual}() writes {cls_name}.{attr} from "
+                            "outside the class; the field is guarded by "
+                            f"{cls_name}'s lock", hint=self.hint))
+        return out
+
+
+class LayerContractRule(ProjectRule):
+    id = "L001"
+    title = "architecture layer contract violation"
+    hint = ("the README layer diagram is the import law: kernels never "
+            "import engines/impls, engines never import impls, analysis "
+            "imports nothing but stdlib; move the shared code down a "
+            "layer instead of importing up")
+    doc = (
+        "The layer diagram in the README is what makes a new platform a "
+        "bounded job: kernels are pure sampling math, engines provide "
+        "execution semantics, impls wire the two, and the bench/service "
+        "layers drive everything. An upward import (kernels -> engines, "
+        "models -> engines, anything -> impls) couples the reusable "
+        "layer to one consumer and eventually makes the bitwise "
+        "scalar-vs-batch comparisons circular. The same rule keeps the "
+        "analysis package stdlib-only — it lints numpy usage without "
+        "depending on numpy behaviour — and enforces the wall-clock "
+        "boundary *transitively*: a banned-zone function that calls a "
+        "helper that calls time.time() is as machine-dependent as one "
+        "that reads the clock itself (service/jobs.py stays the "
+        "sanctioned absorber)."
+    )
+
+    def check_project(self, project) -> list[Finding]:
+        from repro.analysis.graph import (
+            ANALYSIS_FORBIDDEN_EXTERNAL,
+            LAYER_ALLOWED,
+            layer_of,
+        )
+        from repro.analysis.profiles import wallclock_banned
+
+        out = []
+        graph = project.graph
+        for summary in graph.modules.values():
+            layer = layer_of(summary.module)
+            if layer is None:
+                continue
+            reported = set()
+            for target, line in summary.imports:
+                if (layer == "analysis"
+                        and target.split(".", 1)[0]
+                        in ANALYSIS_FORBIDDEN_EXTERNAL):
+                    out.append(Finding(
+                        rule=self.id, path=summary.path, line=line, col=0,
+                        message=f"analysis imports {target}: the linter is "
+                        "stdlib-only by contract",
+                        hint="parse with ast; never import what you lint"))
+                    continue
+                owner = graph.project_module(target)
+                if owner is None:
+                    # Imported module not in the scanned set: still
+                    # layer-check it lexically so a partial scan (or a
+                    # fixture package) catches upward imports.
+                    if layer_of(target) is None:
+                        continue
+                    owner = target
+                if owner == summary.module:
+                    continue
+                target_layer = layer_of(owner)
+                if target_layer is None or target_layer == layer:
+                    continue
+                if target_layer not in LAYER_ALLOWED.get(layer, set()):
+                    if (owner, line) in reported:
+                        continue
+                    reported.add((owner, line))
+                    out.append(Finding(
+                        rule=self.id, path=summary.path, line=line, col=0,
+                        message=f"{layer} module {summary.module} imports "
+                        f"{owner} ({target_layer}); {layer} may only import "
+                        f"{{{', '.join(sorted(LAYER_ALLOWED[layer]))}}}",
+                        hint=self.hint))
+        for (module, qual), (line, chain) in sorted(project.clock_reach.items()):
+            summary = graph.modules[module]
+            if wallclock_banned(summary.path):
+                out.append(Finding(
+                    rule=self.id, path=summary.path, line=line, col=0,
+                    message=f"{qual}() reaches the host clock transitively: "
+                    f"{chain}",
+                    hint="simulated cost paths must not depend on host "
+                    "timing, even through helpers; thread measured values "
+                    "in from the harness layer"))
+        return out
+
+
+#: P001 write-intent parameter names: mutation is the documented job.
+_WRITE_INTENT_SUFFIXES = ("out", "cache", "buf", "acc")
+
+
+def _write_intent(param: str) -> bool:
+    return (param in _WRITE_INTENT_SUFFIXES
+            or param.endswith(tuple("_" + s for s in _WRITE_INTENT_SUFFIXES)))
+
+
+class TracePurityRule(ProjectRule):
+    id = "P001"
+    title = "trace-algebra function mutates its input"
+    hint = ("return fresh arrays (or (index, value) pairs) and let the "
+            "caller assemble; name a parameter out/cache/*_out/*_cache "
+            "when in-place filling is the documented contract")
+    doc = (
+        "Fault replay and grid simulation are *algebra over traces*: the "
+        "same TraceTable is replayed under hundreds of scenarios, and "
+        "replicate_studies shares one base trace across replicates. A "
+        "function that mutates its TraceTable/event-array input corrupts "
+        "every later scenario that replays the same object — the "
+        "vectorized path would drift from the per-cell oracle only on "
+        "multi-scenario grids, the worst kind of intermittent bitwise "
+        "break. Mutation summaries propagate through project calls, so "
+        "handing an input to a helper that mutates it is flagged too."
+    )
+
+    def check_project(self, project) -> list[Finding]:
+        from repro.analysis.profiles import pure_trace
+
+        out = []
+        for summary in project.graph.modules.values():
+            if not pure_trace(summary.path):
+                continue
+            for qual, fn in summary.functions.items():
+                mutated = project.mutating.get((summary.module, qual), {})
+                for param, (line, kind) in sorted(mutated.items()):
+                    if param == "self" or _write_intent(param):
+                        continue
+                    out.append(Finding(
+                        rule=self.id, path=summary.path, line=line, col=0,
+                        message=f"{qual}() mutates its parameter '{param}' "
+                        f"({kind}); trace replay must leave inputs intact",
+                        hint=self.hint))
+        return out
+
+
+#: Project-wide rules, run once per analysis over the assembled graph.
+PROJECT_RULES = (
+    RngStreamFlowRule(),
+    ExternalLockedWriteRule(),
+    LayerContractRule(),
+    TracePurityRule(),
+)
+
+PROJECT_RULES_BY_ID = {rule.id: rule for rule in PROJECT_RULES}
+
+
 #: Every shipped rule, in reporting order.
 ALL_RULES = (
     BuiltinHashRule(),
@@ -674,8 +970,11 @@ ALL_RULES = (
     KernelBatchTwinRule(),
     RegistryPicklabilityRule(),
     MutableDefaultRule(),
+    LockDisciplineRule(),
 )
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
+RULES_BY_ID.update(PROJECT_RULES_BY_ID)
 
-__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule"]
+__all__ = ["ALL_RULES", "PROJECT_RULES", "PROJECT_RULES_BY_ID",
+           "RULES_BY_ID", "ProjectRule", "Rule"]

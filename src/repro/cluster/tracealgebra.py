@@ -242,7 +242,7 @@ class TraceTable:
         if cached is not None and cached[0] == key:
             return cached[1]
         table = cls.from_tracer(tracer)
-        tracer._trace_table_cache = (key, table)
+        tracer._trace_table_cache = (key, table)  # repro: allow[P001] append-only memo on the tracer; invisible to replay
         return table
 
 
@@ -673,8 +673,9 @@ def simulate_grid(
             )
 
         if faulted:
-            _replay_base(grid, faulted, base, cluster, profile,
-                         first_oom, uniform_cache, cells)
+            for i, cell in _replay_base(grid, faulted, base, cluster,
+                                        profile, first_oom, uniform_cache):
+                cells[i] = cell
 
     return GridResult(profile, grid.scenarios, cells)
 
@@ -687,14 +688,14 @@ def _replay_base(
     profile: PlatformProfile,
     first_oom: int | None,
     uniform_cache: dict,
-    cells: list,
-) -> None:
+) -> list:
     """Vectorized fault replay for one (machines, scales) group.
 
     Every masked update below reproduces one ``+=`` (or assignment) of
     ``FaultInjector.replay`` / ``Simulator._inject`` in the same order,
     so each scenario's float accumulation sequence is exactly the
-    scalar one.
+    scalar one.  Returns ``(grid index, cell)`` pairs — replay is pure
+    over its inputs (P001); the caller assembles the grid.
     """
     s = len(indices)
     scen = [grid[i] for i in indices]
@@ -929,6 +930,7 @@ def _replay_base(
             stop_phase = np.where(newly_aborted, p + 1, stop_phase)
             active = active & ~newly_aborted
 
+    replayed = []
     for j, i in enumerate(indices):
         n = int(stop_phase[j])
         failed = bool(oom_failed[j] or run_aborted[j])
@@ -945,7 +947,7 @@ def _replay_base(
                           f"{attempts} attempts")
         else:
             reason = ""
-        cells[i] = _Cell(
+        replayed.append((i, _Cell(
             base=base,
             n_phases=n,
             seconds=tuple(float(v) for v in ph_seconds[:n, j]),
@@ -960,4 +962,5 @@ def _replay_base(
             aborted=bool(run_aborted[j]),
             fail_phase=base[n - 1].name if failed else "",
             fail_reason=reason,
-        )
+        )))
+    return replayed

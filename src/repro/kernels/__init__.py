@@ -15,6 +15,6 @@ in :mod:`repro.models`, so draws are bitwise-reproducible across the
 scalar, batch, and per-platform call paths.
 """
 
-from repro.kernels import folds, gmm, hmm, imputation, lasso, lda
+from repro.kernels import folds, gmm, grouping, hmm, imputation, lasso, lda
 
-__all__ = ["folds", "gmm", "hmm", "imputation", "lasso", "lda"]
+__all__ = ["folds", "gmm", "grouping", "hmm", "imputation", "lasso", "lda"]

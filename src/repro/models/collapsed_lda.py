@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.supervertex import group_items
+from repro.kernels.grouping import group_items
 
 
 class CollapsedLDA:

@@ -12,6 +12,11 @@ Entries persist as human-readable JSON (``{key, spec, result}``), so a
 store directory doubles as an audit trail of every experiment the
 service ever ran.  A corrupted or truncated entry is treated as a miss
 (with a warning) and rewritten on the next put — never a crash.
+
+The store is shared by the scheduler's worker threads and the HTTP
+handlers, so the in-memory memo and the hit/miss counters live behind a
+lock (C001); disk I/O stays outside it — atomic rename makes concurrent
+writers of the same content-addressed entry benign.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import warnings
 from pathlib import Path
 
@@ -32,6 +38,7 @@ class ResultStore:
     """Generate-once storage for executed experiment specs."""
 
     def __init__(self, directory: str | Path | None = None) -> None:
+        self._lock = threading.Lock()
         self._memory: dict[str, dict] = {}
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
@@ -55,32 +62,37 @@ class ResultStore:
     def get(self, spec: ExperimentSpec | str) -> dict | None:
         """The stored result payload for ``spec``, or None on a miss."""
         key = self._key(spec)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
         path = self._path(key)
         if path is not None and path.exists():
             entry = self._load(path)
             if entry is not None:
                 payload = entry["result"]
-                self._memory[key] = payload
-                self.hits += 1
+                with self._lock:
+                    self._memory[key] = payload
+                    self.hits += 1
                 return payload
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def __contains__(self, spec: ExperimentSpec | str) -> bool:
         key = self._key(spec)
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         path = self._path(key)
         return path is not None and path.exists() and self._load(path) is not None
 
     def put(self, spec: ExperimentSpec, payload: dict) -> str:
         """Store one result; returns the content-address key."""
         key = spec.key
-        self._memory[key] = payload
+        with self._lock:
+            self._memory[key] = payload
         path = self._path(key)
         if path is not None:
             entry = {"key": key, "spec": spec.to_json(), "result": payload}
@@ -112,20 +124,23 @@ class ResultStore:
 
     def keys(self) -> list[str]:
         """Every key the store can serve, memory and disk, sorted."""
-        keys = set(self._memory)
+        with self._lock:
+            keys = set(self._memory)
         if self._directory is not None:
             keys.update(p.stem for p in self._directory.glob("*.json"))
         return sorted(keys)
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self.keys()),
-            "memory_entries": len(self._memory),
-            "hits": self.hits,
-            "misses": self.misses,
-            "directory": (str(self._directory)
-                          if self._directory is not None else None),
-        }
+        entries = len(self.keys())
+        with self._lock:
+            return {
+                "entries": entries,
+                "memory_entries": len(self._memory),
+                "hits": self.hits,
+                "misses": self.misses,
+                "directory": (str(self._directory)
+                              if self._directory is not None else None),
+            }
 
 
 def default_store() -> ResultStore:

@@ -1,0 +1,125 @@
+"""Tests for the ``--fix`` autofixer (M001 mutable defaults, D004 sorting)."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import lint_source
+from repro.analysis.fixes import fix_paths, fix_source
+
+ENGINE_PATH = "src/repro/dataflow/messy.py"
+TESTS_PATH = "tests/test_messy.py"
+
+
+class TestMutableDefaultFix:
+    def test_default_becomes_none_with_guard(self):
+        source = (
+            "def accumulate(value, bucket=[], tags={}):\n"
+            "    \"\"\"Collect values.\"\"\"\n"
+            "    bucket.append(value)\n"
+            "    return bucket, tags\n"
+        )
+        fixed, count = fix_source(ENGINE_PATH, source)
+        # Two default rewrites plus one guard-block insertion.
+        assert count == 3
+        assert "bucket=None" in fixed
+        assert "tags=None" in fixed
+        # Guards land after the docstring, original expressions preserved.
+        lines = fixed.splitlines()
+        assert lines[1] == '    """Collect values."""'
+        assert "    bucket = [] if bucket is None else bucket" in lines
+        assert "    tags = {} if tags is None else tags" in lines
+        assert lines.index("    bucket = [] if bucket is None else bucket") \
+            < lines.index("    bucket.append(value)")
+        assert lint_source(ENGINE_PATH, fixed) == []
+
+    def test_kwonly_default_fixed(self):
+        source = (
+            "def run(x, *, seen=set()):\n"
+            "    \"\"\"Run.\"\"\"\n"
+            "    seen.add(x)\n"
+            "    return seen\n"
+        )
+        fixed, count = fix_source(ENGINE_PATH, source)
+        assert count == 2
+        assert "seen=None" in fixed
+        assert "seen = set() if seen is None else seen" in fixed
+        assert not any(f.rule == "M001"
+                       for f in lint_source(ENGINE_PATH, fixed))
+
+    def test_one_line_def_left_alone(self):
+        source = "def f(xs=[]): return xs\n"
+        fixed, count = fix_source(ENGINE_PATH, source)
+        assert count == 0
+        assert fixed == source
+
+
+class TestUnsortedIterationFix:
+    def test_set_like_iterables_wrapped(self):
+        source = (
+            "def emit(vertices):\n"
+            "    \"\"\"Emit.\"\"\"\n"
+            "    out = []\n"
+            "    for v in {u for u in vertices}:\n"
+            "        out.append(v)\n"
+            "    names = set(vertices)\n"
+            "    out.extend(n for n in names)\n"
+            "    return out\n"
+        )
+        fixed, count = fix_source(ENGINE_PATH, source)
+        assert count == 2
+        assert "for v in sorted({u for u in vertices}):" in fixed
+        assert "(n for n in sorted(names))" in fixed
+        assert not any(f.rule == "D004"
+                       for f in lint_source(ENGINE_PATH, fixed))
+
+    def test_dict_keys_wrapped(self):
+        source = (
+            "def emit(table):\n"
+            "    \"\"\"Emit.\"\"\"\n"
+            "    return [k for k in table.keys()]\n"
+        )
+        fixed, count = fix_source(ENGINE_PATH, source)
+        assert count == 1
+        assert "sorted(table.keys())" in fixed
+
+
+class TestFixerContract:
+    MESSY = (
+        "def accumulate(value, bucket=[]):\n"
+        "    \"\"\"Collect.\"\"\"\n"
+        "    bucket.append(value)\n"
+        "    return bucket\n"
+        "def emit(vertices):\n"
+        "    \"\"\"Emit.\"\"\"\n"
+        "    return [v for v in set(vertices)]\n"
+    )
+
+    def test_idempotent(self):
+        once, n_once = fix_source(ENGINE_PATH, self.MESSY)
+        twice, n_twice = fix_source(ENGINE_PATH, once)
+        assert n_once > 0
+        assert n_twice == 0
+        assert twice == once
+
+    def test_fixed_output_lints_clean(self):
+        fixed, _ = fix_source(ENGINE_PATH, self.MESSY)
+        assert lint_source(ENGINE_PATH, fixed) == []
+
+    def test_profile_gates_d004_in_tests(self):
+        # TESTS profile runs M001 only, so D004 must not be rewritten.
+        fixed, count = fix_source(TESTS_PATH, self.MESSY)
+        assert count == 2
+        assert "bucket=None" in fixed
+        assert "set(vertices)" in fixed
+        assert "sorted" not in fixed
+
+    def test_fix_paths_writes_changed_files_only(self, tmp_path):
+        target = tmp_path / "src/repro/dataflow/messy.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(self.MESSY)
+        clean = tmp_path / "src/repro/dataflow/fine.py"
+        clean.write_text("def f(x):\n    return x\n")
+        before = clean.stat().st_mtime_ns
+        changed = fix_paths([tmp_path / "src"])
+        assert changed == [(target.as_posix(), 3)]
+        assert "sorted(set(vertices))" in target.read_text()
+        assert clean.stat().st_mtime_ns == before

@@ -408,8 +408,148 @@ class TestCli:
             assert rule.id in result.stdout
 
 
+SERVICE_PATH = "src/repro/service/fixture_service.py"
+
+
+class TestInterproceduralRouting:
+    """The new rule families reach exactly the layers they police."""
+
+    def test_family_routing(self):
+        from repro.analysis.profiles import profile_for as pf
+
+        assert {"C001", "F001", "L001", "P001"} <= pf(ENGINE_PATH).rules
+        for path in (KERNEL_PATH, IMPLS_PATH, HARNESS_PATH, SERVICE_PATH):
+            assert {"C001", "F001", "L001"} <= pf(path).rules
+            assert "P001" not in pf(path).rules
+        assert {"C001", "F001"} <= pf(SCRIPT_PATH).rules
+        assert "L001" not in pf(SCRIPT_PATH).rules
+        assert "L001" in pf("src/repro/stats/rng.py").rules
+        assert pf("tests/test_x.py").rules == frozenset({"M001"})
+
+    def test_project_rule_metadata_complete(self):
+        from repro.analysis.rules import PROJECT_RULES
+
+        assert {r.id for r in PROJECT_RULES} == \
+            {"F001", "C001", "L001", "P001"}
+        for rule in PROJECT_RULES:
+            assert rule.id and rule.title and rule.hint and rule.doc
+
+    def test_pure_trace_scope(self):
+        from repro.analysis.profiles import pure_trace
+
+        assert pure_trace("src/repro/cluster/tracealgebra.py")
+        assert pure_trace("src/repro/cluster/faults.py")
+        assert not pure_trace("src/repro/cluster/elastic.py")
+
+
+class TestC001LockDisciplineLocal:
+    def test_unlocked_touch_trips(self):
+        src = ("import threading\n"
+               "class Racy:\n"
+               "    def __init__(self):\n"
+               "        self._lock = threading.Lock()\n"
+               "        self.n = 0\n"
+               "    def bump(self):\n"
+               "        with self._lock:\n"
+               "            self.n += 1\n"
+               "    def peek(self):\n"
+               "        return self.n\n")
+        finding = only_finding(SERVICE_PATH, src, "C001")
+        assert "Racy.peek()" in finding.message
+
+    def test_unguarded_class_is_not_policed(self):
+        src = ("class Plain:\n"
+               "    def __init__(self):\n"
+               "        self.n = 0\n"
+               "    def bump(self):\n"
+               "        self.n += 1\n")
+        assert lint_source(SERVICE_PATH, src) == []
+
+
+PLANTED_RACE = """\
+import threading
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        return self.count
+"""
+
+
+class TestCliInterproc:
+    def plant(self, tmp_path, rel, source):
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return target
+
+    def test_negative_control_planted_race_exits_1(self, tmp_path):
+        """The CI canary: a planted race must fail the build."""
+        self.plant(tmp_path, "src/repro/service/racy.py", PLANTED_RACE)
+        result = run_cli([str(tmp_path / "src")], cwd=tmp_path)
+        assert result.returncode == 1
+        assert "C001" in result.stdout
+        assert "Racy.peek()" in result.stdout
+
+    def test_graph_stats_in_json_payload(self, tmp_path):
+        self.plant(tmp_path, "src/repro/dataflow/e.py",
+                   "from repro.kernels.k import f\n"
+                   "def run(x):\n    return f(x)\n")
+        self.plant(tmp_path, "src/repro/kernels/k.py",
+                   "def f(x):\n    return x\n")
+        result = run_cli(["--graph", "--format", "json",
+                          str(tmp_path / "src")], cwd=tmp_path)
+        assert result.returncode == 0, result.stdout
+        payload = json.loads(result.stdout)
+        graph = payload["graph"]
+        assert graph["modules"] == 2
+        assert graph["import_edges"] == 1
+        assert graph["call_edges"] == 1
+        assert {"engines", "kernels"} <= set(graph["layers"])
+
+    def test_cache_round_trip_via_cli(self, tmp_path):
+        self.plant(tmp_path, "src/repro/dataflow/a.py",
+                   "def f(x):\n    return x\n")
+        self.plant(tmp_path, "src/repro/dataflow/b.py",
+                   "def g(x):\n    return x\n")
+        cache = tmp_path / "cache.json"
+        args = ["--cache", str(cache), "--format", "json",
+                str(tmp_path / "src")]
+        cold = json.loads(run_cli(args, cwd=tmp_path).stdout)
+        assert cold["files_reanalyzed"] == 2 and cold["cache_hits"] == 0
+        assert cache.is_file()
+        warm = json.loads(run_cli(args, cwd=tmp_path).stdout)
+        assert warm["files_reanalyzed"] == 0 and warm["cache_hits"] == 2
+        assert warm["findings"] == cold["findings"]
+
+    def test_fix_flag_rewrites_then_lints(self, tmp_path):
+        target = self.plant(
+            tmp_path, "src/repro/dataflow/messy.py",
+            "def collect(x, acc=[]):\n"
+            "    \"\"\"Collect.\"\"\"\n"
+            "    acc.append(x)\n"
+            "    return acc\n")
+        result = run_cli(["--fix", str(tmp_path / "src")], cwd=tmp_path)
+        assert result.returncode == 0, result.stdout
+        assert "fixed" in result.stdout
+        assert "acc=None" in target.read_text()
+
+
 def test_repository_lints_clean():
-    """The meta-test: the tree the figures are built from has no findings."""
+    """The meta-test: the tree the figures are built from has no findings.
+
+    ``lint_paths`` runs the full two-tier analysis, so this holds the
+    repository to the interprocedural families (F001/C001/L001/P001 and
+    suppression hygiene) as well as the local rules.
+    """
     paths = [REPO_ROOT / name for name in ("src", "benchmarks", "examples")]
     findings, files_scanned = lint_paths([p for p in paths if p.exists()])
     assert files_scanned > 50
